@@ -1,0 +1,1 @@
+examples/datalog_incremental.ml: Array Buffer Datalog Format Incr_sched List Printf Workload

@@ -1,0 +1,1 @@
+examples/datalog_incremental.mli:

@@ -1,0 +1,1 @@
+examples/multicore_execution.ml: Array Buffer Datalog Domain Format Incr_sched List Parallel Prelude Printf Sched Simulator Workload

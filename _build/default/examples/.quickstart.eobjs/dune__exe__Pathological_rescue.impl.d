@@ -1,0 +1,1 @@
+examples/pathological_rescue.ml: Format Incr_sched List Simulator Workload

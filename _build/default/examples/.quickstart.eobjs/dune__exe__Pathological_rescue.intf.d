@@ -1,0 +1,1 @@
+examples/pathological_rescue.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dag Format Incr_sched List Prelude String Workload

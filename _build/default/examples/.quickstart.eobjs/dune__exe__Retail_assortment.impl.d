@@ -1,0 +1,1 @@
+examples/retail_assortment.ml: Buffer Datalog Format Incr_sched List Prelude Printf Workload

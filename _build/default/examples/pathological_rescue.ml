@@ -1,0 +1,54 @@
+(* The rescue story of Section VI: on adversarial instances the
+   LogicBlox scheduler melts down — quadratic interval-list memory,
+   cubic-ish time hunting for ready work — while the hybrid scheme stays
+   within a whisker of plain LevelBased. (While implementing the hybrid,
+   the authors found a synthetic instance where it beat production
+   LogicBlox by 100x, which led LogicBlox to fix their scheduler.)
+
+   Two instances:
+   - a fully-active deep chain: every completion forces the LogicBlox
+     scheduler to rescan its whole active queue;
+   - dense random bipartite layers: ancestor sets fragment into Theta(w)
+     intervals per node, so the precomputed structure alone grows
+     quadratically.
+
+   Run with: dune exec examples/pathological_rescue.exe *)
+
+let banner title = Format.printf "@.=== %s ===@." title
+
+let show trace scheds =
+  Format.printf "%a@." Workload.Trace.pp_stats (Workload.Trace.stats trace);
+  List.iter
+    (fun m -> Format.printf "  %a@." Incr_sched.pp_result_row m)
+    (Incr_sched.compare ~procs:8 ~scheds trace)
+
+let () =
+  banner "Broom (spine 5,000 + fan 5,000, fan blocked on the whole spine)";
+  show
+    (Workload.Pathological.broom ~spine:5_000 ~fan:5_000)
+    [ "levelbased"; "logicblox"; "hybrid" ];
+  Format.printf
+    "@.The fan is active from the start but unready until the spine@.\
+     drains, so the LogicBlox scheduler rescans ~5,000 blocked tasks@.\
+     after every spine completion — Theta(spine x fan) wasted ancestor@.\
+     queries. LevelBased never looks at a task above the current level,@.\
+     and the hybrid tracks LevelBased because the shared ready queue@.\
+     never runs dry long enough to trigger a scan.@.";
+  banner "Interval-list blowup (dense bipartite layers)";
+  List.iter
+    (fun width ->
+      let trace =
+        Workload.Pathological.interval_blowup ~width ~layers:4 ~density:0.5
+          ~seed:99
+      in
+      let lb = Incr_sched.schedule ~sched:"levelbased" trace in
+      let lbx = Incr_sched.schedule ~sched:"logicblox" trace in
+      Format.printf
+        "  width %4d: LogicBlox memory %9d words (LevelBased %7d), makespan %8.2f vs %8.2f@."
+        width lbx.Simulator.Metrics.memory_words lb.Simulator.Metrics.memory_words
+        lbx.Simulator.Metrics.makespan lb.Simulator.Metrics.makespan)
+    [ 50; 100; 200; 400 ];
+  Format.printf
+    "@.Doubling the width quadruples the LogicBlox footprint — the O(V^2)@.\
+     worst case of Section II-C — while LevelBased stays at O(V) words@.\
+     (Theorem 2).@."

@@ -1,0 +1,114 @@
+(* A retail-flavoured workload in the spirit of the LogicBlox deployment
+   the paper describes (Section I: "a suite of data mining and machine
+   learning tools for retail").
+
+   Base data: a product category tree, a region tree of stores, SKU
+   placements, and per-store stocking. Derived layers compute category
+   closure, regional assortment rollups, and promotion eligibility with
+   stratified negation. A nightly "assortment change" (move a category,
+   delist a SKU) then triggers incremental maintenance, whose task DAG
+   the schedulers race on.
+
+   Run with: dune exec examples/retail_assortment.exe *)
+
+let rules =
+  {|
+  % category hierarchy closure
+  cat_anc(X, Y)  :- subcat(X, Y).
+  cat_anc(X, Z)  :- cat_anc(X, Y), subcat(Y, Z).
+
+  % region hierarchy closure
+  reg_anc(X, Y)  :- subregion(X, Y).
+  reg_anc(X, Z)  :- reg_anc(X, Y), subregion(Y, Z).
+
+  % a SKU belongs to every ancestor of its category
+  sku_in(S, C)   :- sku_cat(S, C).
+  sku_in(S, A)   :- sku_cat(S, C), cat_anc(A, C).
+
+  % a store carries a category if it stocks some SKU in it
+  carries(St, C) :- stocks(St, S), sku_in(S, C).
+
+  % regional assortment: a region offers a category if any store under
+  % it carries it
+  store_in(St, R)   :- store_region(St, R).
+  store_in(St, A)   :- store_region(St, R), reg_anc(A, R).
+  offers(R, C)      :- store_in(St, R), carries(St, C).
+
+  % promotion eligibility: promoted categories a region does NOT offer
+  % are expansion gaps (stratified negation over a recursive layer)
+  gap(R, C)      :- promo(C), region(R), !offers(R, C).
+  region(R)      :- subregion(R, X).
+  region(R)      :- subregion(X, R).
+
+  % rollups (stratified aggregation, the LogicBlox retail staple):
+  % assortment breadth per region, stock value per store, chain-wide max
+  breadth(R, cnt(C))    :- offers(R, C).
+  stockvalue(St, sum(P)) :- stocks(St, S), skuprice(S, P).
+  widest(max(B))         :- breadth(R, B).
+|}
+
+let facts () =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (* category tree: 3 levels, fanout 4 *)
+  for i = 0 to 3 do
+    addf "subcat(\"root\", \"cat%d\").\n" i;
+    for j = 0 to 3 do
+      addf "subcat(\"cat%d\", \"cat%d_%d\").\n" i i j
+    done
+  done;
+  (* region tree: country -> 4 regions -> 4 districts *)
+  for r = 0 to 3 do
+    addf "subregion(\"country\", \"reg%d\").\n" r;
+    for d = 0 to 3 do
+      addf "subregion(\"reg%d\", \"dist%d_%d\").\n" r r d
+    done
+  done;
+  (* stores, SKUs, stocking: deterministic pseudo-random placement *)
+  let rng = Prelude.Rng.create 2020 in
+  for st = 0 to 31 do
+    addf "store_region(\"store%d\", \"dist%d_%d\").\n" st (st mod 4) (st / 8)
+  done;
+  for sku = 0 to 127 do
+    addf "sku_cat(\"sku%d\", \"cat%d_%d\").\n" sku (sku mod 4) (Prelude.Rng.int rng 4);
+    addf "skuprice(\"sku%d\", %d).\n" sku (5 + Prelude.Rng.int rng 95);
+    (* each SKU stocked in a handful of stores *)
+    for _ = 1 to 3 do
+      addf "stocks(\"store%d\", \"sku%d\").\n" (Prelude.Rng.int rng 32) sku
+    done
+  done;
+  addf "promo(\"cat0\"). promo(\"cat2_1\"). promo(\"cat3\").\n";
+  Buffer.contents buf
+
+let () =
+  let session = Incr_sched.materialize (rules ^ facts ()) in
+  Format.printf "Materialized retail db: %d tuples@."
+    (Datalog.Database.total_tuples session.Incr_sched.db);
+  Format.printf "Expansion gaps before the nightly update: %d@."
+    (List.length (Incr_sched.query session "gap"));
+  (match Incr_sched.query session "widest" with
+  | [ a ] -> Format.printf "Widest regional assortment: %a@.@." Datalog.Ast.pp_atom a
+  | _ -> ());
+  (* nightly assortment change: category 2_1 folds into category 3;
+     sku7 is delisted chain-wide; a district gains a store *)
+  let tt =
+    Incr_sched.update session
+      ~additions:[ {|subcat("cat3","cat2_1")|}; {|store_region("store99","dist1_2")|};
+                   {|stocks("store99","sku11")|} ]
+      ~deletions:[ {|subcat("cat2","cat2_1")|}; {|sku_cat("sku7","cat3_1")|} ]
+  in
+  Format.printf "Maintenance touched:@.";
+  List.iter
+    (fun (c : Datalog.Incremental.pred_change) ->
+      Format.printf "  %-10s +%-5d -%-5d@." c.Datalog.Incremental.pred
+        c.Datalog.Incremental.added c.Datalog.Incremental.removed)
+    tt.Datalog.To_trace.report.Datalog.Incremental.changes;
+  Format.printf "Expansion gaps after: %d@.@."
+    (List.length (Incr_sched.query session "gap"));
+  let trace = tt.Datalog.To_trace.trace in
+  Format.printf "Maintenance DAG: %a@." Workload.Trace.pp_stats
+    (Workload.Trace.stats trace);
+  Format.printf "@.Scheduling the maintenance:@.";
+  List.iter
+    (fun m -> Format.printf "  %a@." Incr_sched.pp_result_row m)
+    (Incr_sched.compare ~procs:4 trace)

@@ -1,0 +1,54 @@
+type result = Simulator.Metrics.t
+
+let config ?(procs = 8) ?(op_cost = 1e-7) ?(validate = false) () =
+  { Simulator.Engine.procs; op_cost; record_log = validate }
+
+let schedule ?procs ?op_cost ?(validate = false) ~sched trace =
+  let factory = Sched.Registry.find_exn sched in
+  let config = config ?procs ?op_cost ~validate () in
+  let run = Simulator.Engine.run ~config ~sched:factory trace in
+  if validate then begin
+    match Simulator.Validate.check_run trace run with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "invalid schedule from %s: %s" sched e)
+  end;
+  run.Simulator.Engine.metrics
+
+let default_comparison = [ "levelbased"; "lbl:10"; "logicblox"; "hybrid" ]
+
+let compare ?procs ?op_cost ?(scheds = default_comparison) trace =
+  List.map (fun sched -> schedule ?procs ?op_cost ~sched trace) scheds
+
+let clairvoyant ?procs ?op_cost trace =
+  let config = config ?procs ?op_cost () in
+  let sched = Simulator.Engine.clairvoyant_factory trace in
+  (Simulator.Engine.run ~config ~sched trace).Simulator.Engine.metrics
+
+let trace_of_file = Workload.Trace_io.of_file
+
+let trace_of_string = Workload.Trace_io.of_string
+
+type datalog_session = { db : Datalog.Database.t; program : Datalog.Ast.program }
+
+let materialize src =
+  let program = Datalog.Parser.parse src in
+  let db = Datalog.Database.create () in
+  let _analysis, _stats = Datalog.Eval.run db program in
+  { db; program }
+
+let update ?work_unit session ~additions ~deletions =
+  let parse = List.map Datalog.Parser.parse_atom in
+  Datalog.To_trace.of_update ?work_unit session.db session.program
+    ~additions:(parse additions) ~deletions:(parse deletions)
+
+let query session pred =
+  match Datalog.Database.find session.db pred with
+  | None -> []
+  | Some rel ->
+    Datalog.Relation.to_list rel
+    |> List.map (Datalog.Database.tuple_to_atom session.db pred)
+    |> List.sort Stdlib.compare
+
+let pp_result = Simulator.Metrics.pp
+
+let pp_result_row = Simulator.Metrics.pp_row

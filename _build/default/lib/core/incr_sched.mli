@@ -1,0 +1,80 @@
+(** Incremental maintenance of Datalog programs as DAG scheduling —
+    one-stop facade.
+
+    Reproduction of Singh et al., "A Scheduling Approach to Incremental
+    Maintenance of Datalog Programs", IPDPS 2020. The underlying
+    libraries remain directly usable:
+
+    - [Dag] — DAG substrate: levels, reachability, interval lists, SCC;
+    - [Sched] — the schedulers: LevelBased, LBL(k), LogicBlox, signal
+      propagation, Hybrid, plus the offline clairvoyant reference;
+    - [Workload] — traces, generators, the Table I reconstructions;
+    - [Simulator] — the discrete-event engine, Theorem 10 meta-scheduler,
+      schedule validation;
+    - [Datalog] — the Datalog engine (parser, stratified semi-naive
+      evaluation, DRed incremental maintenance, DAG extraction).
+
+    Quick start:
+    {[
+      let trace = Incr_sched.trace_of_string my_trace_text in
+      let results = Incr_sched.compare ~procs:8 trace in
+      List.iter (Format.printf "%a@." Incr_sched.pp_result) results
+    ]} *)
+
+type result = Simulator.Metrics.t
+
+val schedule :
+  ?procs:int ->
+  ?op_cost:float ->
+  ?validate:bool ->
+  sched:string ->
+  Workload.Trace.t ->
+  result
+(** Run one named scheduler (see {!Sched.Registry.names}) on a trace.
+    With [validate] (default off; expensive on big traces) the schedule
+    is checked against the Section II model and any violation raises
+    [Failure]. @raise Invalid_argument on an unknown scheduler name. *)
+
+val compare :
+  ?procs:int ->
+  ?op_cost:float ->
+  ?scheds:string list ->
+  Workload.Trace.t ->
+  result list
+(** Run several schedulers (default: LevelBased, LBL(10), LogicBlox,
+    Hybrid) on the same trace. *)
+
+val clairvoyant : ?procs:int -> ?op_cost:float -> Workload.Trace.t -> result
+(** The offline lower-bound reference for a trace. *)
+
+val trace_of_file : string -> Workload.Trace.t
+
+val trace_of_string : ?name:string -> string -> Workload.Trace.t
+
+(** {1 Datalog entry points} *)
+
+type datalog_session = {
+  db : Datalog.Database.t;
+  program : Datalog.Ast.program;
+}
+
+val materialize : string -> datalog_session
+(** Parse a program and compute its full materialization.
+    @raise Datalog.Parser.Error on syntax errors
+    @raise Datalog.Stratify.Unstratifiable on negative recursion. *)
+
+val update :
+  ?work_unit:float ->
+  datalog_session ->
+  additions:string list ->
+  deletions:string list ->
+  Datalog.To_trace.t
+(** Apply a base-fact update incrementally (atoms given as text, e.g.
+    ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace. *)
+
+val query : datalog_session -> string -> Datalog.Ast.atom list
+(** All facts of a predicate, sorted. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val pp_result_row : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/dag/critical_path.ml: Array Graph Topo

@@ -1,0 +1,1 @@
+lib/dag/critical_path.mli: Graph

@@ -1,0 +1,1 @@
+lib/dag/graph.ml: Array Format Prelude Printf

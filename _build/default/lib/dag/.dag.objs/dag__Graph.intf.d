@@ -1,0 +1,1 @@
+lib/dag/graph.mli: Format

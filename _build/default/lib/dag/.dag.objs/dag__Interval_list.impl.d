@@ -1,0 +1,1 @@
+lib/dag/interval_list.ml: Array Graph Prelude Sys Topo

@@ -1,0 +1,1 @@
+lib/dag/interval_list.mli: Graph

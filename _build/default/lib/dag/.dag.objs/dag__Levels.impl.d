@@ -1,0 +1,1 @@
+lib/dag/levels.ml: Array Graph List Topo

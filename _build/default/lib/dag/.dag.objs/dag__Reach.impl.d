@@ -1,0 +1,1 @@
+lib/dag/reach.ml: Array Graph Prelude Queue

@@ -1,0 +1,1 @@
+lib/dag/reach.mli: Graph Prelude

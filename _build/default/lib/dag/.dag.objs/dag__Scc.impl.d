@@ -1,0 +1,1 @@
+lib/dag/scc.ml: Array Graph Hashtbl Prelude Queue

@@ -1,0 +1,1 @@
+lib/dag/scc.mli: Graph

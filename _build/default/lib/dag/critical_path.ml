@@ -1,0 +1,39 @@
+let longest_from_sources g ~weights =
+  let n = Graph.node_count g in
+  if Array.length weights <> n then invalid_arg "Critical_path: weight length";
+  let order = Topo.sort_exn g in
+  let best = Array.make n 0.0 in
+  Array.iter
+    (fun u ->
+      best.(u) <- best.(u) +. weights.(u);
+      Graph.iter_succ g u (fun ~dst ~eid:_ ->
+          if best.(u) > best.(dst) then best.(dst) <- best.(u)))
+    order;
+  best
+
+let length g ~weights =
+  let best = longest_from_sources g ~weights in
+  Array.fold_left max 0.0 best
+
+let path g ~weights =
+  let n = Graph.node_count g in
+  if n = 0 then []
+  else begin
+    let best = longest_from_sources g ~weights in
+    let endpoint = ref 0 in
+    for u = 1 to n - 1 do
+      if best.(u) > best.(!endpoint) then endpoint := u
+    done;
+    (* walk backwards greedily through a predecessor achieving the value *)
+    let rec back u acc =
+      let acc = u :: acc in
+      let target = best.(u) -. weights.(u) in
+      let prev = ref None in
+      Graph.iter_pred g u (fun ~src ~eid:_ ->
+          match !prev with
+          | Some _ -> ()
+          | None -> if abs_float (best.(src) -. target) < 1e-9 then prev := Some src);
+      match !prev with None -> acc | Some p -> back p acc
+    in
+    back !endpoint []
+  end

@@ -1,0 +1,15 @@
+(** Weighted critical path.
+
+    The critical path [C] of a DAG with node weights is the maximum
+    total weight along any directed path. The LevelBased makespan bound
+    for arbitrary jobs is O(w/P + C) (Section II-B). *)
+
+val length : Graph.t -> weights:float array -> float
+(** Maximum path weight (sum of node weights along the path). Zero for
+    an empty graph. @raise Invalid_argument on a cycle. *)
+
+val path : Graph.t -> weights:float array -> int list
+(** One maximizing path, source to sink order. *)
+
+val longest_from_sources : Graph.t -> weights:float array -> float array
+(** Per-node maximum path weight ending at that node (inclusive). *)

@@ -1,0 +1,33 @@
+type style = {
+  label : int -> string;
+  color : int -> string option;
+  rankdir : string;
+}
+
+let default_style =
+  { label = string_of_int; color = (fun _ -> None); rankdir = "TB" }
+
+let pp ?(style = default_style) ppf g =
+  Format.fprintf ppf "digraph G {@.";
+  Format.fprintf ppf "  rankdir=%s;@." style.rankdir;
+  Format.fprintf ppf "  node [shape=circle, fontsize=9];@.";
+  for u = 0 to Graph.node_count g - 1 do
+    match style.color u with
+    | Some c ->
+      Format.fprintf ppf "  n%d [label=\"%s\", style=filled, fillcolor=\"%s\"];@."
+        u (style.label u) c
+    | None -> Format.fprintf ppf "  n%d [label=\"%s\"];@." u (style.label u)
+  done;
+  Graph.iter_edges g (fun ~src ~dst ~eid:_ ->
+      Format.fprintf ppf "  n%d -> n%d;@." src dst);
+  Format.fprintf ppf "}@."
+
+let to_file ?style path g =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  (try pp ?style ppf g
+   with e ->
+     close_out oc;
+     raise e);
+  Format.pp_print_flush ppf ();
+  close_out oc

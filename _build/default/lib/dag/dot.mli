@@ -1,0 +1,15 @@
+(** Graphviz export (Figure 1 rendering). *)
+
+type style = {
+  label : int -> string;
+  (** Node label; default is the node id. *)
+  color : int -> string option;
+  (** Fill color, e.g. highlight activated nodes. *)
+  rankdir : string;  (** "TB" or "LR". *)
+}
+
+val default_style : style
+
+val pp : ?style:style -> Format.formatter -> Graph.t -> unit
+
+val to_file : ?style:style -> string -> Graph.t -> unit

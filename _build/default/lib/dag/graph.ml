@@ -1,0 +1,175 @@
+type t = {
+  n : int;
+  m : int;
+  succ_off : int array;
+  succ_dst : int array;
+  succ_eid : int array;
+  pred_off : int array;
+  pred_src : int array;
+  pred_eid : int array;
+  e_src : int array;
+  e_dst : int array;
+}
+
+module Builder = struct
+  type t = {
+    mutable nodes : int;
+    srcs : int Prelude.Vec.t;
+    dsts : int Prelude.Vec.t;
+  }
+
+  let create ?(nodes = 0) () =
+    if nodes < 0 then invalid_arg "Graph.Builder.create";
+    {
+      nodes;
+      srcs = Prelude.Vec.create ~dummy:0 ();
+      dsts = Prelude.Vec.create ~dummy:0 ();
+    }
+
+  let add_node b =
+    let id = b.nodes in
+    b.nodes <- b.nodes + 1;
+    id
+
+  let node_count b = b.nodes
+
+  let add_edge b u v =
+    if u < 0 || u >= b.nodes || v < 0 || v >= b.nodes then
+      invalid_arg
+        (Printf.sprintf "Graph.Builder.add_edge: (%d,%d) with %d nodes" u v
+           b.nodes);
+    let eid = Prelude.Vec.length b.srcs in
+    Prelude.Vec.push b.srcs u;
+    Prelude.Vec.push b.dsts v;
+    eid
+
+  (* Build CSR by counting sort on endpoints: O(n + m). *)
+  let build b =
+    let n = b.nodes in
+    let m = Prelude.Vec.length b.srcs in
+    let e_src = Prelude.Vec.to_array b.srcs in
+    let e_dst = Prelude.Vec.to_array b.dsts in
+    let succ_off = Array.make (n + 1) 0 in
+    let pred_off = Array.make (n + 1) 0 in
+    for e = 0 to m - 1 do
+      succ_off.(e_src.(e) + 1) <- succ_off.(e_src.(e) + 1) + 1;
+      pred_off.(e_dst.(e) + 1) <- pred_off.(e_dst.(e) + 1) + 1
+    done;
+    for i = 1 to n do
+      succ_off.(i) <- succ_off.(i) + succ_off.(i - 1);
+      pred_off.(i) <- pred_off.(i) + pred_off.(i - 1)
+    done;
+    let succ_dst = Array.make m 0 and succ_eid = Array.make m 0 in
+    let pred_src = Array.make m 0 and pred_eid = Array.make m 0 in
+    let scur = Array.copy succ_off and pcur = Array.copy pred_off in
+    for e = 0 to m - 1 do
+      let u = e_src.(e) and v = e_dst.(e) in
+      succ_dst.(scur.(u)) <- v;
+      succ_eid.(scur.(u)) <- e;
+      scur.(u) <- scur.(u) + 1;
+      pred_src.(pcur.(v)) <- u;
+      pred_eid.(pcur.(v)) <- e;
+      pcur.(v) <- pcur.(v) + 1
+    done;
+    { n; m; succ_off; succ_dst; succ_eid; pred_off; pred_src; pred_eid; e_src; e_dst }
+end
+
+let of_edges ~nodes edges =
+  let b = Builder.create ~nodes () in
+  Array.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) edges;
+  Builder.build b
+
+let empty n = of_edges ~nodes:n [||]
+
+let node_count g = g.n
+
+let edge_count g = g.m
+
+let check_node g u =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Graph: node %d out of bounds [0,%d)" u g.n)
+
+let out_degree g u =
+  check_node g u;
+  g.succ_off.(u + 1) - g.succ_off.(u)
+
+let in_degree g u =
+  check_node g u;
+  g.pred_off.(u + 1) - g.pred_off.(u)
+
+let iter_succ g u f =
+  check_node g u;
+  for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do
+    f ~dst:g.succ_dst.(i) ~eid:g.succ_eid.(i)
+  done
+
+let iter_pred g v f =
+  check_node g v;
+  for i = g.pred_off.(v) to g.pred_off.(v + 1) - 1 do
+    f ~src:g.pred_src.(i) ~eid:g.pred_eid.(i)
+  done
+
+let succ g u =
+  check_node g u;
+  Array.sub g.succ_dst g.succ_off.(u) (out_degree g u)
+
+let pred g v =
+  check_node g v;
+  Array.sub g.pred_src g.pred_off.(v) (in_degree g v)
+
+let check_edge g e =
+  if e < 0 || e >= g.m then
+    invalid_arg (Printf.sprintf "Graph: edge %d out of bounds [0,%d)" e g.m)
+
+let edge_src g e =
+  check_edge g e;
+  g.e_src.(e)
+
+let edge_dst g e =
+  check_edge g e;
+  g.e_dst.(e)
+
+let iter_edges g f =
+  for e = 0 to g.m - 1 do
+    f ~src:g.e_src.(e) ~dst:g.e_dst.(e) ~eid:e
+  done
+
+let sources g =
+  let acc = Prelude.Vec.create ~dummy:0 () in
+  for u = 0 to g.n - 1 do
+    if in_degree g u = 0 then Prelude.Vec.push acc u
+  done;
+  Prelude.Vec.to_array acc
+
+let sinks g =
+  let acc = Prelude.Vec.create ~dummy:0 () in
+  for u = 0 to g.n - 1 do
+    if out_degree g u = 0 then Prelude.Vec.push acc u
+  done;
+  Prelude.Vec.to_array acc
+
+let transpose g =
+  {
+    g with
+    succ_off = g.pred_off;
+    succ_dst = g.pred_src;
+    succ_eid = g.pred_eid;
+    pred_off = g.succ_off;
+    pred_src = g.succ_dst;
+    pred_eid = g.succ_eid;
+    e_src = g.e_dst;
+    e_dst = g.e_src;
+  }
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  let rec scan i =
+    i < g.succ_off.(u + 1) && (g.succ_dst.(i) = v || scan (i + 1))
+  in
+  scan g.succ_off.(u)
+
+let pp_stats ppf g =
+  Format.fprintf ppf "nodes=%d edges=%d sources=%d sinks=%d" g.n g.m
+    (Array.length (sources g))
+    (Array.length (sinks g))

@@ -1,0 +1,77 @@
+(** Immutable directed graphs in compressed-sparse-row form.
+
+    Nodes are dense integers [0, n). Every edge carries a stable edge id
+    in [0, m) — the position in insertion order — which the workload
+    layer uses to attach change-propagation flags to edges (the active
+    graph [F] of the paper is a subset of edges selected by id).
+
+    The structure itself permits cycles (the Datalog predicate graph has
+    them before SCC condensation); DAG-only algorithms check or document
+    their precondition. *)
+
+type t
+
+(** Mutable builder; [build] freezes into CSR form. *)
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?nodes:int -> unit -> t
+  (** [create ~nodes ()] starts with [nodes] nodes and no edges. *)
+
+  val add_node : t -> int
+  (** Append one node; returns its id. *)
+
+  val node_count : t -> int
+
+  val add_edge : t -> int -> int -> int
+  (** [add_edge b u v] adds edge [u -> v] and returns its edge id.
+      Nodes must already exist. Parallel edges and self-loops are
+      permitted (a self-loop makes the graph cyclic, which DAG-only
+      algorithms reject downstream). *)
+
+  val build : t -> graph
+end
+
+val of_edges : nodes:int -> (int * int) array -> t
+(** Edge ids follow array order. *)
+
+val empty : int -> t
+(** [empty n] has [n] nodes and no edges. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val out_degree : t -> int -> int
+
+val in_degree : t -> int -> int
+
+val iter_succ : t -> int -> (dst:int -> eid:int -> unit) -> unit
+
+val iter_pred : t -> int -> (src:int -> eid:int -> unit) -> unit
+
+val succ : t -> int -> int array
+
+val pred : t -> int -> int array
+
+val edge_src : t -> int -> int
+(** Source of an edge id. *)
+
+val edge_dst : t -> int -> int
+
+val iter_edges : t -> (src:int -> dst:int -> eid:int -> unit) -> unit
+
+val sources : t -> int array
+(** Nodes with in-degree 0, ascending. *)
+
+val sinks : t -> int array
+
+val transpose : t -> t
+(** Reversed graph. Edge ids are preserved: edge [eid] in the transpose
+    runs [dst -> src] of the original edge [eid]. *)
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] — O(out_degree u). *)
+
+val pp_stats : Format.formatter -> t -> unit

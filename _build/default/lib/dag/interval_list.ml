@@ -1,0 +1,136 @@
+type t = {
+  pos : int array; (* node -> postorder position *)
+  inv : int array; (* position -> node *)
+  ivs : (int * int) array array; (* node -> sorted disjoint intervals *)
+  words : int array; (* node -> bitset words spanned by its intervals *)
+}
+
+(* Iterative DFS over the spanning forest rooted at the in-degree-0
+   nodes, assigning postorder positions and the contiguous tree interval
+   [lo(u), pos(u)] covering u's tree descendants. *)
+let dfs_postorder g =
+  let n = Graph.node_count g in
+  let pos = Array.make n (-1) in
+  let lo = Array.make n (-1) in
+  let counter = ref 0 in
+  let node_stack = Prelude.Vec.create ~dummy:0 () in
+  let iter_stack = Prelude.Vec.create ~dummy:[||] () in
+  let idx_stack = Prelude.Vec.create ~dummy:0 () in
+  let visited = Array.make n false in
+  let visit root =
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      lo.(root) <- !counter;
+      Prelude.Vec.push node_stack root;
+      Prelude.Vec.push iter_stack (Graph.succ g root);
+      Prelude.Vec.push idx_stack 0;
+      while not (Prelude.Vec.is_empty node_stack) do
+        let u = Prelude.Vec.get node_stack (Prelude.Vec.length node_stack - 1) in
+        let children = Prelude.Vec.get iter_stack (Prelude.Vec.length iter_stack - 1) in
+        let k = Prelude.Vec.get idx_stack (Prelude.Vec.length idx_stack - 1) in
+        if k < Array.length children then begin
+          Prelude.Vec.set idx_stack (Prelude.Vec.length idx_stack - 1) (k + 1);
+          let v = children.(k) in
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            lo.(v) <- !counter;
+            Prelude.Vec.push node_stack v;
+            Prelude.Vec.push iter_stack (Graph.succ g v);
+            Prelude.Vec.push idx_stack 0
+          end
+        end
+        else begin
+          ignore (Prelude.Vec.pop_exn node_stack);
+          ignore (Prelude.Vec.pop_exn iter_stack);
+          ignore (Prelude.Vec.pop_exn idx_stack);
+          pos.(u) <- !counter;
+          incr counter
+        end
+      done
+    end
+  in
+  Array.iter visit (Graph.sources g);
+  (* A DAG is fully covered from its sources; anything unvisited means a
+     cycle (no in-degree-0 entry point into it). *)
+  if !counter <> n then invalid_arg "Interval_list.build: graph has a cycle";
+  (pos, lo)
+
+(* Merge already-sorted-by-lo interval runs, coalescing overlap and
+   adjacency ([a,b] + [b+1,c] = [a,c] is exact since positions are dense). *)
+let merge_sorted (acc : (int * int) list) : (int * int) array =
+  match acc with
+  | [] -> [||]
+  | _ ->
+    let arr = Array.of_list acc in
+    Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+    let out = Prelude.Vec.create ~dummy:(0, 0) () in
+    let cur_lo = ref (fst arr.(0)) and cur_hi = ref (snd arr.(0)) in
+    for i = 1 to Array.length arr - 1 do
+      let l, h = arr.(i) in
+      if l <= !cur_hi + 1 then begin
+        if h > !cur_hi then cur_hi := h
+      end
+      else begin
+        Prelude.Vec.push out (!cur_lo, !cur_hi);
+        cur_lo := l;
+        cur_hi := h
+      end
+    done;
+    Prelude.Vec.push out (!cur_lo, !cur_hi);
+    Prelude.Vec.to_array out
+
+let build g =
+  let n = Graph.node_count g in
+  let pos, lo = dfs_postorder g in
+  let inv = Array.make n 0 in
+  Array.iteri (fun u p -> inv.(p) <- u) pos;
+  let ivs = Array.make n [||] in
+  let order = Topo.sort_exn g in
+  (* reverse topological: successors are finalized before u *)
+  for i = n - 1 downto 0 do
+    let u = order.(i) in
+    let acc = ref [ (lo.(u), pos.(u)) ] in
+    Graph.iter_succ g u (fun ~dst ~eid:_ ->
+        Array.iter (fun iv -> acc := iv :: !acc) ivs.(dst));
+    ivs.(u) <- merge_sorted !acc
+  done;
+  let word_bits = Sys.int_size in
+  let words =
+    Array.map
+      (Array.fold_left (fun acc (lo, hi) -> acc + ((hi - lo) / word_bits) + 1) 0)
+      ivs
+  in
+  { pos; inv; ivs; words }
+
+let position t u = t.pos.(u)
+
+let node_at t p = t.inv.(p)
+
+let intervals t u = t.ivs.(u)
+
+let is_descendant t ~of_ v =
+  let p = t.pos.(v) in
+  let ivs = t.ivs.(of_) in
+  (* binary search: find the interval with the greatest lo <= p *)
+  let rec search a b =
+    if a > b then false
+    else begin
+      let mid = (a + b) / 2 in
+      let l, h = ivs.(mid) in
+      if p < l then search a (mid - 1)
+      else if p > h then search (mid + 1) b
+      else true
+    end
+  in
+  search 0 (Array.length ivs - 1)
+
+let interval_count t u = Array.length t.ivs.(u)
+
+let range_words t u = t.words.(u)
+
+let total_intervals t =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.ivs
+
+let memory_words t =
+  (* pos + inv + per-node array headers + 3 words per boxed (int*int) *)
+  (2 * Array.length t.pos) + Array.length t.ivs + (3 * total_intervals t)

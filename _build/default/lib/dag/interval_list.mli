@@ -1,0 +1,53 @@
+(** Interval-list encoding of transitive closure
+    (Agrawal-Borgida-Jagadish [4], Nuutila [31]).
+
+    Every node is assigned a postorder position along a DFS spanning
+    forest; a node's descendant set is stored as a sorted list of
+    disjoint, maximal intervals over these positions. Tree descendants
+    form one contiguous interval; non-tree reachability adds further
+    intervals inherited from successors.
+
+    This is the precomputed structure of the production LogicBlox
+    scheduler (paper Sections II-C, VI-B). Worst-case size is O(V^2)
+    total interval entries; on the bushy DAGs seen in production it is
+    usually near-linear. [total_intervals] exposes the realized size so
+    the Meta scheduler (Theorem 10) can enforce its memory budget.
+
+    To answer the scheduler's actual question — "is any *active* node an
+    ancestor of u?" — build the encoding over the transposed DAG, so
+    that [intervals t u] covers exactly the ancestors of [u], and keep
+    the active set as a bitset indexed by [position]; then the query is
+    a per-interval [Bitset.exists_in_range]. *)
+
+type t
+
+val build : Graph.t -> t
+(** O(V + E + total interval size). @raise Invalid_argument on cycles. *)
+
+val position : t -> int -> int
+(** Postorder position of a node, in [0, V). A bijection. *)
+
+val node_at : t -> int -> int
+(** Inverse of [position]. *)
+
+val intervals : t -> int -> (int * int) array
+(** Sorted disjoint inclusive intervals of positions covering [u] and
+    all of its descendants (in the graph the encoding was built on). *)
+
+val is_descendant : t -> of_:int -> int -> bool
+(** [is_descendant t ~of_:u v]: is [v] reachable from [u]? True when
+    [u = v]. Binary search over [intervals t u]: O(log #intervals). *)
+
+val interval_count : t -> int -> int
+
+val range_words : t -> int -> int
+(** Total bitset words covered by [intervals t u] — the cost of probing
+    those intervals against an active-set bitset. Lets callers choose
+    between interval-range probing and per-active-node membership
+    checks, whichever is cheaper for the current active set. *)
+
+val total_intervals : t -> int
+(** Sum over nodes of interval counts — the memory footprint driver. *)
+
+val memory_words : t -> int
+(** Approximate heap words used by the encoding. *)

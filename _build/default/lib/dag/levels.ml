@@ -1,0 +1,66 @@
+let compute g =
+  let order = Topo.sort_exn g in
+  let n = Graph.node_count g in
+  let level = Array.make n 0 in
+  Array.iter
+    (fun u ->
+      Graph.iter_succ g u (fun ~dst ~eid:_ ->
+          if level.(u) + 1 > level.(dst) then level.(dst) <- level.(u) + 1))
+    order;
+  level
+
+let compute_by_peeling g =
+  let n = Graph.node_count g in
+  let indeg = Array.init n (Graph.in_degree g) in
+  let level = Array.make n (-1) in
+  let frontier = ref [] in
+  for u = n - 1 downto 0 do
+    if indeg.(u) = 0 then frontier := u :: !frontier
+  done;
+  let l = ref 0 in
+  let removed = ref 0 in
+  while !frontier <> [] do
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        level.(u) <- !l;
+        incr removed;
+        Graph.iter_succ g u (fun ~dst ~eid:_ ->
+            indeg.(dst) <- indeg.(dst) - 1;
+            if indeg.(dst) = 0 then next := dst :: !next))
+      !frontier;
+    frontier := List.rev !next;
+    incr l
+  done;
+  if !removed <> n then invalid_arg "Levels.compute_by_peeling: graph has a cycle";
+  level
+
+let max_level levels = Array.fold_left max (-1) levels
+
+let count levels = max_level levels + 1
+
+let histogram levels =
+  let h = Array.make (count levels) 0 in
+  Array.iter (fun l -> h.(l) <- h.(l) + 1) levels;
+  h
+
+let check g levels =
+  let n = Graph.node_count g in
+  Array.length levels = n
+  && begin
+       let ok = ref true in
+       for u = 0 to n - 1 do
+         if Graph.in_degree g u = 0 then begin
+           if levels.(u) <> 0 then ok := false
+         end
+         else begin
+           (* some predecessor exactly one level below, none at or above *)
+           let witness = ref false in
+           Graph.iter_pred g u (fun ~src ~eid:_ ->
+               if levels.(src) >= levels.(u) then ok := false;
+               if levels.(src) = levels.(u) - 1 then witness := true);
+           if not !witness then ok := false
+         end
+       done;
+       !ok
+     end

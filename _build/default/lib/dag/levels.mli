@@ -1,0 +1,30 @@
+(** Node levels (paper, Section II-B).
+
+    The level of a node is the maximum number of edges on any path from
+    any source node to it; sources have level 0. This is the entire
+    precomputed state of the LevelBased scheduler: O(V+E) time, O(V)
+    space (Theorem 2). *)
+
+val compute : Graph.t -> int array
+(** Longest-path DP over a topological order.
+    @raise Invalid_argument on a cyclic graph. *)
+
+val compute_by_peeling : Graph.t -> int array
+(** The formulation of Section VI-A: repeatedly assign level [l] to all
+    in-degree-zero nodes, delete them, increment [l]. Agrees with
+    [compute] on every DAG (property-tested); kept as an executable
+    specification. @raise Invalid_argument on a cyclic graph. *)
+
+val max_level : int array -> int
+(** Highest level present; [-1] for an empty graph. The paper's [L] is
+    the number of levels, i.e. [max_level + 1]. *)
+
+val count : int array -> int
+(** The paper's [L]: number of distinct level values, [max_level + 1]. *)
+
+val histogram : int array -> int array
+(** [histogram levels].(l) = number of nodes at level [l]. *)
+
+val check : Graph.t -> int array -> bool
+(** Validity: sources at 0; for every edge (u,v), level v > level u; and
+    every non-source node has a predecessor exactly one level below. *)

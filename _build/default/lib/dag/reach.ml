@@ -1,0 +1,37 @@
+let bfs_from graph seeds ~expand =
+  let n = Graph.node_count graph in
+  let seen = Prelude.Bitset.create n in
+  let queue = Queue.create () in
+  Array.iter (fun s -> Queue.add s queue) seeds;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    expand u (fun v ->
+        if not (Prelude.Bitset.mem seen v) then begin
+          Prelude.Bitset.add seen v;
+          Queue.add v queue
+        end)
+  done;
+  seen
+
+let descendants g u =
+  bfs_from g [| u |] ~expand:(fun x push ->
+      Graph.iter_succ g x (fun ~dst ~eid:_ -> push dst))
+
+let ancestors g u =
+  bfs_from g [| u |] ~expand:(fun x push ->
+      Graph.iter_pred g x (fun ~src ~eid:_ -> push src))
+
+let descendants_of_set g seeds =
+  bfs_from g seeds ~expand:(fun x push ->
+      Graph.iter_succ g x (fun ~dst ~eid:_ -> push dst))
+
+let is_ancestor g ~anc ~desc =
+  anc <> desc && Prelude.Bitset.mem (descendants g anc) desc
+
+let count_descendants g u = Prelude.Bitset.cardinal (descendants g u)
+
+let reachable_within g ~seeds ~max_level ~levels =
+  bfs_from g seeds ~expand:(fun x push ->
+      if levels.(x) < max_level then
+        Graph.iter_succ g x (fun ~dst ~eid:_ ->
+            if levels.(dst) <= max_level then push dst))

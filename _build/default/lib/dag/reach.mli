@@ -1,0 +1,26 @@
+(** Reachability queries (BFS-based reference implementations).
+
+    These are the ground truth that the interval-list encoding and the
+    schedulers' readiness logic are tested against, and they implement
+    Figure 1's descendant statistics. *)
+
+val descendants : Graph.t -> int -> Prelude.Bitset.t
+(** All nodes reachable from [u], excluding [u] itself. *)
+
+val ancestors : Graph.t -> int -> Prelude.Bitset.t
+(** All nodes that reach [u], excluding [u] itself. *)
+
+val descendants_of_set : Graph.t -> int array -> Prelude.Bitset.t
+(** Union of descendants of the given nodes (the seeds excluded unless
+    reachable from another seed). *)
+
+val is_ancestor : Graph.t -> anc:int -> desc:int -> bool
+(** BFS from [anc]; [false] when [anc = desc]. *)
+
+val count_descendants : Graph.t -> int -> int
+
+val reachable_within : Graph.t -> seeds:int array -> max_level:int ->
+  levels:int array -> Prelude.Bitset.t
+(** Descendants of [seeds] restricted to nodes of level <= [max_level];
+    the traversal never expands beyond that level. This is the bounded
+    BFS used by the LookAhead scheduler (Section VI-B). *)

@@ -1,0 +1,100 @@
+type condensation = {
+  component : int array;
+  count : int;
+  members : int array array;
+  dag : Graph.t;
+}
+
+(* Iterative DFS producing a full postorder of all nodes. *)
+let full_postorder g =
+  let n = Graph.node_count g in
+  let visited = Array.make n false in
+  let post = Prelude.Vec.create ~dummy:0 () in
+  let node_stack = Prelude.Vec.create ~dummy:0 () in
+  let iter_stack = Prelude.Vec.create ~dummy:[||] () in
+  let idx_stack = Prelude.Vec.create ~dummy:0 () in
+  for root = 0 to n - 1 do
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      Prelude.Vec.push node_stack root;
+      Prelude.Vec.push iter_stack (Graph.succ g root);
+      Prelude.Vec.push idx_stack 0;
+      while not (Prelude.Vec.is_empty node_stack) do
+        let top = Prelude.Vec.length node_stack - 1 in
+        let u = Prelude.Vec.get node_stack top in
+        let children = Prelude.Vec.get iter_stack top in
+        let k = Prelude.Vec.get idx_stack top in
+        if k < Array.length children then begin
+          Prelude.Vec.set idx_stack top (k + 1);
+          let v = children.(k) in
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            Prelude.Vec.push node_stack v;
+            Prelude.Vec.push iter_stack (Graph.succ g v);
+            Prelude.Vec.push idx_stack 0
+          end
+        end
+        else begin
+          ignore (Prelude.Vec.pop_exn node_stack);
+          ignore (Prelude.Vec.pop_exn iter_stack);
+          ignore (Prelude.Vec.pop_exn idx_stack);
+          Prelude.Vec.push post u
+        end
+      done
+    end
+  done;
+  Prelude.Vec.to_array post
+
+let components g =
+  let n = Graph.node_count g in
+  let post = full_postorder g in
+  let gt = Graph.transpose g in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for i = n - 1 downto 0 do
+    let root = post.(i) in
+    if comp.(root) = -1 then begin
+      let c = !count in
+      incr count;
+      comp.(root) <- c;
+      Queue.add root queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_succ gt u (fun ~dst ~eid:_ ->
+            if comp.(dst) = -1 then begin
+              comp.(dst) <- c;
+              Queue.add dst queue
+            end)
+      done
+    end
+  done;
+  (comp, !count)
+
+let condense g =
+  let n = Graph.node_count g in
+  let component, count = components g in
+  let sizes = Array.make count 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) component;
+  let members = Array.map (fun k -> Array.make k 0) sizes in
+  let fill = Array.make count 0 in
+  for u = 0 to n - 1 do
+    let c = component.(u) in
+    members.(c).(fill.(c)) <- u;
+    fill.(c) <- fill.(c) + 1
+  done;
+  let b = Graph.Builder.create ~nodes:count () in
+  let seen = Hashtbl.create 64 in
+  Graph.iter_edges g (fun ~src ~dst ~eid:_ ->
+      let cu = component.(src) and cv = component.(dst) in
+      if cu <> cv && not (Hashtbl.mem seen (cu, cv)) then begin
+        Hashtbl.add seen (cu, cv) ();
+        ignore (Graph.Builder.add_edge b cu cv)
+      end);
+  { component; count; members; dag = Graph.Builder.build b }
+
+let is_trivial g c comp_id =
+  Array.length c.members.(comp_id) = 1
+  &&
+  let u = c.members.(comp_id).(0) in
+  not (Graph.mem_edge g u u)

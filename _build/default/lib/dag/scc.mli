@@ -1,0 +1,27 @@
+(** Strongly connected components and condensation (Kosaraju, iterative).
+
+    Datalog's predicate dependency graph is cyclic wherever predicates
+    are mutually recursive; the materialization DAG of the paper arises
+    by collapsing each recursive clique into a single fixpoint task.
+    [condense] produces that DAG along with the component mapping. *)
+
+type condensation = {
+  component : int array; (** node -> component id, in [0, count) *)
+  count : int;
+  members : int array array; (** component id -> member nodes *)
+  dag : Graph.t;
+      (** Condensed graph: one node per component, deduplicated edges
+          between distinct components. Component ids are assigned in
+          reverse topological discovery order and the condensed graph is
+          always acyclic. *)
+}
+
+val components : Graph.t -> int array * int
+(** [components g] = (component map, component count). *)
+
+val condense : Graph.t -> condensation
+
+val is_trivial : Graph.t -> condensation -> int -> bool
+(** [is_trivial g c id] is true when component [id] is a single node
+    without a self-edge in the original graph [g] — for the Datalog
+    predicate graph, a non-recursive predicate. *)

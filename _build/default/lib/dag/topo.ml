@@ -1,0 +1,46 @@
+let sort g =
+  let n = Graph.node_count g in
+  let indeg = Array.init n (Graph.in_degree g) in
+  (* min-heap on node id for deterministic output *)
+  let ready = Prelude.Heap.create ~cmp:compare ~dummy:0 () in
+  for u = 0 to n - 1 do
+    if indeg.(u) = 0 then Prelude.Heap.push ready u
+  done;
+  let order = Array.make n 0 in
+  let k = ref 0 in
+  let rec drain () =
+    match Prelude.Heap.pop ready with
+    | None -> ()
+    | Some u ->
+      order.(!k) <- u;
+      incr k;
+      Graph.iter_succ g u (fun ~dst ~eid:_ ->
+          indeg.(dst) <- indeg.(dst) - 1;
+          if indeg.(dst) = 0 then Prelude.Heap.push ready dst);
+      drain ()
+  in
+  drain ();
+  if !k = n then Some order else None
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: graph has a cycle"
+
+let is_dag g = Option.is_some (sort g)
+
+let check_order g order =
+  let n = Graph.node_count g in
+  if Array.length order <> n then false
+  else begin
+    let pos = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun i u ->
+        if u < 0 || u >= n || pos.(u) >= 0 then ok := false else pos.(u) <- i)
+      order;
+    if !ok then
+      Graph.iter_edges g (fun ~src ~dst ~eid:_ ->
+          if pos.(src) >= pos.(dst) then ok := false);
+    !ok
+  end

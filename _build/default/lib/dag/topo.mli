@@ -1,0 +1,14 @@
+(** Topological ordering (Kahn's algorithm, iterative). *)
+
+val sort : Graph.t -> int array option
+(** A topological order of the nodes, or [None] if the graph has a
+    cycle. Deterministic: among available nodes, smallest id first. *)
+
+val sort_exn : Graph.t -> int array
+(** @raise Invalid_argument on a cyclic graph. *)
+
+val is_dag : Graph.t -> bool
+
+val check_order : Graph.t -> int array -> bool
+(** [check_order g order] verifies that [order] is a permutation of the
+    nodes in which every edge goes forward. *)

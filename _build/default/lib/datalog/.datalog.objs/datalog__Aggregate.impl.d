@@ -1,0 +1,1 @@
+lib/datalog/aggregate.ml: Array Ast Hashtbl List Matcher Option Printf Symbol

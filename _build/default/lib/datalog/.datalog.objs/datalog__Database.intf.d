@@ -1,0 +1,1 @@
+lib/datalog/database.mli: Ast Format Relation Symbol

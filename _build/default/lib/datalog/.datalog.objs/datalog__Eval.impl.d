@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Aggregate Array Ast Dag Database Hashtbl List Matcher Printf Relation Stratify

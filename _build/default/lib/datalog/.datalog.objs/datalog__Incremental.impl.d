@@ -1,0 +1,1 @@
+lib/datalog/incremental.ml: Aggregate Array Ast Dag Database Hashtbl List Matcher Printf Relation Stratify String

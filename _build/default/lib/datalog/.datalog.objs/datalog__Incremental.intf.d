@@ -1,0 +1,1 @@
+lib/datalog/incremental.mli: Ast Database Stratify

@@ -1,0 +1,1 @@
+lib/datalog/matcher.ml: Array Ast Database List Printf Relation Symbol

@@ -1,0 +1,1 @@
+lib/datalog/matcher.mli: Ast Database Relation Symbol

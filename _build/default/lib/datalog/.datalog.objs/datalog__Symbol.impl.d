@@ -1,0 +1,1 @@
+lib/datalog/symbol.ml: Ast Hashtbl Prelude Printf

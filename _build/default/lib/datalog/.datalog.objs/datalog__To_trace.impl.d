@@ -1,0 +1,1 @@
+lib/datalog/to_trace.ml: Array Dag Hashtbl Incremental List Stratify String Workload

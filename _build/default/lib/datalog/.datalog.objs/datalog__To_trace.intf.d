@@ -1,0 +1,1 @@
+lib/datalog/to_trace.mli: Ast Database Incremental Workload

@@ -1,0 +1,121 @@
+let validate (program : Ast.program) =
+  let defs = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let pred = r.Ast.head.Ast.pred in
+      Hashtbl.replace defs pred (1 + Option.value (Hashtbl.find_opt defs pred) ~default:0))
+    program;
+  List.iter
+    (fun (r : Ast.rule) ->
+      if Ast.rule_is_aggregate r then begin
+        if r.Ast.body = [] then
+          invalid_arg
+            (Printf.sprintf "Aggregate: %s has an aggregate head but no body"
+               r.Ast.head.Ast.pred);
+        if Hashtbl.find defs r.Ast.head.Ast.pred > 1 then
+          invalid_arg
+            (Printf.sprintf
+               "Aggregate: %s must be defined by exactly one rule (it aggregates)"
+               r.Ast.head.Ast.pred)
+      end)
+    program
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal a b = a = b
+
+  let hash a = Hashtbl.hash (Array.to_list a)
+end)
+
+let evaluate ~symbols ~view ~work (rule : Ast.rule) =
+  let head_args = Array.of_list rule.Ast.head.Ast.args in
+  let group_positions =
+    Array.to_list head_args
+    |> List.mapi (fun i t -> (i, t))
+    |> List.filter_map (fun (i, t) ->
+           match t with Ast.Var _ | Ast.Const _ -> Some i | Ast.Agg _ -> None)
+  in
+  let agg_positions =
+    Array.to_list head_args
+    |> List.mapi (fun i t -> (i, t))
+    |> List.filter_map (fun (i, t) ->
+           match t with Ast.Agg (op, v) -> Some (i, op, v) | Ast.Var _ | Ast.Const _ -> None)
+  in
+  (* distinct projections onto (group terms, aggregated variables) *)
+  let rows = Tuple_tbl.create 64 in
+  Matcher.eval_body ~symbols ~view ~work rule.Ast.body ~on_env:(fun env ->
+      let resolve t =
+        match Matcher.resolve_term ~symbols env t with
+        | Some code -> code
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Aggregate: unbound variable in the head of %s"
+               rule.Ast.head.Ast.pred)
+      in
+      let group = List.map (fun i -> resolve head_args.(i)) group_positions in
+      let aggs = List.map (fun (_, _, v) -> resolve (Ast.Var v)) agg_positions in
+      Tuple_tbl.replace rows (Array.of_list (group @ aggs)) ());
+  (* fold per group *)
+  let ngroups = List.length group_positions in
+  let acc : (int array, (int option * int) array) Hashtbl.t = Hashtbl.create 64 in
+  (* per agg position: (running value as code option, count) *)
+  Tuple_tbl.iter
+    (fun row () ->
+      let key = Array.sub row 0 ngroups in
+      let vals = Array.sub row ngroups (Array.length row - ngroups) in
+      let cur =
+        match Hashtbl.find_opt acc key with
+        | Some c -> c
+        | None ->
+          let c = Array.make (Array.length vals) (None, 0) in
+          Hashtbl.add acc key c;
+          c
+      in
+      List.iteri
+        (fun j (_, op, _) ->
+          let prev, count = cur.(j) in
+          let code = vals.(j) in
+          let require_int c =
+            match Symbol.const_of symbols c with
+            | Ast.Int i -> i
+            | Ast.Sym _ ->
+              invalid_arg
+                (Printf.sprintf "Aggregate: sum over a non-integer in %s"
+                   rule.Ast.head.Ast.pred)
+          in
+          let next =
+            match (op, prev) with
+            | Ast.Count, _ -> prev
+            | Ast.Sum, None ->
+              ignore (require_int code);
+              Some code
+            | (Ast.Min | Ast.Max), None -> Some code
+            | Ast.Sum, Some p ->
+              Some (Symbol.intern symbols (Ast.Int (require_int p + require_int code)))
+            | Ast.Min, Some p ->
+              Some (if Symbol.compare_codes symbols code p < 0 then code else p)
+            | Ast.Max, Some p ->
+              Some (if Symbol.compare_codes symbols code p > 0 then code else p)
+          in
+          cur.(j) <- (next, count + 1))
+        agg_positions)
+    rows;
+  (* materialize head tuples *)
+  let out = ref [] in
+  Hashtbl.iter
+    (fun key folded ->
+      let tup = Array.make (Array.length head_args) 0 in
+      List.iteri (fun gi pos -> tup.(pos) <- key.(gi)) group_positions;
+      List.iteri
+        (fun j (pos, op, _) ->
+          let value, count = folded.(j) in
+          tup.(pos) <-
+            (match (op, value) with
+            | Ast.Count, _ -> Symbol.intern symbols (Ast.Int count)
+            | (Ast.Sum | Ast.Min | Ast.Max), Some code -> code
+            | (Ast.Sum | Ast.Min | Ast.Max), None -> assert false))
+        agg_positions;
+      out := tup :: !out)
+    acc;
+  !out

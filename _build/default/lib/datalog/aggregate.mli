@@ -1,0 +1,30 @@
+(** Stratified aggregation: [cnt], [sum], [min], [max] in rule heads.
+
+    An aggregate rule
+    {[ total(X, sum(C)) :- line(X, I), cost(I, C). ]}
+    groups the body's variable bindings by the plain head variables and
+    folds each aggregate over the {e distinct} projections onto
+    (group variables, aggregated variables) — set semantics, so
+    duplicate derivations of the same binding do not double count.
+
+    Aggregation is non-monotone, so these rules stratify like negation:
+    every body predicate must sit in a strictly lower stratum
+    ({!Stratify} enforces this by treating their dependencies as
+    negative), and an aggregated predicate must be defined by exactly
+    that one rule ({!validate}). Incremental maintenance recomputes an
+    aggregate component outright when any input changed and diffs the
+    output — aggregates are functional, so the diff is exact. *)
+
+val validate : Ast.program -> unit
+(** Every aggregate head predicate is defined by exactly one rule and
+    no facts. @raise Invalid_argument otherwise. *)
+
+val evaluate :
+  symbols:Symbol.t ->
+  view:Matcher.view ->
+  work:int ref ->
+  Ast.rule ->
+  Relation.tuple list
+(** Full output of one aggregate rule against the given view. Distinct
+    tuples, unspecified order.
+    @raise Invalid_argument if [sum] meets a non-integer value. *)

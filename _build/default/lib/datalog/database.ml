@@ -1,0 +1,74 @@
+type t = { symbols : Symbol.t; relations : (string, Relation.t) Hashtbl.t }
+
+let create () = { symbols = Symbol.create (); relations = Hashtbl.create 32 }
+
+let symbols t = t.symbols
+
+let relation t name ~arity =
+  match Hashtbl.find_opt t.relations name with
+  | Some r ->
+    if Relation.arity r <> arity then
+      invalid_arg
+        (Printf.sprintf "Database: predicate %s used with arity %d, declared %d" name
+           arity (Relation.arity r));
+    r
+  | None ->
+    let r = Relation.create ~arity in
+    Hashtbl.add t.relations name r;
+    r
+
+let find t name = Hashtbl.find_opt t.relations name
+
+let predicates t =
+  Hashtbl.fold (fun name r acc -> (name, r) :: acc) t.relations []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let intern_atom t (a : Ast.atom) =
+  let tup =
+    List.map
+      (function
+        | Ast.Const c -> Symbol.intern t.symbols c
+        | Ast.Var v ->
+          invalid_arg (Printf.sprintf "Database: atom %s has variable %s" a.pred v)
+        | Ast.Agg _ ->
+          invalid_arg (Printf.sprintf "Database: atom %s has an aggregate term" a.pred))
+      a.args
+  in
+  ignore (relation t a.pred ~arity:(List.length a.args));
+  Array.of_list tup
+
+let add_fact t a =
+  let tup = intern_atom t a in
+  Relation.add (relation t a.Ast.pred ~arity:(Array.length tup)) tup
+
+let remove_fact t a =
+  let tup = intern_atom t a in
+  Relation.remove (relation t a.Ast.pred ~arity:(Array.length tup)) tup
+
+let mem_fact t a =
+  let tup = intern_atom t a in
+  Relation.mem (relation t a.Ast.pred ~arity:(Array.length tup)) tup
+
+let tuple_to_atom t name tup =
+  {
+    Ast.pred = name;
+    args = Array.to_list (Array.map (fun c -> Ast.Const (Symbol.const_of t.symbols c)) tup);
+  }
+
+let copy t =
+  let fresh = { symbols = t.symbols; relations = Hashtbl.create 32 } in
+  Hashtbl.iter (fun name r -> Hashtbl.add fresh.relations name (Relation.copy r)) t.relations;
+  fresh
+
+let total_tuples t =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.cardinality r) t.relations 0
+
+let pp ppf t =
+  List.iter
+    (fun (name, r) ->
+      let atoms =
+        List.map (tuple_to_atom t name) (Relation.to_list r)
+        |> List.sort compare
+      in
+      List.iter (fun a -> Format.fprintf ppf "%a.@." Ast.pp_atom a) atoms)
+    (predicates t)

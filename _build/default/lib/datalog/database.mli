@@ -1,0 +1,40 @@
+(** A Datalog database: named relations plus the constant table.
+
+    Predicates spring into existence on first mention; arity is fixed at
+    that point and enforced thereafter. *)
+
+type t
+
+val create : unit -> t
+
+val symbols : t -> Symbol.t
+
+val relation : t -> string -> arity:int -> Relation.t
+(** Find-or-create. @raise Invalid_argument on an arity clash. *)
+
+val find : t -> string -> Relation.t option
+
+val predicates : t -> (string * Relation.t) list
+(** Sorted by name. *)
+
+val intern_atom : t -> Ast.atom -> Relation.tuple
+(** Ground atom to tuple (registering its predicate).
+    @raise Invalid_argument if the atom contains variables. *)
+
+val add_fact : t -> Ast.atom -> bool
+(** [true] iff new. *)
+
+val remove_fact : t -> Ast.atom -> bool
+
+val mem_fact : t -> Ast.atom -> bool
+
+val tuple_to_atom : t -> string -> Relation.tuple -> Ast.atom
+
+val copy : t -> t
+(** Deep-copies relations; shares the symbol table (interning is
+    append-only, so sharing is safe). *)
+
+val total_tuples : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** All facts, sorted — stable output for tests. *)

@@ -1,0 +1,383 @@
+type pred_change = { pred : string; added : int; removed : int }
+
+type comp_activity = {
+  comp : int;
+  work : int;
+  output_changed : bool;
+  input_changed : bool;
+}
+
+type report = {
+  changes : pred_change list;
+  activity : comp_activity list;
+  analysis : Stratify.t;
+}
+
+(* Net per-predicate deltas relative to the pre-update snapshot. A
+   tuple sits in at most one of the two tables; re-adding a removed
+   tuple cancels instead of double-booking. *)
+type deltas = {
+  added : (string, Relation.t) Hashtbl.t;
+  removed : (string, Relation.t) Hashtbl.t;
+}
+
+let delta_rel tbl pred ~arity =
+  match Hashtbl.find_opt tbl pred with
+  | Some r -> r
+  | None ->
+    let r = Relation.create ~arity in
+    Hashtbl.add tbl pred r;
+    r
+
+let nonempty tbl pred =
+  match Hashtbl.find_opt tbl pred with
+  | Some r -> Relation.cardinality r > 0
+  | None -> false
+
+let record_add d pred ~arity tup =
+  let removed = delta_rel d.removed pred ~arity in
+  if not (Relation.remove removed tup) then
+    ignore (Relation.add (delta_rel d.added pred ~arity) tup)
+
+let record_remove d pred ~arity tup =
+  let added = delta_rel d.added pred ~arity in
+  if not (Relation.remove added tup) then
+    ignore (Relation.add (delta_rel d.removed pred ~arity) tup)
+
+(* Replace the [i]th body literal (a negated atom) by its positive
+   counterpart so that the semi-naive delta can range over it: a
+   derivation enabled/disabled by a change to a negated input is found
+   by unifying that literal against exactly the changed tuples. *)
+let flip_negation (rule : Ast.rule) i =
+  let body =
+    List.mapi
+      (fun j lit ->
+        if j = i then
+          match lit with
+          | Ast.Neg a -> Ast.Pos a
+          | Ast.Pos _ | Ast.Cmp _ -> invalid_arg "flip_negation: literal not negated"
+        else lit)
+      rule.Ast.body
+  in
+  { rule with Ast.body }
+
+let check_edb (anal : Stratify.t) (a : Ast.atom) =
+  if not (Ast.atom_is_ground a) then
+    invalid_arg (Printf.sprintf "Incremental: update atom %s is not ground" a.Ast.pred);
+  match Hashtbl.find_opt anal.Stratify.index_of a.Ast.pred with
+  | Some i when not anal.Stratify.edb.(i) ->
+    invalid_arg
+      (Printf.sprintf "Incremental: %s is intensional; update base facts only"
+         a.Ast.pred)
+  | Some _ | None -> ()
+
+let apply db program ~additions ~deletions =
+  Aggregate.validate program;
+  let anal = Stratify.analyze program in
+  Matcher.register db program;
+  List.iter (check_edb anal) additions;
+  List.iter (check_edb anal) deletions;
+  let symbols = Database.symbols db in
+  let new_view = Matcher.view_of_db db in
+  let d = { added = Hashtbl.create 16; removed = Hashtbl.create 16 } in
+  (* The pre-update state as a delta overlay over the live database:
+     old = (new \ added) ∪ removed. The net-delta invariant maintained
+     by [record_add]/[record_remove] (a tuple sits in at most one table,
+     cancellation on re-add) makes this identity hold at every point
+     during processing, so no O(database) snapshot copy is needed. *)
+  let old_view =
+    let added p = Hashtbl.find_opt d.added p in
+    let removed p = Hashtbl.find_opt d.removed p in
+    let non_empty = function
+      | Some r when Relation.cardinality r > 0 -> Some r
+      | Some _ | None -> None
+    in
+    {
+      Matcher.mem =
+        (fun p tup ->
+          let in_removed =
+            match removed p with Some r -> Relation.mem r tup | None -> false
+          in
+          in_removed
+          ||
+          let in_added =
+            match added p with Some r -> Relation.mem r tup | None -> false
+          in
+          (not in_added)
+          && (match Database.find db p with
+             | Some r -> Relation.mem r tup
+             | None -> false));
+      find =
+        (fun p ~col ~value ->
+          let base =
+            match Database.find db p with
+            | Some r -> Relation.find r ~col ~value
+            | None -> []
+          in
+          let base =
+            match non_empty (added p) with
+            | Some a -> List.filter (fun t -> not (Relation.mem a t)) base
+            | None -> base
+          in
+          match non_empty (removed p) with
+          | Some r -> List.rev_append (Relation.find r ~col ~value) base
+          | None -> base);
+      iter =
+        (fun p f ->
+          (match Database.find db p with
+          | Some r -> (
+            match non_empty (added p) with
+            | Some a -> Relation.iter (fun t -> if not (Relation.mem a t) then f t) r
+            | None -> Relation.iter f r)
+          | None -> ());
+          match removed p with Some r -> Relation.iter f r | None -> ());
+    }
+  in
+  (* base updates *)
+  List.iter
+    (fun a ->
+      let tup = Database.intern_atom db a in
+      let rel = Database.relation db a.Ast.pred ~arity:(Array.length tup) in
+      if Relation.remove rel tup then
+        record_remove d a.Ast.pred ~arity:(Array.length tup) tup)
+    deletions;
+  List.iter
+    (fun a ->
+      let tup = Database.intern_atom db a in
+      let rel = Database.relation db a.Ast.pred ~arity:(Array.length tup) in
+      if Relation.add rel tup then record_add d a.Ast.pred ~arity:(Array.length tup) tup)
+    additions;
+  let head_arity (r : Ast.rule) = List.length r.Ast.head.Ast.args in
+  let activity = ref [] in
+  let process_comp comp =
+    let members = anal.Stratify.condensation.Dag.Scc.members.(comp) in
+    let comp_preds = Hashtbl.create 4 in
+    Array.iter
+      (fun p -> Hashtbl.replace comp_preds anal.Stratify.predicates.(p) ())
+      members;
+    let rules =
+      List.filter
+        (fun (r : Ast.rule) -> r.Ast.body <> [])
+        (Stratify.rules_for_comp anal program comp)
+    in
+    let work = ref 0 in
+    if rules = [] then begin
+      (* extensional component: its delta is the base update itself *)
+      let output_changed =
+        Array.exists
+          (fun p ->
+            nonempty d.added anal.Stratify.predicates.(p)
+            || nonempty d.removed anal.Stratify.predicates.(p))
+          members
+      in
+      activity := { comp; work = 0; output_changed; input_changed = false } :: !activity
+    end
+    else begin
+      let input_changed =
+        List.exists
+          (fun (r : Ast.rule) ->
+            List.exists
+              (function
+                | Ast.Pos a | Ast.Neg a ->
+                  (not (Hashtbl.mem comp_preds a.Ast.pred))
+                  && (nonempty d.added a.Ast.pred || nonempty d.removed a.Ast.pred)
+                | Ast.Cmp _ -> false)
+              r.Ast.body)
+          rules
+      in
+      match rules with
+      | [ r ] when Ast.rule_is_aggregate r ->
+        (* aggregates are functional: recompute when dirty, diff exactly *)
+        let work = ref 0 in
+        if input_changed then begin
+          let pred = r.Ast.head.Ast.pred in
+          let arity = head_arity r in
+          let rel = Database.relation db pred ~arity in
+          let fresh = Relation.create ~arity in
+          List.iter
+            (fun tup -> ignore (Relation.add fresh tup))
+            (Aggregate.evaluate ~symbols ~view:new_view ~work r);
+          let stale =
+            Relation.fold
+              (fun acc tup -> if Relation.mem fresh tup then acc else tup :: acc)
+              [] rel
+          in
+          List.iter
+            (fun tup ->
+              ignore (Relation.remove rel tup);
+              record_remove d pred ~arity tup)
+            stale;
+          Relation.iter
+            (fun tup -> if Relation.add rel tup then record_add d pred ~arity tup)
+            fresh
+        end;
+        let output_changed =
+          Array.exists
+            (fun p ->
+              nonempty d.added anal.Stratify.predicates.(p)
+              || nonempty d.removed anal.Stratify.predicates.(p))
+            members
+        in
+        activity := { comp; work = !work; output_changed; input_changed } :: !activity
+      | rules ->
+      ignore rules;
+      (* ---- Phase A: overdeletion against the old state ---- *)
+      let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+      let overdelete (r : Ast.rule) tup =
+        let pred = r.Ast.head.Ast.pred in
+        let rel = Database.relation db pred ~arity:(head_arity r) in
+        if Relation.remove rel tup then begin
+          record_remove d pred ~arity:(head_arity r) tup;
+          ignore (Relation.add (delta_rel overdeleted pred ~arity:(head_arity r)) tup)
+        end
+      in
+      (* round 0: external triggers *)
+      let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+      let stage_round (r : Ast.rule) tup =
+        let pred = r.Ast.head.Ast.pred in
+        let rel = Database.relation db pred ~arity:(head_arity r) in
+        if Relation.mem rel tup then begin
+          (* not yet overdeleted this phase *)
+          overdelete r tup;
+          ignore (Relation.add (delta_rel !round pred ~arity:(head_arity r)) tup)
+        end
+      in
+      List.iter
+        (fun (r : Ast.rule) ->
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Ast.Pos a when nonempty d.removed a.Ast.pred ->
+                Matcher.eval_rule ~symbols ~view:old_view
+                  ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                  ~work ~on_derived:(stage_round r) r
+              | Ast.Neg a when nonempty d.added a.Ast.pred ->
+                Matcher.eval_rule ~symbols ~view:old_view
+                  ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                  ~work
+                  ~on_derived:(stage_round (flip_negation r i))
+                  (flip_negation r i)
+              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+            r.Ast.body)
+        rules;
+      (* cascade within the component *)
+      while Hashtbl.length !round > 0 do
+        let prev = !round in
+        round := Hashtbl.create 4;
+        List.iter
+          (fun (r : Ast.rule) ->
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                  match Hashtbl.find_opt prev a.Ast.pred with
+                  | Some delta when Relation.cardinality delta > 0 ->
+                    Matcher.eval_rule ~symbols ~view:old_view ~delta:(i, delta) ~work
+                      ~on_derived:(stage_round r) r
+                  | Some _ | None -> ())
+                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+              r.Ast.body)
+          rules;
+        (* tuples staged this round that were already overdeleted in a
+           previous round were filtered by [stage_round]'s mem check *)
+        ()
+      done;
+      (* ---- Phase B: rederivation over the new state ---- *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (r : Ast.rule) ->
+            match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
+            | Some o when Relation.cardinality o > 0 ->
+              Matcher.eval_rule ~symbols ~view:new_view ~work
+                ~on_derived:(fun tup ->
+                  if Relation.mem o tup then begin
+                    let pred = r.Ast.head.Ast.pred in
+                    let rel = Database.relation db pred ~arity:(head_arity r) in
+                    if Relation.add rel tup then begin
+                      record_add d pred ~arity:(head_arity r) tup;
+                      ignore (Relation.remove o tup);
+                      changed := true
+                    end
+                  end)
+                r
+            | Some _ | None -> ())
+          rules
+      done;
+      (* ---- Phase C: insertion against the new state ---- *)
+      let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+      let stage_add (r : Ast.rule) tup =
+        let pred = r.Ast.head.Ast.pred in
+        let rel = Database.relation db pred ~arity:(head_arity r) in
+        if Relation.add rel tup then begin
+          record_add d pred ~arity:(head_arity r) tup;
+          ignore (Relation.add (delta_rel !roundc pred ~arity:(head_arity r)) tup)
+        end
+      in
+      List.iter
+        (fun (r : Ast.rule) ->
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Ast.Pos a
+                when (not (Hashtbl.mem comp_preds a.Ast.pred))
+                     && nonempty d.added a.Ast.pred ->
+                Matcher.eval_rule ~symbols ~view:new_view
+                  ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                  ~work ~on_derived:(stage_add r) r
+              | Ast.Neg a when nonempty d.removed a.Ast.pred ->
+                Matcher.eval_rule ~symbols ~view:new_view
+                  ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                  ~work
+                  ~on_derived:(stage_add (flip_negation r i))
+                  (flip_negation r i)
+              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+            r.Ast.body)
+        rules;
+      while Hashtbl.length !roundc > 0 do
+        let prev = !roundc in
+        roundc := Hashtbl.create 4;
+        List.iter
+          (fun (r : Ast.rule) ->
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                  match Hashtbl.find_opt prev a.Ast.pred with
+                  | Some delta when Relation.cardinality delta > 0 ->
+                    Matcher.eval_rule ~symbols ~view:new_view ~delta:(i, delta) ~work
+                      ~on_derived:(stage_add r) r
+                  | Some _ | None -> ())
+                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+              r.Ast.body)
+          rules
+      done;
+      let output_changed =
+        Array.exists
+          (fun p ->
+            nonempty d.added anal.Stratify.predicates.(p)
+            || nonempty d.removed anal.Stratify.predicates.(p))
+          members
+      in
+      activity := { comp; work = !work; output_changed; input_changed } :: !activity
+    end
+  in
+  Array.iter process_comp (Stratify.scc_order anal);
+  let changes =
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun pred r ->
+        if Relation.cardinality r > 0 then Hashtbl.replace tbl pred (Relation.cardinality r, 0))
+      d.added;
+    Hashtbl.iter
+      (fun pred r ->
+        if Relation.cardinality r > 0 then begin
+          let a = match Hashtbl.find_opt tbl pred with Some (a, _) -> a | None -> 0 in
+          Hashtbl.replace tbl pred (a, Relation.cardinality r)
+        end)
+      d.removed;
+    Hashtbl.fold (fun pred (added, removed) acc -> { pred; added; removed } :: acc) tbl []
+    |> List.sort (fun a b -> String.compare a.pred b.pred)
+  in
+  { changes; activity = List.rev !activity; analysis = anal }

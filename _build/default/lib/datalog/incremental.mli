@@ -1,0 +1,48 @@
+(** Incremental maintenance of a materialized database under base-fact
+    updates — the delete-rederive (DRed) algorithm with stratified
+    negation, processed stratum by stratum:
+
+    + {e overdelete}: semi-naively propagate deletions (and additions
+      under negated literals), matching the remaining body against the
+      pre-update snapshot; remove everything possibly affected;
+    + {e rederive}: re-add overdeleted tuples with surviving alternative
+      derivations, to fixpoint;
+    + {e insert}: semi-naively propagate additions (and deletions under
+      negated literals) against the post-update state.
+
+    This is the computation whose task DAG the paper's schedulers order:
+    each dependency-graph component is one task, activated exactly when
+    the update actually changes one of its inputs. {!apply} records per-
+    component activity so {!To_trace} can build that DAG. *)
+
+type pred_change = {
+  pred : string;
+  added : int;  (** net tuples gained vs. the pre-update state *)
+  removed : int;  (** net tuples lost *)
+}
+
+type comp_activity = {
+  comp : int;  (** component id in the {!Stratify.t} condensation *)
+  work : int;  (** tuples examined while maintaining this component *)
+  output_changed : bool;  (** did any predicate of the component change *)
+  input_changed : bool;
+      (** did any predicate feeding this component change (i.e. would
+          the paper's runtime have activated this task) *)
+}
+
+type report = {
+  changes : pred_change list;  (** predicates with a net change, sorted *)
+  activity : comp_activity list;  (** every component, evaluation order *)
+  analysis : Stratify.t;
+}
+
+val apply :
+  Database.t ->
+  Ast.program ->
+  additions:Ast.atom list ->
+  deletions:Ast.atom list ->
+  report
+(** Update base facts and restore the materialization. [db] must hold a
+    completed materialization of [program] (via {!Eval.run}). Atoms must
+    be ground and extensional.
+    @raise Invalid_argument on a non-ground or intensional atom. *)

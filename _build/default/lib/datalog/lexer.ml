@@ -1,0 +1,174 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE
+  | BANG
+  | OP of Ast.cmp
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st message = raise (Error { line = st.line; col = st.col; message })
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_lower c = c >= 'a' && c <= 'z'
+
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '_'
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '%' -> skip_line st
+  | Some '/' when peek2 st = Some '/' -> skip_line st
+  | Some _ | None -> ()
+
+and skip_line st =
+  (match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+    advance st;
+    skip_line st);
+  match peek st with
+  | Some '\n' ->
+    advance st;
+    skip_trivia st
+  | Some _ | None -> skip_trivia st
+
+let lex_while st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_string st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+      | Some ('"' | '\\') ->
+        Buffer.add_char buf (Option.get (peek st));
+        advance st;
+        go ()
+      | Some c -> error st (Printf.sprintf "bad escape '\\%c'" c)
+      | None -> error st "unterminated string literal")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let mk token = { token; line; col } in
+  match peek st with
+  | None -> mk EOF
+  | Some '(' -> advance st; mk LPAREN
+  | Some ')' -> advance st; mk RPAREN
+  | Some ',' -> advance st; mk COMMA
+  | Some '.' -> advance st; mk PERIOD
+  | Some ':' ->
+    advance st;
+    if peek st = Some '-' then begin
+      advance st;
+      mk TURNSTILE
+    end
+    else error st "expected ':-'"
+  | Some '!' ->
+    advance st;
+    if peek st = Some '=' then begin
+      advance st;
+      mk (OP Ast.Neq)
+    end
+    else mk BANG
+  | Some '=' -> advance st; mk (OP Ast.Eq)
+  | Some '<' ->
+    advance st;
+    if peek st = Some '=' then begin
+      advance st;
+      mk (OP Ast.Le)
+    end
+    else mk (OP Ast.Lt)
+  | Some '>' ->
+    advance st;
+    if peek st = Some '=' then begin
+      advance st;
+      mk (OP Ast.Ge)
+    end
+    else mk (OP Ast.Gt)
+  | Some '"' -> mk (STRING (lex_string st))
+  | Some '-' ->
+    advance st;
+    if (match peek st with Some c -> is_digit c | None -> false) then
+      mk (INT (-int_of_string (lex_while st is_digit)))
+    else error st "expected digits after '-'"
+  | Some c when is_digit c -> mk (INT (int_of_string (lex_while st is_digit)))
+  | Some c when is_lower c -> mk (IDENT (lex_while st is_ident_char))
+  | Some c when is_upper c || c = '_' -> mk (VAR (lex_while st is_ident_char))
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.token = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | VAR s -> Format.fprintf ppf "variable %S" s
+  | INT i -> Format.fprintf ppf "integer %d" i
+  | STRING s -> Format.fprintf ppf "string %S" s
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | PERIOD -> Format.pp_print_string ppf "'.'"
+  | TURNSTILE -> Format.pp_print_string ppf "':-'"
+  | BANG -> Format.pp_print_string ppf "'!'"
+  | OP _ -> Format.pp_print_string ppf "comparison operator"
+  | EOF -> Format.pp_print_string ppf "end of input"

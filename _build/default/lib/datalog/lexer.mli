@@ -1,0 +1,30 @@
+(** Hand-written Datalog lexer.
+
+    Tokens: lowercase identifiers (predicate/constant symbols),
+    uppercase-or-underscore-initial identifiers (variables), integers,
+    double-quoted strings (constant symbols), punctuation
+    [( ) , . :- ! = != < <= > >=]. Comments run from ['%'] or ["//"] to
+    end of line. *)
+
+type token =
+  | IDENT of string  (** lowercase-initial identifier *)
+  | VAR of string  (** uppercase- or [_]-initial identifier *)
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE  (** [:-] *)
+  | BANG
+  | OP of Ast.cmp
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> located list
+(** @raise Error on invalid input. *)
+
+val pp_token : Format.formatter -> token -> unit

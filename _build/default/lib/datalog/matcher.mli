@@ -1,0 +1,53 @@
+(** Rule-body matching: the join machinery shared by from-scratch
+    evaluation ({!Eval}) and incremental maintenance ({!Incremental}).
+
+    A {!view} abstracts "which database state a literal is matched
+    against" — the live database, a frozen pre-update snapshot, or a
+    delta relation — so DRed's overdeletion phase can read the old state
+    while insertion reads the new one. *)
+
+type view = {
+  mem : string -> Relation.tuple -> bool;
+  find : string -> col:int -> value:int -> Relation.tuple list;
+  iter : string -> (Relation.tuple -> unit) -> unit;
+}
+
+val view_of_db : Database.t -> view
+(** Live view: reads through to the database as it changes. *)
+
+val resolve_term :
+  symbols:Symbol.t -> (string * int) list -> Ast.term -> int option
+(** Constant interning / variable lookup under an environment.
+    @raise Invalid_argument on an aggregate term. *)
+
+val eval_body :
+  symbols:Symbol.t ->
+  view:view ->
+  ?delta:int * Relation.t ->
+  work:int ref ->
+  on_env:((string * int) list -> unit) ->
+  Ast.literal list ->
+  unit
+(** Enumerate all variable bindings satisfying the body; the aggregate
+    evaluator consumes raw environments instead of head tuples. *)
+
+val eval_rule :
+  symbols:Symbol.t ->
+  view:view ->
+  ?delta:int * Relation.t ->
+  work:int ref ->
+  on_derived:(Relation.tuple -> unit) ->
+  Ast.rule ->
+  unit
+(** Enumerate all derivations of [rule]'s head. With [delta = (i, d)],
+    body literal [i] (which must be positive) ranges over [d] instead of
+    the view — the semi-naive restriction. Negated literals and
+    comparisons are evaluated under the view once their variables are
+    bound (range restriction guarantees they are). [work] counts tuples
+    examined, the per-task cost proxy used by {!To_trace}.
+    [on_derived] may see duplicate tuples; callers dedupe via
+    [Relation.add]'s return value. *)
+
+val register : Database.t -> Ast.program -> unit
+(** Create every predicate mentioned by the program (fixing arities).
+    @raise Invalid_argument on an arity clash. *)

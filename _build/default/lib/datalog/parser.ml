@@ -1,0 +1,159 @@
+exception Error of { line : int; col : int; message : string }
+
+type state = { mutable toks : Lexer.located list }
+
+let errf (l : Lexer.located) fmt =
+  Printf.ksprintf
+    (fun message -> raise (Error { line = l.Lexer.line; col = l.Lexer.col; message }))
+    fmt
+
+let peek st =
+  match st.toks with [] -> assert false (* EOF sentinel present *) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let tok_str tok = Format.asprintf "%a" Lexer.pp_token tok
+
+let expect st tok what =
+  let t = peek st in
+  if t.Lexer.token = tok then advance st
+  else errf t "expected %s, found %s" what (tok_str t.Lexer.token)
+
+let agg_of_name = function
+  | "cnt" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+(* [head] permits aggregate terms like [sum(X)]. *)
+let parse_term ?(head = false) st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.VAR v ->
+    advance st;
+    Ast.Var v
+  | Lexer.IDENT s -> (
+    advance st;
+    match (agg_of_name s, (peek st).Lexer.token) with
+    | Some agg, Lexer.LPAREN when head -> (
+      advance st;
+      let t2 = peek st in
+      match t2.Lexer.token with
+      | Lexer.VAR v ->
+        advance st;
+        expect st Lexer.RPAREN "')'";
+        Ast.Agg (agg, v)
+      | tok -> errf t2 "expected a variable under %s(...), found %s" s (tok_str tok))
+    | _ -> Ast.Const (Ast.Sym s))
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Const (Ast.Sym s)
+  | Lexer.INT i ->
+    advance st;
+    Ast.Const (Ast.Int i)
+  | tok -> errf t "expected a term, found %s" (tok_str tok)
+
+let parse_atom_at ?(head = false) st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.IDENT pred ->
+    advance st;
+    if (peek st).Lexer.token = Lexer.LPAREN then begin
+      advance st;
+      let rec args acc =
+        let acc = parse_term ~head st :: acc in
+        match (peek st).Lexer.token with
+        | Lexer.COMMA ->
+          advance st;
+          args acc
+        | _ ->
+          expect st Lexer.RPAREN "')'";
+          List.rev acc
+      in
+      { Ast.pred; args = args [] }
+    end
+    else { Ast.pred; args = [] }
+  | tok -> errf t "expected a predicate, found %s" (tok_str tok)
+
+let parse_literal st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.BANG ->
+    advance st;
+    Ast.Neg (parse_atom_at st)
+  | Lexer.IDENT _ -> (
+    (* could be an atom, or a symbol constant in a comparison *)
+    let atom = parse_atom_at st in
+    match ((peek st).Lexer.token, atom.Ast.args) with
+    | Lexer.OP op, [] ->
+      advance st;
+      let rhs = parse_term st in
+      Ast.Cmp (op, Ast.Const (Ast.Sym atom.Ast.pred), rhs)
+    | _ -> Ast.Pos atom)
+  | Lexer.VAR _ | Lexer.INT _ | Lexer.STRING _ -> (
+    let lhs = parse_term st in
+    let t2 = peek st in
+    match t2.Lexer.token with
+    | Lexer.OP op ->
+      advance st;
+      let rhs = parse_term st in
+      Ast.Cmp (op, lhs, rhs)
+    | tok -> errf t2 "expected a comparison operator, found %s" (tok_str tok))
+  | tok -> errf t "expected a literal, found %s" (tok_str tok)
+
+let parse_clause st =
+  let start = peek st in
+  let head = parse_atom_at ~head:true st in
+  let t = peek st in
+  let rule =
+    match t.Lexer.token with
+    | Lexer.PERIOD ->
+      advance st;
+      { Ast.head; body = [] }
+    | Lexer.TURNSTILE ->
+      advance st;
+      let rec body acc =
+        let acc = parse_literal st :: acc in
+        match (peek st).Lexer.token with
+        | Lexer.COMMA ->
+          advance st;
+          body acc
+        | _ ->
+          expect st Lexer.PERIOD "'.'";
+          List.rev acc
+      in
+      { Ast.head; body = body [] }
+    | tok -> errf t "expected '.' or ':-', found %s" (tok_str tok)
+  in
+  if not (Ast.range_restricted rule) then
+    errf start "clause for %s is not range-restricted" head.Ast.pred;
+  rule
+
+let with_lexer f src =
+  try f src
+  with Lexer.Error { line; col; message } -> raise (Error { line; col; message })
+
+let parse src =
+  with_lexer
+    (fun src ->
+      let st = { toks = Lexer.tokenize src } in
+      let rec clauses acc =
+        if (peek st).Lexer.token = Lexer.EOF then List.rev acc
+        else clauses (parse_clause st :: acc)
+      in
+      clauses [])
+    src
+
+let parse_atom src =
+  with_lexer
+    (fun src ->
+      let st = { toks = Lexer.tokenize src } in
+      let atom = parse_atom_at st in
+      (match (peek st).Lexer.token with
+      | Lexer.PERIOD -> advance st
+      | _ -> ());
+      let t = peek st in
+      if t.Lexer.token <> Lexer.EOF then errf t "trailing input after atom";
+      atom)
+    src

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for Datalog programs.
+
+    Grammar:
+    {v
+    program  ::= clause*
+    clause   ::= atom '.' | atom ':-' body '.'
+    body     ::= literal (',' literal)*
+    literal  ::= atom | '!' atom | term op term
+    atom     ::= ident '(' term (',' term)* ')' | ident
+    term     ::= VARIABLE | ident | integer | string
+    v}
+    A bare lowercase identifier as a term is a symbol constant; as an
+    atom it is a zero-arity predicate. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors,
+    and also when a clause is not range-restricted. *)
+
+val parse_atom : string -> Ast.atom
+(** A single ground or non-ground atom, e.g. ["edge(a, B)"]. *)

@@ -1,0 +1,111 @@
+type tuple = int array
+
+module Tuple_tbl = Hashtbl.Make (struct
+  type t = tuple
+
+  let equal a b = a = b
+
+  let hash a = Hashtbl.hash (Array.to_list a)
+end)
+
+type t = {
+  arity : int;
+  tuples : unit Tuple_tbl.t;
+  indexes : (int, unit Tuple_tbl.t) Hashtbl.t option array;
+      (* indexes.(col), built lazily; kept consistent once built *)
+}
+
+let create ~arity =
+  if arity < 0 then invalid_arg "Relation.create: negative arity";
+  { arity; tuples = Tuple_tbl.create 64; indexes = Array.make (max arity 1) None }
+
+let arity t = t.arity
+
+let cardinality t = Tuple_tbl.length t.tuples
+
+let check t tup =
+  if Array.length tup <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple arity %d, expected %d" (Array.length tup) t.arity)
+
+let mem t tup =
+  check t tup;
+  Tuple_tbl.mem t.tuples tup
+
+let bucket_of idx value =
+  match Hashtbl.find_opt idx value with
+  | Some b -> b
+  | None ->
+    let b = Tuple_tbl.create 8 in
+    Hashtbl.add idx value b;
+    b
+
+let index_add t tup =
+  Array.iteri
+    (fun col idx ->
+      match idx with
+      | None -> ()
+      | Some idx -> Tuple_tbl.replace (bucket_of idx tup.(col)) tup ())
+    t.indexes
+
+let index_remove t tup =
+  Array.iteri
+    (fun col idx ->
+      match idx with
+      | None -> ()
+      | Some idx -> (
+        match Hashtbl.find_opt idx tup.(col) with
+        | Some b -> Tuple_tbl.remove b tup
+        | None -> ()))
+    t.indexes
+
+let add t tup =
+  check t tup;
+  if Tuple_tbl.mem t.tuples tup then false
+  else begin
+    let tup = Array.copy tup in
+    Tuple_tbl.replace t.tuples tup ();
+    index_add t tup;
+    true
+  end
+
+let remove t tup =
+  check t tup;
+  if Tuple_tbl.mem t.tuples tup then begin
+    Tuple_tbl.remove t.tuples tup;
+    index_remove t tup;
+    true
+  end
+  else false
+
+let iter f t = Tuple_tbl.iter (fun tup () -> f tup) t.tuples
+
+let fold f acc t = Tuple_tbl.fold (fun tup () acc -> f acc tup) t.tuples acc
+
+let to_list t = fold (fun acc tup -> tup :: acc) [] t
+
+let copy t =
+  let fresh = create ~arity:t.arity in
+  iter (fun tup -> ignore (add fresh tup)) t;
+  fresh
+
+let clear t =
+  Tuple_tbl.reset t.tuples;
+  Array.iteri (fun i _ -> t.indexes.(i) <- None) t.indexes
+
+let build_index t col =
+  let idx = Hashtbl.create 64 in
+  iter (fun tup -> Tuple_tbl.replace (bucket_of idx tup.(col)) tup ()) t;
+  t.indexes.(col) <- Some idx;
+  idx
+
+let find t ~col ~value =
+  if col < 0 || col >= t.arity then invalid_arg "Relation.find: bad column";
+  let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
+  match Hashtbl.find_opt idx value with
+  | None -> []
+  | Some b -> Tuple_tbl.fold (fun tup () acc -> tup :: acc) b []
+
+let choose_probe_col t ~bound =
+  let rec go col = if col >= t.arity then None else if bound col then Some col else go (col + 1) in
+  go 0

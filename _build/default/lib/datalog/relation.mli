@@ -1,0 +1,38 @@
+(** Materialized relations: sets of interned tuples with lazy per-column
+    hash indexes for join probing. *)
+
+type tuple = int array
+
+type t
+
+val create : arity:int -> t
+
+val arity : t -> int
+
+val cardinality : t -> int
+
+val mem : t -> tuple -> bool
+
+val add : t -> tuple -> bool
+(** [true] iff the tuple was new. Invalidates indexes incrementally. *)
+
+val remove : t -> tuple -> bool
+(** [true] iff the tuple was present. *)
+
+val iter : (tuple -> unit) -> t -> unit
+
+val fold : ('acc -> tuple -> 'acc) -> 'acc -> t -> 'acc
+
+val to_list : t -> tuple list
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val find : t -> col:int -> value:int -> tuple list
+(** Tuples whose [col]th component equals [value]; O(matches) via a
+    lazily-built index kept consistent under [add]/[remove]. *)
+
+val choose_probe_col : t -> bound:(int -> bool) -> int option
+(** Some column index on which a probe makes sense: the first column
+    for which [bound] is true. *)

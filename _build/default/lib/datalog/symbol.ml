@@ -1,0 +1,25 @@
+type t = {
+  codes : (Ast.const, int) Hashtbl.t;
+  consts : Ast.const Prelude.Vec.t;
+}
+
+let create () =
+  { codes = Hashtbl.create 64; consts = Prelude.Vec.create ~dummy:(Ast.Int 0) () }
+
+let intern t c =
+  match Hashtbl.find_opt t.codes c with
+  | Some code -> code
+  | None ->
+    let code = Prelude.Vec.length t.consts in
+    Hashtbl.add t.codes c code;
+    Prelude.Vec.push t.consts c;
+    code
+
+let const_of t code =
+  if code < 0 || code >= Prelude.Vec.length t.consts then
+    invalid_arg (Printf.sprintf "Symbol.const_of: unknown code %d" code);
+  Prelude.Vec.get t.consts code
+
+let count t = Prelude.Vec.length t.consts
+
+let compare_codes t a b = Ast.compare_const (const_of t a) (const_of t b)

@@ -1,0 +1,16 @@
+(** Constant interning: maps ground constants to dense integers so that
+    tuples are flat [int array]s. One table per database. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> Ast.const -> int
+
+val const_of : t -> int -> Ast.const
+(** @raise Invalid_argument on an unknown code. *)
+
+val count : t -> int
+
+val compare_codes : t -> int -> int -> int
+(** Order by the constants' {!Ast.compare_const}, not by code. *)

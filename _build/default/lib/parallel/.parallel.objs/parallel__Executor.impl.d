@@ -1,0 +1,1 @@
+lib/parallel/executor.ml: Array Condition Dag Domain Float List Mutex Prelude Printf Sched Simulator Sys Unix Workload

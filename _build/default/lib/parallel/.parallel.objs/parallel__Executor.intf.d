@@ -1,0 +1,1 @@
+lib/parallel/executor.mli: Sched Stdlib Workload

@@ -1,0 +1,110 @@
+let bits = Sys.int_size
+
+type t = { words : int array; n : int; mutable card : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((n + bits - 1) / bits + 1) 0; n; card = 0 }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Bitset: %d out of bounds [0,%d)" i t.n)
+
+let mem t i =
+  check t i;
+  t.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits and b = 1 lsl (i mod bits) in
+  if t.words.(w) land b = 0 then begin
+    t.words.(w) <- t.words.(w) lor b;
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let w = i / bits and b = 1 lsl (i mod bits) in
+  if t.words.(w) land b <> 0 then begin
+    t.words.(w) <- t.words.(w) land lnot b;
+    t.card <- t.card - 1
+  end
+
+let cardinal t = t.card
+
+let is_empty t = t.card = 0
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+(* Mask with ones at bit positions [a..b] within a word, 0 <= a <= b < bits. *)
+let range_mask a b =
+  let hi = if b = bits - 1 then -1 else (1 lsl (b + 1)) - 1 in
+  let lo = (1 lsl a) - 1 in
+  hi land lnot lo
+
+let exists_in_range t ~lo ~hi =
+  if lo > hi || t.card = 0 then false
+  else begin
+    let lo = max lo 0 and hi = min hi (t.n - 1) in
+    if lo > hi then false
+    else begin
+      let wlo = lo / bits and whi = hi / bits in
+      if wlo = whi then t.words.(wlo) land range_mask (lo mod bits) (hi mod bits) <> 0
+      else begin
+        let found = ref (t.words.(wlo) land range_mask (lo mod bits) (bits - 1) <> 0) in
+        let w = ref (wlo + 1) in
+        while (not !found) && !w < whi do
+          if t.words.(!w) <> 0 then found := true;
+          incr w
+        done;
+        !found || t.words.(whi) land range_mask 0 (hi mod bits) <> 0
+      end
+    end
+  end
+
+let first_set_bit w = if w = 0 then None else Some (
+  (* count trailing zeros via de-looping; ints are small enough to loop bits *)
+  let rec go i = if w land (1 lsl i) <> 0 then i else go (i + 1) in
+  go 0)
+
+let first_in_range t ~lo ~hi =
+  if lo > hi || t.card = 0 then None
+  else begin
+    let lo = max lo 0 and hi = min hi (t.n - 1) in
+    let rec scan w =
+      if w > hi / bits then None
+      else begin
+        let word = t.words.(w) in
+        let word =
+          if w = lo / bits then word land lnot ((1 lsl (lo mod bits)) - 1) else word
+        in
+        let word =
+          if w = hi / bits then word land range_mask 0 (hi mod bits) else word
+        in
+        match first_set_bit word with
+        | Some b -> Some ((w * bits) + b)
+        | None -> scan (w + 1)
+      end
+    in
+    if lo > hi then None else scan (lo / bits)
+  end
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits) + b)
+      done
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let copy t = { words = Array.copy t.words; n = t.n; card = t.card }

@@ -1,0 +1,38 @@
+(** Fixed-capacity bitsets over [0, capacity).
+
+    Backed by an [int array] with [Sys.int_size] bits per word. Used by
+    the LogicBlox scheduler for interval-vs-active-set intersection
+    queries, where [exists_in_range] is the hot operation. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty bitset over the universe [0, n). *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+(** Number of elements currently set. O(1): maintained incrementally. *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+
+val exists_in_range : t -> lo:int -> hi:int -> bool
+(** [exists_in_range t ~lo ~hi] is [true] iff some element of [t] lies in
+    the inclusive range [lo..hi]. Word-parallel: O((hi-lo)/int_size). *)
+
+val first_in_range : t -> lo:int -> hi:int -> int option
+(** Smallest member of [t] in [lo..hi], if any. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val to_list : t -> int list
+
+val copy : t -> t

@@ -1,0 +1,70 @@
+type 'a t = { v : 'a Vec.t; cmp : 'a -> 'a -> int }
+
+let create ?(capacity = 16) ~cmp ~dummy () =
+  { v = Vec.create ~capacity ~dummy (); cmp }
+
+let size h = Vec.length h.v
+
+let is_empty h = Vec.is_empty h.v
+
+let swap h i j =
+  let a = Vec.get h.v i and b = Vec.get h.v j in
+  Vec.set h.v i b;
+  Vec.set h.v j a
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp (Vec.get h.v i) (Vec.get h.v parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h.v in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && h.cmp (Vec.get h.v l) (Vec.get h.v !smallest) < 0 then smallest := l;
+  if r < n && h.cmp (Vec.get h.v r) (Vec.get h.v !smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  Vec.push h.v x;
+  sift_up h (Vec.length h.v - 1)
+
+let peek h = if is_empty h then None else Some (Vec.get h.v 0)
+
+let pop h =
+  match Vec.length h.v with
+  | 0 -> None
+  | 1 -> Vec.pop h.v
+  | n ->
+    let root = Vec.get h.v 0 in
+    let last = Vec.pop_exn h.v in
+    ignore n;
+    Vec.set h.v 0 last;
+    sift_down h 0;
+    Some root
+
+let pop_exn h =
+  match pop h with Some x -> x | None -> invalid_arg "Heap.pop_exn: empty"
+
+let clear h = Vec.clear h.v
+
+let of_array ~cmp ~dummy a =
+  let h = create ~capacity:(max 1 (Array.length a)) ~cmp ~dummy () in
+  Array.iter (fun x -> Vec.push h.v x) a;
+  for i = (Array.length a / 2) - 1 downto 0 do
+    sift_down h i
+  done;
+  h
+
+let to_sorted_list h =
+  let rec drain acc =
+    match pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

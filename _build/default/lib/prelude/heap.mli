@@ -1,0 +1,30 @@
+(** Binary min-heaps with a user-supplied comparison.
+
+    Used as the event queue of the discrete-event simulator and for
+    priority-ordered ready queues. Not stable: ties pop in unspecified
+    order (callers that need determinism include a tiebreaker in [cmp]). *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> dummy:'a -> unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+val of_array : cmp:('a -> 'a -> int) -> dummy:'a -> 'a array -> 'a t
+(** Heapify in O(n). *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Destructive: drains the heap. *)

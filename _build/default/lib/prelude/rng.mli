@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All workload generation goes through this module so that every trace
+    in the benchmark suite is reproducible from a fixed seed, independent
+    of the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a generator seeded deterministically from [seed]. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box-Muller transform. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** exp of a gaussian; the heavy-tailed task-duration distribution. *)
+
+val exponential : t -> rate:float -> float
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [k] distinct values from [0, n), in random order. O(n) time/space. *)

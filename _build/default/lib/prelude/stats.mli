@@ -1,0 +1,36 @@
+(** Streaming and batch summary statistics for benchmark reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+val summarize : float array -> summary
+(** Summary of a sample. [count = 0] yields zeros/NaN-free defaults. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], by linear interpolation on the
+    sorted sample. @raise Invalid_argument on an empty sample. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming accumulator (Welford's algorithm): numerically stable
+    mean/variance without storing the sample. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val summary : t -> summary
+end

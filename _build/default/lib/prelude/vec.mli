@@ -1,0 +1,51 @@
+(** Growable arrays.
+
+    A [Vec.t] is a mutable array that grows amortized O(1) on [push].
+    Because OCaml arrays cannot be partially initialized for arbitrary
+    element types, creation requires a [dummy] element used to fill
+    unused capacity; the dummy is never observable through the API. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector. [capacity] pre-allocates. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]th element. @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+(** Append an element, growing the backing store if needed. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element, or [None] if empty. *)
+
+val pop_exn : 'a t -> 'a
+
+val top : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Logical clear; capacity is retained, old slots reset to the dummy. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_array : dummy:'a -> 'a array -> 'a t
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove v i] removes index [i] in O(1) by swapping in the last
+    element; returns the removed element. Order is not preserved. *)

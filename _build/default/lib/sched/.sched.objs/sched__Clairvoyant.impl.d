@@ -1,0 +1,1 @@
+lib/sched/clairvoyant.ml: Array Dag Intf Prelude Queue

@@ -1,0 +1,1 @@
+lib/sched/clairvoyant.mli: Dag Intf

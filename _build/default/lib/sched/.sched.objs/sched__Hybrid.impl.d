@@ -1,0 +1,1 @@
+lib/sched/hybrid.ml: Intf Level_based Logicblox Printf

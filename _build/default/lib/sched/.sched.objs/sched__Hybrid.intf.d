@@ -1,0 +1,1 @@
+lib/sched/hybrid.mli: Dag Intf

@@ -1,0 +1,1 @@
+lib/sched/intf.ml: Dag Format

@@ -1,0 +1,1 @@
+lib/sched/intf.mli: Dag Format

@@ -1,0 +1,1 @@
+lib/sched/level_based.ml: Array Dag Intf Prelude Queue

@@ -1,0 +1,1 @@
+lib/sched/level_based.mli: Dag Intf Prelude

@@ -1,0 +1,1 @@
+lib/sched/logicblox.ml: Array Dag Intf Prelude Queue

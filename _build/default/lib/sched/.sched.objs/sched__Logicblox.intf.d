@@ -1,0 +1,1 @@
+lib/sched/logicblox.mli: Dag Intf

@@ -1,0 +1,1 @@
+lib/sched/lookahead.ml: Array Dag Intf Level_based Prelude Printf Queue

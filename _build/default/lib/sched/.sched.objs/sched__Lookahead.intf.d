@@ -1,0 +1,1 @@
+lib/sched/lookahead.mli: Dag Intf

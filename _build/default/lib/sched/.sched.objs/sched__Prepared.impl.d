@@ -1,0 +1,1 @@
+lib/sched/prepared.ml: Dag Hybrid Intf Level_based Logicblox Lookahead Printf Signal

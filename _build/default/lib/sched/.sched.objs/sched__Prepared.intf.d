@@ -1,0 +1,1 @@
+lib/sched/prepared.mli: Dag Intf

@@ -1,0 +1,1 @@
+lib/sched/registry.ml: Hybrid Level_based Logicblox Lookahead Printf Signal String

@@ -1,0 +1,1 @@
+lib/sched/registry.mli: Intf

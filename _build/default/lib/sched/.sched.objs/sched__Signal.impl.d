@@ -1,0 +1,1 @@
+lib/sched/signal.ml: Array Dag Intf Prelude Queue

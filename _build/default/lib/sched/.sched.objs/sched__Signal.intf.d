@@ -1,0 +1,1 @@
+lib/sched/signal.mli: Dag Intf

@@ -1,0 +1,100 @@
+type t = {
+  in_w : Prelude.Bitset.t; (* the active set W, precomputed *)
+  h_pending : int array; (* unfinished H-parents per W-node *)
+  ready : (float * Intf.task) Prelude.Heap.t; (* (-remaining span, task) *)
+  started : Prelude.Bitset.t;
+  g : Dag.Graph.t;
+  edge_changed : int -> bool;
+  ops : Intf.ops;
+}
+
+(* W = closure of [initial] under changed edges. *)
+let active_closure g ~initial ~edge_changed =
+  let n = Dag.Graph.node_count g in
+  let in_w = Prelude.Bitset.create n in
+  let queue = Queue.create () in
+  Array.iter
+    (fun s ->
+      if not (Prelude.Bitset.mem in_w s) then begin
+        Prelude.Bitset.add in_w s;
+        Queue.add s queue
+      end)
+    initial;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Dag.Graph.iter_succ g u (fun ~dst ~eid ->
+        if edge_changed eid && not (Prelude.Bitset.mem in_w dst) then begin
+          Prelude.Bitset.add in_w dst;
+          Queue.add dst queue
+        end)
+  done;
+  in_w
+
+(* Remaining critical path within H from each W-node (inclusive). *)
+let remaining_span g ~in_w ~edge_changed ~work =
+  let order = Dag.Topo.sort_exn g in
+  let n = Dag.Graph.node_count g in
+  let span = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let u = order.(i) in
+    if Prelude.Bitset.mem in_w u then begin
+      let best = ref 0.0 in
+      Dag.Graph.iter_succ g u (fun ~dst ~eid ->
+          if edge_changed eid && Prelude.Bitset.mem in_w dst && span.(dst) > !best
+          then best := span.(dst));
+      span.(u) <- work.(u) +. !best
+    end
+  done;
+  span
+
+let make ?ops ~initial ~edge_changed ~work g =
+  let n = Dag.Graph.node_count g in
+  if Array.length work <> n then invalid_arg "Clairvoyant.make: work length";
+  let ops = match ops with Some o -> o | None -> Intf.zero_ops () in
+  let in_w = active_closure g ~initial ~edge_changed in
+  let span = remaining_span g ~in_w ~edge_changed ~work in
+  let h_pending = Array.make n 0 in
+  for u = 0 to n - 1 do
+    if Prelude.Bitset.mem in_w u then
+      Dag.Graph.iter_pred g u (fun ~src ~eid ->
+          if edge_changed eid && Prelude.Bitset.mem in_w src then
+            h_pending.(u) <- h_pending.(u) + 1)
+  done;
+  let cmp (a, u) (b, v) = if a = b then compare u v else compare a b in
+  let t =
+    {
+      in_w;
+      h_pending;
+      ready = Prelude.Heap.create ~cmp ~dummy:(0.0, 0) ();
+      started = Prelude.Bitset.create n;
+      g;
+      edge_changed;
+      ops;
+    }
+  in
+  Prelude.Bitset.iter
+    (fun u ->
+      if h_pending.(u) = 0 then Prelude.Heap.push t.ready (-.span.(u), u))
+    in_w;
+  let rec pop () =
+    match Prelude.Heap.pop t.ready with
+    | None -> None
+    | Some (_, u) -> if Prelude.Bitset.mem t.started u then pop () else Some u
+  in
+  {
+    Intf.name = "Clairvoyant";
+    on_activated = (fun _ -> ());
+    on_started = (fun u -> Prelude.Bitset.add t.started u);
+    on_completed =
+      (fun u ->
+        Dag.Graph.iter_succ t.g u (fun ~dst ~eid ->
+            if t.edge_changed eid && Prelude.Bitset.mem t.in_w dst then begin
+              t.h_pending.(dst) <- t.h_pending.(dst) - 1;
+              t.ops.Intf.bucket_ops <- t.ops.Intf.bucket_ops + 1;
+              if t.h_pending.(dst) = 0 then
+                Prelude.Heap.push t.ready (-.span.(dst), dst)
+            end));
+    next_ready = pop;
+    ops;
+    memory_words = (fun () -> 3 * n);
+  }

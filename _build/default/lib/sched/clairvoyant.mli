@@ -1,0 +1,22 @@
+(** Offline (clairvoyant) reference scheduler.
+
+    Knows the full active graph [H = (W, F)] in advance — the oracle the
+    online schedulers lack. A task is dispatched as soon as all of its
+    H-parents have completed, in order of decreasing remaining critical
+    path. Its makespan realizes the "optimal execution time of H"
+    (the realized span [S] of Definition 4) when enough processors are
+    available, and serves as the optimal baseline of the Theorem 9 tight
+    example and the lower-bound reference in the benches.
+
+    Not registered in {!Registry}: it is not implementable online. *)
+
+val make :
+  ?ops:Intf.ops ->
+  initial:int array ->
+  edge_changed:(int -> bool) ->
+  work:float array ->
+  Dag.Graph.t ->
+  Intf.instance
+(** [initial] are the initially-dirtied nodes; [edge_changed eid] is the
+    change oracle for edge [eid]; [work] drives the critical-path
+    priority (use an all-ones array for unit tasks). *)

@@ -1,0 +1,51 @@
+let make_with ~name ~co ?ops ?levels g =
+  let ops = match ops with Some o -> o | None -> Intf.zero_ops () in
+  (* Both components accumulate into the same counters so the hybrid's
+     reported overhead is the true combined decision cost. *)
+  let lb = Level_based.make ~ops ?levels g in
+  let co_inst = co ~ops g in
+  let forward f_lb f_co u =
+    f_lb u;
+    f_co u
+  in
+  {
+    Intf.name;
+    on_activated = forward lb.Intf.on_activated co_inst.Intf.on_activated;
+    on_started = forward lb.Intf.on_started co_inst.Intf.on_started;
+    on_completed = forward lb.Intf.on_completed co_inst.Intf.on_completed;
+    next_ready =
+      (fun () ->
+        (* cheap component first; the heuristic's search only runs when
+           LevelBased has nothing safe to offer (shared ready queue of
+           Section V) *)
+        match lb.Intf.next_ready () with
+        | Some u -> Some u
+        | None -> co_inst.Intf.next_ready ());
+    ops;
+    memory_words = (fun () -> lb.Intf.memory_words () + co_inst.Intf.memory_words ());
+  }
+
+(* The bounded scan batch is the hybrid's second lever: LevelBased keeps
+   processors fed, so the LogicBlox component may amortize its
+   active-queue scanning across events instead of paying a full rescan
+   per completion. *)
+let co_scan_batch = 32
+
+let make_batched ?ops ?levels ?ilist ~scan_batch g =
+  make_with
+    ~name:(Printf.sprintf "Hybrid(batch=%d)" scan_batch)
+    ~co:(fun ~ops g -> Logicblox.make ~ops ~scan_batch ?ilist g)
+    ?ops ?levels g
+
+let make ?ops ?levels ?ilist g =
+  make_with ~name:"Hybrid(LB+LogicBlox)"
+    ~co:(fun ~ops g -> Logicblox.make ~ops ~scan_batch:co_scan_batch ?ilist g)
+    ?ops ?levels g
+
+let factory = { Intf.fname = "hybrid"; make = (fun g -> make g) }
+
+let factory_batched ~scan_batch =
+  {
+    Intf.fname = Printf.sprintf "hybrid:%d" scan_batch;
+    make = (fun g -> make_batched ~scan_batch g);
+  }

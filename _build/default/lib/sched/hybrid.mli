@@ -1,0 +1,49 @@
+(** The hybrid scheduling scheme (paper, Sections V and VI-B).
+
+    Runs LevelBased next to any heuristic co-scheduler with a shared
+    notion of ready work. All events are forwarded to both components;
+    when the engine asks for work, the cheap LevelBased component is
+    consulted first and the heuristic's (potentially expensive) search
+    only runs when LevelBased has nothing safe to offer. Both components
+    tolerate externally-started tasks, so each task still executes once.
+
+    On instances where the heuristic shines, its discoveries keep
+    processors saturated exactly as before; on its pathological
+    instances LevelBased keeps feeding work while the heuristic would
+    stall — the best-of-both-worlds behaviour of Theorem 10 realized
+    with a shared ready queue rather than processor splitting. *)
+
+val make :
+  ?ops:Intf.ops ->
+  ?levels:int array ->
+  ?ilist:Dag.Interval_list.t ->
+  Dag.Graph.t ->
+  Intf.instance
+(** LevelBased combined with the reimplemented LogicBlox scheduler —
+    the configuration measured in Table III. [levels]/[ilist] reuse
+    precomputations (see {!Prepared}). *)
+
+val make_with :
+  name:string ->
+  co:(ops:Intf.ops -> Dag.Graph.t -> Intf.instance) ->
+  ?ops:Intf.ops ->
+  ?levels:int array ->
+  Dag.Graph.t ->
+  Intf.instance
+(** [make_with ~name ~co] combines LevelBased with any co-scheduler
+    (the "any other heuristic" of Section V). The co-scheduler must
+    accumulate into the [ops] record it is given. *)
+
+val factory : Intf.factory
+
+val make_batched :
+  ?ops:Intf.ops ->
+  ?levels:int array ->
+  ?ilist:Dag.Interval_list.t ->
+  scan_batch:int ->
+  Dag.Graph.t ->
+  Intf.instance
+(** Hybrid with an explicit co-scheduler scan batch (default 32 in
+    {!make}); the ablation knob for the bounded-scan design choice. *)
+
+val factory_batched : scan_batch:int -> Intf.factory

@@ -1,0 +1,45 @@
+type task = int
+
+type ops = {
+  mutable queries : int;
+  mutable scans : int;
+  mutable messages : int;
+  mutable bucket_ops : int;
+  mutable bfs_steps : int;
+}
+
+let zero_ops () =
+  { queries = 0; scans = 0; messages = 0; bucket_ops = 0; bfs_steps = 0 }
+
+let total_ops o = o.queries + o.scans + o.messages + o.bucket_ops + o.bfs_steps
+
+let weighted_ops o =
+  (20.0 *. float_of_int o.queries)
+  +. (5.0 *. float_of_int o.scans)
+  +. float_of_int o.messages
+  +. float_of_int o.bucket_ops
+  +. (2.0 *. float_of_int o.bfs_steps)
+
+let add_ops ~into o =
+  into.queries <- into.queries + o.queries;
+  into.scans <- into.scans + o.scans;
+  into.messages <- into.messages + o.messages;
+  into.bucket_ops <- into.bucket_ops + o.bucket_ops;
+  into.bfs_steps <- into.bfs_steps + o.bfs_steps
+
+let pp_ops ppf o =
+  Format.fprintf ppf
+    "queries=%d scans=%d messages=%d bucket_ops=%d bfs_steps=%d total=%d"
+    o.queries o.scans o.messages o.bucket_ops o.bfs_steps (total_ops o)
+
+type instance = {
+  name : string;
+  on_activated : task -> unit;
+  on_started : task -> unit;
+  on_completed : task -> unit;
+  next_ready : unit -> task option;
+  ops : ops;
+  memory_words : unit -> int;
+}
+
+type factory = { fname : string; make : Dag.Graph.t -> instance }

@@ -1,0 +1,72 @@
+(** The online scheduler interface (the problem of Section II).
+
+    The simulation engine owns the ground truth — which edges carry
+    changed outputs — and reveals it to the scheduler one event at a
+    time, exactly as the runtime of a Datalog system would:
+
+    - [on_activated u]: task [u]'s input changed ([u] joined the active
+      set [W]). Delivered at most once per task, and always before the
+      [on_completed] of the parent whose output change caused it.
+    - [next_ready ()]: the engine has an idle processor; the scheduler
+      may hand over any task that is {e safe}: no ancestor of it (in the
+      full DAG [G]) is currently active-and-unexecuted or running.
+      Returning [None] is always allowed; liveness requires that when
+      nothing is running and active tasks remain, some task is returned.
+    - [on_started u]: the engine dispatched [u] (possibly found via a
+      co-scheduler in the hybrid scheme — every component scheduler must
+      tolerate tasks it did not itself propose being started).
+    - [on_completed u]: [u] finished; its activations were already
+      delivered.
+
+    Schedulers account their decision work in an {!ops} record; the
+    engine converts operation counts into virtual scheduling time, which
+    is how "scheduling overhead" becomes part of the makespan, as in the
+    paper's Tables II and III. *)
+
+type task = int
+
+(** Abstract operation counters. Each counted operation is O(1)-ish
+    work inside the scheduler; the engine assigns a virtual duration per
+    operation (see {!Simulator.Engine}). *)
+type ops = {
+  mutable queries : int;  (** interval-list / ancestor queries *)
+  mutable scans : int;  (** active-queue scan passes *)
+  mutable messages : int;  (** signal-propagation messages *)
+  mutable bucket_ops : int;  (** level-bucket pushes/pops/peeks *)
+  mutable bfs_steps : int;  (** lookahead BFS node/edge visits *)
+}
+
+val zero_ops : unit -> ops
+
+val total_ops : ops -> int
+(** Unweighted op count. *)
+
+val weighted_ops : ops -> float
+(** Cost-weighted op count, which is what the engine converts into
+    virtual time. An interval-list probe (binary search over a
+    fragmented array, or a word sweep over the active bitset) costs far
+    more than a level-bucket push, so the weights are: queries 20,
+    scans 5, lookahead BFS steps 2, messages and bucket ops 1. *)
+
+val add_ops : into:ops -> ops -> unit
+
+val pp_ops : Format.formatter -> ops -> unit
+
+(** A live scheduler attached to one DAG instance. *)
+type instance = {
+  name : string;
+  on_activated : task -> unit;
+  on_started : task -> unit;
+  on_completed : task -> unit;
+  next_ready : unit -> task option;
+  ops : ops;  (** live counters, updated as the scheduler works *)
+  memory_words : unit -> int;
+      (** current resident footprint of scheduler state, in words;
+          includes precomputed structures (interval lists, levels) *)
+}
+
+type factory = {
+  fname : string;
+  make : Dag.Graph.t -> instance;
+      (** runs the scheduler's precomputation; the engine times it *)
+}

@@ -1,0 +1,115 @@
+module Core = struct
+  type t = {
+    g : Dag.Graph.t;
+    levels : int array;
+    buckets : Intf.task Queue.t array;
+    queued_levels : int Prelude.Heap.t; (* lazy: may hold stale/duplicate levels *)
+    running_at : int array;
+    running_levels : int Prelude.Heap.t; (* lazy *)
+    started : Prelude.Bitset.t;
+    active : Prelude.Bitset.t;
+    ops : Intf.ops;
+  }
+
+  let create ?ops ?levels g =
+    let levels = match levels with Some l -> l | None -> Dag.Levels.compute g in
+    let nlevels = Dag.Levels.count levels in
+    let n = Dag.Graph.node_count g in
+    {
+      g;
+      levels;
+      buckets = Array.init (max nlevels 1) (fun _ -> Queue.create ());
+      queued_levels = Prelude.Heap.create ~cmp:compare ~dummy:0 ();
+      running_at = Array.make (max nlevels 1) 0;
+      running_levels = Prelude.Heap.create ~cmp:compare ~dummy:0 ();
+      started = Prelude.Bitset.create n;
+      active = Prelude.Bitset.create n;
+      ops = (match ops with Some o -> o | None -> Intf.zero_ops ());
+    }
+
+  let graph t = t.g
+  let levels t = t.levels
+  let ops t = t.ops
+  let active t = t.active
+  let is_started t u = Prelude.Bitset.mem t.started u
+
+  let on_activated t u =
+    let l = t.levels.(u) in
+    t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+    Prelude.Bitset.add t.active u;
+    if Queue.is_empty t.buckets.(l) then Prelude.Heap.push t.queued_levels l;
+    Queue.add u t.buckets.(l)
+
+  let on_started t u =
+    let l = t.levels.(u) in
+    t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+    Prelude.Bitset.add t.started u;
+    if t.running_at.(l) = 0 then Prelude.Heap.push t.running_levels l;
+    t.running_at.(l) <- t.running_at.(l) + 1
+
+  let on_completed t u =
+    let l = t.levels.(u) in
+    t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+    Prelude.Bitset.remove t.active u;
+    t.running_at.(l) <- t.running_at.(l) - 1;
+    assert (t.running_at.(l) >= 0)
+
+  (* Drop started tasks from the bucket front, then stale heap entries. *)
+  let rec min_queued_level t =
+    match Prelude.Heap.peek t.queued_levels with
+    | None -> None
+    | Some l ->
+      let q = t.buckets.(l) in
+      while (not (Queue.is_empty q)) && Prelude.Bitset.mem t.started (Queue.peek q) do
+        ignore (Queue.pop q);
+        t.ops.bucket_ops <- t.ops.bucket_ops + 1
+      done;
+      if Queue.is_empty q then begin
+        ignore (Prelude.Heap.pop t.queued_levels);
+        t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+        min_queued_level t
+      end
+      else Some l
+
+  let rec min_running_level t =
+    match Prelude.Heap.peek t.running_levels with
+    | None -> None
+    | Some l ->
+      if t.running_at.(l) > 0 then Some l
+      else begin
+        ignore (Prelude.Heap.pop t.running_levels);
+        t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+        min_running_level t
+      end
+
+  let next_ready t =
+    match min_queued_level t with
+    | None -> None
+    | Some la -> (
+      t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+      match min_running_level t with
+      | Some lr when lr < la -> None
+      | Some _ | None ->
+        (* front of bucket la is active and unstarted (cleaned above) *)
+        Some (Queue.pop t.buckets.(la)))
+
+  let memory_words t =
+    let n = Dag.Graph.node_count t.g in
+    (* levels + running counts + buckets + two bitsets *)
+    n + Array.length t.running_at + Prelude.Bitset.cardinal t.active
+    + (2 * (n / 63))
+end
+
+let make ?ops ?levels g =
+  let t = Core.create ?ops ?levels g in
+  {
+    Intf.name = "LevelBased";
+    on_activated = Core.on_activated t;
+    on_started = Core.on_started t;
+    on_completed = Core.on_completed t;
+    next_ready = (fun () -> Core.next_ready t);
+    ops = Core.ops t;
+    memory_words = (fun () -> Core.memory_words t);
+  }
+
+let factory = { Intf.fname = "levelbased"; make = (fun g -> make g) }

@@ -1,0 +1,45 @@
+(** The LevelBased scheduler (paper, Section III).
+
+    Precomputation: node levels, O(V+E) time and O(V) space. At run
+    time the scheduler maintains per-level FIFO buckets of active
+    unstarted tasks and dispatches from the lowest populated level; a
+    task at level [l] is safe exactly when no active or running task
+    sits at a level below [l] (Lemma 1).
+
+    The paper's O(n+L) runtime assumes activations arrive
+    level-monotonically, which holds when LevelBased runs alone. Under
+    the hybrid scheme a co-scheduler may complete deep tasks early and
+    thereby activate tasks below the current bucket pointer, so this
+    implementation uses lazy min-heaps over populated levels instead of
+    a monotone pointer: O((n+L) log L) worst case, same O(n) state. *)
+
+module Core : sig
+  type t
+
+  val create : ?ops:Intf.ops -> ?levels:int array -> Dag.Graph.t -> t
+  (** [levels] skips the precomputation (caller guarantees validity). *)
+
+  val graph : t -> Dag.Graph.t
+  val levels : t -> int array
+  val ops : t -> Intf.ops
+  val active : t -> Prelude.Bitset.t
+  (** Tasks activated and not yet completed (includes running ones). *)
+
+  val is_started : t -> Intf.task -> bool
+  val on_activated : t -> Intf.task -> unit
+  val on_started : t -> Intf.task -> unit
+  val on_completed : t -> Intf.task -> unit
+
+  val min_queued_level : t -> int option
+  (** Lowest level holding an active, unstarted task. *)
+
+  val min_running_level : t -> int option
+
+  val next_ready : t -> Intf.task option
+
+  val memory_words : t -> int
+end
+
+val make : ?ops:Intf.ops -> ?levels:int array -> Dag.Graph.t -> Intf.instance
+
+val factory : Intf.factory

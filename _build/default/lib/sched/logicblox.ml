@@ -1,0 +1,178 @@
+type t = {
+  ilist : Dag.Interval_list.t; (* built on transpose: descendant-set there = ancestor-set here *)
+  active_pos : Prelude.Bitset.t; (* positions of active unexecuted + running nodes *)
+  active_nodes : Intf.task Prelude.Vec.t; (* same set, iterable in O(card) *)
+  vec_index : int array; (* node -> index in active_nodes, -1 if absent *)
+  scan_list : Intf.task Prelude.Vec.t; (* active tasks awaiting a safety verdict *)
+  ready : Intf.task Queue.t;
+  started : Prelude.Bitset.t;
+  scan_batch : int; (* max entries examined per scan while tasks run *)
+  mutable cursor : int; (* resumable scan position *)
+  mutable running : int;
+  mutable stamp : int; (* bumped on every activation/completion *)
+  mutable futile_stamp : int; (* stamp at the last empty-handed scan *)
+  ops : Intf.ops;
+  n : int;
+}
+
+let create ?ops ?(scan_batch = max_int) ?ilist g =
+  if scan_batch < 1 then invalid_arg "Logicblox: scan_batch must be >= 1";
+  let n = Dag.Graph.node_count g in
+  {
+    ilist =
+      (match ilist with
+      | Some il -> il
+      | None -> Dag.Interval_list.build (Dag.Graph.transpose g));
+    active_pos = Prelude.Bitset.create n;
+    active_nodes = Prelude.Vec.create ~dummy:0 ();
+    vec_index = Array.make n (-1);
+    scan_list = Prelude.Vec.create ~dummy:0 ();
+    ready = Queue.create ();
+    started = Prelude.Bitset.create n;
+    scan_batch;
+    cursor = 0;
+    running = 0;
+    stamp = 0;
+    futile_stamp = -1;
+    ops = (match ops with Some o -> o | None -> Intf.zero_ops ());
+    n;
+  }
+
+let on_activated t u =
+  t.stamp <- t.stamp + 1;
+  Prelude.Vec.push t.scan_list u;
+  t.vec_index.(u) <- Prelude.Vec.length t.active_nodes;
+  Prelude.Vec.push t.active_nodes u;
+  Prelude.Bitset.add t.active_pos (Dag.Interval_list.position t.ilist u)
+
+let on_started t u =
+  t.running <- t.running + 1;
+  Prelude.Bitset.add t.started u
+
+let on_completed t u =
+  t.stamp <- t.stamp + 1;
+  t.running <- t.running - 1;
+  Prelude.Bitset.remove t.active_pos (Dag.Interval_list.position t.ilist u);
+  let i = t.vec_index.(u) in
+  assert (i >= 0);
+  let removed = Prelude.Vec.swap_remove t.active_nodes i in
+  assert (removed = u);
+  if i < Prelude.Vec.length t.active_nodes then
+    t.vec_index.(Prelude.Vec.get t.active_nodes i) <- i;
+  t.vec_index.(u) <- -1
+
+(* Is any active node an ancestor of [u]? Two equivalent probes with
+   different costs: sweep u's ancestor intervals over the active-set
+   bitset (cost ~ words spanned), or test each active node against u's
+   interval list (cost ~ |active| * log #intervals) — the scan the
+   paper describes, constant-time at best and O(n) at worst. Pick the
+   cheaper one for the current active set. The encoding's intervals
+   cover u itself, so u is masked/skipped. *)
+let safe t u =
+  let ivs_words = Dag.Interval_list.range_words t.ilist u in
+  let card = Prelude.Bitset.cardinal t.active_pos in
+  if ivs_words <= 4 * card then begin
+    let p = Dag.Interval_list.position t.ilist u in
+    Prelude.Bitset.remove t.active_pos p;
+    let blocked = ref false in
+    let ivs = Dag.Interval_list.intervals t.ilist u in
+    let i = ref 0 in
+    let len = Array.length ivs in
+    while (not !blocked) && !i < len do
+      let lo, hi = ivs.(!i) in
+      t.ops.queries <- t.ops.queries + 1;
+      if Prelude.Bitset.exists_in_range t.active_pos ~lo ~hi then blocked := true;
+      incr i
+    done;
+    Prelude.Bitset.add t.active_pos p;
+    not !blocked
+  end
+  else begin
+    let blocked = ref false in
+    let i = ref 0 in
+    let len = Prelude.Vec.length t.active_nodes in
+    while (not !blocked) && !i < len do
+      let w = Prelude.Vec.get t.active_nodes !i in
+      t.ops.queries <- t.ops.queries + 1;
+      if w <> u && Dag.Interval_list.is_descendant t.ilist ~of_:u w then blocked := true;
+      incr i
+    done;
+    not !blocked
+  end
+
+let rec pop_ready t =
+  if Queue.is_empty t.ready then None
+  else begin
+    let u = Queue.pop t.ready in
+    if Prelude.Bitset.mem t.started u then pop_ready t else Some u
+  end
+
+(* One scan pass: examine up to [budget] entries from the resumable
+   cursor, wrapping; ready tasks move to the ready queue. Returns how
+   many tasks it enqueued. *)
+let scan t ~budget =
+  t.ops.scans <- t.ops.scans + 1;
+  let found = ref 0 in
+  let examined = ref 0 in
+  let limit = min budget (Prelude.Vec.length t.scan_list) in
+  while !examined < limit && not (Prelude.Vec.is_empty t.scan_list) do
+    if t.cursor >= Prelude.Vec.length t.scan_list then t.cursor <- 0;
+    let u = Prelude.Vec.get t.scan_list t.cursor in
+    if Prelude.Bitset.mem t.started u then
+      ignore (Prelude.Vec.swap_remove t.scan_list t.cursor)
+    else if safe t u then begin
+      Queue.add u t.ready;
+      incr found;
+      ignore (Prelude.Vec.swap_remove t.scan_list t.cursor)
+    end
+    else t.cursor <- t.cursor + 1;
+    incr examined
+  done;
+  !found
+
+let next_ready t =
+  match pop_ready t with
+  | Some u -> Some u
+  | None ->
+    if Prelude.Vec.is_empty t.scan_list then None
+    else if t.running = 0 then begin
+      (* Nothing is running, so some minimal active task is necessarily
+         ready; the scan must be exhaustive or the engine would stall. *)
+      ignore (scan t ~budget:(Prelude.Vec.length t.scan_list));
+      t.futile_stamp <- -1;
+      pop_ready t
+    end
+    else if t.stamp = t.futile_stamp then
+      (* nothing has changed since the last empty-handed pass *)
+      None
+    else begin
+      (* While tasks run, one (possibly bounded) pass per new event:
+         completions re-trigger scanning, and the resumable cursor
+         spreads a big queue across events. *)
+      let found = scan t ~budget:t.scan_batch in
+      if found = 0 then t.futile_stamp <- t.stamp else t.futile_stamp <- -1;
+      pop_ready t
+    end
+
+let memory_words t =
+  Dag.Interval_list.memory_words t.ilist
+  + (2 * (t.n / 63))
+  + Prelude.Vec.length t.scan_list
+  + Queue.length t.ready
+
+let make ?ops ?scan_batch ?ilist g =
+  let t = create ?ops ?scan_batch ?ilist g in
+  {
+    Intf.name = "LogicBlox";
+    on_activated = on_activated t;
+    on_started = on_started t;
+    on_completed = on_completed t;
+    next_ready = (fun () -> next_ready t);
+    ops = t.ops;
+    memory_words = (fun () -> memory_words t);
+  }
+
+let factory = { Intf.fname = "logicblox"; make = (fun g -> make g) }
+
+let precomputed_memory_words g =
+  Dag.Interval_list.memory_words (Dag.Interval_list.build (Dag.Graph.transpose g))

@@ -1,0 +1,37 @@
+(** Reimplementation of the production LogicBlox scheduler
+    (paper, Sections II-C and VI-B).
+
+    Precomputation: an interval-list encoding of every node's ancestor
+    set, built over the transposed DAG (worst-case O(V^2) space).
+
+    Runtime: a ready queue plus a queue of active tasks. Whenever the
+    ready queue runs dry, the scheduler scans the active queue; a task
+    is safe when none of its ancestor intervals intersects the set of
+    currently active (unexecuted or running) nodes, maintained as a
+    bitset over interval positions. Worst case O(n^3) over a run: n
+    scans x n tasks x O(n) interval probes (Section II-C). *)
+
+val make :
+  ?ops:Intf.ops ->
+  ?scan_batch:int ->
+  ?ilist:Dag.Interval_list.t ->
+  Dag.Graph.t ->
+  Intf.instance
+(** [ilist] supplies a prebuilt ancestor encoding (must be built on the
+    transpose of the same graph; see {!Prepared}).
+
+    [scan_batch] bounds how many active-queue entries one scan pass
+    examines while tasks are running (a resumable cursor spreads the
+    queue across passes; with nothing running the scan is always
+    exhaustive, so liveness is unaffected). The default is unbounded —
+    the faithful production baseline whose every pass rescans the whole
+    queue. The hybrid scheduler uses a small batch, which is the
+    "modify it to avoid unnecessary work" refinement the authors
+    report LogicBlox adopted after the 100x anecdote (Section VI).
+    @raise Invalid_argument if [scan_batch < 1]. *)
+
+val factory : Intf.factory
+
+val precomputed_memory_words : Dag.Graph.t -> int
+(** Size of the interval-list structure alone, for memory-budget
+    experiments (Theorem 10). *)

@@ -1,0 +1,94 @@
+type t = {
+  core : Level_based.Core.t;
+  k : int;
+  promoted : Intf.task Queue.t;
+  mutable stale : bool; (* recompute the lookahead on next blocked query? *)
+}
+
+let create ?ops ?levels ~k g =
+  if k < 1 then invalid_arg "Lookahead: k must be >= 1";
+  { core = Level_based.Core.create ?ops ?levels g; k; promoted = Queue.create (); stale = true }
+
+let on_activated t u =
+  t.stale <- true;
+  Level_based.Core.on_activated t.core u
+
+let on_started t u = Level_based.Core.on_started t.core u
+
+let on_completed t u =
+  t.stale <- true;
+  Level_based.Core.on_completed t.core u
+
+(* Recompute promotable tasks: BFS from every unexecuted-active or
+   running task, bounded to levels <= gate + k; any queued active task
+   in (gate, gate + k] not reached is safe to run early. *)
+let recompute t ~gate =
+  let core = t.core in
+  let g = Level_based.Core.graph core in
+  let levels = Level_based.Core.levels core in
+  let ops = Level_based.Core.ops core in
+  let active = Level_based.Core.active core in
+  Queue.clear t.promoted;
+  let seeds = Prelude.Vec.create ~dummy:0 () in
+  Prelude.Bitset.iter (fun u -> Prelude.Vec.push seeds u) active;
+  let seeds = Prelude.Vec.to_array seeds in
+  let max_level = gate + t.k in
+  let blocked = Dag.Reach.reachable_within g ~seeds ~max_level ~levels in
+  ops.Intf.bfs_steps <-
+    ops.Intf.bfs_steps + Array.length seeds + Prelude.Bitset.cardinal blocked;
+  (* candidates: active, unstarted, level in (gate, gate+k], unblocked *)
+  Array.iter
+    (fun u ->
+      ops.Intf.bfs_steps <- ops.Intf.bfs_steps + 1;
+      if
+        levels.(u) > gate
+        && levels.(u) <= max_level
+        && (not (Level_based.Core.is_started core u))
+        && not (Prelude.Bitset.mem blocked u)
+      then Queue.add u t.promoted)
+    seeds;
+  t.stale <- false
+
+let rec pop_promoted t =
+  if Queue.is_empty t.promoted then None
+  else begin
+    let u = Queue.pop t.promoted in
+    if Level_based.Core.is_started t.core u then pop_promoted t else Some u
+  end
+
+let next_ready t =
+  match Level_based.Core.next_ready t.core with
+  | Some u -> Some u
+  | None -> (
+    match pop_promoted t with
+    | Some u -> Some u
+    | None ->
+      if not t.stale then None
+      else begin
+        (* blocked: gate is the running level holding us back (or the
+           lowest queued level when nothing runs, which base LB would
+           have served — so a gate below la implies a running level). *)
+        match Level_based.Core.min_running_level t.core with
+        | None -> None
+        | Some gate ->
+          if Level_based.Core.min_queued_level t.core = None then None
+          else begin
+            recompute t ~gate;
+            pop_promoted t
+          end
+      end)
+
+let make ?ops ?levels ~k g =
+  let t = create ?ops ?levels ~k g in
+  {
+    Intf.name = Printf.sprintf "LBL(k=%d)" k;
+    on_activated = on_activated t;
+    on_started = on_started t;
+    on_completed = on_completed t;
+    next_ready = (fun () -> next_ready t);
+    ops = Level_based.Core.ops t.core;
+    memory_words = (fun () -> Level_based.Core.memory_words t.core + Queue.length t.promoted);
+  }
+
+let factory ~k =
+  { Intf.fname = Printf.sprintf "lbl:%d" k; make = (fun g -> make ~k g) }

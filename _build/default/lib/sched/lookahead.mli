@@ -1,0 +1,15 @@
+(** LevelBased with LookAhead — LBL(k) (paper, Sections III and VI-B).
+
+    Extends LevelBased: when the level gate blocks (a task on a lower
+    level is still running), search the next [k] levels for active tasks
+    that are not descendants of any unexecuted active or running task,
+    and dispatch those early. The search is a forward BFS from the set
+    of blockers, bounded to levels <= gate + k; worst case O(n^2) over a
+    run, but cheap when levels are thin — which is exactly when
+    plain LevelBased stalls. *)
+
+val make : ?ops:Intf.ops -> ?levels:int array -> k:int -> Dag.Graph.t -> Intf.instance
+(** @raise Invalid_argument if [k < 1]. *)
+
+val factory : k:int -> Intf.factory
+(** Factory named ["lbl:<k>"]. *)

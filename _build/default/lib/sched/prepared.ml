@@ -1,0 +1,84 @@
+type t = {
+  graph : Dag.Graph.t;
+  levels : int array;
+  ilist : Dag.Interval_list.t;
+}
+
+let prepare graph =
+  {
+    graph;
+    levels = Dag.Levels.compute graph;
+    ilist = Dag.Interval_list.build (Dag.Graph.transpose graph);
+  }
+
+let graph t = t.graph
+
+let levels t = t.levels
+
+let interval_list t = t.ilist
+
+(* Structural identity: updates against a stable program rebuild a
+   fresh-but-identical condensation each time, so physical equality is
+   too strict. O(V + E), negligible next to the avoided precompute. *)
+let same_graph a b =
+  a == b
+  || Dag.Graph.node_count a = Dag.Graph.node_count b
+     && Dag.Graph.edge_count a = Dag.Graph.edge_count b
+     &&
+     let ok = ref true in
+     Dag.Graph.iter_edges a (fun ~src ~dst ~eid ->
+         if Dag.Graph.edge_src b eid <> src || Dag.Graph.edge_dst b eid <> dst then
+           ok := false);
+     !ok
+
+let guard t g =
+  if not (same_graph t.graph g) then
+    invalid_arg "Prepared: factory applied to a different graph than prepared"
+
+let level_based_factory t =
+  {
+    Intf.fname = "levelbased";
+    make =
+      (fun g ->
+        guard t g;
+        Level_based.make ~levels:t.levels g);
+  }
+
+let lookahead_factory t ~k =
+  {
+    Intf.fname = Printf.sprintf "lbl:%d" k;
+    make =
+      (fun g ->
+        guard t g;
+        Lookahead.make ~levels:t.levels ~k g);
+  }
+
+let logicblox_factory ?scan_batch t =
+  {
+    Intf.fname = "logicblox";
+    make =
+      (fun g ->
+        guard t g;
+        Logicblox.make ?scan_batch ~ilist:t.ilist g);
+  }
+
+let hybrid_factory ?scan_batch t =
+  {
+    Intf.fname = "hybrid";
+    make =
+      (fun g ->
+        guard t g;
+        match scan_batch with
+        | Some scan_batch ->
+          Hybrid.make_batched ~levels:t.levels ~ilist:t.ilist ~scan_batch g
+        | None -> Hybrid.make ~levels:t.levels ~ilist:t.ilist g);
+  }
+
+let signal_factory t =
+  {
+    Intf.fname = "signal";
+    make =
+      (fun g ->
+        guard t g;
+        Signal.make g);
+  }

@@ -1,0 +1,29 @@
+let parse_k prefix name =
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then
+    int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+let find name =
+  match String.lowercase_ascii name with
+  | "levelbased" | "lb" -> Some Level_based.factory
+  | "logicblox" -> Some Logicblox.factory
+  | "signal" -> Some Signal.factory
+  | "hybrid" -> Some Hybrid.factory
+  | lname -> (
+    match parse_k "lbl:" lname with
+    | Some k when k >= 1 -> Some (Lookahead.factory ~k)
+    | Some _ | None -> (
+      match parse_k "lookahead:" lname with
+      | Some k when k >= 1 -> Some (Lookahead.factory ~k)
+      | Some _ | None -> (
+        match parse_k "hybrid:" lname with
+        | Some scan_batch when scan_batch >= 1 -> Some (Hybrid.factory_batched ~scan_batch)
+        | Some _ | None -> None)))
+
+let find_exn name =
+  match find name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "unknown scheduler %S" name)
+
+let names = [ "levelbased"; "lbl:5"; "lbl:10"; "lbl:15"; "lbl:20"; "logicblox"; "signal"; "hybrid" ]

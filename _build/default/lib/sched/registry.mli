@@ -1,0 +1,20 @@
+(** Name-based scheduler lookup for the CLI and benches.
+
+    Recognized names:
+    - ["levelbased"] (alias ["lb"])
+    - ["lbl:<k>"] (alias ["lookahead:<k>"]), e.g. ["lbl:15"]
+    - ["logicblox"]
+    - ["signal"]
+    - ["hybrid"], or ["hybrid:<batch>"] with an explicit co-scheduler
+      scan batch (see {!Hybrid.make_batched})
+
+    The clairvoyant scheduler is not listed: it needs the change oracle
+    and is constructed explicitly where used. *)
+
+val find : string -> Intf.factory option
+
+val find_exn : string -> Intf.factory
+(** @raise Invalid_argument on an unknown name. *)
+
+val names : string list
+(** Canonical example names, for help text. *)

@@ -1,0 +1,82 @@
+type t = {
+  g : Dag.Graph.t;
+  expected : int array;
+  received : int array;
+  is_active : Prelude.Bitset.t;
+  started : Prelude.Bitset.t;
+  ready : Intf.task Queue.t;
+  mutable bootstrapped : bool;
+  ops : Intf.ops;
+}
+
+let create ?ops g =
+  let n = Dag.Graph.node_count g in
+  {
+    g;
+    expected = Array.init n (Dag.Graph.in_degree g);
+    received = Array.make n 0;
+    is_active = Prelude.Bitset.create n;
+    started = Prelude.Bitset.create n;
+    ready = Queue.create ();
+    bootstrapped = false;
+    ops = (match ops with Some o -> o | None -> Intf.zero_ops ());
+  }
+
+let on_activated t u = Prelude.Bitset.add t.is_active u
+
+(* [u] has all parent signals. If active, it waits for the engine to
+   run it; otherwise it is a no-op node that forwards "no change" to its
+   children right away — cascading through inactive regions. *)
+let settle t u0 =
+  let worklist = Queue.create () in
+  Queue.add u0 worklist;
+  while not (Queue.is_empty worklist) do
+    let u = Queue.pop worklist in
+    if Prelude.Bitset.mem t.is_active u then Queue.add u t.ready
+    else
+      Dag.Graph.iter_succ t.g u (fun ~dst ~eid:_ ->
+          t.ops.messages <- t.ops.messages + 1;
+          t.received.(dst) <- t.received.(dst) + 1;
+          if t.received.(dst) = t.expected.(dst) then Queue.add dst worklist)
+  done
+
+let bootstrap t =
+  t.bootstrapped <- true;
+  Array.iter (fun s -> settle t s) (Dag.Graph.sources t.g)
+
+let on_started t u = Prelude.Bitset.add t.started u
+
+let on_completed t u =
+  Dag.Graph.iter_succ t.g u (fun ~dst ~eid:_ ->
+      t.ops.messages <- t.ops.messages + 1;
+      t.received.(dst) <- t.received.(dst) + 1;
+      if t.received.(dst) = t.expected.(dst) then settle t dst)
+
+let rec pop_ready t =
+  if Queue.is_empty t.ready then None
+  else begin
+    let u = Queue.pop t.ready in
+    if Prelude.Bitset.mem t.started u then pop_ready t else Some u
+  end
+
+let next_ready t =
+  if not t.bootstrapped then bootstrap t;
+  pop_ready t
+
+let memory_words t =
+  let n = Dag.Graph.node_count t.g in
+  (2 * n) + (2 * (n / 63)) + Queue.length t.ready
+
+let make ?ops g =
+  let t = create ?ops g in
+  {
+    Intf.name = "SignalPropagation";
+    on_activated = on_activated t;
+    on_started = on_started t;
+    on_completed = on_completed t;
+    next_ready = (fun () -> next_ready t);
+    ops = t.ops;
+    memory_words = (fun () -> memory_words t);
+  }
+
+let factory = { Intf.fname = "signal"; make = (fun g -> make g) }

@@ -1,0 +1,12 @@
+(** Brute-force signal propagation (paper, Section II-C).
+
+    No precomputation. Every node — active or not — waits for a signal
+    from each parent ("no change" or "new output"); a node with all
+    signals in either becomes ready (if activated) or immediately
+    forwards "no change" to its children. O(V + E) messages per update
+    round regardless of how few nodes are active, which is exactly the
+    weakness the paper contrasts LevelBased against. *)
+
+val make : ?ops:Intf.ops -> Dag.Graph.t -> Intf.instance
+
+val factory : Intf.factory

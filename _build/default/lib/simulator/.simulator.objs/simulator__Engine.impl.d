@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Dag List Metrics Prelude Queue Sched Unix Workload

@@ -1,0 +1,1 @@
+lib/simulator/meta.ml: Engine Format Metrics Sched Workload

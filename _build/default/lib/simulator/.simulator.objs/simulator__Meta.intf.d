@@ -1,0 +1,1 @@
+lib/simulator/meta.mli: Engine Format Metrics Sched Workload

@@ -1,0 +1,1 @@
+lib/simulator/trace_export.mli: Engine

@@ -1,0 +1,1 @@
+lib/simulator/validate.ml: Array Dag Engine Prelude Printf Result Workload

@@ -1,0 +1,197 @@
+exception Deadlock of { time : float; remaining : int }
+
+exception Double_start of int
+
+exception Premature of int
+(* a task ran before activation, or was activated after running:
+   single-execution violation — a scheduler bug the engine traps *)
+
+type config = { procs : int; op_cost : float; record_log : bool }
+
+let default_config = { procs = 8; op_cost = 1e-7; record_log = false }
+
+type log_entry = { task : int; start : float; finish : float }
+
+type run = { metrics : Metrics.t; log : log_entry array option }
+
+type status = Inactive | Active | Running | Done
+
+type task_state = {
+  mutable stages : float array list; (* stages not yet released *)
+  mutable chips_left : int; (* chips outstanding in the current stage *)
+  mutable start_time : float;
+}
+
+(* Expand a task into its chip stages (Section IV task model). *)
+let expand kind shape =
+  match (kind, shape) with
+  | Workload.Trace.Predicate, _ -> [ [| 0.0 |] ]
+  | Workload.Trace.Task, Workload.Trace.Unit -> [ [| 1.0 |] ]
+  | Workload.Trace.Task, Workload.Trace.Seq w -> [ [| w |] ]
+  | Workload.Trace.Task, Workload.Trace.Par w ->
+    if w <= 0.0 then [ [| 0.0 |] ]
+    else begin
+      let chips = int_of_float (ceil w) in
+      [ Array.make chips (w /. float_of_int chips) ]
+    end
+  | Workload.Trace.Task, Workload.Trace.Stages { width; length; chip } ->
+    List.init length (fun _ -> Array.make width chip)
+
+let run ?(config = default_config) ~sched (trace : Workload.Trace.t) =
+  if config.procs < 1 then invalid_arg "Engine.run: need at least one processor";
+  let g = trace.graph in
+  let n = Dag.Graph.node_count g in
+  let wall_start = Unix.gettimeofday () in
+  let inst = sched.Sched.Intf.make g in
+  let precompute_wallclock = Unix.gettimeofday () -. wall_start in
+  let status = Array.make n Inactive in
+  let tstate = Array.make n { stages = []; chips_left = 0; start_time = 0.0 } in
+  let clock = ref 0.0 in
+  let sched_overhead = ref 0.0 in
+  let sched_wallclock = ref 0.0 in
+  let charged_ops = ref 0.0 in
+  let idle = ref config.procs in
+  let pending : (int * float) Queue.t = Queue.create () in
+  let cmp (t1, s1, _) (t2, s2, _) =
+    if t1 = t2 then compare s1 s2 else compare t1 t2
+  in
+  let events = Prelude.Heap.create ~cmp ~dummy:(0.0, 0, 0) () in
+  let seq = ref 0 in
+  let executed = ref 0 in
+  let activated = ref 0 in
+  let total_work = ref 0.0 in
+  let log = Prelude.Vec.create ~dummy:{ task = 0; start = 0.0; finish = 0.0 } () in
+  let wall f =
+    let s = Unix.gettimeofday () in
+    let r = f () in
+    sched_wallclock := !sched_wallclock +. (Unix.gettimeofday () -. s);
+    r
+  in
+  (* Convert newly-counted scheduler ops into virtual time (weighted:
+     an interval probe costs more than a bucket push). *)
+  let charge () =
+    let total = Sched.Intf.weighted_ops inst.Sched.Intf.ops in
+    let delta = total -. !charged_ops in
+    if delta > 0.0 then begin
+      charged_ops := total;
+      let cost = delta *. config.op_cost in
+      sched_overhead := !sched_overhead +. cost;
+      clock := !clock +. cost
+    end
+  in
+  let activate v =
+    match status.(v) with
+    | Inactive ->
+      status.(v) <- Active;
+      incr activated;
+      wall (fun () -> inst.Sched.Intf.on_activated v)
+    | Active -> () (* several parents may dirty the same node *)
+    | Running | Done -> raise (Premature v)
+  in
+  let release_stage u stage =
+    let st = tstate.(u) in
+    st.chips_left <- Array.length stage;
+    Array.iter
+      (fun dur ->
+        total_work := !total_work +. dur;
+        Queue.add (u, dur) pending)
+      stage
+  in
+  let start_task u =
+    (match status.(u) with
+    | Active -> ()
+    | Running | Done -> raise (Double_start u)
+    | Inactive -> raise (Premature u));
+    status.(u) <- Running;
+    incr executed;
+    wall (fun () -> inst.Sched.Intf.on_started u);
+    (match expand trace.kind.(u) trace.shape.(u) with
+    | [] -> assert false
+    | stage :: rest ->
+      tstate.(u) <- { stages = rest; chips_left = 0; start_time = !clock };
+      release_stage u stage)
+  in
+  let rec dispatch () =
+    while !idle > 0 && not (Queue.is_empty pending) do
+      let u, dur = Queue.pop pending in
+      decr idle;
+      Prelude.Heap.push events (!clock +. dur, !seq, u);
+      incr seq
+    done;
+    if !idle > 0 then begin
+      match wall (fun () -> inst.Sched.Intf.next_ready ()) with
+      | Some u ->
+        charge ();
+        start_task u;
+        charge ();
+        dispatch ()
+      | None -> charge ()
+    end
+  in
+  Array.iter activate trace.initial;
+  charge ();
+  dispatch ();
+  while not (Prelude.Heap.is_empty events) do
+    let t, _, u = Prelude.Heap.pop_exn events in
+    if t > !clock then clock := t;
+    incr idle;
+    let st = tstate.(u) in
+    st.chips_left <- st.chips_left - 1;
+    if st.chips_left = 0 then begin
+      match st.stages with
+      | stage :: rest ->
+        st.stages <- rest;
+        release_stage u stage
+      | [] ->
+        status.(u) <- Done;
+        if config.record_log then
+          Prelude.Vec.push log { task = u; start = st.start_time; finish = !clock };
+        (* reveal activations before announcing the completion *)
+        Dag.Graph.iter_succ g u (fun ~dst ~eid ->
+            if trace.edge_changed.(eid) then activate dst);
+        wall (fun () -> inst.Sched.Intf.on_completed u);
+        charge ()
+    end;
+    dispatch ()
+  done;
+  let remaining = ref 0 in
+  Array.iter (function Active | Running -> incr remaining | Inactive | Done -> ()) status;
+  if !remaining > 0 then raise (Deadlock { time = !clock; remaining = !remaining });
+  let makespan = !clock in
+  let metrics =
+    {
+      Metrics.scheduler = inst.Sched.Intf.name;
+      makespan;
+      sched_overhead = !sched_overhead;
+      exec_time = makespan -. !sched_overhead;
+      total_work = !total_work;
+      tasks_executed = !executed;
+      tasks_activated = !activated;
+      ops = inst.Sched.Intf.ops;
+      precompute_wallclock;
+      sched_wallclock = !sched_wallclock;
+      memory_words = inst.Sched.Intf.memory_words ();
+      utilization =
+        (if makespan > 0.0 then
+           !total_work /. (makespan *. float_of_int config.procs)
+         else 1.0);
+      procs = config.procs;
+    }
+  in
+  { metrics; log = (if config.record_log then Some (Prelude.Vec.to_array log) else None) }
+
+let run_all ?config ~scheds trace =
+  List.map (fun sched -> run ?config ~sched trace) scheds
+
+let clairvoyant_factory ?procs (trace : Workload.Trace.t) =
+  ignore procs;
+  let n = Dag.Graph.node_count trace.graph in
+  let work = Array.init n (Workload.Trace.work trace) in
+  {
+    Sched.Intf.fname = "clairvoyant";
+    make =
+      (fun g ->
+        Sched.Clairvoyant.make ~initial:trace.initial
+          ~edge_changed:(fun eid -> trace.edge_changed.(eid))
+          ~work g);
+  }

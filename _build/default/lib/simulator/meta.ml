@@ -1,0 +1,51 @@
+type result = {
+  winner : string;
+  a_aborted : bool;
+  makespan : float;
+  a_metrics : Metrics.t option;
+  lb_metrics : Metrics.t;
+  memory_words : int;
+  budget_words : int;
+}
+
+let run ?(config = Engine.default_config) ~budget_words ~a trace =
+  let probe = a.Sched.Intf.make trace.Workload.Trace.graph in
+  let a_memory = probe.Sched.Intf.memory_words () in
+  if 2 * a_memory > budget_words then begin
+    (* drop A, LevelBased takes all processors (Theorem 10, overflow arm) *)
+    let r = Engine.run ~config ~sched:Sched.Level_based.factory trace in
+    {
+      winner = r.Engine.metrics.Metrics.scheduler;
+      a_aborted = true;
+      makespan = r.Engine.metrics.Metrics.makespan;
+      a_metrics = None;
+      lb_metrics = r.Engine.metrics;
+      memory_words = r.Engine.metrics.Metrics.memory_words;
+      budget_words;
+    }
+  end
+  else begin
+    let half = { config with Engine.procs = max 1 (config.Engine.procs / 2) } in
+    let ra = Engine.run ~config:half ~sched:a trace in
+    let rb = Engine.run ~config:half ~sched:Sched.Level_based.factory trace in
+    let ma = ra.Engine.metrics and mb = rb.Engine.metrics in
+    let winner, makespan =
+      if ma.Metrics.makespan <= mb.Metrics.makespan then
+        (ma.Metrics.scheduler, ma.Metrics.makespan)
+      else (mb.Metrics.scheduler, mb.Metrics.makespan)
+    in
+    {
+      winner;
+      a_aborted = false;
+      makespan;
+      a_metrics = Some ma;
+      lb_metrics = mb;
+      memory_words = ma.Metrics.memory_words + mb.Metrics.memory_words;
+      budget_words;
+    }
+  end
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "meta: winner=%s makespan=%.6f aborted_a=%b memory=%d/%d words" r.winner
+    r.makespan r.a_aborted r.memory_words r.budget_words

@@ -1,0 +1,33 @@
+(** The meta-scheduler A' of Theorem 10 / Corollary 11.
+
+    Given any scheduler [A] and a memory budget, A' dedicates half the
+    processors to [A] and half to LevelBased, run independently (tasks
+    may execute twice); it finishes when either finishes, so its
+    makespan is at most 2 min(T_A, T_LB) relative to full-width runs.
+    If [A]'s footprint exceeds half the budget, [A] is dropped and
+    LevelBased gets every processor.
+
+    Here the two halves are two independent simulations; the reported
+    makespan is the earlier finisher's, and the memory check uses the
+    scheduler's post-precomputation footprint (interval lists dominate
+    the LogicBlox scheduler's usage, so the check at that point is the
+    binding one). *)
+
+type result = {
+  winner : string;  (** name of the sub-scheduler that finished first *)
+  a_aborted : bool;  (** [A] exceeded its half of the memory budget *)
+  makespan : float;
+  a_metrics : Metrics.t option;  (** absent when aborted *)
+  lb_metrics : Metrics.t;
+  memory_words : int;  (** combined footprint actually used *)
+  budget_words : int;
+}
+
+val run :
+  ?config:Engine.config ->
+  budget_words:int ->
+  a:Sched.Intf.factory ->
+  Workload.Trace.t ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

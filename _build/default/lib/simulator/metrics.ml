@@ -1,0 +1,38 @@
+type t = {
+  scheduler : string;
+  makespan : float;
+  sched_overhead : float;
+  exec_time : float;
+  total_work : float;
+  tasks_executed : int;
+  tasks_activated : int;
+  ops : Sched.Intf.ops;
+  precompute_wallclock : float;
+  sched_wallclock : float;
+  memory_words : int;
+  utilization : float;
+  procs : int;
+}
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>scheduler      %s@,\
+     makespan       %.6f s@,\
+     overhead       %.6f s@,\
+     exec time      %.6f s@,\
+     total work     %.6f s@,\
+     executed       %d tasks (activated %d)@,\
+     ops            %a@,\
+     precompute     %.4f s (wallclock)@,\
+     sched wall     %.4f s@,\
+     memory         %d words@,\
+     utilization    %.1f%% on %d procs@]"
+    m.scheduler m.makespan m.sched_overhead m.exec_time m.total_work
+    m.tasks_executed m.tasks_activated Sched.Intf.pp_ops m.ops
+    m.precompute_wallclock m.sched_wallclock m.memory_words
+    (100.0 *. m.utilization) m.procs
+
+let pp_row ppf m =
+  Format.fprintf ppf "%-20s makespan=%12.4f overhead=%12.6f ops=%10d mem=%10d"
+    m.scheduler m.makespan m.sched_overhead (Sched.Intf.total_ops m.ops)
+    m.memory_words

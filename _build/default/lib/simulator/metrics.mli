@@ -1,0 +1,25 @@
+(** Results of one simulated schedule. *)
+
+type t = {
+  scheduler : string;
+  makespan : float;
+      (** virtual completion time of the last task, scheduling overhead
+          included — the quantity of Tables II and III *)
+  sched_overhead : float;
+      (** virtual time charged for scheduler decisions: ops x op_cost *)
+  exec_time : float;  (** [makespan - sched_overhead] *)
+  total_work : float;  (** the paper's [w]: work actually executed *)
+  tasks_executed : int;
+  tasks_activated : int;
+  ops : Sched.Intf.ops;  (** final operation counters *)
+  precompute_wallclock : float;  (** real seconds spent in [make] *)
+  sched_wallclock : float;  (** real seconds inside scheduler callbacks *)
+  memory_words : int;  (** scheduler footprint after the run *)
+  utilization : float;  (** total_work / (makespan * procs) *)
+  procs : int;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val pp_row : Format.formatter -> t -> unit
+(** One-line tabular form. *)

@@ -1,0 +1,34 @@
+let write ?(labels = string_of_int) oc ~procs (log : Engine.log_entry array) =
+  let entries = Array.copy log in
+  Array.sort
+    (fun a b -> compare (a.Engine.start, a.Engine.task) (b.Engine.start, b.Engine.task))
+    entries;
+  (* greedy row assignment: first row free at the task's start time *)
+  let free_at = Array.make (max procs 1) 0.0 in
+  let row_of entry =
+    let eps = 1e-12 in
+    let row = ref (-1) in
+    for r = 0 to Array.length free_at - 1 do
+      if !row < 0 && free_at.(r) <= entry.Engine.start +. eps then row := r
+    done;
+    let r = if !row >= 0 then !row else 0 in
+    if entry.Engine.finish > free_at.(r) then free_at.(r) <- entry.Engine.finish;
+    r
+  in
+  let us t = t *. 1e6 in
+  output_string oc "[\n";
+  Array.iteri
+    (fun i e ->
+      let row = row_of e in
+      Printf.fprintf oc
+        "  {\"name\": %S, \"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \
+         \"dur\": %.3f}%s\n"
+        (labels e.Engine.task) row (us e.Engine.start)
+        (us (e.Engine.finish -. e.Engine.start))
+        (if i = Array.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "]\n"
+
+let to_file ?labels path ~procs log =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write ?labels oc ~procs log)

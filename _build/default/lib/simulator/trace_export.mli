@@ -1,0 +1,20 @@
+(** Schedule visualization: export a run's task log as Chrome trace
+    events (the [chrome://tracing] / Perfetto JSON array format).
+
+    Tasks appear as complete events ("ph":"X") with one row per task;
+    durations are the virtual seconds of the simulation scaled to
+    microseconds. Load the file in Perfetto or chrome://tracing to see
+    level barriers, idle gaps, and the scheduling-overhead stalls. *)
+
+val write :
+  ?labels:(int -> string) ->
+  out_channel ->
+  procs:int ->
+  Engine.log_entry array ->
+  unit
+(** Tasks are binned onto [procs] rows greedily by start time (the
+    engine does not record physical processor ids; the greedy binning
+    reconstructs a consistent assignment for sequential tasks). *)
+
+val to_file :
+  ?labels:(int -> string) -> string -> procs:int -> Engine.log_entry array -> unit

@@ -1,0 +1,88 @@
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let check_coverage (trace : Workload.Trace.t) (log : Engine.log_entry array) =
+  let w = Workload.Trace.active_set trace in
+  let seen = Prelude.Bitset.create (Dag.Graph.node_count trace.graph) in
+  let rec entries i =
+    if i >= Array.length log then Ok ()
+    else begin
+      let e = log.(i) in
+      if not (Prelude.Bitset.mem w e.Engine.task) then
+        err "task %d executed but not in the active set" e.Engine.task
+      else if Prelude.Bitset.mem seen e.Engine.task then
+        err "task %d executed twice" e.Engine.task
+      else begin
+        Prelude.Bitset.add seen e.Engine.task;
+        entries (i + 1)
+      end
+    end
+  in
+  let* () = entries 0 in
+  if Prelude.Bitset.cardinal seen <> Prelude.Bitset.cardinal w then
+    err "executed %d tasks but the active set has %d"
+      (Prelude.Bitset.cardinal seen)
+      (Prelude.Bitset.cardinal w)
+  else Ok ()
+
+let check_times (trace : Workload.Trace.t) (log : Engine.log_entry array) =
+  let eps = 1e-9 in
+  let rec go i =
+    if i >= Array.length log then Ok ()
+    else begin
+      let e = log.(i) in
+      let span =
+        match trace.kind.(e.Engine.task) with
+        | Workload.Trace.Predicate -> 0.0
+        | Workload.Trace.Task -> Workload.Trace.shape_span trace.shape.(e.Engine.task)
+      in
+      if e.Engine.start > e.Engine.finish +. eps then
+        err "task %d starts after it finishes" e.Engine.task
+      else if e.Engine.finish -. e.Engine.start +. eps < span then
+        err "task %d ran for %.9f but its span is %.9f" e.Engine.task
+          (e.Engine.finish -. e.Engine.start)
+          span
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let check_precedence (trace : Workload.Trace.t) (log : Engine.log_entry array) =
+  let w = Workload.Trace.active_set trace in
+  let n = Dag.Graph.node_count trace.graph in
+  let finish = Array.make n infinity in
+  Array.iter (fun e -> finish.(e.Engine.task) <- e.Engine.finish) log;
+  let eps = 1e-9 in
+  let rec go i =
+    if i >= Array.length log then Ok ()
+    else begin
+      let e = log.(i) in
+      let anc = Dag.Reach.ancestors trace.graph e.Engine.task in
+      let bad = ref None in
+      Prelude.Bitset.iter
+        (fun a ->
+          if
+            Prelude.Bitset.mem w a
+            && finish.(a) > e.Engine.start +. eps
+            && !bad = None
+          then bad := Some a)
+        anc;
+      match !bad with
+      | Some a ->
+        err "task %d started at %.9f before active ancestor %d finished at %.9f"
+          e.Engine.task e.Engine.start a finish.(a)
+      | None -> go (i + 1)
+    end
+  in
+  go 0
+
+let check ?(check_spans = true) trace log =
+  let* () = check_coverage trace log in
+  let* () = if check_spans then check_times trace log else Ok () in
+  check_precedence trace log
+
+let check_run trace (r : Engine.run) =
+  match r.Engine.log with
+  | None -> Error "run recorded no log (set record_log)"
+  | Some log -> check trace log

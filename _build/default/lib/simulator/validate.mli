@@ -1,0 +1,21 @@
+(** Schedule-log validation against the model of Section II.
+
+    Checks, for a log produced with [record_log = true]:
+    + exactly the active set [W] was executed, each task once;
+    + no task started before every one of its activated ancestors
+      (ancestors in the full DAG [G] that lie in [W]) had finished;
+    + starts and finishes are consistent ([start <= finish], and a
+      task's finish covers at least its span).
+
+    Ancestor checks BFS the full DAG, so reserve this for test-sized
+    traces. *)
+
+val check :
+  ?check_spans:bool -> Workload.Trace.t -> Engine.log_entry array -> (unit, string) result
+(** [check_spans] (default true) verifies each task ran at least its
+    span; disable when the log's timestamps are in a different unit
+    than the trace's work (e.g. real seconds from the multicore
+    executor). *)
+
+val check_run : Workload.Trace.t -> Engine.run -> (unit, string) result
+(** Convenience: fails if the run carried no log. *)

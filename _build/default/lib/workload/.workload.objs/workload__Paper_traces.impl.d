@@ -1,0 +1,1 @@
+lib/workload/paper_traces.ml: Array Float Prelude Printf Synthetic Trace

@@ -1,0 +1,1 @@
+lib/workload/pathological.ml: Array Dag Hashtbl Prelude Printf Trace

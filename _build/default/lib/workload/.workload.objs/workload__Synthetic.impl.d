@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Dag Float Fun Hashtbl List Option Prelude Printf Queue Trace

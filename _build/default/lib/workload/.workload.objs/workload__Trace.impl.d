@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Dag Float Format Prelude Queue

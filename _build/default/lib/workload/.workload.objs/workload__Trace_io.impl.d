@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Dag Filename Fun List Option Prelude Printf String Trace

@@ -1,0 +1,160 @@
+type spec = {
+  id : int;
+  nodes : int;
+  edges : int;
+  initial_tasks : int;
+  active_jobs : int;
+  levels : int;
+  target_exec : float;
+  paper_makespan_logicblox : float option;
+  paper_overhead_logicblox : float option;
+  paper_makespan_levelbased : float option;
+  paper_overhead_levelbased : float option;
+  paper_makespan_hybrid : float option;
+  paper_overhead_hybrid : float option;
+  paper_lbl : (int * float) list;
+}
+
+let processors = 8
+
+(* Table I structure; Table II/III timings. [target_exec] is the
+   published makespan of the scheduler least distorted by overhead,
+   minus its reported overhead where available. *)
+let specs =
+  [|
+    {
+      id = 1; nodes = 64910; edges = 101327; initial_tasks = 5;
+      active_jobs = 532; levels = 171; target_exec = 26.5;
+      paper_makespan_logicblox = Some 26.5; paper_overhead_logicblox = None;
+      paper_makespan_levelbased = Some 57.74; paper_overhead_levelbased = None;
+      paper_makespan_hybrid = None; paper_overhead_hybrid = None;
+      paper_lbl = [ (5, 36.72); (10, 33.09); (15, 31.25); (20, 30.99) ];
+    };
+    {
+      id = 2; nodes = 64903; edges = 101319; initial_tasks = 16;
+      active_jobs = 1936; levels = 171; target_exec = 9736.0;
+      paper_makespan_logicblox = Some 9736.0; paper_overhead_logicblox = None;
+      paper_makespan_levelbased = Some 20979.3; paper_overhead_levelbased = None;
+      paper_makespan_hybrid = None; paper_overhead_hybrid = None;
+      paper_lbl = [ (5, 11906.9); (10, 9846.16); (15, 9866.64); (20, 9860.42) ];
+    };
+    {
+      id = 3; nodes = 29185; edges = 41506; initial_tasks = 76;
+      active_jobs = 560; levels = 149; target_exec = 187.0;
+      paper_makespan_logicblox = Some 187.0; paper_overhead_logicblox = None;
+      paper_makespan_levelbased = Some 448.40; paper_overhead_levelbased = None;
+      paper_makespan_hybrid = None; paper_overhead_hybrid = None;
+      paper_lbl = [ (5, 299.34); (10, 285.91); (15, 230.22); (20, 229.34) ];
+    };
+    {
+      id = 4; nodes = 64507; edges = 100779; initial_tasks = 26;
+      active_jobs = 1342; levels = 171; target_exec = 303.0;
+      paper_makespan_logicblox = Some 303.0; paper_overhead_logicblox = None;
+      paper_makespan_levelbased = Some 866.66; paper_overhead_levelbased = None;
+      paper_makespan_hybrid = None; paper_overhead_hybrid = None;
+      paper_lbl = [ (5, 576.49); (10, 490.15); (15, 444.67); (20, 426.22) ];
+    };
+    {
+      id = 5; nodes = 1719; edges = 2430; initial_tasks = 6;
+      active_jobs = 296; levels = 39; target_exec = 23.0;
+      paper_makespan_logicblox = Some 23.0; paper_overhead_logicblox = None;
+      paper_makespan_levelbased = Some 29.32; paper_overhead_levelbased = None;
+      paper_makespan_hybrid = None; paper_overhead_hybrid = None;
+      paper_lbl = [ (5, 24.52); (10, 24.52); (15, 24.52); (20, 24.52) ];
+    };
+    {
+      id = 6; nodes = 379500; edges = 557702; initial_tasks = 125544;
+      active_jobs = 126979; levels = 11; target_exec = 0.46;
+      paper_makespan_logicblox = Some 33.24; paper_overhead_logicblox = Some 21.69;
+      paper_makespan_levelbased = Some 0.49; paper_overhead_levelbased = Some 0.027;
+      paper_makespan_hybrid = Some 21.93; paper_overhead_hybrid = Some 10.89;
+      paper_lbl = [];
+    };
+    {
+      id = 7; nodes = 35283; edges = 50511; initial_tasks = 76;
+      active_jobs = 645; levels = 198; target_exec = 155.66;
+      paper_makespan_logicblox = Some 155.77; paper_overhead_logicblox = Some 0.109;
+      paper_makespan_levelbased = Some 348.35; paper_overhead_levelbased = Some 3.8e-5;
+      paper_makespan_hybrid = Some 187.08; paper_overhead_hybrid = Some 0.077;
+      paper_lbl = [];
+    };
+    {
+      id = 8; nodes = 35283; edges = 50511; initial_tasks = 9;
+      active_jobs = 177; levels = 198; target_exec = 28.67;
+      paper_makespan_logicblox = Some 28.69; paper_overhead_logicblox = Some 0.022;
+      paper_makespan_levelbased = Some 28.29; paper_overhead_levelbased = Some 9.0e-6;
+      paper_makespan_hybrid = Some 25.52; paper_overhead_hybrid = Some 0.020;
+      paper_lbl = [];
+    };
+    {
+      id = 9; nodes = 65541; edges = 102219; initial_tasks = 10;
+      active_jobs = 111; levels = 171; target_exec = 0.037;
+      paper_makespan_logicblox = Some 0.048; paper_overhead_logicblox = Some 0.0107;
+      paper_makespan_levelbased = Some 0.037; paper_overhead_levelbased = Some 1.3e-5;
+      paper_makespan_hybrid = Some 0.041; paper_overhead_hybrid = Some 0.009;
+      paper_lbl = [];
+    };
+    {
+      id = 10; nodes = 65541; edges = 102219; initial_tasks = 16;
+      active_jobs = 1936; levels = 171; target_exec = 9892.96;
+      paper_makespan_logicblox = Some 9893.29; paper_overhead_logicblox = Some 0.327;
+      paper_makespan_levelbased = Some 20897.9; paper_overhead_levelbased = Some 1.59e-4;
+      paper_makespan_hybrid = Some 10123.74; paper_overhead_hybrid = Some 0.289;
+      paper_lbl = [];
+    };
+    {
+      id = 11; nodes = 465127; edges = 465158; initial_tasks = 131104;
+      active_jobs = 132162; levels = 5; target_exec = 667.35;
+      paper_makespan_logicblox = Some 688.38; paper_overhead_logicblox = Some 21.03;
+      paper_makespan_levelbased = Some 694.24; paper_overhead_levelbased = Some 0.042;
+      paper_makespan_hybrid = Some 630.01; paper_overhead_hybrid = Some 7.47;
+      paper_lbl = [];
+    };
+  |]
+
+let spec id =
+  if id < 1 || id > Array.length specs then
+    invalid_arg (Printf.sprintf "Paper_traces.spec: no job trace #%d" id);
+  specs.(id - 1)
+
+(* Fraction of activatable task nodes: 20134/64910 for trace #1
+   (Figure 1); reused elsewhere, except the shallow bulk-update traces
+   where every node is a task. *)
+let task_fraction s =
+  if s.initial_tasks > 1000 then 1.0
+  else if s.id = 1 then 20134.0 /. 64910.0
+  else 0.31
+
+(* Figure 1: the five updated tasks of trace #1 have 1,680 descendants. *)
+let descendant_target s = if s.id = 1 then Some 1680 else None
+
+(* Seeds chosen (once, offline) so the activation-closure calibration
+   lands on the published active-job count exactly; the percolation is
+   chunky on a few structures, where a different seed gives the greedy
+   refinement finer cones to work with. *)
+let seed_of = function 4 -> 10004 | 5 -> 8005 | id -> 7000 + id
+
+let generate id =
+  let s = spec id in
+  let params =
+    {
+      Synthetic.nodes = s.nodes;
+      edges = s.edges;
+      levels = s.levels;
+      initial = s.initial_tasks;
+      active_jobs = s.active_jobs;
+      descendants = descendant_target s;
+      task_fraction = task_fraction s;
+      seed = seed_of s.id;
+    }
+  in
+  let name = Printf.sprintf "jobtrace-%d" s.id in
+  let duration rng _u = Trace.Seq (Prelude.Rng.lognormal rng ~mu:0.0 ~sigma:0.9) in
+  let t = Synthetic.generate ~duration ~name params in
+  (* Calibrate durations: the execution part of the published makespan
+     is bounded below by both the active critical path and w/P. *)
+  let cp = Trace.active_critical_path t in
+  let w = Trace.total_active_work t in
+  let estimate = Float.max cp (w /. float_of_int processors) in
+  if estimate <= 0.0 then t
+  else Synthetic.scale_shapes t ~factor:(s.target_exec /. estimate)

@@ -1,0 +1,100 @@
+let all_tasks n = Array.make n Trace.Task
+
+let all_changed m = Array.make m true
+
+(* Theorem 9: j_i at node i-1 (unit, chain); k_i at node L-1 + (i-1) for
+   i in 2..L, released by j_{i-1}, with work = span = L - i + 1. *)
+let tight_example ~levels =
+  if levels < 2 then invalid_arg "Pathological.tight_example: levels >= 2";
+  let l = levels in
+  let n = l + (l - 1) in
+  let b = Dag.Graph.Builder.create ~nodes:n () in
+  let j i = i - 1 (* 1-based j index to node id *) in
+  let k i = l + (i - 2) (* i in 2..L *) in
+  for i = 2 to l do
+    ignore (Dag.Graph.Builder.add_edge b (j (i - 1)) (j i));
+    ignore (Dag.Graph.Builder.add_edge b (j (i - 1)) (k i))
+  done;
+  let graph = Dag.Graph.Builder.build b in
+  let shape = Array.make n Trace.Unit in
+  for i = 2 to l do
+    shape.(k i) <- Trace.Seq (float_of_int (l - i + 1))
+  done;
+  Trace.create ~name:(Printf.sprintf "tight-example-L%d" l) ~graph
+    ~kind:(all_tasks n) ~shape ~initial:[| j 1 |]
+    ~edge_changed:(all_changed (Dag.Graph.edge_count graph))
+
+let deep_chain ~n =
+  if n < 1 then invalid_arg "Pathological.deep_chain: n >= 1";
+  let edges = Array.init (n - 1) (fun i -> (i, i + 1)) in
+  let graph = Dag.Graph.of_edges ~nodes:n edges in
+  Trace.create ~name:(Printf.sprintf "deep-chain-%d" n) ~graph ~kind:(all_tasks n)
+    ~shape:(Array.make n Trace.Unit) ~initial:[| 0 |]
+    ~edge_changed:(all_changed (n - 1))
+
+let broom ~spine ~fan =
+  if spine < 2 || fan < 1 then invalid_arg "Pathological.broom";
+  let n = spine + fan in
+  let b = Dag.Graph.Builder.create ~nodes:n () in
+  for i = 0 to spine - 2 do
+    ignore (Dag.Graph.Builder.add_edge b i (i + 1))
+  done;
+  for j = 0 to fan - 1 do
+    ignore (Dag.Graph.Builder.add_edge b 0 (spine + j));
+    ignore (Dag.Graph.Builder.add_edge b (spine - 1) (spine + j))
+  done;
+  let graph = Dag.Graph.Builder.build b in
+  Trace.create ~name:(Printf.sprintf "broom-%dx%d" spine fan) ~graph
+    ~kind:(all_tasks n) ~shape:(Array.make n Trace.Unit) ~initial:[| 0 |]
+    ~edge_changed:(all_changed (Dag.Graph.edge_count graph))
+
+let interval_blowup ~width ~layers ~density ~seed =
+  if width < 1 || layers < 2 then invalid_arg "Pathological.interval_blowup";
+  let rng = Prelude.Rng.create seed in
+  let n = width * layers in
+  let node l i = (l * width) + i in
+  let b = Dag.Graph.Builder.create ~nodes:n () in
+  for l = 1 to layers - 1 do
+    for i = 0 to width - 1 do
+      (* spanning parent pins the level *)
+      let p = Prelude.Rng.int rng width in
+      ignore (Dag.Graph.Builder.add_edge b (node (l - 1) p) (node l i));
+      for jj = 0 to width - 1 do
+        if jj <> p && Prelude.Rng.bernoulli rng density then
+          ignore (Dag.Graph.Builder.add_edge b (node (l - 1) jj) (node l i))
+      done
+    done
+  done;
+  let graph = Dag.Graph.Builder.build b in
+  Trace.create
+    ~name:(Printf.sprintf "interval-blowup-w%d-l%d" width layers)
+    ~graph ~kind:(all_tasks n) ~shape:(Array.make n Trace.Unit)
+    ~initial:(Array.init width (fun i -> i))
+    ~edge_changed:(all_changed (Dag.Graph.edge_count graph))
+
+let unit_layers ~width ~layers ~fanout ~seed =
+  if width < 1 || layers < 1 || fanout < 1 then invalid_arg "Pathological.unit_layers";
+  let rng = Prelude.Rng.create seed in
+  let n = width * layers in
+  let node l i = (l * width) + i in
+  let b = Dag.Graph.Builder.create ~nodes:n () in
+  let seen = Hashtbl.create (4 * n) in
+  let add u v =
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      ignore (Dag.Graph.Builder.add_edge b u v)
+    end
+  in
+  for l = 1 to layers - 1 do
+    for i = 0 to width - 1 do
+      add (node (l - 1) (Prelude.Rng.int rng width)) (node l i);
+      for _ = 2 to fanout do
+        add (node (l - 1) (Prelude.Rng.int rng width)) (node l i)
+      done
+    done
+  done;
+  let graph = Dag.Graph.Builder.build b in
+  Trace.create ~name:(Printf.sprintf "unit-layers-w%d-l%d" width layers) ~graph
+    ~kind:(all_tasks n) ~shape:(Array.make n Trace.Unit)
+    ~initial:(Array.init width (fun i -> i))
+    ~edge_changed:(all_changed (Dag.Graph.edge_count graph))

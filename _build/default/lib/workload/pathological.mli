@@ -1,0 +1,41 @@
+(** Adversarial instances from the paper's analysis.
+
+    - {!tight_example}: the Theorem 9 / Figure 2 construction on which
+      LevelBased is Θ(L²) while the optimal schedule is Θ(L).
+    - {!deep_chain}: a fully-active path; drives the quadratic
+      active-queue rescanning of the LogicBlox scheduler while
+      LevelBased stays linear.
+    - {!interval_blowup}: dense random bipartite layers whose ancestor
+      sets fragment into Θ(width) intervals per node — the O(V²)
+      interval-list memory worst case, and the expensive-scan instance
+      behind the hybrid scheduler's "rescue" anecdote of Section VI.
+    - {!unit_layers}: unit tasks in uniform layers; the workload for
+      checking the Lemma 3 bound (makespan <= w/P + L). *)
+
+val tight_example : levels:int -> Trace.t
+(** Chain j_1 -> ... -> j_L of unit tasks; each j_{i-1} also releases a
+    sequential task k_i with work = span = L - i + 1. All edges
+    propagate changes; j_1 is initially dirty. Requires [levels >= 2]. *)
+
+val deep_chain : n:int -> Trace.t
+(** A path of [n] unit tasks, all activated from the single source.
+    Note that the active queue stays tiny here (activation is revealed
+    one hop at a time), so this stresses depth, not queue scanning. *)
+
+val broom : spine:int -> fan:int -> Trace.t
+(** The LogicBlox-killer of the Section VI anecdote: a spine of [spine]
+    chained unit tasks whose head also fans out to [fan] tasks, each of
+    which additionally depends on the spine's tail. The fan is activated
+    immediately but stays blocked until the whole spine has run, so the
+    scheduler's active queue holds [fan] unready tasks through [spine]
+    completions — Theta(spine * fan) wasted ancestor queries for any
+    scan-based scheduler, O(spine + fan) for LevelBased. *)
+
+val interval_blowup : width:int -> layers:int -> density:float -> seed:int -> Trace.t
+(** [layers] ranks of [width] nodes; each consecutive pair is connected
+    by a random bipartite graph of the given [density] (plus a spanning
+    parent to pin levels). All edges propagate; the whole first layer is
+    initially dirty. Unit tasks. *)
+
+val unit_layers : width:int -> layers:int -> fanout:int -> seed:int -> Trace.t
+(** Uniform layered DAG of unit tasks, everything active. *)

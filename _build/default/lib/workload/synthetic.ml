@@ -1,0 +1,334 @@
+type params = {
+  nodes : int;
+  edges : int;
+  levels : int;
+  initial : int;
+  active_jobs : int;
+  descendants : int option;
+  task_fraction : float;
+  seed : int;
+}
+
+let default_duration rng _u =
+  Trace.Seq (Prelude.Rng.lognormal rng ~mu:0.0 ~sigma:1.2)
+
+(* Layer sizes: every layer >= 1; layer 0 >= initial; sum = nodes. *)
+let layer_sizes rng p =
+  if p.levels < 1 || p.nodes < p.levels then
+    invalid_arg "Synthetic: need nodes >= levels >= 1";
+  if p.initial < 1 || p.initial > p.nodes - p.levels + 1 then
+    invalid_arg "Synthetic: infeasible initial count";
+  let sizes = Array.make p.levels 1 in
+  sizes.(0) <- max 1 p.initial;
+  let remaining = p.nodes - p.levels - (sizes.(0) - 1) in
+  if remaining < 0 then invalid_arg "Synthetic: infeasible initial count";
+  for _ = 1 to remaining do
+    let l = Prelude.Rng.int rng p.levels in
+    sizes.(l) <- sizes.(l) + 1
+  done;
+  sizes
+
+let generate ?(duration = default_duration) ~name p =
+  let rng = Prelude.Rng.create p.seed in
+  let sizes = layer_sizes rng p in
+  let layer_start = Array.make (p.levels + 1) 0 in
+  for l = 0 to p.levels - 1 do
+    layer_start.(l + 1) <- layer_start.(l) + sizes.(l)
+  done;
+  let layer_of = Array.make p.nodes 0 in
+  for l = 0 to p.levels - 1 do
+    for u = layer_start.(l) to layer_start.(l + 1) - 1 do
+      layer_of.(u) <- l
+    done
+  done;
+  let tree_edges = p.nodes - sizes.(0) in
+  if p.edges < tree_edges then
+    invalid_arg
+      (Printf.sprintf "Synthetic: need >= %d edges to realize the levels" tree_edges);
+  let b = Dag.Graph.Builder.create ~nodes:p.nodes () in
+  let seen = Hashtbl.create (2 * p.edges) in
+  let add_edge u v =
+    if Hashtbl.mem seen (u, v) then false
+    else begin
+      Hashtbl.add seen (u, v) ();
+      ignore (Dag.Graph.Builder.add_edge b u v);
+      true
+    end
+  in
+  (* Pick a parent on layer [l-1] for a node at index [i] of a layer of
+     [cur] nodes, biased towards the aligned position: production
+     Datalog DAGs are locally banded (rule outputs feed nearby rules),
+     which keeps ancestor sets contiguous and interval lists compact —
+     the "usually compact" regime of Section II-C. *)
+  let local_parent rng ~l ~i ~cur ~band =
+    let prev = sizes.(l - 1) in
+    let aligned = i * prev / max cur 1 in
+    let jitter = Prelude.Rng.int rng ((2 * band) + 1) - band in
+    let idx = max 0 (min (prev - 1) (aligned + jitter)) in
+    layer_start.(l - 1) + idx
+  in
+  (* spanning parents pin every node to its layer as its level *)
+  let tree_parent = Array.make p.nodes (-1) in
+  for u = layer_start.(1) to p.nodes - 1 do
+    let l = layer_of.(u) in
+    let i = u - layer_start.(l) in
+    let band = max 4 (sizes.(l - 1) / 24) in
+    let parent = local_parent rng ~l ~i ~cur:sizes.(l) ~band in
+    tree_parent.(u) <- parent;
+    ignore (add_edge parent u)
+  done;
+  (* Extra edges: predominantly shortcuts to tree ancestors — these add
+     dependencies without adding reachability, which is what keeps
+     production interval lists compact ("usually, but not always,
+     compact", Section II-C) — plus a minority of genuine cross edges
+     banded near the target. *)
+  let tree_ancestor rng v =
+    let rec up u steps =
+      if steps = 0 || tree_parent.(u) < 0 then u else up tree_parent.(u) (steps - 1)
+    in
+    let hops = 2 + Prelude.Rng.int rng 6 in
+    up tree_parent.(v) hops
+  in
+  let extra = p.edges - tree_edges in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = (50 * extra) + 1000 in
+  while !added < extra && !attempts < max_attempts do
+    incr attempts;
+    let v = layer_start.(1) + Prelude.Rng.int rng (p.nodes - layer_start.(1)) in
+    let u =
+      if Prelude.Rng.bernoulli rng 0.95 then tree_ancestor rng v
+      else begin
+        let lv = layer_of.(v) in
+        let i = v - layer_start.(lv) in
+        (* widen the band as collisions accumulate so placement terminates *)
+        let band = max 8 (sizes.(lv - 1) / 12) + (!attempts / max 1 extra * 8) in
+        local_parent rng ~l:lv ~i ~cur:sizes.(lv) ~band
+      end
+    in
+    if u <> v && add_edge u v then incr added
+  done;
+  if !added < extra then
+    invalid_arg "Synthetic: could not place the requested number of edges";
+  let graph = Dag.Graph.Builder.build b in
+  let m = Dag.Graph.edge_count graph in
+  (* fixed per-edge uniforms make the closure size monotone in the threshold *)
+  let coin = Array.init m (fun _ -> Prelude.Rng.float rng) in
+  let reachable_from initial =
+    Prelude.Bitset.cardinal (Dag.Reach.descendants_of_set graph initial)
+  in
+  let initial = Array.init p.initial (fun i -> i) in
+  let source_cones () =
+    Array.init sizes.(0) (fun s -> (Dag.Reach.count_descendants graph s, s))
+  in
+  (* Choose which sources get dirtied. With a descendant-count target
+     (Figure 1 publishes one for trace #1), pick sources whose cones are
+     each near target/k; otherwise, if the default sources cannot even
+     reach the activation target, pick the largest cones. Both need a
+     small source layer to be affordable. *)
+  let initial =
+    if p.initial > 1024 || sizes.(0) > 4096 then initial
+    else begin
+      match p.descendants with
+      | Some d ->
+        (* cones overlap, so the union falls short of the sum; try a few
+           per-source inflation factors and keep the closest union *)
+        let cones = source_cones () in
+        let selection mult =
+          let per = max 1 (d * mult / (10 * max 1 p.initial)) in
+          let scored = Array.copy cones in
+          Array.sort
+            (fun (a, _) (b, _) -> compare (abs (a - per)) (abs (b - per)))
+            scored;
+          let chosen = Array.map snd (Array.sub scored 0 p.initial) in
+          Array.sort compare chosen;
+          chosen
+        in
+        let best = ref (selection 10) in
+        let best_err = ref (abs (reachable_from !best - d)) in
+        List.iter
+          (fun mult ->
+            let c = selection mult in
+            let err = abs (reachable_from c - d) in
+            if err < !best_err then begin
+              best := c;
+              best_err := err
+            end)
+          [ 11; 12; 13; 14; 16 ];
+        !best
+      | None ->
+        if reachable_from initial >= p.active_jobs then initial
+        else begin
+          let cones = source_cones () in
+          Array.sort (fun (a, _) (b, _) -> compare b a) cones;
+          let chosen = Array.map snd (Array.sub cones 0 p.initial) in
+          Array.sort compare chosen;
+          chosen
+        end
+    end
+  in
+  let closure_size threshold =
+    let w = Prelude.Bitset.create p.nodes in
+    let queue = Queue.create () in
+    Array.iter
+      (fun s ->
+        Prelude.Bitset.add w s;
+        Queue.add s queue)
+      initial;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Dag.Graph.iter_succ graph u (fun ~dst ~eid ->
+          if coin.(eid) < threshold && not (Prelude.Bitset.mem w dst) then begin
+            Prelude.Bitset.add w dst;
+            Queue.add dst queue
+          end)
+    done;
+    Prelude.Bitset.cardinal w - p.initial
+  in
+  let target = p.active_jobs in
+  (* Stop the coarse threshold well below the target: near the
+     percolation threshold individual edges gate huge cones, so the
+     greedy edge-by-edge phase needs headroom to stay fine-grained. *)
+  let coarse_target = max 1 (target / 3) in
+  let lo = ref 0.0 and hi = ref 1.0 in
+  for _ = 1 to 40 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if closure_size mid < coarse_target then lo := mid else hi := mid
+  done;
+  (* The percolation threshold is chunky (one hub edge can gate a huge
+     cone), so refine from the under-shooting endpoint by enabling
+     individual edges in coin order, preferring edges whose downstream
+     cone does not badly overshoot the target. *)
+  let edge_changed = Array.init m (fun e -> coin.(e) < !lo) in
+  let w = Prelude.Bitset.create p.nodes in
+  let queue = Queue.create () in
+  let grow_from u =
+    if not (Prelude.Bitset.mem w u) then begin
+      Prelude.Bitset.add w u;
+      Queue.add u queue;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        Dag.Graph.iter_succ graph x (fun ~dst ~eid ->
+            if edge_changed.(eid) && not (Prelude.Bitset.mem w dst) then begin
+              Prelude.Bitset.add w dst;
+              Queue.add dst queue
+            end)
+      done
+    end
+  in
+  Array.iter grow_from initial;
+  let active () = Prelude.Bitset.cardinal w - p.initial in
+  let candidates =
+    let c = Array.init m Fun.id in
+    Array.sort (fun a b -> compare coin.(a) coin.(b)) c;
+    Array.to_list c |> List.filter (fun e -> coin.(e) >= !lo)
+  in
+  let cone_size ~limit e =
+    (* downstream cone the edge would add, without committing; the BFS
+       stops past [limit] since any larger cone is rejected anyway *)
+    if (not (Prelude.Bitset.mem w (Dag.Graph.edge_src graph e)))
+       || Prelude.Bitset.mem w (Dag.Graph.edge_dst graph e)
+    then 0
+    else begin
+      let seen = Hashtbl.create 64 in
+      let q = Queue.create () in
+      Hashtbl.replace seen (Dag.Graph.edge_dst graph e) ();
+      Queue.add (Dag.Graph.edge_dst graph e) q;
+      while (not (Queue.is_empty q)) && Hashtbl.length seen <= limit do
+        let x = Queue.pop q in
+        Dag.Graph.iter_succ graph x (fun ~dst ~eid ->
+            if
+              edge_changed.(eid)
+              && (not (Prelude.Bitset.mem w dst))
+              && not (Hashtbl.mem seen dst)
+            then begin
+              Hashtbl.replace seen dst ();
+              Queue.add dst q
+            end)
+      done;
+      Hashtbl.length seen
+    end
+  in
+  let enable e =
+    edge_changed.(e) <- true;
+    if
+      Prelude.Bitset.mem w (Dag.Graph.edge_src graph e)
+      && not (Prelude.Bitset.mem w (Dag.Graph.edge_dst graph e))
+    then grow_from (Dag.Graph.edge_dst graph e)
+  in
+  let refine () =
+    List.iter
+      (fun e ->
+        let remaining = target - active () in
+        if remaining > 0 && not edge_changed.(e) then begin
+          let cone = cone_size ~limit:(max 1 remaining) e in
+          if cone > 0 && cone <= max 1 remaining then enable e
+        end)
+      candidates
+  in
+  (* When only cones bigger than the deficit remain, take the smallest
+     available one (sampled, bounded BFS) and resume: overshoot is then
+     bounded by the graph's granularity rather than by its total reach. *)
+  let smallest_jump () =
+    let remaining = target - active () in
+    let limit = max (4 * remaining) 1024 in
+    let best = ref None in
+    let sampled = ref 0 in
+    List.iter
+      (fun e ->
+        if !sampled < 3000 && not edge_changed.(e) then begin
+          let cone = cone_size ~limit e in
+          if cone > 0 then begin
+            incr sampled;
+            match !best with
+            | Some (bc, _) when bc <= cone -> ()
+            | Some _ | None -> best := Some (cone, e)
+          end
+        end)
+      candidates;
+    Option.map snd !best
+  in
+  refine ();
+  let rounds = ref 0 in
+  while active () < target && !rounds < 64 do
+    incr rounds;
+    (match smallest_jump () with
+    | Some e -> enable e
+    | None -> rounds := 64);
+    refine ()
+  done;
+  (* exactly [task_fraction * nodes] activatable tasks, dirty sources
+     always among them *)
+  let kind = Array.make p.nodes Trace.Predicate in
+  Array.iter (fun u -> kind.(u) <- Trace.Task) initial;
+  let task_target =
+    max (Array.length initial)
+      (int_of_float (Float.round (p.task_fraction *. float_of_int p.nodes)))
+  in
+  let order = Array.init p.nodes Fun.id in
+  Prelude.Rng.shuffle rng order;
+  let assigned = ref (Array.length initial) in
+  Array.iter
+    (fun u ->
+      if !assigned < task_target && kind.(u) = Trace.Predicate then begin
+        kind.(u) <- Trace.Task;
+        incr assigned
+      end)
+    order;
+  let shape =
+    Array.init p.nodes (fun u ->
+        match kind.(u) with
+        | Trace.Predicate -> Trace.Seq 0.0
+        | Trace.Task -> duration rng u)
+  in
+  Trace.create ~name ~graph ~kind ~shape ~initial ~edge_changed
+
+let scale_shapes (t : Trace.t) ~factor =
+  let scale = function
+    | Trace.Unit -> Trace.Seq factor
+    | Trace.Seq w -> Trace.Seq (w *. factor)
+    | Trace.Par w -> Trace.Par (w *. factor)
+    | Trace.Stages { width; length; chip } ->
+      Trace.Stages { width; length; chip = chip *. factor }
+  in
+  { t with shape = Array.map scale t.shape }

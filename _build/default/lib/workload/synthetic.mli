@@ -1,0 +1,43 @@
+(** Layered random DAG generator, calibrated to structural targets.
+
+    Generates traces matching exact node/edge/level/initial counts and
+    an approximate active-set size, which is how the proprietary
+    LogicBlox production traces of Table I are reconstructed (see
+    DESIGN.md, substitution table). The construction places every
+    non-source node at its level by giving it at least one parent on the
+    previous layer; extra edges go to random lower layers. Per-edge
+    change flags are thresholded against fixed per-edge uniforms, and
+    the threshold is binary-searched so the activation closure hits the
+    requested active-job count as closely as possible (the closure size
+    is monotone in the threshold). *)
+
+type params = {
+  nodes : int;
+  edges : int;  (** must be >= nodes - (size of layer 0) *)
+  levels : int;
+  initial : int;  (** number of initially-dirty sources *)
+  active_jobs : int;  (** target |W| - initial (best effort) *)
+  descendants : int option;
+      (** optional target for the number of descendants of the dirty
+          sources (Figure 1 reports this for trace #1); steers which
+          sources get dirtied. Requires a source layer of <= 4096 nodes
+          to take effect. *)
+  task_fraction : float;
+      (** fraction of nodes that are activatable tasks; realized as an
+          exact count (dirty sources are always tasks) *)
+  seed : int;
+}
+
+val generate :
+  ?duration:(Prelude.Rng.t -> int -> Trace.shape) ->
+  name:string ->
+  params ->
+  Trace.t
+(** [duration rng u] draws the shape of task node [u]; default samples
+    [Seq] durations from a lognormal with unit scale. Predicate nodes
+    always get [Seq 0.]. @raise Invalid_argument on infeasible params
+    (e.g. more levels than nodes, or too few edges to realize them). *)
+
+val scale_shapes : Trace.t -> factor:float -> Trace.t
+(** Multiply every duration by [factor] — used to calibrate a trace's
+    total active work against a published makespan. *)

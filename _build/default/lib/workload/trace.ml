@@ -1,0 +1,135 @@
+type node_kind = Task | Predicate
+
+type shape =
+  | Unit
+  | Seq of float
+  | Par of float
+  | Stages of { width : int; length : int; chip : float }
+
+let shape_work = function
+  | Unit -> 1.0
+  | Seq w -> w
+  | Par w -> w
+  | Stages { width; length; chip } -> float_of_int (width * length) *. chip
+
+let shape_span = function
+  | Unit -> 1.0
+  | Seq w -> w
+  | Par w -> if w <= 0.0 then 0.0 else 1.0
+  | Stages { length; chip; _ } -> float_of_int length *. chip
+
+type t = {
+  name : string;
+  graph : Dag.Graph.t;
+  kind : node_kind array;
+  shape : shape array;
+  initial : int array;
+  edge_changed : bool array;
+}
+
+let validate_shape = function
+  | Unit -> ()
+  | Seq w | Par w ->
+    if w < 0.0 || not (Float.is_finite w) then invalid_arg "Trace: negative work"
+  | Stages { width; length; chip } ->
+    if width < 1 || length < 1 || chip < 0.0 || not (Float.is_finite chip) then
+      invalid_arg "Trace: bad stages shape"
+
+let create ~name ~graph ~kind ~shape ~initial ~edge_changed =
+  let n = Dag.Graph.node_count graph in
+  let m = Dag.Graph.edge_count graph in
+  if Array.length kind <> n then invalid_arg "Trace.create: kind length";
+  if Array.length shape <> n then invalid_arg "Trace.create: shape length";
+  if Array.length edge_changed <> m then invalid_arg "Trace.create: edge_changed length";
+  if not (Dag.Topo.is_dag graph) then invalid_arg "Trace.create: graph has a cycle";
+  Array.iter validate_shape shape;
+  let prev = ref (-1) in
+  Array.iter
+    (fun u ->
+      if u < 0 || u >= n then invalid_arg "Trace.create: initial out of range";
+      if u <= !prev then invalid_arg "Trace.create: initial not sorted/distinct";
+      prev := u)
+    initial;
+  { name; graph; kind; shape; initial; edge_changed }
+
+let active_set t =
+  let n = Dag.Graph.node_count t.graph in
+  let w = Prelude.Bitset.create n in
+  let queue = Queue.create () in
+  Array.iter
+    (fun s ->
+      Prelude.Bitset.add w s;
+      Queue.add s queue)
+    t.initial;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Dag.Graph.iter_succ t.graph u (fun ~dst ~eid ->
+        if t.edge_changed.(eid) && not (Prelude.Bitset.mem w dst) then begin
+          Prelude.Bitset.add w dst;
+          Queue.add dst queue
+        end)
+  done;
+  w
+
+let work t u =
+  match t.kind.(u) with Predicate -> 0.0 | Task -> shape_work t.shape.(u)
+
+let total_active_work t =
+  let w = active_set t in
+  let total = ref 0.0 in
+  Prelude.Bitset.iter (fun u -> total := !total +. work t u) w;
+  !total
+
+type stats = {
+  nodes : int;
+  edges : int;
+  initial_tasks : int;
+  active_jobs : int;
+  levels : int;
+  activatable : int;
+  active_work : float;
+}
+
+let levels t = Dag.Levels.compute t.graph
+
+let stats t =
+  let w = active_set t in
+  let active_work = ref 0.0 in
+  Prelude.Bitset.iter (fun u -> active_work := !active_work +. work t u) w;
+  let activatable =
+    Array.fold_left (fun acc k -> match k with Task -> acc + 1 | Predicate -> acc) 0 t.kind
+  in
+  {
+    nodes = Dag.Graph.node_count t.graph;
+    edges = Dag.Graph.edge_count t.graph;
+    initial_tasks = Array.length t.initial;
+    active_jobs = Prelude.Bitset.cardinal w - Array.length t.initial;
+    levels = Dag.Levels.count (levels t);
+    activatable;
+    active_work = !active_work;
+  }
+
+let active_critical_path t =
+  let w = active_set t in
+  let order = Dag.Topo.sort_exn t.graph in
+  let n = Dag.Graph.node_count t.graph in
+  let best = Array.make n 0.0 in
+  let answer = ref 0.0 in
+  for i = n - 1 downto 0 do
+    let u = order.(i) in
+    if Prelude.Bitset.mem w u then begin
+      let deepest = ref 0.0 in
+      Dag.Graph.iter_succ t.graph u (fun ~dst ~eid ->
+          if t.edge_changed.(eid) && Prelude.Bitset.mem w dst && best.(dst) > !deepest
+          then deepest := best.(dst));
+      best.(u) <- work t u +. !deepest;
+      if best.(u) > !answer then answer := best.(u)
+    end
+  done;
+  !answer
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "nodes=%d edges=%d initial=%d active_jobs=%d levels=%d activatable=%d work=%.3f"
+    s.nodes s.edges s.initial_tasks s.active_jobs s.levels s.activatable
+    s.active_work

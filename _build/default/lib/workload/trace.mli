@@ -1,0 +1,78 @@
+(** Job traces: the unit of evaluation input (paper, Section VI-A).
+
+    A trace packages the computation DAG [G], per-node task shapes
+    (processing time and internal parallelism), the initially dirtied
+    nodes, and the change oracle: for every edge, whether the source's
+    re-execution sends a changed output across it. The active graph
+    [H = (W, F)] of the paper is derived data ({!active_set}): [W] is
+    the closure of the initial set under changed edges.
+
+    Nodes are either activatable tasks or zero-cost predicate plumbing
+    (Figure 1 distinguishes the two). *)
+
+type node_kind = Task | Predicate
+
+(** Internal structure of one task, in the DAG-of-subtasks model of
+    Section IV. *)
+type shape =
+  | Unit  (** one unit-duration chip *)
+  | Seq of float  (** sequential: work = span = duration *)
+  | Par of float  (** fully parallelizable: [ceil work] unit chips *)
+  | Stages of { width : int; length : int; chip : float }
+      (** [length] sequential stages of [width] parallel chips each:
+          work = width*length*chip, span = length*chip *)
+
+val shape_work : shape -> float
+
+val shape_span : shape -> float
+
+type t = {
+  name : string;
+  graph : Dag.Graph.t;
+  kind : node_kind array;
+  shape : shape array;
+  initial : int array;  (** initially-dirty nodes, sorted, distinct *)
+  edge_changed : bool array;  (** indexed by edge id *)
+}
+
+val create :
+  name:string ->
+  graph:Dag.Graph.t ->
+  kind:node_kind array ->
+  shape:shape array ->
+  initial:int array ->
+  edge_changed:bool array ->
+  t
+(** Validates: graph acyclic, array lengths, initial ids sorted/distinct
+    and in range. @raise Invalid_argument otherwise. *)
+
+val active_set : t -> Prelude.Bitset.t
+(** The active set [W]: closure of [initial] under changed edges. *)
+
+val work : t -> int -> float
+(** Work of one node ([0] for predicate nodes regardless of shape). *)
+
+val total_active_work : t -> float
+(** The paper's [w]: total work over the active set. *)
+
+type stats = {
+  nodes : int;
+  edges : int;
+  initial_tasks : int;
+  active_jobs : int;  (** activated descendants, i.e. |W| - |initial| *)
+  levels : int;  (** the paper's [L] = number of levels of [G] *)
+  activatable : int;  (** nodes of kind [Task] *)
+  active_work : float;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val levels : t -> int array
+(** Levels of [graph] (computed fresh; callers cache). *)
+
+val active_critical_path : t -> float
+(** Maximum total work along any path of the active graph [H] — a lower
+    bound on any schedule's makespan, used to calibrate reconstructed
+    traces against published makespans. *)

@@ -1,0 +1,155 @@
+let write_shape oc = function
+  | Trace.Unit -> output_string oc "unit"
+  | Trace.Seq w -> Printf.fprintf oc "seq %.17g" w
+  | Trace.Par w -> Printf.fprintf oc "par %.17g" w
+  | Trace.Stages { width; length; chip } ->
+    Printf.fprintf oc "stages %d %d %.17g" width length chip
+
+let write oc (t : Trace.t) =
+  Printf.fprintf oc "trace %s\n" t.name;
+  Printf.fprintf oc "nodes %d\n" (Dag.Graph.node_count t.graph);
+  Array.iteri
+    (fun u k ->
+      match (k, t.shape.(u)) with
+      | Trace.Task, Trace.Unit -> ()
+      | _ ->
+        Printf.fprintf oc "node %d %c " u (match k with Trace.Task -> 'T' | Trace.Predicate -> 'P');
+        write_shape oc t.shape.(u);
+        output_char oc '\n')
+    t.kind;
+  Dag.Graph.iter_edges t.graph (fun ~src ~dst ~eid ->
+      Printf.fprintf oc "edge %d %d %d\n" src dst
+        (if t.edge_changed.(eid) then 1 else 0));
+  if Array.length t.initial > 0 then begin
+    output_string oc "initial";
+    Array.iter (fun u -> Printf.fprintf oc " %d" u) t.initial;
+    output_char oc '\n'
+  end
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc t)
+
+type parse_state = {
+  mutable name : string;
+  mutable nodes : int;
+  node_lines : (int * Trace.node_kind * Trace.shape) Prelude.Vec.t;
+  edges : (int * int) Prelude.Vec.t;
+  changed : bool Prelude.Vec.t;
+  initial : int Prelude.Vec.t;
+}
+
+let fail lineno fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "trace parse: line %d: %s" lineno s)) fmt
+
+let parse_shape lineno = function
+  | [ "unit" ] -> Trace.Unit
+  | [ "seq"; w ] -> (
+    match float_of_string_opt w with
+    | Some w -> Trace.Seq w
+    | None -> fail lineno "bad seq work %S" w)
+  | [ "par"; w ] -> (
+    match float_of_string_opt w with
+    | Some w -> Trace.Par w
+    | None -> fail lineno "bad par work %S" w)
+  | [ "stages"; a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, float_of_string_opt c) with
+    | Some width, Some length, Some chip -> Trace.Stages { width; length; chip }
+    | _ -> fail lineno "bad stages spec")
+  | toks -> fail lineno "bad shape %S" (String.concat " " toks)
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let parse_line st lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_ws line with
+  | [] -> ()
+  | "trace" :: rest -> st.name <- String.concat " " rest
+  | [ "nodes"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> st.nodes <- n
+    | _ -> fail lineno "bad node count %S" n)
+  | "node" :: id :: kind :: shape_toks -> (
+    match (int_of_string_opt id, kind) with
+    | Some id, "T" -> Prelude.Vec.push st.node_lines (id, Trace.Task, parse_shape lineno shape_toks)
+    | Some id, "P" ->
+      Prelude.Vec.push st.node_lines (id, Trace.Predicate, parse_shape lineno shape_toks)
+    | _ -> fail lineno "bad node line")
+  | [ "edge"; u; v; c ] -> (
+    match (int_of_string_opt u, int_of_string_opt v, c) with
+    | Some u, Some v, "0" ->
+      Prelude.Vec.push st.edges (u, v);
+      Prelude.Vec.push st.changed false
+    | Some u, Some v, "1" ->
+      Prelude.Vec.push st.edges (u, v);
+      Prelude.Vec.push st.changed true
+    | _ -> fail lineno "bad edge line")
+  | "initial" :: ids ->
+    List.iter
+      (fun s ->
+        match int_of_string_opt s with
+        | Some u -> Prelude.Vec.push st.initial u
+        | None -> fail lineno "bad initial id %S" s)
+      ids
+  | tok :: _ -> fail lineno "unknown record %S" tok
+
+let finish st =
+  if st.nodes < 0 then failwith "trace parse: missing 'nodes' record";
+  let kind = Array.make st.nodes Trace.Task in
+  let shape = Array.make st.nodes Trace.Unit in
+  Prelude.Vec.iter
+    (fun (id, k, s) ->
+      if id < 0 || id >= st.nodes then
+        failwith (Printf.sprintf "trace parse: node id %d out of range" id);
+      kind.(id) <- k;
+      shape.(id) <- s)
+    st.node_lines;
+  let graph = Dag.Graph.of_edges ~nodes:st.nodes (Prelude.Vec.to_array st.edges) in
+  let initial = Prelude.Vec.to_array st.initial in
+  Array.sort compare initial;
+  Trace.create ~name:st.name ~graph ~kind ~shape ~initial
+    ~edge_changed:(Prelude.Vec.to_array st.changed)
+
+let read ?name ic =
+  let st =
+    {
+      name = Option.value name ~default:"unnamed";
+      nodes = -1;
+      node_lines = Prelude.Vec.create ~dummy:(0, Trace.Task, Trace.Unit) ();
+      edges = Prelude.Vec.create ~dummy:(0, 0) ();
+      changed = Prelude.Vec.create ~dummy:false ();
+      initial = Prelude.Vec.create ~dummy:0 ();
+    }
+  in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       parse_line st !lineno line
+     done
+   with End_of_file -> ());
+  finish st
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ~name:(Filename.basename path) ic)
+
+let of_string ?name s =
+  let st =
+    {
+      name = Option.value name ~default:"unnamed";
+      nodes = -1;
+      node_lines = Prelude.Vec.create ~dummy:(0, Trace.Task, Trace.Unit) ();
+      edges = Prelude.Vec.create ~dummy:(0, 0) ();
+      changed = Prelude.Vec.create ~dummy:false ();
+      initial = Prelude.Vec.create ~dummy:0 ();
+    }
+  in
+  List.iteri (fun i line -> parse_line st (i + 1) line) (String.split_on_char '\n' s);
+  finish st

@@ -1,0 +1,23 @@
+(** Plain-text trace serialization.
+
+    Format (one record per line, ['#'] comments, blank lines ignored):
+    {v
+    trace <name>
+    nodes <n>
+    node <id> <T|P> (unit | seq <w> | par <w> | stages <width> <length> <chip>)
+    edge <src> <dst> <0|1>       # 1 = output change propagates
+    initial <id> <id> ...        # may repeat
+    v}
+    [node] lines may be omitted for task nodes of shape [unit].
+    Edge ids are assigned in file order. *)
+
+val write : out_channel -> Trace.t -> unit
+
+val to_file : string -> Trace.t -> unit
+
+val read : ?name:string -> in_channel -> Trace.t
+(** @raise Failure with a line number on malformed input. *)
+
+val of_file : string -> Trace.t
+
+val of_string : ?name:string -> string -> Trace.t

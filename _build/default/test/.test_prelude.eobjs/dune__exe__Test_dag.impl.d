@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Format Gen List Prelude Printf QCheck QCheck_alcotest String

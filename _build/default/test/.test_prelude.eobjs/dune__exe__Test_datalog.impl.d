@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Buffer Dag Datalog Format Hashtbl List Option Prelude Printf QCheck QCheck_alcotest Scanf Sched Simulator String Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dag Datalog Filename Incr_sched List Sched Simulator Sys Workload

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Dag List Parallel Printf Sched Simulator String Workload

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Fun Gen List Prelude QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Dag Format List Option Printf QCheck QCheck_alcotest Sched Simulator String Workload

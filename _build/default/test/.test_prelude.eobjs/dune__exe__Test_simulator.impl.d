@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Array Dag Filename Float Format List Option Prelude QCheck QCheck_alcotest Result Sched Simulator String Sys Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Buffer Dag Filename Float List Prelude Printf QCheck QCheck_alcotest String Sys Workload

@@ -1,0 +1,118 @@
+(* End-to-end tests of the dms command-line driver: each subcommand is
+   run as a real subprocess against the built binary. *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_bool = Alcotest.(check bool)
+
+(* resolve the built binary relative to this test executable, so the
+   suite works both under `dune runtest` and `dune exec` *)
+let dms =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/dms.exe"
+
+let run_capture args =
+  let cmd = Filename.quote_command dms args in
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec find i = i + nl <= hl && (String.sub haystack i nl = needle || find (i + 1)) in
+  find 0
+
+let expect_ok args needles =
+  let status, out = run_capture args in
+  check_bool (String.concat " " args ^ " exits 0") true (status = Unix.WEXITED 0);
+  List.iter
+    (fun needle ->
+      if not (contains out needle) then
+        Alcotest.failf "output of %s lacks %S:\n%s" (String.concat " " args) needle out)
+    needles
+
+let info_paper () = expect_ok [ "info"; "paper:5" ] [ "nodes=1719"; "levels=39" ]
+
+let info_tight () = expect_ok [ "info"; "tight:10" ] [ "nodes=19" ]
+
+let run_scheduler () =
+  expect_ok [ "run"; "tight:12"; "-s"; "levelbased"; "--validate" ]
+    [ "LevelBased"; "makespan" ]
+
+let compare_schedulers () =
+  expect_ok [ "compare"; "chain:50"; "-p"; "2" ]
+    [ "LevelBased"; "LogicBlox"; "Hybrid"; "Clairvoyant" ]
+
+let gen_and_reload () =
+  let tmp = Filename.temp_file "cli" ".trace" in
+  expect_ok
+    [ "gen"; "--nodes"; "500"; "--edges"; "900"; "--levels"; "12"; "--initial"; "4";
+      "--active"; "60"; "-o"; tmp ]
+    [ "wrote"; "nodes=500" ];
+  expect_ok [ "info"; tmp ] [ "nodes=500"; "edges=900" ];
+  expect_ok [ "run"; tmp; "-s"; "hybrid"; "--validate" ] [ "makespan" ];
+  Sys.remove tmp
+
+let dot_export () =
+  let tmp = Filename.temp_file "cli" ".dot" in
+  expect_ok [ "dot"; "tight:6"; "-o"; tmp ] [ "wrote" ];
+  let ic = open_in tmp in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove tmp;
+  check_bool "dot header" true (contains first "digraph")
+
+let schedule_export () =
+  let tmp = Filename.temp_file "cli" ".json" in
+  expect_ok [ "schedule"; "tight:8"; "-s"; "hybrid"; "-o"; tmp ] [ "schedule written" ];
+  let ic = open_in tmp in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove tmp;
+  check_bool "json array" true (String.length first > 0 && first.[0] = '[')
+
+let datalog_session () =
+  let tmp = Filename.temp_file "cli" ".dl" in
+  let oc = open_out tmp in
+  output_string oc
+    {|edge("a","b"). edge("b","c").
+      path(X,Y) :- edge(X,Y).
+      path(X,Z) :- path(X,Y), edge(Y,Z).
+      reach(X, cnt(Y)) :- path(X, Y).|};
+  close_out oc;
+  expect_ok
+    [ "datalog"; tmp; "-q"; "reach"; "--add"; {|edge("c","d")|} ]
+    [ "materialized"; "update changed"; {|reach("a", 3)|} ];
+  Sys.remove tmp
+
+let unknown_scheduler_fails () =
+  let status, out = run_capture [ "run"; "tight:5"; "-s"; "bogus" ] in
+  check_bool "nonzero exit" true (status <> Unix.WEXITED 0);
+  check_bool "mentions the name" true (contains out "bogus")
+
+let bad_trace_fails () =
+  let status, _ = run_capture [ "info"; "paper:99" ] in
+  check_bool "nonzero exit" true (status <> Unix.WEXITED 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "dms",
+        [
+          test `Quick "info on a paper trace" info_paper;
+          test `Quick "info on a pathological trace" info_tight;
+          test `Quick "run with validation" run_scheduler;
+          test `Quick "compare with clairvoyant" compare_schedulers;
+          test `Quick "gen / info / run round trip" gen_and_reload;
+          test `Quick "dot export" dot_export;
+          test `Quick "chrome trace export" schedule_export;
+          test `Quick "datalog session with aggregate" datalog_session;
+          test `Quick "unknown scheduler fails" unknown_scheduler_fails;
+          test `Quick "bad trace spec fails" bad_trace_fails;
+        ] );
+    ]

@@ -1,0 +1,413 @@
+(* Tests for the DAG substrate: structure, topological order, levels,
+   reachability, interval lists, critical paths, SCC condensation. *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* A diamond with a tail:  0 -> 1 -> 3 -> 4,  0 -> 2 -> 3. *)
+let diamond () =
+  Dag.Graph.of_edges ~nodes:5 [| (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) |]
+
+let chain n = Dag.Graph.of_edges ~nodes:n (Array.init (n - 1) (fun i -> (i, i + 1)))
+
+(* Random DAG generator for properties: nodes 0..n-1, edges only i -> j
+   with i < j, so acyclicity holds by construction. *)
+let random_dag_gen =
+  QCheck.Gen.(
+    2 -- 25 >>= fun n ->
+    list_size (0 -- (3 * n)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    >|= fun pairs ->
+    let edges =
+      pairs
+      |> List.filter_map (fun (a, b) ->
+             if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+      |> List.sort_uniq compare
+    in
+    (n, Array.of_list edges))
+
+let random_dag =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+              (Array.to_list edges))))
+    random_dag_gen
+
+(* ---------- Graph ---------- *)
+
+let graph_basic () =
+  let g = diamond () in
+  check_int "nodes" 5 (Dag.Graph.node_count g);
+  check_int "edges" 5 (Dag.Graph.edge_count g);
+  check_int "out 0" 2 (Dag.Graph.out_degree g 0);
+  check_int "in 3" 2 (Dag.Graph.in_degree g 3);
+  Alcotest.(check (array int)) "succ 0" [| 1; 2 |] (Dag.Graph.succ g 0);
+  Alcotest.(check (array int)) "pred 3" [| 1; 2 |] (Dag.Graph.pred g 3);
+  Alcotest.(check (array int)) "sources" [| 0 |] (Dag.Graph.sources g);
+  Alcotest.(check (array int)) "sinks" [| 4 |] (Dag.Graph.sinks g);
+  check_bool "mem_edge" true (Dag.Graph.mem_edge g 0 2);
+  check_bool "mem_edge rev" false (Dag.Graph.mem_edge g 2 0)
+
+let graph_edge_ids () =
+  let g = diamond () in
+  check_int "edge 0 src" 0 (Dag.Graph.edge_src g 0);
+  check_int "edge 0 dst" 1 (Dag.Graph.edge_dst g 0);
+  check_int "edge 4 src" 3 (Dag.Graph.edge_src g 4);
+  check_int "edge 4 dst" 4 (Dag.Graph.edge_dst g 4);
+  let count = ref 0 in
+  Dag.Graph.iter_edges g (fun ~src:_ ~dst:_ ~eid -> count := !count + eid);
+  check_int "edge ids 0..4" 10 !count
+
+let graph_transpose () =
+  let g = diamond () in
+  let t = Dag.Graph.transpose g in
+  Alcotest.(check (array int)) "succ in transpose" [| 1; 2 |] (Dag.Graph.succ t 3);
+  check_int "edge src flipped" 1 (Dag.Graph.edge_src t 0);
+  check_int "edge dst flipped" 0 (Dag.Graph.edge_dst t 0);
+  Alcotest.(check (array int)) "sources of transpose = sinks" [| 4 |]
+    (Dag.Graph.sources t)
+
+let graph_builder_errors () =
+  let b = Dag.Graph.Builder.create ~nodes:2 () in
+  Alcotest.check_raises "bad edge"
+    (Invalid_argument "Graph.Builder.add_edge: (0,2) with 2 nodes") (fun () ->
+      ignore (Dag.Graph.Builder.add_edge b 0 2))
+
+let graph_parallel_edges () =
+  let g = Dag.Graph.of_edges ~nodes:2 [| (0, 1); (0, 1) |] in
+  check_int "parallel kept" 2 (Dag.Graph.edge_count g);
+  check_int "out degree counts both" 2 (Dag.Graph.out_degree g 0)
+
+(* ---------- Topo ---------- *)
+
+let topo_diamond () =
+  let g = diamond () in
+  match Dag.Topo.sort g with
+  | None -> Alcotest.fail "diamond is a DAG"
+  | Some order ->
+    check_bool "valid order" true (Dag.Topo.check_order g order);
+    Alcotest.(check (array int)) "deterministic smallest-first" [| 0; 1; 2; 3; 4 |] order
+
+let topo_cycle () =
+  let g = Dag.Graph.of_edges ~nodes:3 [| (0, 1); (1, 2); (2, 0) |] in
+  check_bool "cycle" false (Dag.Topo.is_dag g);
+  Alcotest.check_raises "sort_exn" (Invalid_argument "Topo.sort_exn: graph has a cycle")
+    (fun () -> ignore (Dag.Topo.sort_exn g))
+
+let topo_self_loop () =
+  let g = Dag.Graph.of_edges ~nodes:2 [| (0, 0); (0, 1) |] in
+  check_bool "self loop is a cycle" false (Dag.Topo.is_dag g)
+
+let topo_check_order_rejects () =
+  let g = diamond () in
+  check_bool "wrong order" false (Dag.Topo.check_order g [| 4; 3; 2; 1; 0 |]);
+  check_bool "not a permutation" false (Dag.Topo.check_order g [| 0; 0; 1; 2; 3 |]);
+  check_bool "wrong length" false (Dag.Topo.check_order g [| 0; 1; 2 |])
+
+let topo_qcheck =
+  QCheck.Test.make ~name:"topo: sort of a random DAG is valid" ~count:300 random_dag
+    (fun (n, edges) ->
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      match Dag.Topo.sort g with
+      | None -> false
+      | Some order -> Dag.Topo.check_order g order)
+
+(* ---------- Levels ---------- *)
+
+let levels_diamond () =
+  let g = diamond () in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 1; 2; 3 |] (Dag.Levels.compute g);
+  check_int "count" 4 (Dag.Levels.count (Dag.Levels.compute g));
+  Alcotest.(check (array int)) "histogram" [| 1; 2; 1; 1 |]
+    (Dag.Levels.histogram (Dag.Levels.compute g))
+
+let levels_longest_path_wins () =
+  let g = Dag.Graph.of_edges ~nodes:3 [| (0, 2); (0, 1); (1, 2) |] in
+  Alcotest.(check (array int)) "levels" [| 0; 1; 2 |] (Dag.Levels.compute g)
+
+let levels_check () =
+  let g = diamond () in
+  check_bool "valid" true (Dag.Levels.check g (Dag.Levels.compute g));
+  check_bool "invalid" false (Dag.Levels.check g [| 0; 1; 1; 2; 2 |])
+
+let levels_agree_qcheck =
+  QCheck.Test.make ~name:"levels: DP equals peeling" ~count:300 random_dag
+    (fun (n, edges) ->
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      Dag.Levels.compute g = Dag.Levels.compute_by_peeling g)
+
+let levels_valid_qcheck =
+  QCheck.Test.make ~name:"levels: computed levels satisfy the invariant" ~count:300
+    random_dag (fun (n, edges) ->
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      Dag.Levels.check g (Dag.Levels.compute g))
+
+(* ---------- Reach ---------- *)
+
+let reach_diamond () =
+  let g = diamond () in
+  Alcotest.(check (list int)) "descendants of 0" [ 1; 2; 3; 4 ]
+    (Prelude.Bitset.to_list (Dag.Reach.descendants g 0));
+  Alcotest.(check (list int)) "ancestors of 3" [ 0; 1; 2 ]
+    (Prelude.Bitset.to_list (Dag.Reach.ancestors g 3));
+  check_bool "is_ancestor" true (Dag.Reach.is_ancestor g ~anc:0 ~desc:4);
+  check_bool "self is not ancestor" false (Dag.Reach.is_ancestor g ~anc:3 ~desc:3);
+  check_int "count" 4 (Dag.Reach.count_descendants g 0)
+
+let reach_bounded () =
+  let g = chain 10 in
+  let levels = Dag.Levels.compute g in
+  let within = Dag.Reach.reachable_within g ~seeds:[| 0 |] ~max_level:4 ~levels in
+  Alcotest.(check (list int)) "bounded" [ 1; 2; 3; 4 ] (Prelude.Bitset.to_list within)
+
+let reach_set () =
+  let g = diamond () in
+  let d = Dag.Reach.descendants_of_set g [| 1; 2 |] in
+  Alcotest.(check (list int)) "set descendants" [ 3; 4 ] (Prelude.Bitset.to_list d)
+
+(* ---------- Interval lists ---------- *)
+
+let ilist_diamond () =
+  let g = diamond () in
+  let il = Dag.Interval_list.build g in
+  for u = 0 to 4 do
+    for v = 0 to 4 do
+      let expected = u = v || Dag.Reach.is_ancestor g ~anc:u ~desc:v in
+      if Dag.Interval_list.is_descendant il ~of_:u v <> expected then
+        Alcotest.failf "wrong verdict for (%d,%d)" u v
+    done
+  done
+
+let ilist_positions_bijective () =
+  let g = diamond () in
+  let il = Dag.Interval_list.build g in
+  for u = 0 to 4 do
+    check_int "inverse" u
+      (Dag.Interval_list.node_at il (Dag.Interval_list.position il u))
+  done
+
+let ilist_chain_compact () =
+  let g = chain 100 in
+  let il = Dag.Interval_list.build g in
+  for u = 0 to 99 do
+    check_int "one interval on a chain" 1 (Dag.Interval_list.interval_count il u)
+  done;
+  check_int "total" 100 (Dag.Interval_list.total_intervals il)
+
+let ilist_cycle_rejected () =
+  let g = Dag.Graph.of_edges ~nodes:2 [| (0, 1); (1, 0) |] in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Interval_list.build: graph has a cycle") (fun () ->
+      ignore (Dag.Interval_list.build g))
+
+let ilist_intervals_sorted_disjoint () =
+  let g =
+    Dag.Graph.of_edges ~nodes:8
+      [| (0, 2); (1, 3); (2, 4); (3, 4); (4, 5); (2, 6); (3, 7) |]
+  in
+  let il = Dag.Interval_list.build g in
+  for u = 0 to 7 do
+    let ivs = Dag.Interval_list.intervals il u in
+    Array.iteri
+      (fun i (lo, hi) ->
+        if lo > hi then Alcotest.fail "inverted interval";
+        if i > 0 then begin
+          let _, prev_hi = ivs.(i - 1) in
+          if lo <= prev_hi + 1 then Alcotest.fail "overlapping/adjacent intervals"
+        end)
+      ivs
+  done
+
+let ilist_qcheck =
+  QCheck.Test.make ~name:"interval list: equals BFS reachability" ~count:200 random_dag
+    (fun (n, edges) ->
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      let il = Dag.Interval_list.build g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let reach = Dag.Reach.descendants g u in
+        for v = 0 to n - 1 do
+          let expected = u = v || Prelude.Bitset.mem reach v in
+          if Dag.Interval_list.is_descendant il ~of_:u v <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let ilist_transpose_qcheck =
+  QCheck.Test.make ~name:"interval list on transpose: ancestor queries" ~count:100
+    random_dag (fun (n, edges) ->
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      let il = Dag.Interval_list.build (Dag.Graph.transpose g) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let expected = u = v || Dag.Reach.is_ancestor g ~anc:v ~desc:u in
+          if Dag.Interval_list.is_descendant il ~of_:u v <> expected then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- Critical path ---------- *)
+
+let critical_chain () =
+  let g = chain 4 in
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "length" 10.0 (Dag.Critical_path.length g ~weights);
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] (Dag.Critical_path.path g ~weights)
+
+let critical_diamond () =
+  let g = diamond () in
+  let weights = [| 1.0; 5.0; 1.0; 1.0; 1.0 |] in
+  Alcotest.(check (float 1e-9)) "heavy branch wins" 8.0
+    (Dag.Critical_path.length g ~weights);
+  Alcotest.(check (list int)) "path through 1" [ 0; 1; 3; 4 ]
+    (Dag.Critical_path.path g ~weights)
+
+let critical_empty () =
+  let g = Dag.Graph.empty 0 in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Dag.Critical_path.length g ~weights:[||])
+
+(* ---------- SCC ---------- *)
+
+let scc_cycle () =
+  let g = Dag.Graph.of_edges ~nodes:4 [| (0, 1); (1, 2); (2, 0); (2, 3) |] in
+  let c = Dag.Scc.condense g in
+  check_int "two components" 2 c.Dag.Scc.count;
+  check_int "condensed nodes" 2 (Dag.Graph.node_count c.Dag.Scc.dag);
+  check_int "condensed edges" 1 (Dag.Graph.edge_count c.Dag.Scc.dag);
+  check_bool "condensation is a DAG" true (Dag.Topo.is_dag c.Dag.Scc.dag);
+  check_bool "0,1,2 together" true
+    (c.Dag.Scc.component.(0) = c.Dag.Scc.component.(1)
+    && c.Dag.Scc.component.(1) = c.Dag.Scc.component.(2));
+  check_bool "3 separate" true (c.Dag.Scc.component.(3) <> c.Dag.Scc.component.(0))
+
+let scc_dag_is_identity () =
+  let g = diamond () in
+  let c = Dag.Scc.condense g in
+  check_int "components" 5 c.Dag.Scc.count;
+  Array.iter
+    (fun members -> check_int "singleton" 1 (Array.length members))
+    c.Dag.Scc.members
+
+let scc_self_loop_not_trivial () =
+  let g = Dag.Graph.of_edges ~nodes:2 [| (0, 0); (0, 1) |] in
+  let c = Dag.Scc.condense g in
+  check_int "two comps" 2 c.Dag.Scc.count;
+  check_bool "self-loop comp is recursive" false
+    (Dag.Scc.is_trivial g c c.Dag.Scc.component.(0));
+  check_bool "other comp trivial" true (Dag.Scc.is_trivial g c c.Dag.Scc.component.(1))
+
+let scc_qcheck_partition =
+  QCheck.Test.make ~name:"scc: members partition nodes, condensation acyclic"
+    ~count:200
+    QCheck.(
+      pair (2 -- 20) (list_of_size Gen.(0 -- 60) (pair (int_bound 19) (int_bound 19))))
+    (fun (n, pairs) ->
+      let edges =
+        List.filter (fun (a, b) -> a < n && b < n && a <> b) pairs |> Array.of_list
+      in
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      let c = Dag.Scc.condense g in
+      let seen = Array.make n 0 in
+      Array.iter (Array.iter (fun u -> seen.(u) <- seen.(u) + 1)) c.Dag.Scc.members;
+      Array.for_all (fun k -> k = 1) seen && Dag.Topo.is_dag c.Dag.Scc.dag)
+
+let scc_qcheck_mutual_reach =
+  QCheck.Test.make ~name:"scc: same component iff mutually reachable" ~count:100
+    QCheck.(
+      pair (2 -- 12) (list_of_size Gen.(0 -- 40) (pair (int_bound 11) (int_bound 11))))
+    (fun (n, pairs) ->
+      let edges =
+        List.filter (fun (a, b) -> a < n && b < n && a <> b) pairs |> Array.of_list
+      in
+      let g = Dag.Graph.of_edges ~nodes:n edges in
+      let comp, _ = Dag.Scc.components g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let du = Dag.Reach.descendants g u in
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let dv = Dag.Reach.descendants g v in
+            let mutual = Prelude.Bitset.mem du v && Prelude.Bitset.mem dv u in
+            if comp.(u) = comp.(v) <> mutual then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* ---------- Dot ---------- *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec find i = i + nl <= hl && (String.sub haystack i nl = needle || find (i + 1)) in
+  find 0
+
+let dot_output () =
+  let g = chain 3 in
+  let out = Format.asprintf "%a" (fun ppf g -> Dag.Dot.pp ppf g) g in
+  check_bool "has digraph" true (contains out "digraph G");
+  check_bool "has edge" true (contains out "n0 -> n1");
+  check_bool "has node" true (contains out "n2 [label=")
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "graph",
+        [
+          test `Quick "basic structure" graph_basic;
+          test `Quick "edge ids" graph_edge_ids;
+          test `Quick "transpose" graph_transpose;
+          test `Quick "builder errors" graph_builder_errors;
+          test `Quick "parallel edges kept" graph_parallel_edges;
+        ] );
+      ( "topo",
+        [
+          test `Quick "diamond" topo_diamond;
+          test `Quick "cycle detection" topo_cycle;
+          test `Quick "self loop" topo_self_loop;
+          test `Quick "check_order rejects" topo_check_order_rejects;
+        ]
+        @ qsuite [ topo_qcheck ] );
+      ( "levels",
+        [
+          test `Quick "diamond" levels_diamond;
+          test `Quick "longest path wins" levels_longest_path_wins;
+          test `Quick "validity checker" levels_check;
+        ]
+        @ qsuite [ levels_agree_qcheck; levels_valid_qcheck ] );
+      ( "reach",
+        [
+          test `Quick "diamond" reach_diamond;
+          test `Quick "bounded BFS" reach_bounded;
+          test `Quick "descendants of a set" reach_set;
+        ] );
+      ( "interval-list",
+        [
+          test `Quick "diamond exact" ilist_diamond;
+          test `Quick "positions bijective" ilist_positions_bijective;
+          test `Quick "chain is compact" ilist_chain_compact;
+          test `Quick "cycles rejected" ilist_cycle_rejected;
+          test `Quick "intervals sorted and disjoint" ilist_intervals_sorted_disjoint;
+        ]
+        @ qsuite [ ilist_qcheck; ilist_transpose_qcheck ] );
+      ( "critical-path",
+        [
+          test `Quick "chain" critical_chain;
+          test `Quick "diamond" critical_diamond;
+          test `Quick "empty graph" critical_empty;
+        ] );
+      ( "scc",
+        [
+          test `Quick "cycle collapses" scc_cycle;
+          test `Quick "DAG is identity" scc_dag_is_identity;
+          test `Quick "self loop recursive" scc_self_loop_not_trivial;
+        ]
+        @ qsuite [ scc_qcheck_partition; scc_qcheck_mutual_reach ] );
+      ("dot", [ test `Quick "emits nodes and edges" dot_output ]);
+    ]

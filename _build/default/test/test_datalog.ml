@@ -1,0 +1,842 @@
+(* Datalog engine tests: lexing, parsing, stratification, semi-naive
+   evaluation against the naive reference, DRed incremental maintenance
+   against from-scratch recomputation (the load-bearing property), and
+   the extraction of scheduling traces from updates. *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let parse = Datalog.Parser.parse
+
+let atom = Datalog.Parser.parse_atom
+
+let cardinal db pred =
+  match Datalog.Database.find db pred with
+  | None -> 0
+  | Some r -> Datalog.Relation.cardinality r
+
+(* ---------- Lexer ---------- *)
+
+let lexer_tokens () =
+  let toks = Datalog.Lexer.tokenize "p(X, \"a b\") :- q(X), X != 3. % c" in
+  let kinds = List.map (fun t -> t.Datalog.Lexer.token) toks in
+  check_bool "shape" true
+    (kinds
+    = [
+        Datalog.Lexer.IDENT "p"; LPAREN; VAR "X"; COMMA; STRING "a b"; RPAREN;
+        TURNSTILE; IDENT "q"; LPAREN; VAR "X"; RPAREN; COMMA; VAR "X";
+        OP Datalog.Ast.Neq; INT 3; PERIOD; EOF;
+      ])
+
+let lexer_comments_and_escapes () =
+  let toks = Datalog.Lexer.tokenize "// line\n% other\np(\"q\\\"r\\n\")." in
+  check_bool "escape handling" true
+    (List.exists
+       (fun t -> t.Datalog.Lexer.token = Datalog.Lexer.STRING "q\"r\n")
+       toks)
+
+let lexer_negative_int () =
+  let toks = Datalog.Lexer.tokenize "p(-42)." in
+  check_bool "negative int" true
+    (List.exists (fun t -> t.Datalog.Lexer.token = Datalog.Lexer.INT (-42)) toks)
+
+let lexer_errors () =
+  let bad src =
+    match Datalog.Lexer.tokenize src with
+    | exception Datalog.Lexer.Error { line; _ } -> check_bool "line >= 1" true (line >= 1)
+    | _ -> Alcotest.failf "expected lexer error on %S" src
+  in
+  bad "p(\"unterminated";
+  bad "p :- q, @";
+  bad "p : q."
+
+(* ---------- Parser ---------- *)
+
+let parser_fact_and_rule () =
+  let prog = parse "e(\"a\", 1).\np(X, Y) :- e(X, Y).\n" in
+  check_int "two clauses" 2 (List.length prog);
+  check_bool "first is a fact" true (Datalog.Ast.rule_is_fact (List.hd prog))
+
+let parser_negation_and_cmp () =
+  let prog = parse "p(X) :- q(X), !r(X), X >= 2." in
+  match (List.hd prog).Datalog.Ast.body with
+  | [ Datalog.Ast.Pos _; Datalog.Ast.Neg _; Datalog.Ast.Cmp (Datalog.Ast.Ge, _, _) ] -> ()
+  | _ -> Alcotest.fail "unexpected body shape"
+
+let parser_zero_arity () =
+  let prog = parse "flag.\np(X) :- q(X), flag." in
+  check_bool "zero arity fact" true
+    ((List.hd prog).Datalog.Ast.head.Datalog.Ast.args = [])
+
+let parser_range_restriction () =
+  let bad src =
+    match parse src with
+    | exception Datalog.Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected rejection: %s" src
+  in
+  bad "p(X) :- q(Y).";
+  bad "p(X) :- !q(X).";
+  bad "p(X) :- q(X), Y > 2.";
+  bad "p(X)." (* non-ground fact *)
+
+let parser_errors_have_positions () =
+  match parse "p(X) :- q(X)" (* missing period *) with
+  | exception Datalog.Parser.Error { line; col; _ } ->
+    check_bool "position" true (line >= 1 && col >= 1)
+  | _ -> Alcotest.fail "expected parse error"
+
+let parser_atom_roundtrip () =
+  let a = atom "edge(\"x\", 7)" in
+  check_bool "pred" true (a.Datalog.Ast.pred = "edge");
+  check_int "arity" 2 (List.length a.Datalog.Ast.args)
+
+let ast_printing_parses_back () =
+  let prog =
+    parse "e(\"a\",\"b\"). p(X,Z) :- e(X,Y), e(Y,Z), X != Z. q(X) :- e(X,Y), !p(X,Y)."
+  in
+  let printed = Format.asprintf "%a" Datalog.Ast.pp_program prog in
+  let reparsed = parse printed in
+  check_bool "round trip" true (prog = reparsed)
+
+(* ---------- Symbols, relations, database ---------- *)
+
+let symbol_interning () =
+  let s = Datalog.Symbol.create () in
+  let a = Datalog.Symbol.intern s (Datalog.Ast.Sym "x") in
+  let b = Datalog.Symbol.intern s (Datalog.Ast.Sym "x") in
+  let c = Datalog.Symbol.intern s (Datalog.Ast.Int 5) in
+  check_int "stable" a b;
+  check_bool "distinct" true (a <> c);
+  check_bool "roundtrip" true (Datalog.Symbol.const_of s c = Datalog.Ast.Int 5);
+  check_bool "numeric order" true (Datalog.Symbol.compare_codes s c a < 0)
+
+let relation_ops () =
+  let r = Datalog.Relation.create ~arity:2 in
+  check_bool "add" true (Datalog.Relation.add r [| 1; 2 |]);
+  check_bool "dup" false (Datalog.Relation.add r [| 1; 2 |]);
+  check_bool "mem" true (Datalog.Relation.mem r [| 1; 2 |]);
+  ignore (Datalog.Relation.add r [| 1; 3 |]);
+  ignore (Datalog.Relation.add r [| 2; 3 |]);
+  check_int "find col 0" 2 (List.length (Datalog.Relation.find r ~col:0 ~value:1));
+  check_int "find col 1" 2 (List.length (Datalog.Relation.find r ~col:1 ~value:3));
+  check_bool "remove" true (Datalog.Relation.remove r [| 1; 3 |]);
+  check_int "index updated" 1 (List.length (Datalog.Relation.find r ~col:0 ~value:1));
+  check_bool "remove absent" false (Datalog.Relation.remove r [| 9; 9 |])
+
+let relation_qcheck =
+  QCheck.Test.make ~name:"relation: behaves like a set with index" ~count:300
+    QCheck.(list (pair bool (pair (int_bound 5) (int_bound 5))))
+    (fun ops ->
+      let r = Datalog.Relation.create ~arity:2 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (is_add, (a, b)) ->
+          let tup = [| a; b |] in
+          if is_add then begin
+            let fresh = not (Hashtbl.mem model (a, b)) in
+            Hashtbl.replace model (a, b) ();
+            Datalog.Relation.add r tup = fresh
+          end
+          else begin
+            let present = Hashtbl.mem model (a, b) in
+            Hashtbl.remove model (a, b);
+            Datalog.Relation.remove r tup = present
+          end
+          &&
+          (* index agrees with the model on a probe *)
+          let expect =
+            Hashtbl.fold (fun (x, y) () acc -> if x = a then (x, y) :: acc else acc) model []
+          in
+          List.length (Datalog.Relation.find r ~col:0 ~value:a) = List.length expect)
+        ops)
+
+let database_arity_clash () =
+  let db = Datalog.Database.create () in
+  ignore (Datalog.Database.relation db "p" ~arity:2);
+  Alcotest.check_raises "clash"
+    (Invalid_argument "Database: predicate p used with arity 3, declared 2") (fun () ->
+      ignore (Datalog.Database.relation db "p" ~arity:3))
+
+let database_facts () =
+  let db = Datalog.Database.create () in
+  check_bool "add" true (Datalog.Database.add_fact db (atom "e(\"a\",\"b\")"));
+  check_bool "dup" false (Datalog.Database.add_fact db (atom "e(\"a\",\"b\")"));
+  check_bool "mem" true (Datalog.Database.mem_fact db (atom "e(\"a\",\"b\")"));
+  check_bool "remove" true (Datalog.Database.remove_fact db (atom "e(\"a\",\"b\")"));
+  check_int "empty" 0 (Datalog.Database.total_tuples db)
+
+(* ---------- Stratification ---------- *)
+
+let strat_simple () =
+  let prog = parse "p(X) :- e(X, Y). q(X) :- p(X), !r(X). r(X) :- e(X, X)." in
+  let t = Datalog.Stratify.analyze prog in
+  check_bool "e is edb" true t.Datalog.Stratify.edb.(Hashtbl.find t.Datalog.Stratify.index_of "e");
+  check_bool "p not edb" false
+    t.Datalog.Stratify.edb.(Hashtbl.find t.Datalog.Stratify.index_of "p");
+  check_bool "q above r" true
+    (Datalog.Stratify.stratum t "q" > Datalog.Stratify.stratum t "r")
+
+let strat_recursive_same_stratum () =
+  let prog = parse "p(X,Y) :- e(X,Y). p(X,Z) :- p(X,Y), e(Y,Z)." in
+  let t = Datalog.Stratify.analyze prog in
+  check_int "one stratum" 1 t.Datalog.Stratify.stratum_count
+
+let strat_unstratifiable () =
+  let prog = parse "p(X) :- e(X), !q(X). q(X) :- e(X), !p(X)." in
+  match Datalog.Stratify.analyze prog with
+  | exception Datalog.Stratify.Unstratifiable _ -> ()
+  | _ -> Alcotest.fail "expected Unstratifiable"
+
+let strat_negative_self () =
+  let prog = parse "p(X) :- e(X), !p(X)." in
+  match Datalog.Stratify.analyze prog with
+  | exception Datalog.Stratify.Unstratifiable p -> check_bool "names p" true (p = "p")
+  | _ -> Alcotest.fail "expected Unstratifiable"
+
+let strat_scc_order_topological () =
+  let prog =
+    parse
+      "a(X) :- e(X). b(X) :- a(X). c(X) :- b(X), a(X). d(X) :- c(X), !b(X)."
+  in
+  let t = Datalog.Stratify.analyze prog in
+  let order = Datalog.Stratify.scc_order t in
+  let pos = Array.make t.Datalog.Stratify.condensation.Dag.Scc.count 0 in
+  Array.iteri (fun i c -> pos.(c) <- i) order;
+  Dag.Graph.iter_edges t.Datalog.Stratify.condensation.Dag.Scc.dag
+    (fun ~src ~dst ~eid:_ ->
+      check_bool "topological" true (pos.(src) < pos.(dst)))
+
+(* ---------- Evaluation ---------- *)
+
+let tc_program edges =
+  let facts =
+    List.map (fun (a, b) -> Printf.sprintf "edge(\"n%d\", \"n%d\")." a b) edges
+    |> String.concat "\n"
+  in
+  facts ^ "\npath(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n"
+
+let eval_tc_known () =
+  let db = Datalog.Database.create () in
+  let _anal, _stats = Datalog.Eval.run db (parse (tc_program [ (0, 1); (1, 2); (2, 3) ])) in
+  (* path = all ordered reachable pairs: (0,1)(0,2)(0,3)(1,2)(1,3)(2,3) *)
+  check_int "path count" 6 (cardinal db "path")
+
+let eval_cycle_terminates () =
+  let db = Datalog.Database.create () in
+  let _ = Datalog.Eval.run db (parse (tc_program [ (0, 1); (1, 2); (2, 0) ])) in
+  check_int "3x3 pairs" 9 (cardinal db "path")
+
+let eval_negation () =
+  let db = Datalog.Database.create () in
+  let src =
+    tc_program [ (0, 1); (1, 2) ]
+    ^ "node(X) :- edge(X, Y).\nnode(Y) :- edge(X, Y).\n\
+       unreached(X, Y) :- node(X), node(Y), !path(X, Y), X != Y.\n"
+  in
+  let _ = Datalog.Eval.run db (parse src) in
+  (* pairs: 6 ordered distinct pairs, path holds for (0,1)(0,2)(1,2) -> 3 left *)
+  check_int "unreached" 3 (cardinal db "unreached")
+
+let eval_comparisons () =
+  let db = Datalog.Database.create () in
+  let src = "v(1). v(2). v(3). big(X) :- v(X), X >= 2. pairlt(X,Y) :- v(X), v(Y), X < Y." in
+  let _ = Datalog.Eval.run db (parse src) in
+  check_int "big" 2 (cardinal db "big");
+  check_int "pairs" 3 (cardinal db "pairlt")
+
+let eval_same_generation () =
+  let db = Datalog.Database.create () in
+  let src =
+    "parent(\"r\",\"a\"). parent(\"r\",\"b\"). parent(\"a\",\"c\"). parent(\"b\",\"d\").\n\
+     sg(X,Y) :- parent(P,X), parent(P,Y), X != Y.\n\
+     sg(X,Y) :- parent(PX,X), sg(PX,PY), parent(PY,Y).\n"
+  in
+  let _ = Datalog.Eval.run db (parse src) in
+  (* a~b (siblings), c~d (cousins): ordered pairs -> 4 *)
+  check_int "same generation" 4 (cardinal db "sg")
+
+let random_edges rng n m =
+  List.init m (fun _ -> (Prelude.Rng.int rng n, Prelude.Rng.int rng n))
+  |> List.filter (fun (a, b) -> a <> b)
+  |> List.sort_uniq compare
+
+let eval_seminaive_equals_naive =
+  QCheck.Test.make ~name:"eval: semi-naive equals naive on random TC+negation" ~count:60
+    QCheck.(pair (2 -- 7) (0 -- 25))
+    (fun (n, m) ->
+      let rng = Prelude.Rng.create ((n * 100) + m) in
+      let edges = random_edges rng n m in
+      let src =
+        tc_program edges
+        ^ "node(X) :- edge(X,Y).\nnode(Y) :- edge(X,Y).\n\
+           far(X,Y) :- node(X), node(Y), !path(X,Y), X != Y.\n"
+      in
+      let prog = parse src in
+      let a = Datalog.Database.create () in
+      let _ = Datalog.Eval.run a prog in
+      let b = Datalog.Database.create () in
+      Datalog.Eval.run_naive b prog;
+      Datalog.Eval.databases_agree a b = Ok ())
+
+(* ---------- Incremental maintenance (DRed) ---------- *)
+
+(* The load-bearing property: incremental update == from-scratch
+   evaluation of the updated fact base, across random updates on
+   programs with recursion and stratified negation. *)
+
+let check_incremental program_rules base_facts additions deletions =
+  let fact_atoms = List.map atom base_facts in
+  let adds = List.map atom additions in
+  let dels = List.map atom deletions in
+  let rules = parse program_rules in
+  (* incremental path *)
+  let db = Datalog.Database.create () in
+  List.iter (fun a -> ignore (Datalog.Database.add_fact db a)) fact_atoms;
+  let _ = Datalog.Eval.run db rules in
+  let _report = Datalog.Incremental.apply db rules ~additions:adds ~deletions:dels in
+  (* from-scratch path *)
+  let scratch = Datalog.Database.create () in
+  List.iter (fun a -> ignore (Datalog.Database.add_fact scratch a)) fact_atoms;
+  List.iter (fun a -> ignore (Datalog.Database.remove_fact scratch a)) dels;
+  List.iter (fun a -> ignore (Datalog.Database.add_fact scratch a)) adds;
+  let _ = Datalog.Eval.run scratch rules in
+  Datalog.Eval.databases_agree db scratch
+
+let incr_tc_insert () =
+  check_bool "ok" true
+    (check_incremental
+       "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)."
+       [ "edge(\"a\",\"b\")"; "edge(\"b\",\"c\")" ]
+       [ "edge(\"c\",\"d\")" ] []
+    = Ok ())
+
+let incr_tc_delete () =
+  check_bool "ok" true
+    (check_incremental
+       "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)."
+       [ "edge(\"a\",\"b\")"; "edge(\"b\",\"c\")"; "edge(\"a\",\"c\")" ]
+       []
+       [ "edge(\"b\",\"c\")" ]
+    = Ok ())
+
+let incr_rederivation () =
+  (* deleting one support must keep facts with alternative derivations *)
+  check_bool "ok" true
+    (check_incremental
+       "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)."
+       [
+         "edge(\"a\",\"b\")"; "edge(\"b\",\"d\")"; "edge(\"a\",\"c\")";
+         "edge(\"c\",\"d\")"; "edge(\"d\",\"e\")";
+       ]
+       []
+       [ "edge(\"b\",\"d\")" ]
+    = Ok ())
+
+let incr_negation_addition_removes () =
+  (* adding a fact under negation must delete derived tuples *)
+  check_bool "ok" true
+    (check_incremental
+       "ok(X) :- cand(X), !banned(X)."
+       [ "cand(\"x\")"; "cand(\"y\")"; "banned(\"y\")" ]
+       [ "banned(\"x\")" ] []
+    = Ok ())
+
+let incr_negation_deletion_adds () =
+  check_bool "ok" true
+    (check_incremental
+       "ok(X) :- cand(X), !banned(X)."
+       [ "cand(\"x\")"; "banned(\"x\")" ]
+       []
+       [ "banned(\"x\")" ]
+    = Ok ())
+
+let incr_rejects_intensional () =
+  let rules = parse "p(X) :- e(X)." in
+  let db = Datalog.Database.create () in
+  ignore (Datalog.Database.add_fact db (atom "e(\"a\")"));
+  let _ = Datalog.Eval.run db rules in
+  match
+    Datalog.Incremental.apply db rules ~additions:[ atom "p(\"b\")" ] ~deletions:[]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of intensional update"
+
+let incremental_equals_scratch_qcheck =
+  QCheck.Test.make
+    ~name:"DRed: incremental equals from-scratch on random graphs and updates"
+    ~count:60
+    QCheck.(triple (2 -- 6) (0 -- 18) (0 -- 6))
+    (fun (n, m, delta) ->
+      let rng = Prelude.Rng.create ((n * 7919) + (m * 131) + delta) in
+      let edges = random_edges rng n m in
+      let base =
+        List.map (fun (a, b) -> Printf.sprintf "edge(\"n%d\",\"n%d\")" a b) edges
+      in
+      let mk () =
+        Printf.sprintf "edge(\"n%d\",\"n%d\")" (Prelude.Rng.int rng n)
+          (Prelude.Rng.int rng n)
+      in
+      let adds =
+        List.init (Prelude.Rng.int rng (delta + 1)) (fun _ -> mk ())
+        |> List.filter (fun s -> not (List.mem s base))
+        |> List.sort_uniq compare
+      in
+      (* avoid self loops in additions *)
+      let adds =
+        List.filter
+          (fun s -> Scanf.sscanf s "edge(\"n%d\",\"n%d\")" (fun a b -> a <> b))
+          adds
+      in
+      let dels =
+        List.filteri (fun i _ -> i mod 2 = delta mod 2) base |> List.filteri (fun i _ -> i < delta)
+      in
+      let rules =
+        "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).\n\
+         node(X) :- edge(X,Y). node(Y) :- edge(X,Y).\n\
+         far(X,Y) :- node(X), node(Y), !path(X,Y), X != Y.\n\
+         sg(X,Y) :- edge(P,X), edge(P,Y), X != Y.\n\
+         sg(X,Y) :- edge(PX,X), sg(PX,PY), edge(PY,Y).\n"
+      in
+      check_incremental rules base adds dels = Ok ())
+
+let incremental_report_changes () =
+  let rules = parse "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)." in
+  let db = Datalog.Database.create () in
+  ignore (Datalog.Database.add_fact db (atom "edge(\"a\",\"b\")"));
+  let _ = Datalog.Eval.run db rules in
+  let report =
+    Datalog.Incremental.apply db rules
+      ~additions:[ atom "edge(\"b\",\"c\")" ]
+      ~deletions:[]
+  in
+  let changed p =
+    List.exists
+      (fun (c : Datalog.Incremental.pred_change) -> c.Datalog.Incremental.pred = p)
+      report.Datalog.Incremental.changes
+  in
+  check_bool "edge changed" true (changed "edge");
+  check_bool "path changed" true (changed "path");
+  let path_change =
+    List.find
+      (fun (c : Datalog.Incremental.pred_change) -> c.Datalog.Incremental.pred = "path")
+      report.Datalog.Incremental.changes
+  in
+  (* b->c and a->c appear *)
+  check_int "path additions" 2 path_change.Datalog.Incremental.added;
+  check_int "path removals" 0 path_change.Datalog.Incremental.removed
+
+let incremental_noop_update () =
+  let rules = parse "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)." in
+  let db = Datalog.Database.create () in
+  ignore (Datalog.Database.add_fact db (atom "edge(\"a\",\"b\")"));
+  let _ = Datalog.Eval.run db rules in
+  let report = Datalog.Incremental.apply db rules ~additions:[] ~deletions:[] in
+  check_int "no changes" 0 (List.length report.Datalog.Incremental.changes);
+  List.iter
+    (fun (a : Datalog.Incremental.comp_activity) ->
+      check_bool "nothing flagged" true (not a.Datalog.Incremental.output_changed))
+    report.Datalog.Incremental.activity
+
+(* ---------- random-program fuzzing ---------- *)
+
+(* Generate random stratified programs: derived predicates p1..pk, each
+   defined by 1-2 rules whose bodies draw positively from the EDB and
+   any predicate, and negatively only from strictly lower-indexed
+   predicates (stratification by construction, recursion allowed through
+   same-index self-reference). All unary/binary over a small domain. *)
+let random_program rng ~preds =
+  let buf = Buffer.create 512 in
+  let atom_of ~arity name vars =
+    if arity = 1 then Printf.sprintf "%s(%s)" name (List.nth vars 0)
+    else Printf.sprintf "%s(%s,%s)" name (List.nth vars 0) (List.nth vars 1)
+  in
+  let arity = Array.init (preds + 1) (fun _ -> 1 + Prelude.Rng.int rng 2) in
+  (* index 0 is the edb predicate "e" with arity 2 *)
+  arity.(0) <- 2;
+  let pname i = if i = 0 then "e" else Printf.sprintf "p%d" i in
+  for i = 1 to preds do
+    let nrules = 1 + Prelude.Rng.int rng 2 in
+    for _ = 1 to nrules do
+      (* head variables *)
+      let head_vars = if arity.(i) = 1 then [ "X" ] else [ "X"; "Y" ] in
+      (* first body literal: positive, binds X and Y *)
+      let first =
+        if Prelude.Rng.bool rng || i = 1 then "e(X,Y)"
+        else begin
+          let j = 1 + Prelude.Rng.int rng i (* <= i: recursion allowed *) in
+          if arity.(j) = 2 then atom_of ~arity:2 (pname j) [ "X"; "Y" ]
+          else Printf.sprintf "%s(X), e(X,Y)" (pname j)
+        end
+      in
+      let extras = ref [] in
+      (* maybe a positive join *)
+      if Prelude.Rng.bool rng then begin
+        let j = Prelude.Rng.int rng (i + 1) in
+        let a =
+          if arity.(j) = 2 then atom_of ~arity:2 (pname j) [ "Y"; "Z" ] else
+            atom_of ~arity:1 (pname j) [ "Y" ]
+        in
+        extras := a :: !extras
+      end;
+      (* maybe a negation on a strictly lower stratum *)
+      if i > 1 && Prelude.Rng.bool rng then begin
+        let j = 1 + Prelude.Rng.int rng (i - 1) in
+        let a =
+          if arity.(j) = 2 then atom_of ~arity:2 (pname j) [ "X"; "Y" ]
+          else atom_of ~arity:1 (pname j) [ "X" ]
+        in
+        extras := ("!" ^ a) :: !extras
+      end;
+      let head = atom_of ~arity:(arity.(i)) (pname i) head_vars in
+      Buffer.add_string buf
+        (Printf.sprintf "%s :- %s%s.\n" head first
+           (String.concat "" (List.map (fun a -> ", " ^ a) !extras)))
+    done
+  done;
+  Buffer.contents buf
+
+let fuzz_seminaive_vs_naive =
+  QCheck.Test.make ~name:"fuzz: random programs, semi-naive equals naive" ~count:60
+    QCheck.(triple (1 -- 4) (0 -- 20) (0 -- 1000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 31) + (preds * 7) + nfacts) in
+      let prog = random_program rng ~preds in
+      let facts =
+        List.init nfacts (fun _ ->
+            Printf.sprintf "e(\"n%d\",\"n%d\").\n" (Prelude.Rng.int rng 5)
+              (Prelude.Rng.int rng 5))
+        |> String.concat ""
+      in
+      let src = facts ^ prog in
+      let a = Datalog.Database.create () in
+      let _ = Datalog.Eval.run a (parse src) in
+      let b = Datalog.Database.create () in
+      Datalog.Eval.run_naive b (parse src);
+      Datalog.Eval.databases_agree a b = Ok ())
+
+let fuzz_incremental_vs_scratch =
+  QCheck.Test.make ~name:"fuzz: random programs, incremental equals from-scratch"
+    ~count:60
+    QCheck.(triple (1 -- 4) (2 -- 18) (0 -- 1000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 131) + (preds * 17) + nfacts) in
+      let prog = random_program rng ~preds in
+      let mk () =
+        Printf.sprintf "e(\"n%d\",\"n%d\")" (Prelude.Rng.int rng 5)
+          (Prelude.Rng.int rng 5)
+      in
+      let base = List.init nfacts (fun _ -> mk ()) |> List.sort_uniq compare in
+      let adds =
+        List.init 2 (fun _ -> mk ())
+        |> List.sort_uniq compare
+        |> List.filter (fun f -> not (List.mem f base))
+      in
+      let dels = List.filteri (fun i _ -> i < 2) base in
+      check_incremental prog base adds dels = Ok ())
+
+(* ---------- Aggregates ---------- *)
+
+let agg_db src =
+  let db = Datalog.Database.create () in
+  let _ = Datalog.Eval.run db (parse src) in
+  db
+
+let facts db pred =
+  match Datalog.Database.find db pred with
+  | None -> []
+  | Some r ->
+    Datalog.Relation.to_list r
+    |> List.map (Datalog.Database.tuple_to_atom db pred)
+    |> List.sort compare
+
+let agg_eval_basic () =
+  let db =
+    agg_db
+      {|line("o1","a",3). line("o1","b",2). line("o2","a",5).
+        total(O, cnt(I), sum(N)) :- line(O, I, N).
+        hi(max(N)) :- line(O, I, N).
+        lo(min(N)) :- line(O, I, N).|}
+  in
+  check_int "groups" 2 (cardinal db "total");
+  Alcotest.(check string) "o1 totals" {|total("o1", 2, 5)|}
+    (Format.asprintf "%a" Datalog.Ast.pp_atom
+       (List.hd (facts db "total")));
+  Alcotest.(check string) "max" "hi(5)"
+    (Format.asprintf "%a" Datalog.Ast.pp_atom (List.hd (facts db "hi")));
+  Alcotest.(check string) "min" "lo(2)"
+    (Format.asprintf "%a" Datalog.Ast.pp_atom (List.hd (facts db "lo")))
+
+let agg_distinct_semantics () =
+  (* two derivations of the same (group, value) binding count once *)
+  let db =
+    agg_db
+      {|e("x","a",1). f("x","a",1).
+        both(K,V) :- e(K,A,V). both(K,V) :- f(K,A,V).
+        t(K, sum(V), cnt(V)) :- both(K, V).|}
+  in
+  Alcotest.(check string) "no double count" {|t("x", 1, 1)|}
+    (Format.asprintf "%a" Datalog.Ast.pp_atom (List.hd (facts db "t")))
+
+let agg_min_max_on_symbols () =
+  let db = agg_db {|name("b"). name("a"). name("c").
+                    first(min(X)) :- name(X). last(max(X)) :- name(X).|} in
+  Alcotest.(check string) "min sym" {|first("a")|}
+    (Format.asprintf "%a" Datalog.Ast.pp_atom (List.hd (facts db "first")));
+  Alcotest.(check string) "max sym" {|last("c")|}
+    (Format.asprintf "%a" Datalog.Ast.pp_atom (List.hd (facts db "last")))
+
+let agg_sum_rejects_symbols () =
+  match agg_db {|v("x"). s(sum(X)) :- v(X).|} with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of sum over symbols"
+
+let agg_stratified_below_use () =
+  (* aggregates over an aggregate work across strata *)
+  let db =
+    agg_db
+      {|e("a",1). e("b",2). e("c",3).
+        total(X, sum(N)) :- e(X, N).
+        grand(sum(T)) :- total(X, T).|}
+  in
+  Alcotest.(check string) "two-level fold" "grand(6)"
+    (Format.asprintf "%a" Datalog.Ast.pp_atom (List.hd (facts db "grand")));
+  (* recursion through an aggregate must be rejected *)
+  match
+    agg_db
+      {|e("a",1). t(sum(N)) :- e2(X,N). e2(X,N) :- e(X,N). e2(X,N) :- e(X,N), t(N).|}
+  with
+  | exception Datalog.Stratify.Unstratifiable _ -> ()
+  | _ -> Alcotest.fail "expected Unstratifiable through aggregate recursion"
+
+let agg_single_rule_enforced () =
+  match agg_db {|e("a",1). t(sum(N)) :- e(X,N). t(9).|} with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of multi-rule aggregate"
+
+let agg_body_aggregate_rejected () =
+  match parse {|p(X) :- q(sum(X)).|} with
+  | exception Datalog.Parser.Error _ -> ()
+  | prog -> (
+    (* the parser treats body sum(..) as a predicate named sum; ensure
+       no aggregate term leaked into the body *)
+    match prog with
+    | [ r ] ->
+      check_bool "parsed as predicate" true
+        (List.exists
+           (function
+             | Datalog.Ast.Pos a -> a.Datalog.Ast.pred = "q"
+             | _ -> false)
+           r.Datalog.Ast.body)
+    | _ -> Alcotest.fail "unexpected parse")
+
+let agg_naive_agrees () =
+  let src =
+    {|line("o1","a",3). line("o1","b",2). line("o2","a",5). line("o2","b",2).
+      total(O, sum(N)) :- line(O, I, N).
+      grand(sum(T)) :- total(O, T).|}
+  in
+  let a = Datalog.Database.create () in
+  let _ = Datalog.Eval.run a (parse src) in
+  let b = Datalog.Database.create () in
+  Datalog.Eval.run_naive b (parse src);
+  check_bool "agree" true (Datalog.Eval.databases_agree a b = Ok ())
+
+let agg_incremental_equals_scratch () =
+  check_bool "insert+delete" true
+    (check_incremental
+       {|total(O, cnt(I), sum(N)) :- line(O, I, N).
+         grand(sum(T)) :- total(O, C, T).
+         busy(O) :- total(O, C, T), C >= 2.|}
+       [ {|line("o1","a",3)|}; {|line("o1","b",2)|}; {|line("o2","a",5)|} ]
+       [ {|line("o1","c",7)|}; {|line("o3","z",1)|} ]
+       [ {|line("o2","a",5)|} ]
+    = Ok ())
+
+let agg_naive_qcheck =
+  QCheck.Test.make ~name:"aggregates: semi-naive equals naive on random data" ~count:40
+    QCheck.(pair (1 -- 4) (0 -- 14))
+    (fun (orders, lines) ->
+      let rng = Prelude.Rng.create ((orders * 613) + lines) in
+      let facts =
+        List.init lines (fun _ ->
+            Printf.sprintf {|line("o%d","i%d",%d).|} (Prelude.Rng.int rng orders)
+              (Prelude.Rng.int rng 5)
+              (1 + Prelude.Rng.int rng 9))
+        |> String.concat "\n"
+      in
+      let src =
+        facts
+        ^ {| total(O, cnt(I), sum(N)) :- line(O, I, N).
+             hi(max(N)) :- line(O, I, N).
+             grand(sum(T)) :- total(O, C, T). |}
+      in
+      let a = Datalog.Database.create () in
+      let _ = Datalog.Eval.run a (parse src) in
+      let b = Datalog.Database.create () in
+      Datalog.Eval.run_naive b (parse src);
+      Datalog.Eval.databases_agree a b = Ok ())
+
+let agg_incremental_qcheck =
+  QCheck.Test.make ~name:"aggregates: incremental equals from-scratch" ~count:40
+    QCheck.(triple (1 -- 4) (0 -- 12) (0 -- 4))
+    (fun (orders, lines, delta) ->
+      let rng = Prelude.Rng.create ((orders * 31) + (lines * 7) + delta) in
+      let mk () =
+        Printf.sprintf {|line("o%d","i%d",%d)|} (Prelude.Rng.int rng orders)
+          (Prelude.Rng.int rng 6)
+          (1 + Prelude.Rng.int rng 9)
+      in
+      let base = List.sort_uniq compare (List.init lines (fun _ -> mk ())) in
+      let adds =
+        List.sort_uniq compare (List.init delta (fun _ -> mk ()))
+        |> List.filter (fun s -> not (List.mem s base))
+      in
+      let dels = List.filteri (fun i _ -> i < delta) base in
+      let rules =
+        {|total(O, cnt(I), sum(N)) :- line(O, I, N).
+          hi(O, max(N)) :- line(O, I, N).
+          grand(sum(T)) :- total(O, C, T).
+          busy(O) :- total(O, C, T), C >= 2.|}
+      in
+      check_incremental rules base adds dels = Ok ())
+
+(* ---------- To_trace ---------- *)
+
+let to_trace_basic () =
+  let rules =
+    "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).\n\
+     big(X) :- path(X, Y), path(Y, X)."
+  in
+  let db = Datalog.Database.create () in
+  List.iter
+    (fun s -> ignore (Datalog.Database.add_fact db (atom s)))
+    [ "edge(\"a\",\"b\")"; "edge(\"b\",\"a\")" ];
+  let _ = Datalog.Eval.run db (parse rules) in
+  let tt =
+    Datalog.To_trace.of_update db (parse rules)
+      ~additions:[ atom "edge(\"b\",\"c\")" ]
+      ~deletions:[]
+  in
+  let trace = tt.Datalog.To_trace.trace in
+  let s = Workload.Trace.stats trace in
+  check_int "one task per component" 3 s.Workload.Trace.nodes;
+  check_int "edge component dirty" 1 s.Workload.Trace.initial_tasks;
+  check_bool "trace is schedulable" true
+    (let r =
+       Simulator.Engine.run
+         ~config:{ Simulator.Engine.procs = 2; op_cost = 0.0; record_log = true }
+         ~sched:Sched.Level_based.factory trace
+     in
+     Simulator.Validate.check_run trace r = Ok ());
+  check_bool "labels name predicates" true
+    (Array.exists (fun l -> l = "path") tt.Datalog.To_trace.labels);
+  check_bool "node_of_pred finds path" true
+    (Datalog.To_trace.node_of_pred tt "path" <> None)
+
+let to_trace_activation_matches_report () =
+  let rules =
+    "p(X) :- e(X). q(X) :- p(X). r(X) :- f(X). s(X) :- q(X), r(X)."
+  in
+  let db = Datalog.Database.create () in
+  List.iter
+    (fun s -> ignore (Datalog.Database.add_fact db (atom s)))
+    [ "e(\"a\")"; "f(\"b\")" ];
+  let _ = Datalog.Eval.run db (parse rules) in
+  (* update touches only e: the f -> r chain must stay inactive *)
+  let tt =
+    Datalog.To_trace.of_update db (parse rules)
+      ~additions:[ atom "e(\"c\")" ]
+      ~deletions:[]
+  in
+  let trace = tt.Datalog.To_trace.trace in
+  let active = Workload.Trace.active_set trace in
+  let node name = Option.get (Datalog.To_trace.node_of_pred tt name) in
+  check_bool "e active" true (Prelude.Bitset.mem active (node "e"));
+  check_bool "p active" true (Prelude.Bitset.mem active (node "p"));
+  check_bool "r inactive" false (Prelude.Bitset.mem active (node "r"));
+  check_bool "f inactive" false (Prelude.Bitset.mem active (node "f"))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "lexer",
+        [
+          test `Quick "token stream" lexer_tokens;
+          test `Quick "comments and escapes" lexer_comments_and_escapes;
+          test `Quick "negative integers" lexer_negative_int;
+          test `Quick "errors carry positions" lexer_errors;
+        ] );
+      ( "parser",
+        [
+          test `Quick "facts and rules" parser_fact_and_rule;
+          test `Quick "negation and comparisons" parser_negation_and_cmp;
+          test `Quick "zero-arity predicates" parser_zero_arity;
+          test `Quick "range restriction enforced" parser_range_restriction;
+          test `Quick "errors carry positions" parser_errors_have_positions;
+          test `Quick "single atoms" parser_atom_roundtrip;
+          test `Quick "printing parses back" ast_printing_parses_back;
+        ] );
+      ( "storage",
+        [
+          test `Quick "symbol interning" symbol_interning;
+          test `Quick "relation ops and indexes" relation_ops;
+          test `Quick "database arity clash" database_arity_clash;
+          test `Quick "database facts" database_facts;
+        ]
+        @ qsuite [ relation_qcheck ] );
+      ( "stratify",
+        [
+          test `Quick "strata ordering" strat_simple;
+          test `Quick "recursion shares a stratum" strat_recursive_same_stratum;
+          test `Quick "mutual negation rejected" strat_unstratifiable;
+          test `Quick "negative self loop rejected" strat_negative_self;
+          test `Quick "scc order is topological" strat_scc_order_topological;
+        ] );
+      ( "eval",
+        [
+          test `Quick "transitive closure" eval_tc_known;
+          test `Quick "cycles terminate" eval_cycle_terminates;
+          test `Quick "stratified negation" eval_negation;
+          test `Quick "comparisons" eval_comparisons;
+          test `Quick "same generation" eval_same_generation;
+        ]
+        @ qsuite [ eval_seminaive_equals_naive ] );
+      ( "incremental",
+        [
+          test `Quick "TC insertion" incr_tc_insert;
+          test `Quick "TC deletion" incr_tc_delete;
+          test `Quick "rederivation keeps supported facts" incr_rederivation;
+          test `Quick "addition under negation deletes" incr_negation_addition_removes;
+          test `Quick "deletion under negation adds" incr_negation_deletion_adds;
+          test `Quick "intensional updates rejected" incr_rejects_intensional;
+          test `Quick "report lists net changes" incremental_report_changes;
+          test `Quick "no-op update changes nothing" incremental_noop_update;
+        ]
+        @ qsuite [ incremental_equals_scratch_qcheck ] );
+      ( "fuzz",
+        qsuite [ fuzz_seminaive_vs_naive; fuzz_incremental_vs_scratch ] );
+      ( "aggregates",
+        [
+          test `Quick "count, sum, min, max" agg_eval_basic;
+          test `Quick "distinct-binding semantics" agg_distinct_semantics;
+          test `Quick "min/max over symbols" agg_min_max_on_symbols;
+          test `Quick "sum over symbols rejected" agg_sum_rejects_symbols;
+          test `Quick "stratified, recursion rejected" agg_stratified_below_use;
+          test `Quick "single defining rule enforced" agg_single_rule_enforced;
+          test `Quick "no aggregate terms in bodies" agg_body_aggregate_rejected;
+          test `Quick "naive agrees" agg_naive_agrees;
+          test `Quick "incremental equals from-scratch" agg_incremental_equals_scratch;
+        ]
+        @ qsuite [ agg_naive_qcheck; agg_incremental_qcheck ] );
+      ( "to-trace",
+        [
+          test `Quick "condensed DAG trace" to_trace_basic;
+          test `Quick "activation matches dependency cone"
+            to_trace_activation_matches_report;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Multicore executor tests. The container may expose a single core, so
+   these check protocol correctness (coverage, single execution,
+   precedence on real timestamps, deadlock detection) rather than
+   wall-clock speedup. *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let run_checked ?(domains = 3) ?(work_unit = 5e-5) trace factory =
+  let r = Parallel.Executor.run ~domains ~work_unit ~sched:factory trace in
+  (match Parallel.Executor.check trace r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid parallel schedule: %s" factory.Sched.Intf.fname e);
+  r
+
+let all_schedulers_valid () =
+  let trace = Workload.Pathological.unit_layers ~width:10 ~layers:6 ~fanout:2 ~seed:11 in
+  List.iter
+    (fun factory ->
+      let r = run_checked trace factory in
+      check_int
+        (Printf.sprintf "%s executes the active set" factory.Sched.Intf.fname)
+        60 r.Parallel.Executor.tasks_executed)
+    [
+      Sched.Level_based.factory;
+      Sched.Lookahead.factory ~k:3;
+      Sched.Logicblox.factory;
+      Sched.Signal.factory;
+      Sched.Hybrid.factory;
+    ]
+
+let partial_activation_respected () =
+  (* chain whose second half never activates *)
+  let graph = Dag.Graph.of_edges ~nodes:6 [| (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) |] in
+  let trace =
+    Workload.Trace.create ~name:"half" ~graph
+      ~kind:(Array.make 6 Workload.Trace.Task)
+      ~shape:(Array.make 6 Workload.Trace.Unit)
+      ~initial:[| 0 |]
+      ~edge_changed:[| true; true; false; true; true |]
+  in
+  let r = run_checked trace Sched.Hybrid.factory in
+  check_int "stops at the dead edge" 3 r.Parallel.Executor.tasks_executed;
+  check_int "activations counted" 3 r.Parallel.Executor.tasks_activated
+
+let precedence_on_wallclock () =
+  let trace = Workload.Pathological.tight_example ~levels:8 in
+  let r = run_checked ~domains:4 trace Sched.Level_based.factory in
+  (* sanity beyond [check]: the j-chain must appear in order *)
+  let finish = Array.make 64 0.0 in
+  Array.iter
+    (fun e -> finish.(e.Parallel.Executor.task) <- e.Parallel.Executor.finish)
+    r.Parallel.Executor.log;
+  Array.iter
+    (fun (e : Parallel.Executor.task_record) ->
+      if e.task >= 1 && e.task < 8 then
+        check_bool "chain ordered" true (e.start >= finish.(e.task - 1) -. 1e-6))
+    r.Parallel.Executor.log
+
+let deadlock_detected () =
+  let lazy_factory =
+    {
+      Sched.Intf.fname = "lazy";
+      make =
+        (fun _g ->
+          {
+            Sched.Intf.name = "lazy";
+            on_activated = (fun _ -> ());
+            on_started = (fun _ -> ());
+            on_completed = (fun _ -> ());
+            next_ready = (fun () -> None);
+            ops = Sched.Intf.zero_ops ();
+            memory_words = (fun () -> 0);
+          })
+    }
+  in
+  let trace = Workload.Pathological.deep_chain ~n:3 in
+  match Parallel.Executor.run ~domains:2 ~sched:lazy_factory trace with
+  | exception Failure msg ->
+    check_bool "mentions the stall" true
+      (String.length msg > 0
+      && String.sub msg 0 8 = "Executor")
+  | _ -> Alcotest.fail "expected a deadlock failure"
+
+let work_accounting () =
+  let graph = Dag.Graph.empty 3 in
+  let trace =
+    Workload.Trace.create ~name:"w" ~graph
+      ~kind:(Array.make 3 Workload.Trace.Task)
+      ~shape:[| Workload.Trace.Seq 2.0; Seq 3.0; Seq 4.0 |]
+      ~initial:[| 0; 1; 2 |] ~edge_changed:[||]
+  in
+  let r = run_checked trace Sched.Level_based.factory in
+  Alcotest.(check (float 1e-9)) "work executed" 9.0 r.Parallel.Executor.work_executed;
+  check_bool "wall at least the critical work" true
+    (r.Parallel.Executor.wall_makespan >= 4.0 *. 5e-5 *. 0.5)
+
+let agrees_with_simulator_counts () =
+  let trace = Workload.Pathological.broom ~spine:15 ~fan:20 in
+  let r = run_checked trace Sched.Hybrid.factory in
+  let sim =
+    Simulator.Engine.run
+      ~config:{ Simulator.Engine.procs = 3; op_cost = 0.0; record_log = false }
+      ~sched:Sched.Hybrid.factory trace
+  in
+  check_int "same execution count"
+    sim.Simulator.Engine.metrics.Simulator.Metrics.tasks_executed
+    r.Parallel.Executor.tasks_executed
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "executor",
+        [
+          test `Quick "all schedulers valid on real domains" all_schedulers_valid;
+          test `Quick "partial activation respected" partial_activation_respected;
+          test `Quick "precedence on wall clock" precedence_on_wallclock;
+          test `Quick "deadlock detected" deadlock_detected;
+          test `Quick "work accounting" work_accounting;
+          test `Quick "agrees with the simulator" agrees_with_simulator_counts;
+        ] );
+    ]

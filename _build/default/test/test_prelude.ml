@@ -1,0 +1,384 @@
+(* Unit and property tests for the prelude: Vec, Bitset, Heap, Rng, Stats. *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Vec ---------- *)
+
+let vec_basic () =
+  let v = Prelude.Vec.create ~dummy:0 () in
+  check_bool "empty" true (Prelude.Vec.is_empty v);
+  Prelude.Vec.push v 1;
+  Prelude.Vec.push v 2;
+  Prelude.Vec.push v 3;
+  check_int "length" 3 (Prelude.Vec.length v);
+  check_int "get 0" 1 (Prelude.Vec.get v 0);
+  check_int "get 2" 3 (Prelude.Vec.get v 2);
+  Prelude.Vec.set v 1 42;
+  check_int "set" 42 (Prelude.Vec.get v 1);
+  Alcotest.(check (option int)) "pop" (Some 3) (Prelude.Vec.pop v);
+  check_int "after pop" 2 (Prelude.Vec.length v)
+
+let vec_growth () =
+  let v = Prelude.Vec.create ~capacity:1 ~dummy:(-1) () in
+  for i = 0 to 999 do
+    Prelude.Vec.push v i
+  done;
+  check_int "length" 1000 (Prelude.Vec.length v);
+  for i = 0 to 999 do
+    if Prelude.Vec.get v i <> i then Alcotest.failf "slot %d corrupted" i
+  done
+
+let vec_bounds () =
+  let v = Prelude.Vec.create ~dummy:0 () in
+  Prelude.Vec.push v 7;
+  Alcotest.check_raises "get -1" (Invalid_argument "Vec: index -1 out of bounds [0,1)")
+    (fun () -> ignore (Prelude.Vec.get v (-1)));
+  Alcotest.check_raises "get 1" (Invalid_argument "Vec: index 1 out of bounds [0,1)")
+    (fun () -> ignore (Prelude.Vec.get v 1))
+
+let vec_clear_and_top () =
+  let v = Prelude.Vec.create ~dummy:0 () in
+  Prelude.Vec.push v 5;
+  Alcotest.(check (option int)) "top" (Some 5) (Prelude.Vec.top v);
+  Prelude.Vec.clear v;
+  check_int "cleared" 0 (Prelude.Vec.length v);
+  Alcotest.(check (option int)) "top empty" None (Prelude.Vec.top v);
+  Alcotest.(check (option int)) "pop empty" None (Prelude.Vec.pop v)
+
+let vec_swap_remove () =
+  let v = Prelude.Vec.of_array ~dummy:0 [| 10; 20; 30; 40 |] in
+  let removed = Prelude.Vec.swap_remove v 1 in
+  check_int "removed" 20 removed;
+  check_int "length" 3 (Prelude.Vec.length v);
+  check_int "swapped in" 40 (Prelude.Vec.get v 1);
+  let removed = Prelude.Vec.swap_remove v 2 in
+  check_int "removed last" 30 removed;
+  check_int "length" 2 (Prelude.Vec.length v)
+
+let vec_iterators () =
+  let v = Prelude.Vec.of_array ~dummy:0 [| 1; 2; 3; 4 |] in
+  check_int "fold" 10 (Prelude.Vec.fold_left ( + ) 0 v);
+  check_bool "exists" true (Prelude.Vec.exists (fun x -> x = 3) v);
+  check_bool "not exists" false (Prelude.Vec.exists (fun x -> x = 9) v);
+  let acc = ref [] in
+  Prelude.Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Prelude.Vec.to_list v)
+
+let vec_qcheck =
+  QCheck.Test.make ~name:"vec: to_array mirrors pushes" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let v = Prelude.Vec.create ~dummy:0 () in
+      List.iter (Prelude.Vec.push v) xs;
+      Prelude.Vec.to_list v = xs)
+
+let vec_swap_remove_qcheck =
+  QCheck.Test.make ~name:"vec: swap_remove preserves multiset" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 20) small_int) small_int)
+    (fun (xs, k) ->
+      let v = Prelude.Vec.create ~dummy:0 () in
+      List.iter (Prelude.Vec.push v) xs;
+      let i = k mod List.length xs in
+      let removed = Prelude.Vec.swap_remove v i in
+      let remaining = List.sort compare (Prelude.Vec.to_list v) in
+      List.sort compare (removed :: remaining) = List.sort compare xs)
+
+(* ---------- Bitset ---------- *)
+
+let bitset_basic () =
+  let b = Prelude.Bitset.create 200 in
+  check_bool "empty" true (Prelude.Bitset.is_empty b);
+  Prelude.Bitset.add b 0;
+  Prelude.Bitset.add b 63;
+  Prelude.Bitset.add b 64;
+  Prelude.Bitset.add b 199;
+  check_int "cardinal" 4 (Prelude.Bitset.cardinal b);
+  check_bool "mem 63" true (Prelude.Bitset.mem b 63);
+  check_bool "mem 62" false (Prelude.Bitset.mem b 62);
+  Prelude.Bitset.add b 63;
+  check_int "idempotent add" 4 (Prelude.Bitset.cardinal b);
+  Prelude.Bitset.remove b 63;
+  check_bool "removed" false (Prelude.Bitset.mem b 63);
+  check_int "cardinal after remove" 3 (Prelude.Bitset.cardinal b);
+  Prelude.Bitset.remove b 63;
+  check_int "idempotent remove" 3 (Prelude.Bitset.cardinal b)
+
+let bitset_bounds () =
+  let b = Prelude.Bitset.create 10 in
+  Alcotest.check_raises "add 10" (Invalid_argument "Bitset: 10 out of bounds [0,10)")
+    (fun () -> Prelude.Bitset.add b 10);
+  Alcotest.check_raises "mem -1" (Invalid_argument "Bitset: -1 out of bounds [0,10)")
+    (fun () -> ignore (Prelude.Bitset.mem b (-1)))
+
+let bitset_range () =
+  let b = Prelude.Bitset.create 300 in
+  Prelude.Bitset.add b 100;
+  check_bool "inside" true (Prelude.Bitset.exists_in_range b ~lo:50 ~hi:150);
+  check_bool "exact" true (Prelude.Bitset.exists_in_range b ~lo:100 ~hi:100);
+  check_bool "below" false (Prelude.Bitset.exists_in_range b ~lo:0 ~hi:99);
+  check_bool "above" false (Prelude.Bitset.exists_in_range b ~lo:101 ~hi:299);
+  check_bool "inverted" false (Prelude.Bitset.exists_in_range b ~lo:150 ~hi:50);
+  Alcotest.(check (option int)) "first" (Some 100)
+    (Prelude.Bitset.first_in_range b ~lo:0 ~hi:299);
+  Alcotest.(check (option int)) "first none" None
+    (Prelude.Bitset.first_in_range b ~lo:101 ~hi:299)
+
+let bitset_iter_sorted () =
+  let b = Prelude.Bitset.create 500 in
+  List.iter (Prelude.Bitset.add b) [ 400; 3; 64; 65; 128 ];
+  Alcotest.(check (list int)) "sorted members" [ 3; 64; 65; 128; 400 ]
+    (Prelude.Bitset.to_list b)
+
+let bitset_copy_clear () =
+  let b = Prelude.Bitset.create 100 in
+  Prelude.Bitset.add b 5;
+  let c = Prelude.Bitset.copy b in
+  Prelude.Bitset.add c 6;
+  check_bool "copy independent" false (Prelude.Bitset.mem b 6);
+  Prelude.Bitset.clear b;
+  check_int "clear" 0 (Prelude.Bitset.cardinal b);
+  check_int "copy unaffected" 2 (Prelude.Bitset.cardinal c)
+
+let bitset_range_qcheck =
+  QCheck.Test.make ~name:"bitset: exists_in_range matches naive" ~count:500
+    QCheck.(triple (list_of_size Gen.(0 -- 30) (int_bound 199)) (int_bound 199) (int_bound 199))
+    (fun (members, a, b) ->
+      let lo = min a b and hi = max a b in
+      let set = Prelude.Bitset.create 200 in
+      List.iter (Prelude.Bitset.add set) members;
+      let naive = List.exists (fun x -> x >= lo && x <= hi) members in
+      Prelude.Bitset.exists_in_range set ~lo ~hi = naive)
+
+let bitset_first_qcheck =
+  QCheck.Test.make ~name:"bitset: first_in_range matches naive" ~count:500
+    QCheck.(triple (list_of_size Gen.(0 -- 30) (int_bound 199)) (int_bound 199) (int_bound 199))
+    (fun (members, a, b) ->
+      let lo = min a b and hi = max a b in
+      let set = Prelude.Bitset.create 200 in
+      List.iter (Prelude.Bitset.add set) members;
+      let naive =
+        List.sort compare members |> List.find_opt (fun x -> x >= lo && x <= hi)
+      in
+      Prelude.Bitset.first_in_range set ~lo ~hi = naive)
+
+(* ---------- Heap ---------- *)
+
+let heap_basic () =
+  let h = Prelude.Heap.create ~cmp:compare ~dummy:0 () in
+  List.iter (Prelude.Heap.push h) [ 5; 1; 4; 1; 3 ];
+  check_int "size" 5 (Prelude.Heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Prelude.Heap.peek h);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 1; 3; 4; 5 ]
+    (Prelude.Heap.to_sorted_list h);
+  check_bool "drained" true (Prelude.Heap.is_empty h)
+
+let heap_of_array () =
+  let h = Prelude.Heap.of_array ~cmp:compare ~dummy:0 [| 9; 2; 7; 2; 8; 1 |] in
+  Alcotest.(check (list int)) "heapify" [ 1; 2; 2; 7; 8; 9 ]
+    (Prelude.Heap.to_sorted_list h)
+
+let heap_custom_cmp () =
+  let h = Prelude.Heap.create ~cmp:(fun a b -> compare b a) ~dummy:0 () in
+  List.iter (Prelude.Heap.push h) [ 3; 9; 5 ];
+  Alcotest.(check (option int)) "max-heap" (Some 9) (Prelude.Heap.pop h)
+
+let heap_qcheck =
+  QCheck.Test.make ~name:"heap: drain equals sort" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Prelude.Heap.create ~cmp:compare ~dummy:0 () in
+      List.iter (Prelude.Heap.push h) xs;
+      Prelude.Heap.to_sorted_list h = List.sort compare xs)
+
+let remove_one v l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest -> if x = v then List.rev_append acc rest else go (x :: acc) rest
+  in
+  go [] l
+
+let heap_interleaved_qcheck =
+  QCheck.Test.make ~name:"heap: pop is always current minimum" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Prelude.Heap.create ~cmp:compare ~dummy:0 () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_pop, x) ->
+          if is_pop then begin
+            let expect =
+              match !model with [] -> None | l -> Some (List.fold_left min max_int l)
+            in
+            let got = Prelude.Heap.pop h in
+            (match got with Some v -> model := remove_one v !model | None -> ());
+            expect = got
+          end
+          else begin
+            Prelude.Heap.push h x;
+            model := x :: !model;
+            true
+          end)
+        ops)
+
+(* ---------- Rng ---------- *)
+
+let rng_determinism () =
+  let a = Prelude.Rng.create 42 and b = Prelude.Rng.create 42 in
+  for _ = 1 to 100 do
+    if Prelude.Rng.int64 a <> Prelude.Rng.int64 b then Alcotest.fail "diverged"
+  done
+
+let rng_seed_sensitivity () =
+  let a = Prelude.Rng.create 1 and b = Prelude.Rng.create 2 in
+  check_bool "different seeds differ" true (Prelude.Rng.int64 a <> Prelude.Rng.int64 b)
+
+let rng_int_bounds () =
+  let r = Prelude.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prelude.Rng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Prelude.Rng.int r 0))
+
+let rng_float_range () =
+  let r = Prelude.Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Prelude.Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let rng_shuffle_permutation () =
+  let r = Prelude.Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Prelude.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let rng_sample () =
+  let r = Prelude.Rng.create 5 in
+  let s = Prelude.Rng.sample_without_replacement r ~k:10 ~n:30 in
+  check_int "size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    if sorted.(i) = sorted.(i - 1) then Alcotest.fail "duplicate sample"
+  done;
+  Array.iter (fun x -> if x < 0 || x >= 30 then Alcotest.fail "out of range") s
+
+let rng_gaussian_moments () =
+  let r = Prelude.Rng.create 13 in
+  let acc = Prelude.Stats.Acc.create () in
+  for _ = 1 to 20_000 do
+    Prelude.Stats.Acc.add acc (Prelude.Rng.gaussian r ~mu:5.0 ~sigma:2.0)
+  done;
+  let mean = Prelude.Stats.Acc.mean acc and sd = Prelude.Stats.Acc.stddev acc in
+  check_bool "mean near 5" true (abs_float (mean -. 5.0) < 0.1);
+  check_bool "sd near 2" true (abs_float (sd -. 2.0) < 0.1)
+
+let rng_lognormal_positive () =
+  let r = Prelude.Rng.create 17 in
+  for _ = 1 to 1000 do
+    if Prelude.Rng.lognormal r ~mu:0.0 ~sigma:1.5 <= 0.0 then
+      Alcotest.fail "lognormal must be positive"
+  done
+
+let rng_exponential () =
+  let r = Prelude.Rng.create 19 in
+  let acc = Prelude.Stats.Acc.create () in
+  for _ = 1 to 20_000 do
+    Prelude.Stats.Acc.add acc (Prelude.Rng.exponential r ~rate:2.0)
+  done;
+  check_bool "mean near 1/rate" true
+    (abs_float (Prelude.Stats.Acc.mean acc -. 0.5) < 0.02)
+
+(* ---------- Stats ---------- *)
+
+let stats_summary () =
+  let s = Prelude.Stats.summarize [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_int "count" 4 s.Prelude.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Prelude.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Prelude.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Prelude.Stats.max;
+  Alcotest.(check (float 1e-9)) "total" 10.0 s.Prelude.Stats.total;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 s.Prelude.Stats.stddev
+
+let stats_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "p0" 10.0 (Prelude.Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 30.0 (Prelude.Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Prelude.Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p25" 20.0 (Prelude.Stats.percentile xs 25.0);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Prelude.Stats.percentile [||] 50.0))
+
+let stats_acc_matches_batch =
+  QCheck.Test.make ~name:"stats: streaming equals batch" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let batch = Prelude.Stats.summarize arr in
+      let acc = Prelude.Stats.Acc.create () in
+      Array.iter (Prelude.Stats.Acc.add acc) arr;
+      let s = Prelude.Stats.Acc.summary acc in
+      abs_float (s.Prelude.Stats.mean -. batch.Prelude.Stats.mean) < 1e-9
+      && abs_float (s.Prelude.Stats.stddev -. batch.Prelude.Stats.stddev) < 1e-9
+      && s.Prelude.Stats.count = batch.Prelude.Stats.count)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "vec",
+        [
+          test `Quick "basic ops" vec_basic;
+          test `Quick "growth preserves contents" vec_growth;
+          test `Quick "bounds checking" vec_bounds;
+          test `Quick "clear and top" vec_clear_and_top;
+          test `Quick "swap_remove" vec_swap_remove;
+          test `Quick "iterators" vec_iterators;
+        ]
+        @ qsuite [ vec_qcheck; vec_swap_remove_qcheck ] );
+      ( "bitset",
+        [
+          test `Quick "basic ops" bitset_basic;
+          test `Quick "bounds checking" bitset_bounds;
+          test `Quick "range queries" bitset_range;
+          test `Quick "iteration is sorted" bitset_iter_sorted;
+          test `Quick "copy and clear" bitset_copy_clear;
+        ]
+        @ qsuite [ bitset_range_qcheck; bitset_first_qcheck ] );
+      ( "heap",
+        [
+          test `Quick "basic ops" heap_basic;
+          test `Quick "of_array heapifies" heap_of_array;
+          test `Quick "custom comparator" heap_custom_cmp;
+        ]
+        @ qsuite [ heap_qcheck; heap_interleaved_qcheck ] );
+      ( "rng",
+        [
+          test `Quick "deterministic per seed" rng_determinism;
+          test `Quick "seed sensitivity" rng_seed_sensitivity;
+          test `Quick "int stays in bounds" rng_int_bounds;
+          test `Quick "float in [0,1)" rng_float_range;
+          test `Quick "shuffle is a permutation" rng_shuffle_permutation;
+          test `Quick "sampling without replacement" rng_sample;
+          test `Slow "gaussian moments" rng_gaussian_moments;
+          test `Quick "lognormal positive" rng_lognormal_positive;
+          test `Slow "exponential mean" rng_exponential;
+        ] );
+      ( "stats",
+        [
+          test `Quick "summary of known sample" stats_summary;
+          test `Quick "percentiles" stats_percentile;
+        ]
+        @ qsuite [ stats_acc_matches_batch ] );
+    ]

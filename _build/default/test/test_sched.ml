@@ -1,0 +1,485 @@
+(* Scheduler tests: every scheduler is exercised through the simulation
+   engine on hand-built and random traces, and each schedule is checked
+   against the Section II model (single execution, no task before an
+   activated ancestor). *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let all_factories =
+  [
+    Sched.Level_based.factory;
+    Sched.Lookahead.factory ~k:1;
+    Sched.Lookahead.factory ~k:3;
+    Sched.Lookahead.factory ~k:10;
+    Sched.Logicblox.factory;
+    Sched.Signal.factory;
+    Sched.Hybrid.factory;
+    Sched.Hybrid.factory_batched ~scan_batch:1;
+    Sched.Hybrid.factory_batched ~scan_batch:4;
+  ]
+
+let run_valid ?(procs = 3) trace factory =
+  let config = { Simulator.Engine.procs; op_cost = 1e-7; record_log = true } in
+  let r = Simulator.Engine.run ~config ~sched:factory trace in
+  (match Simulator.Validate.check_run trace r with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "%s produced an invalid schedule: %s" factory.Sched.Intf.fname e);
+  r.Simulator.Engine.metrics
+
+(* Hand-built trace: diamond where one branch's change dies out.
+   0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4; edge 2->3 does not propagate. *)
+let partial_diamond () =
+  let graph =
+    Dag.Graph.of_edges ~nodes:5 [| (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) |]
+  in
+  let edge_changed = [| true; true; true; false; true |] in
+  Workload.Trace.create ~name:"partial-diamond" ~graph
+    ~kind:(Array.make 5 Workload.Trace.Task)
+    ~shape:(Array.make 5 Workload.Trace.Unit)
+    ~initial:[| 0 |] ~edge_changed
+
+(* Random small traces as a QCheck generator. *)
+let trace_gen =
+  QCheck.Gen.(
+    2 -- 18 >>= fun n ->
+    list_size (0 -- (3 * n)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+    >>= fun pairs ->
+    array_size (return (6 * n)) bool >>= fun coin ->
+    int_bound 3 >|= fun extra_initial ->
+    let edges =
+      pairs
+      |> List.filter_map (fun (a, b) ->
+             if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+      |> List.sort_uniq compare
+      |> Array.of_list
+    in
+    let graph = Dag.Graph.of_edges ~nodes:n edges in
+    let edge_changed =
+      Array.init (Dag.Graph.edge_count graph) (fun e -> coin.(e mod Array.length coin))
+    in
+    let sources = Dag.Graph.sources graph in
+    let k = min (Array.length sources) (1 + extra_initial) in
+    let initial = Array.sub sources 0 k in
+    Workload.Trace.create ~name:"qcheck" ~graph
+      ~kind:(Array.make n Workload.Trace.Task)
+      ~shape:(Array.init n (fun i -> Workload.Trace.Seq (1.0 +. float_of_int (i mod 4))))
+      ~initial ~edge_changed)
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun (t : Workload.Trace.t) ->
+      Format.asprintf "%a" Workload.Trace.pp_stats (Workload.Trace.stats t))
+    trace_gen
+
+(* ---------- validity across schedulers ---------- *)
+
+let validity_tests =
+  List.map
+    (fun factory ->
+      test `Quick
+        (Printf.sprintf "%s: valid on partial diamond" factory.Sched.Intf.fname)
+        (fun () ->
+          let m = run_valid (partial_diamond ()) factory in
+          (* W = {0,1,2,3,4}: 2's input changed even though its output
+             change dies; 3 activated via 1. *)
+          check_int "executed" 5 m.Simulator.Metrics.tasks_executed))
+    all_factories
+
+let qcheck_validity =
+  List.map
+    (fun factory ->
+      QCheck.Test.make
+        ~name:
+          (Printf.sprintf "%s: valid schedules on random traces" factory.Sched.Intf.fname)
+        ~count:150 arb_trace
+        (fun trace ->
+          let config = { Simulator.Engine.procs = 2; op_cost = 1e-7; record_log = true } in
+          let r = Simulator.Engine.run ~config ~sched:factory trace in
+          match Simulator.Validate.check_run trace r with
+          | Ok () -> true
+          | Error _ -> false))
+    all_factories
+
+(* ---------- LevelBased semantics ---------- *)
+
+let index_of arr x =
+  let found = ref (-1) in
+  Array.iteri (fun i y -> if y = x && !found < 0 then found := i) arr;
+  if !found < 0 then Alcotest.failf "task %d never ran" x;
+  !found
+
+let lb_respects_levels () =
+  (* two independent chains; LB on one processor must drain level by level *)
+  let graph = Dag.Graph.of_edges ~nodes:5 [| (0, 1); (1, 2); (3, 4) |] in
+  let trace =
+    Workload.Trace.create ~name:"two-chains" ~graph
+      ~kind:(Array.make 5 Workload.Trace.Task)
+      ~shape:(Array.make 5 (Workload.Trace.Seq 1.0))
+      ~initial:[| 0; 3 |]
+      ~edge_changed:[| true; true; true |]
+  in
+  let config = { Simulator.Engine.procs = 1; op_cost = 0.0; record_log = true } in
+  let r = Simulator.Engine.run ~config ~sched:Sched.Level_based.factory trace in
+  let log = Option.get r.Simulator.Engine.log in
+  let starts = Array.map (fun e -> e.Simulator.Engine.task) log in
+  let pos = index_of starts in
+  check_bool "0 before 1" true (pos 0 < pos 1);
+  check_bool "3 before 4" true (pos 3 < pos 4);
+  check_bool "4 before 2" true (pos 4 < pos 2);
+  check_bool "1 before 2" true (pos 1 < pos 2)
+
+let lb_skips_empty_levels () =
+  let trace = Workload.Pathological.deep_chain ~n:6 in
+  let m = run_valid ~procs:1 trace Sched.Level_based.factory in
+  Alcotest.(check (float 1e-6)) "serial chain" 6.0 m.Simulator.Metrics.exec_time
+
+(* ---------- tight example (Theorem 9 / Figure 2) ---------- *)
+
+let tight_example_shapes () =
+  let levels = 12 in
+  let trace = Workload.Pathological.tight_example ~levels in
+  let config = { Simulator.Engine.procs = 32; op_cost = 0.0; record_log = true } in
+  let lb = Simulator.Engine.run ~config ~sched:Sched.Level_based.factory trace in
+  let opt =
+    Simulator.Engine.run ~config ~sched:(Simulator.Engine.clairvoyant_factory trace) trace
+  in
+  (* LB pays sum_{i=2..L}(L-i+1) + 1 = L(L-1)/2 + 1; OPT pays L *)
+  Alcotest.(check (float 1e-6)) "LB quadratic"
+    (float_of_int ((levels * (levels - 1) / 2) + 1))
+    lb.Simulator.Engine.metrics.Simulator.Metrics.makespan;
+  Alcotest.(check (float 1e-6)) "OPT linear" (float_of_int levels)
+    opt.Simulator.Engine.metrics.Simulator.Metrics.makespan;
+  let lbl =
+    Simulator.Engine.run ~config ~sched:(Sched.Lookahead.factory ~k:levels) trace
+  in
+  Alcotest.(check (float 1e-6)) "LBL rescues" (float_of_int levels)
+    lbl.Simulator.Engine.metrics.Simulator.Metrics.makespan
+
+(* ---------- LogicBlox scheduler ---------- *)
+
+let logicblox_broom_quadratic () =
+  let spine = 100 and fan = 100 in
+  let trace = Workload.Pathological.broom ~spine ~fan in
+  let m_lbx = run_valid ~procs:4 trace Sched.Logicblox.factory in
+  let m_lb = run_valid ~procs:4 trace Sched.Level_based.factory in
+  let q = m_lbx.Simulator.Metrics.ops.Sched.Intf.queries in
+  check_bool "quadratic queries" true (q > spine * fan / 2);
+  check_bool "levelbased linear" true
+    (Sched.Intf.total_ops m_lb.Simulator.Metrics.ops < 20 * (spine + fan))
+
+let logicblox_memory_reported () =
+  let trace =
+    Workload.Pathological.interval_blowup ~width:40 ~layers:3 ~density:0.5 ~seed:1
+  in
+  let m = run_valid ~procs:4 trace Sched.Logicblox.factory in
+  let m_lb = run_valid ~procs:4 trace Sched.Level_based.factory in
+  check_bool "interval lists dominate" true
+    (m.Simulator.Metrics.memory_words > 5 * m_lb.Simulator.Metrics.memory_words)
+
+(* ---------- Signal propagation ---------- *)
+
+let signal_messages_cover_graph () =
+  let n = 50 in
+  let trace = Workload.Pathological.deep_chain ~n in
+  let m = run_valid ~procs:1 trace Sched.Signal.factory in
+  check_int "one message per edge" (n - 1) m.Simulator.Metrics.ops.Sched.Intf.messages
+
+let signal_messages_despite_tiny_active_set () =
+  (* a long inactive tail still receives no-change signals *)
+  let graph = Dag.Graph.of_edges ~nodes:6 [| (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) |] in
+  let trace =
+    Workload.Trace.create ~name:"dead-tail" ~graph
+      ~kind:(Array.make 6 Workload.Trace.Task)
+      ~shape:(Array.make 6 Workload.Trace.Unit)
+      ~initial:[| 0 |]
+      ~edge_changed:[| false; false; false; false; false |]
+  in
+  let m = run_valid ~procs:1 trace Sched.Signal.factory in
+  check_int "only the source executed" 1 m.Simulator.Metrics.tasks_executed;
+  check_int "but every edge carried a signal" 5
+    m.Simulator.Metrics.ops.Sched.Intf.messages
+
+(* ---------- Hybrid ---------- *)
+
+let hybrid_beats_logicblox_on_broom () =
+  let trace = Workload.Pathological.broom ~spine:200 ~fan:200 in
+  let h = run_valid ~procs:4 trace Sched.Hybrid.factory in
+  let l = run_valid ~procs:4 trace Sched.Logicblox.factory in
+  check_bool "hybrid cheaper decisions" true
+    (Sched.Intf.total_ops h.Simulator.Metrics.ops
+    < Sched.Intf.total_ops l.Simulator.Metrics.ops)
+
+(* Section V: LevelBased combines with ANY heuristic — here with signal
+   propagation as the co-scheduler. *)
+let hybrid_with_signal_co () =
+  let factory =
+    {
+      Sched.Intf.fname = "hybrid-signal";
+      make =
+        (fun g ->
+          Sched.Hybrid.make_with ~name:"Hybrid(LB+Signal)"
+            ~co:(fun ~ops g -> Sched.Signal.make ~ops g)
+            g);
+    }
+  in
+  let trace = Workload.Pathological.tight_example ~levels:10 in
+  let m = run_valid ~procs:16 trace factory in
+  check_bool "escapes the LB worst case via the co-scheduler" true
+    (m.Simulator.Metrics.makespan < 46.0 (* LB alone pays L(L-1)/2+1 = 46 *));
+  let trace2 = partial_diamond () in
+  ignore (run_valid trace2 factory)
+
+let hybrid_matches_best_makespan () =
+  let trace = Workload.Pathological.tight_example ~levels:10 in
+  let config = { Simulator.Engine.procs = 16; op_cost = 0.0; record_log = true } in
+  let h = Simulator.Engine.run ~config ~sched:Sched.Hybrid.factory trace in
+  check_bool "hybrid escapes LB worst case" true
+    (h.Simulator.Engine.metrics.Simulator.Metrics.makespan < 2.0 *. 10.0)
+
+(* ---------- Clairvoyant ---------- *)
+
+(* Greedy list scheduling on the revealed H obeys Graham's bound. *)
+let clairvoyant_graham_qcheck =
+  QCheck.Test.make ~name:"clairvoyant: <= w/P + realized span (Graham)" ~count:150
+    arb_trace (fun trace ->
+      let procs = 2 in
+      let config = { Simulator.Engine.procs; op_cost = 0.0; record_log = false } in
+      let m =
+        (Simulator.Engine.run ~config
+           ~sched:(Simulator.Engine.clairvoyant_factory trace)
+           trace)
+          .Simulator.Engine.metrics
+      in
+      let w = Workload.Trace.total_active_work trace in
+      let span = Workload.Trace.active_critical_path trace in
+      m.Simulator.Metrics.makespan <= (w /. float_of_int procs) +. span +. 1e-9)
+
+let clairvoyant_bounds_qcheck =
+  QCheck.Test.make ~name:"clairvoyant: >= max(w/P, realized span)" ~count:100 arb_trace
+    (fun trace ->
+      let procs = 2 in
+      let config = { Simulator.Engine.procs; op_cost = 0.0; record_log = false } in
+      let m =
+        (Simulator.Engine.run ~config
+           ~sched:(Simulator.Engine.clairvoyant_factory trace)
+           trace)
+          .Simulator.Engine.metrics
+      in
+      let w = Workload.Trace.total_active_work trace in
+      let span = Workload.Trace.active_critical_path trace in
+      m.Simulator.Metrics.makespan >= (w /. float_of_int procs) -. 1e-9
+      && m.Simulator.Metrics.makespan >= span -. 1e-9)
+
+(* ---------- Lookahead ---------- *)
+
+let lookahead_invalid_k () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Lookahead: k must be >= 1") (fun () ->
+      ignore ((Sched.Lookahead.factory ~k:0).Sched.Intf.make (Dag.Graph.empty 1)))
+
+let lookahead_valid_any_k () =
+  let graph = Dag.Graph.of_edges ~nodes:5 [| (0, 1); (1, 2); (2, 3); (0, 4) |] in
+  let trace =
+    Workload.Trace.create ~name:"promote" ~graph
+      ~kind:(Array.make 5 Workload.Trace.Task)
+      ~shape:
+        [|
+          Workload.Trace.Seq 1.0; Seq 5.0; Seq 5.0; Seq 5.0; Workload.Trace.Seq 1.0;
+        |]
+      ~initial:[| 0 |]
+      ~edge_changed:[| true; true; true; true |]
+  in
+  List.iter
+    (fun k -> ignore (run_valid ~procs:2 trace (Sched.Lookahead.factory ~k)))
+    [ 1; 2; 5; 50 ]
+
+let lookahead_promotion_effective () =
+  let trace = Workload.Pathological.tight_example ~levels:14 in
+  let config = { Simulator.Engine.procs = 16; op_cost = 0.0; record_log = true } in
+  let lb =
+    (Simulator.Engine.run ~config ~sched:Sched.Level_based.factory trace)
+      .Simulator.Engine.metrics
+      .Simulator.Metrics.makespan
+  in
+  let lbl =
+    (Simulator.Engine.run ~config ~sched:(Sched.Lookahead.factory ~k:2) trace)
+      .Simulator.Engine.metrics
+      .Simulator.Metrics.makespan
+  in
+  check_bool "even k=2 helps here" true (lbl < lb)
+
+let lookahead_monotone_in_k () =
+  let trace = Workload.Pathological.tight_example ~levels:16 in
+  let config = { Simulator.Engine.procs = 32; op_cost = 0.0; record_log = false } in
+  let makespan k =
+    (Simulator.Engine.run ~config ~sched:(Sched.Lookahead.factory ~k) trace)
+      .Simulator.Engine.metrics
+      .Simulator.Metrics.makespan
+  in
+  let m1 = makespan 1 and m4 = makespan 4 and m16 = makespan 16 in
+  check_bool "k=4 no worse than k=1" true (m4 <= m1 +. 1e-9);
+  check_bool "k=16 no worse than k=4" true (m16 <= m4 +. 1e-9)
+
+(* ---------- Prepared (shared precomputation) ---------- *)
+
+let prepared_equivalent () =
+  let trace = Workload.Pathological.tight_example ~levels:12 in
+  let prep = Sched.Prepared.prepare trace.Workload.Trace.graph in
+  let config = { Simulator.Engine.procs = 4; op_cost = 1e-7; record_log = false } in
+  List.iter
+    (fun (plain, prepared) ->
+      let m f =
+        (Simulator.Engine.run ~config ~sched:f trace).Simulator.Engine.metrics
+      in
+      let a = m plain and b = m prepared in
+      Alcotest.(check (float 1e-9))
+        (plain.Sched.Intf.fname ^ ": same makespan")
+        a.Simulator.Metrics.makespan b.Simulator.Metrics.makespan;
+      check_int
+        (plain.Sched.Intf.fname ^ ": same ops")
+        (Sched.Intf.total_ops a.Simulator.Metrics.ops)
+        (Sched.Intf.total_ops b.Simulator.Metrics.ops))
+    [
+      (Sched.Level_based.factory, Sched.Prepared.level_based_factory prep);
+      (Sched.Lookahead.factory ~k:4, Sched.Prepared.lookahead_factory prep ~k:4);
+      (Sched.Logicblox.factory, Sched.Prepared.logicblox_factory prep);
+      (Sched.Hybrid.factory, Sched.Prepared.hybrid_factory prep);
+      (Sched.Signal.factory, Sched.Prepared.signal_factory prep);
+    ]
+
+let prepared_amortizes () =
+  (* on a trace with an expensive interval build, the prepared factory's
+     per-run cost collapses *)
+  let trace =
+    Workload.Pathological.interval_blowup ~width:80 ~layers:3 ~density:0.5 ~seed:9
+  in
+  let prep = Sched.Prepared.prepare trace.Workload.Trace.graph in
+  let config = { Simulator.Engine.procs = 4; op_cost = 1e-7; record_log = false } in
+  let cold =
+    (Simulator.Engine.run ~config ~sched:Sched.Logicblox.factory trace)
+      .Simulator.Engine.metrics
+      .Simulator.Metrics.precompute_wallclock
+  in
+  let warm =
+    (Simulator.Engine.run ~config ~sched:(Sched.Prepared.logicblox_factory prep) trace)
+      .Simulator.Engine.metrics
+      .Simulator.Metrics.precompute_wallclock
+  in
+  check_bool "warm precompute is much cheaper" true (warm < cold /. 5.0)
+
+let prepared_guards_graph () =
+  let t1 = Workload.Pathological.deep_chain ~n:5 in
+  let t2 = Workload.Pathological.deep_chain ~n:6 in
+  let prep = Sched.Prepared.prepare t1.Workload.Trace.graph in
+  let factory = Sched.Prepared.level_based_factory prep in
+  match factory.Sched.Intf.make t2.Workload.Trace.graph with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of a foreign graph"
+
+(* ---------- Registry ---------- *)
+
+let registry_known () =
+  List.iter
+    (fun name ->
+      match Sched.Registry.find name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "registry must know %s" name)
+    [
+      "levelbased"; "lb"; "LB"; "logicblox"; "signal"; "hybrid"; "lbl:7";
+      "lookahead:3"; "hybrid:16";
+    ]
+
+let registry_unknown () =
+  check_bool "unknown" true (Sched.Registry.find "unknown" = None);
+  check_bool "bad k" true (Sched.Registry.find "lbl:0" = None);
+  check_bool "bad k syntax" true (Sched.Registry.find "lbl:x" = None);
+  Alcotest.check_raises "find_exn" (Invalid_argument "unknown scheduler \"nope\"")
+    (fun () -> ignore (Sched.Registry.find_exn "nope"))
+
+let registry_names_resolve () =
+  List.iter
+    (fun name ->
+      match Sched.Registry.find name with
+      | Some f -> check_bool "name matches" true (f.Sched.Intf.fname <> "")
+      | None -> Alcotest.failf "advertised name %s must resolve" name)
+    Sched.Registry.names
+
+(* ---------- ops accounting ---------- *)
+
+let ops_shared_in_hybrid () =
+  let trace = partial_diamond () in
+  let ops = Sched.Intf.zero_ops () in
+  let inst = Sched.Hybrid.make ~ops trace.Workload.Trace.graph in
+  check_bool "hybrid shares the ops record" true (inst.Sched.Intf.ops == ops)
+
+let ops_pp_and_total () =
+  let ops = Sched.Intf.zero_ops () in
+  ops.Sched.Intf.queries <- 2;
+  ops.Sched.Intf.messages <- 3;
+  check_int "total" 5 (Sched.Intf.total_ops ops);
+  let other = Sched.Intf.zero_ops () in
+  other.Sched.Intf.bucket_ops <- 4;
+  Sched.Intf.add_ops ~into:ops other;
+  check_int "after add" 9 (Sched.Intf.total_ops ops);
+  let s = Format.asprintf "%a" Sched.Intf.pp_ops ops in
+  check_bool "pp nonempty" true (String.length s > 10)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sched"
+    [
+      ("validity", validity_tests @ qsuite qcheck_validity);
+      ( "levelbased",
+        [
+          test `Quick "respects level order" lb_respects_levels;
+          test `Quick "serial chain" lb_skips_empty_levels;
+        ] );
+      ("tight-example", [ test `Quick "Theorem 9 shapes" tight_example_shapes ]);
+      ( "logicblox",
+        [
+          test `Quick "broom is quadratic" logicblox_broom_quadratic;
+          test `Quick "interval memory reported" logicblox_memory_reported;
+        ] );
+      ( "signal",
+        [
+          test `Quick "messages cover the graph" signal_messages_cover_graph;
+          test `Quick "messages despite tiny active set"
+            signal_messages_despite_tiny_active_set;
+        ] );
+      ( "hybrid",
+        [
+          test `Quick "cheaper than LogicBlox on broom" hybrid_beats_logicblox_on_broom;
+          test `Quick "escapes LB worst case" hybrid_matches_best_makespan;
+          test `Quick "combines with any heuristic (signal co)" hybrid_with_signal_co;
+        ] );
+      ("clairvoyant", qsuite [ clairvoyant_graham_qcheck; clairvoyant_bounds_qcheck ]);
+      ( "lookahead",
+        [
+          test `Quick "rejects k=0" lookahead_invalid_k;
+          test `Quick "valid for all k" lookahead_valid_any_k;
+          test `Quick "promotion reduces makespan" lookahead_promotion_effective;
+          test `Quick "monotone in k on tight example" lookahead_monotone_in_k;
+        ] );
+      ( "prepared",
+        [
+          test `Quick "equivalent to cold factories" prepared_equivalent;
+          test `Quick "amortizes precomputation" prepared_amortizes;
+          test `Quick "guards against foreign graphs" prepared_guards_graph;
+        ] );
+      ( "registry",
+        [
+          test `Quick "known names" registry_known;
+          test `Quick "unknown names" registry_unknown;
+          test `Quick "advertised names resolve" registry_names_resolve;
+        ] );
+      ( "ops",
+        [
+          test `Quick "hybrid shares counters" ops_shared_in_hybrid;
+          test `Quick "totals and printing" ops_pp_and_total;
+        ] );
+    ]

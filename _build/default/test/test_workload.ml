@@ -1,0 +1,355 @@
+(* Workload layer tests: trace model, serialization round-trips, the
+   synthetic generator's structural guarantees, the Table I
+   reconstructions, and the pathological instances. *)
+
+let test case name f = Alcotest.test_case name case f
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Trace model ---------- *)
+
+let mk_diamond ?(changed = [| true; true; true; true |]) () =
+  let graph = Dag.Graph.of_edges ~nodes:4 [| (0, 1); (0, 2); (1, 3); (2, 3) |] in
+  Workload.Trace.create ~name:"d" ~graph
+    ~kind:[| Workload.Trace.Task; Task; Predicate; Task |]
+    ~shape:[| Workload.Trace.Seq 2.0; Seq 3.0; Seq 100.0; Seq 4.0 |]
+    ~initial:[| 0 |] ~edge_changed:changed
+
+let trace_shapes () =
+  Alcotest.(check (float 1e-9)) "unit work" 1.0 (Workload.Trace.shape_work Unit);
+  Alcotest.(check (float 1e-9)) "seq work" 5.0 (Workload.Trace.shape_work (Seq 5.0));
+  Alcotest.(check (float 1e-9)) "par span" 1.0 (Workload.Trace.shape_span (Par 7.0));
+  Alcotest.(check (float 1e-9)) "stages work" 24.0
+    (Workload.Trace.shape_work (Stages { width = 3; length = 4; chip = 2.0 }));
+  Alcotest.(check (float 1e-9)) "stages span" 8.0
+    (Workload.Trace.shape_span (Stages { width = 3; length = 4; chip = 2.0 }))
+
+let trace_predicate_work_is_zero () =
+  let t = mk_diamond () in
+  Alcotest.(check (float 1e-9)) "task work" 2.0 (Workload.Trace.work t 0);
+  Alcotest.(check (float 1e-9)) "predicate work" 0.0 (Workload.Trace.work t 2)
+
+let trace_active_closure () =
+  let t = mk_diamond ~changed:[| true; false; true; true |] () in
+  (* 0 -> 1 propagates, 0 -> 2 does not; 3 reached via 1 *)
+  Alcotest.(check (list int)) "active" [ 0; 1; 3 ]
+    (Prelude.Bitset.to_list (Workload.Trace.active_set t));
+  let s = Workload.Trace.stats t in
+  check_int "active jobs" 2 s.Workload.Trace.active_jobs;
+  check_int "initial" 1 s.Workload.Trace.initial_tasks;
+  Alcotest.(check (float 1e-9)) "active work" 9.0 s.Workload.Trace.active_work
+
+let trace_critical_path () =
+  let t = mk_diamond () in
+  (* paths in H: 0(2) -> 1(3) -> 3(4) = 9; through predicate 2 it is 2+0+4 = 6 *)
+  Alcotest.(check (float 1e-9)) "cp" 9.0 (Workload.Trace.active_critical_path t)
+
+let trace_validation_errors () =
+  let graph = Dag.Graph.of_edges ~nodes:2 [| (0, 1); (1, 0) |] in
+  Alcotest.check_raises "cycle" (Invalid_argument "Trace.create: graph has a cycle")
+    (fun () ->
+      ignore
+        (Workload.Trace.create ~name:"bad" ~graph
+           ~kind:(Array.make 2 Workload.Trace.Task)
+           ~shape:(Array.make 2 Workload.Trace.Unit)
+           ~initial:[| 0 |] ~edge_changed:[| true; true |]));
+  let graph = Dag.Graph.of_edges ~nodes:2 [| (0, 1) |] in
+  Alcotest.check_raises "unsorted initial"
+    (Invalid_argument "Trace.create: initial not sorted/distinct") (fun () ->
+      ignore
+        (Workload.Trace.create ~name:"bad" ~graph
+           ~kind:(Array.make 2 Workload.Trace.Task)
+           ~shape:(Array.make 2 Workload.Trace.Unit)
+           ~initial:[| 1; 0 |] ~edge_changed:[| true |]));
+  Alcotest.check_raises "negative work" (Invalid_argument "Trace: negative work")
+    (fun () ->
+      ignore
+        (Workload.Trace.create ~name:"bad" ~graph
+           ~kind:(Array.make 2 Workload.Trace.Task)
+           ~shape:[| Workload.Trace.Seq (-1.0); Unit |]
+           ~initial:[| 0 |] ~edge_changed:[| true |]))
+
+(* ---------- Trace IO ---------- *)
+
+let io_round_trip () =
+  let t = mk_diamond ~changed:[| true; false; true; true |] () in
+  let buf = Buffer.create 256 in
+  let tmp = Filename.temp_file "trace" ".txt" in
+  Workload.Trace_io.to_file tmp t;
+  let t' = Workload.Trace_io.of_file tmp in
+  Sys.remove tmp;
+  ignore buf;
+  check_int "nodes" 4 (Dag.Graph.node_count t'.Workload.Trace.graph);
+  check_int "edges" 4 (Dag.Graph.edge_count t'.Workload.Trace.graph);
+  Alcotest.(check (array bool)) "changed flags" t.Workload.Trace.edge_changed
+    t'.Workload.Trace.edge_changed;
+  Alcotest.(check (array int)) "initial" t.Workload.Trace.initial t'.Workload.Trace.initial;
+  check_bool "kinds" true (t.Workload.Trace.kind = t'.Workload.Trace.kind);
+  check_bool "shapes" true (t.Workload.Trace.shape = t'.Workload.Trace.shape)
+
+let io_of_string () =
+  let t =
+    Workload.Trace_io.of_string ~name:"inline"
+      "nodes 3\nnode 1 P seq 0\nedge 0 1 1\nedge 1 2 0\ninitial 0\n# comment\n"
+  in
+  check_int "nodes" 3 (Dag.Graph.node_count t.Workload.Trace.graph);
+  check_bool "kind" true (t.Workload.Trace.kind.(1) = Workload.Trace.Predicate);
+  check_bool "edge flags" true (t.Workload.Trace.edge_changed = [| true; false |])
+
+let io_parse_errors () =
+  let bad input msg =
+    match Workload.Trace_io.of_string input with
+    | exception Failure e ->
+      check_bool (Printf.sprintf "%s mentions context" msg) true (String.length e > 0)
+    | _ -> Alcotest.failf "expected failure: %s" msg
+  in
+  bad "edge 0 1 1\n" "missing nodes";
+  bad "nodes 2\nedge 0 1 2\n" "bad change flag";
+  bad "nodes 1\nnode 0 X unit\n" "bad kind";
+  bad "nodes 1\nfrobnicate\n" "unknown record"
+
+let io_qcheck_round_trip =
+  let gen =
+    QCheck.Gen.(
+      2 -- 15 >>= fun n ->
+      list_size (0 -- (2 * n)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+      >|= fun pairs ->
+      let edges =
+        pairs
+        |> List.filter_map (fun (a, b) ->
+               if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+        |> List.sort_uniq compare
+        |> Array.of_list
+      in
+      let graph = Dag.Graph.of_edges ~nodes:n edges in
+      let shapes =
+        [|
+          Workload.Trace.Unit;
+          Seq 2.5;
+          Par 4.0;
+          Stages { width = 2; length = 3; chip = 0.5 };
+        |]
+      in
+      Workload.Trace.create ~name:"rt" ~graph
+        ~kind:(Array.init n (fun i -> if i mod 3 = 0 then Workload.Trace.Predicate else Task))
+        ~shape:(Array.init n (fun i -> shapes.(i mod 4)))
+        ~initial:(if Array.length (Dag.Graph.sources graph) > 0 then [| (Dag.Graph.sources graph).(0) |] else [||])
+        ~edge_changed:(Array.init (Array.length edges) (fun e -> e mod 2 = 0)))
+  in
+  QCheck.Test.make ~name:"trace io: write/read round trip" ~count:100 (QCheck.make gen)
+    (fun t ->
+      let tmp = Filename.temp_file "trace" ".txt" in
+      Workload.Trace_io.to_file tmp t;
+      let t' = Workload.Trace_io.of_file tmp in
+      Sys.remove tmp;
+      t.Workload.Trace.kind = t'.Workload.Trace.kind
+      && t.Workload.Trace.shape = t'.Workload.Trace.shape
+      && t.Workload.Trace.initial = t'.Workload.Trace.initial
+      && t.Workload.Trace.edge_changed = t'.Workload.Trace.edge_changed
+      && Dag.Graph.node_count t.Workload.Trace.graph
+         = Dag.Graph.node_count t'.Workload.Trace.graph)
+
+(* ---------- Synthetic generator ---------- *)
+
+let synth_params =
+  {
+    Workload.Synthetic.nodes = 2000;
+    edges = 3500;
+    levels = 25;
+    initial = 12;
+    active_jobs = 150;
+    descendants = None;
+    task_fraction = 0.5;
+    seed = 7;
+  }
+
+let synth_structure () =
+  let t = Workload.Synthetic.generate ~name:"synth" synth_params in
+  let s = Workload.Trace.stats t in
+  check_int "nodes" 2000 s.Workload.Trace.nodes;
+  check_int "edges" 3500 s.Workload.Trace.edges;
+  check_int "levels" 25 s.Workload.Trace.levels;
+  check_int "initial" 12 s.Workload.Trace.initial_tasks;
+  check_bool "active jobs near target" true
+    (abs (s.Workload.Trace.active_jobs - 150) < 100)
+
+let synth_initial_are_task_sources () =
+  let t = Workload.Synthetic.generate ~name:"synth" synth_params in
+  Array.iter
+    (fun u ->
+      check_int "source" 0 (Dag.Graph.in_degree t.Workload.Trace.graph u);
+      check_bool "task kind" true (t.Workload.Trace.kind.(u) = Workload.Trace.Task))
+    t.Workload.Trace.initial
+
+let synth_deterministic () =
+  let a = Workload.Synthetic.generate ~name:"a" synth_params in
+  let b = Workload.Synthetic.generate ~name:"b" synth_params in
+  check_bool "same structure" true
+    (a.Workload.Trace.edge_changed = b.Workload.Trace.edge_changed
+    && a.Workload.Trace.shape = b.Workload.Trace.shape);
+  let c =
+    Workload.Synthetic.generate ~name:"c" { synth_params with Workload.Synthetic.seed = 8 }
+  in
+  check_bool "different seed differs" true
+    (a.Workload.Trace.edge_changed <> c.Workload.Trace.edge_changed
+    || a.Workload.Trace.shape <> c.Workload.Trace.shape)
+
+let synth_infeasible () =
+  Alcotest.check_raises "levels > nodes"
+    (Invalid_argument "Synthetic: need nodes >= levels >= 1") (fun () ->
+      ignore
+        (Workload.Synthetic.generate ~name:"x"
+           { synth_params with Workload.Synthetic.nodes = 10; levels = 11 }));
+  match
+    Workload.Synthetic.generate ~name:"x"
+      { synth_params with Workload.Synthetic.edges = 100 }
+  with
+  | exception Invalid_argument msg ->
+    check_bool "mentions edges" true
+      (String.length msg > 20 && String.sub msg 0 20 = "Synthetic: need >= 1")
+  | _ -> Alcotest.fail "expected rejection of too few edges"
+
+let synth_scale () =
+  let t = Workload.Synthetic.generate ~name:"s" synth_params in
+  let t2 = Workload.Synthetic.scale_shapes t ~factor:3.0 in
+  Alcotest.(check (float 1e-6)) "work scales" (3.0 *. Workload.Trace.total_active_work t)
+    (Workload.Trace.total_active_work t2)
+
+(* ---------- Paper traces ---------- *)
+
+let paper_specs_complete () =
+  check_int "eleven" 11 (Array.length Workload.Paper_traces.specs);
+  Array.iteri
+    (fun i s ->
+      check_int "id" (i + 1) s.Workload.Paper_traces.id;
+      check_bool "positive target" true (s.Workload.Paper_traces.target_exec > 0.0))
+    Workload.Paper_traces.specs;
+  check_int "eight processors" 8 Workload.Paper_traces.processors
+
+let paper_trace5_structure () =
+  (* #5 is the small one; generate and compare to Table I *)
+  let t = Workload.Paper_traces.generate 5 in
+  let s = Workload.Trace.stats t in
+  let spec = Workload.Paper_traces.spec 5 in
+  check_int "nodes" spec.Workload.Paper_traces.nodes s.Workload.Trace.nodes;
+  check_int "edges" spec.Workload.Paper_traces.edges s.Workload.Trace.edges;
+  check_int "levels" spec.Workload.Paper_traces.levels s.Workload.Trace.levels;
+  check_int "initial" spec.Workload.Paper_traces.initial_tasks
+    s.Workload.Trace.initial_tasks
+
+let paper_trace8_structure () =
+  let t = Workload.Paper_traces.generate 8 in
+  let s = Workload.Trace.stats t in
+  let spec = Workload.Paper_traces.spec 8 in
+  check_int "nodes" spec.Workload.Paper_traces.nodes s.Workload.Trace.nodes;
+  check_int "edges" spec.Workload.Paper_traces.edges s.Workload.Trace.edges;
+  check_int "levels" spec.Workload.Paper_traces.levels s.Workload.Trace.levels;
+  check_bool "active jobs in range" true
+    (let a = s.Workload.Trace.active_jobs
+     and target = spec.Workload.Paper_traces.active_jobs in
+     abs (a - target) < max 80 (target / 2))
+
+let paper_trace5_calibration () =
+  let t = Workload.Paper_traces.generate 5 in
+  let spec = Workload.Paper_traces.spec 5 in
+  let cp = Workload.Trace.active_critical_path t in
+  let w = Workload.Trace.total_active_work t in
+  let estimate = Float.max cp (w /. 8.0) in
+  check_bool "calibrated to target" true
+    (abs_float (estimate -. spec.Workload.Paper_traces.target_exec) /. spec.Workload.Paper_traces.target_exec < 0.01)
+
+let paper_bad_id () =
+  Alcotest.check_raises "id 0" (Invalid_argument "Paper_traces.spec: no job trace #0")
+    (fun () -> ignore (Workload.Paper_traces.spec 0));
+  Alcotest.check_raises "id 12" (Invalid_argument "Paper_traces.spec: no job trace #12")
+    (fun () -> ignore (Workload.Paper_traces.spec 12))
+
+(* ---------- Pathological ---------- *)
+
+let tight_structure () =
+  let levels = 9 in
+  let t = Workload.Pathological.tight_example ~levels in
+  let s = Workload.Trace.stats t in
+  check_int "nodes" ((2 * levels) - 1) s.Workload.Trace.nodes;
+  check_int "levels" levels s.Workload.Trace.levels;
+  check_int "everything active" ((2 * levels) - 2) s.Workload.Trace.active_jobs;
+  (* total work: L units of j plus sum_{i=2..L} (L-i+1) *)
+  Alcotest.(check (float 1e-9)) "work"
+    (float_of_int (levels + (levels * (levels - 1) / 2)))
+    s.Workload.Trace.active_work
+
+let broom_structure () =
+  let t = Workload.Pathological.broom ~spine:10 ~fan:5 in
+  let s = Workload.Trace.stats t in
+  check_int "nodes" 15 s.Workload.Trace.nodes;
+  check_int "edges" (9 + 10) s.Workload.Trace.edges;
+  check_int "levels" 11 s.Workload.Trace.levels;
+  check_int "all active" 14 s.Workload.Trace.active_jobs
+
+let chain_structure () =
+  let t = Workload.Pathological.deep_chain ~n:7 in
+  let s = Workload.Trace.stats t in
+  check_int "levels = nodes" 7 s.Workload.Trace.levels;
+  check_int "active" 6 s.Workload.Trace.active_jobs
+
+let blowup_structure () =
+  let t = Workload.Pathological.interval_blowup ~width:10 ~layers:3 ~density:0.4 ~seed:3 in
+  let s = Workload.Trace.stats t in
+  check_int "nodes" 30 s.Workload.Trace.nodes;
+  check_int "levels" 3 s.Workload.Trace.levels;
+  check_int "everything active" 20 s.Workload.Trace.active_jobs
+
+let unit_layers_structure () =
+  let t = Workload.Pathological.unit_layers ~width:8 ~layers:5 ~fanout:2 ~seed:4 in
+  let s = Workload.Trace.stats t in
+  check_int "nodes" 40 s.Workload.Trace.nodes;
+  check_int "levels" 5 s.Workload.Trace.levels;
+  Alcotest.(check (float 1e-9)) "unit work" 40.0 s.Workload.Trace.active_work
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "trace",
+        [
+          test `Quick "shape work and span" trace_shapes;
+          test `Quick "predicate nodes cost nothing" trace_predicate_work_is_zero;
+          test `Quick "active closure" trace_active_closure;
+          test `Quick "active critical path" trace_critical_path;
+          test `Quick "validation" trace_validation_errors;
+        ] );
+      ( "trace-io",
+        [
+          test `Quick "round trip" io_round_trip;
+          test `Quick "of_string" io_of_string;
+          test `Quick "parse errors" io_parse_errors;
+        ]
+        @ qsuite [ io_qcheck_round_trip ] );
+      ( "synthetic",
+        [
+          test `Quick "exact structural targets" synth_structure;
+          test `Quick "initial nodes are task sources" synth_initial_are_task_sources;
+          test `Quick "deterministic per seed" synth_deterministic;
+          test `Quick "infeasible parameters rejected" synth_infeasible;
+          test `Quick "shape scaling" synth_scale;
+        ] );
+      ( "paper-traces",
+        [
+          test `Quick "specs complete" paper_specs_complete;
+          test `Quick "trace #5 structure" paper_trace5_structure;
+          test `Slow "trace #8 structure" paper_trace8_structure;
+          test `Quick "trace #5 calibration" paper_trace5_calibration;
+          test `Quick "bad ids rejected" paper_bad_id;
+        ] );
+      ( "pathological",
+        [
+          test `Quick "tight example" tight_structure;
+          test `Quick "broom" broom_structure;
+          test `Quick "deep chain" chain_structure;
+          test `Quick "interval blowup" blowup_structure;
+          test `Quick "unit layers" unit_layers_structure;
+        ] );
+    ]
