@@ -1,0 +1,22 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+# OCAMLRUNPARAM=b: backtraces from any executor failure inside the
+# stress matrix (test/test_parallel.ml runs up to 8 domains per case)
+test:
+	OCAMLRUNPARAM=b dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# tiny traces through the full dispatch matrix (both executors, all
+# domain counts, Executor.check everywhere); seconds, writes no JSON
+bench-smoke:
+	dune exec bench/main.exe -- dispatch-smoke
+
+clean:
+	dune clean

@@ -7,7 +7,12 @@
      dune exec bench/main.exe -- table2 fig2 # selected sections
 
    Sections: table1 table2 table3 fig1 fig2 overhead memory bounds
-             rescue datalog micro *)
+             rescue datalog ablation parallel dispatch dispatch-smoke
+             stream micro
+
+   [--legacy-executor] restricts the dispatch sections to the retained
+   big-lock baseline (and implies the dispatch section when no section
+   is named). *)
 
 let procs = Workload.Paper_traces.processors
 
@@ -418,6 +423,159 @@ let parallel () =
      lock, and the schedule validates against the Section II model.)@."
 
 (* ---------------------------------------------------------------- *)
+(* Dispatch throughput: low-contention executor vs big-lock baseline *)
+(* ---------------------------------------------------------------- *)
+
+(* Scheduler-throughput benchmark for the multicore executor rebuild.
+   Zero-work tasks ([work_unit = 0]) make the measurement pure
+   dispatch: status CAS traffic, ready-buffer refills, batched
+   completion delivery, and the scheduler critical sections. Both
+   executors run the same LevelBased scheduler and measure
+   [wall_makespan] from the same post-spawn barrier epoch, so the
+   difference is executor protocol alone. The seed's big-lock executor
+   is retained as [Parallel.Legacy] — pass [--legacy-executor] to run
+   only that baseline. *)
+
+let legacy_only = ref false
+
+type drow = {
+  d_trace : string;
+  d_exec : string;
+  d_domains : int;
+  d_tasks : int;
+  d_makespan : float;
+  d_rate : float;
+}
+
+let dispatch_traces ~smoke =
+  (* (name, full_check, trace): [full_check] runs [Executor.check] on
+     every configuration — cheap now that precedence validation is a
+     linear topological DP rather than a per-task ancestor BFS. *)
+  if smoke then
+    [
+      ("wide", true, Workload.Pathological.unit_layers ~width:120 ~layers:6 ~fanout:3 ~seed:7);
+      ("deep", true, Workload.Pathological.deep_chain ~n:1_500);
+      ("pathological", true, Workload.Pathological.broom ~spine:150 ~fan:150);
+    ]
+  else
+    [
+      ("wide-paper11", true, paper_trace 11);
+      ("deep-chain", true, Workload.Pathological.deep_chain ~n:100_000);
+      ("pathological-broom", true, Workload.Pathological.broom ~spine:20_000 ~fan:20_000);
+    ]
+
+let dispatch_run ~legacy ~domains ~reps trace =
+  let sched = Sched.Registry.find_exn "levelbased" in
+  let best = ref None in
+  for _ = 1 to reps do
+    let r =
+      if legacy then Parallel.Legacy.run ~domains ~work_unit:0.0 ~sched trace
+      else Parallel.Executor.run ~domains ~work_unit:0.0 ~batch:256 ~sched trace
+    in
+    match !best with
+    | Some b when b.Parallel.Executor.wall_makespan <= r.Parallel.Executor.wall_makespan -> ()
+    | _ -> best := Some r
+  done;
+  Option.get !best
+
+let dispatch_json rows headline path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"dispatch\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_cores\": %d,\n  \"work_unit\": 0.0,\n  \"batch\": 256,\n"
+       (Domain.recommended_domain_count ()));
+  (match headline with
+  | Some (l, n) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"headline\": {\"trace\": \"%s\", \"domains\": 8, \"legacy_tasks_per_sec\": %.0f, \"new_tasks_per_sec\": %.0f, \"speedup\": %.3f},\n"
+         l.d_trace l.d_rate n.d_rate (n.d_rate /. l.d_rate))
+  | None -> ());
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"trace\": \"%s\", \"executor\": \"%s\", \"domains\": %d, \"tasks\": %d, \"wall_makespan_s\": %.6f, \"tasks_per_sec\": %.0f}%s\n"
+           r.d_trace r.d_exec r.d_domains r.d_tasks r.d_makespan r.d_rate
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
+let dispatch_core ~smoke () =
+  banner "Dispatch throughput: Executor vs big-lock Legacy (work_unit = 0)";
+  Format.printf "host exposes %d core(s); best of several reps per cell@.@."
+    (Domain.recommended_domain_count ());
+  let traces = dispatch_traces ~smoke in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let execs = if !legacy_only then [ ("legacy", true) ] else [ ("legacy", true); ("new", false) ] in
+  let rows = ref [] in
+  Format.printf "%-20s %-7s %8s %10s %14s %12s@." "trace" "exec" "domains"
+    "tasks" "makespan s" "tasks/s";
+  List.iter
+    (fun (tname, full_check, trace) ->
+      List.iter
+        (fun (ename, legacy) ->
+          List.iter
+            (fun domains ->
+              (* best-of-7: on a shared host a single rep can land on a
+                 descheduled interval; the max is the stable statistic *)
+              let reps = if smoke then 2 else 7 in
+              let r = dispatch_run ~legacy ~domains ~reps trace in
+              let tasks = r.Parallel.Executor.tasks_executed in
+              if tasks <> r.Parallel.Executor.tasks_activated then
+                Format.printf "  COUNT MISMATCH: %d executed, %d activated@." tasks
+                  r.Parallel.Executor.tasks_activated;
+              (* wide paper trace: full check once, on the headline
+                 configuration, below; everything else every time *)
+              if full_check then (
+                match Parallel.Executor.check trace r with
+                | Ok () -> ()
+                | Error e -> Format.printf "  INVALID (%s d=%d): %s@." ename domains e);
+              let m = r.Parallel.Executor.wall_makespan in
+              let rate = float_of_int tasks /. Float.max m 1e-9 in
+              rows :=
+                { d_trace = tname; d_exec = ename; d_domains = domains;
+                  d_tasks = tasks; d_makespan = m; d_rate = rate }
+                :: !rows;
+              Format.printf "%-20s %-7s %8d %10d %14.6f %12.0f@." tname ename
+                domains tasks m rate)
+            domain_counts)
+        execs)
+    traces;
+  let rows = List.rev !rows in
+  (* full check of the headline configuration on the wide trace *)
+  (if not smoke && not !legacy_only then
+     let _, _, trace = List.find (fun (n, _, _) -> n = "wide-paper11") traces in
+     let r = dispatch_run ~legacy:false ~domains:8 ~reps:1 trace in
+     match Parallel.Executor.check trace r with
+     | Ok () -> Format.printf "@.Executor.check (wide, new, d=8): OK@."
+     | Error e -> Format.printf "@.Executor.check (wide, new, d=8): INVALID: %s@." e);
+  let find t e d =
+    List.find_opt (fun r -> r.d_trace = t && r.d_exec = e && r.d_domains = d) rows
+  in
+  let wide_name = if smoke then "wide" else "wide-paper11" in
+  let headline =
+    match (find wide_name "legacy" 8, find wide_name "new" 8) with
+    | Some l, Some n ->
+      Format.printf
+        "@.headline: wide trace, 8 domains — legacy %.0f tasks/s, new %.0f tasks/s: %.2fx@."
+        l.d_rate n.d_rate (n.d_rate /. l.d_rate);
+      Some (l, n)
+    | _ -> None
+  in
+  ignore headline;
+  if not smoke then dispatch_json rows headline "BENCH_executor.json"
+
+let dispatch () = dispatch_core ~smoke:false ()
+
+let dispatch_smoke () = dispatch_core ~smoke:true ()
+
+(* ---------------------------------------------------------------- *)
 (* Update streams: amortized incremental maintenance + scheduling     *)
 (* ---------------------------------------------------------------- *)
 
@@ -589,6 +747,8 @@ let sections =
     ("datalog", datalog);
     ("ablation", ablation);
     ("parallel", parallel);
+    ("dispatch", dispatch);
+    ("dispatch-smoke", dispatch_smoke);
     ("stream", stream);
     ("micro", micro);
   ]
@@ -596,7 +756,10 @@ let sections =
 let () =
   let requested =
     match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
+    | _ :: (_ :: _ as args) ->
+      let flags, names = List.partition (fun a -> a = "--legacy-executor") args in
+      if flags <> [] then legacy_only := true;
+      if names = [] then [ "dispatch" ] else names
     | _ -> List.map fst sections
   in
   List.iter

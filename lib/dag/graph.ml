@@ -97,6 +97,8 @@ let in_degree g u =
   check_node g u;
   g.pred_off.(u + 1) - g.pred_off.(u)
 
+let csr_succ g = (g.succ_off, g.succ_dst, g.succ_eid)
+
 let iter_succ g u f =
   check_node g u;
   for i = g.succ_off.(u) to g.succ_off.(u + 1) - 1 do

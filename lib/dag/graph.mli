@@ -49,6 +49,13 @@ val in_degree : t -> int -> int
 
 val iter_succ : t -> int -> (dst:int -> eid:int -> unit) -> unit
 
+val csr_succ : t -> int array * int array * int array
+(** [(off, dst, eid)]: node [u]'s out-edges occupy
+    [off.(u) .. off.(u+1) - 1] of [dst]/[eid]. The graph's own internal
+    arrays, exposed for dispatch-rate hot loops where even the
+    per-edge closure call of {!iter_succ} shows up — callers must not
+    mutate them. *)
+
 val iter_pred : t -> int -> (src:int -> eid:int -> unit) -> unit
 
 val succ : t -> int -> int array

@@ -3,9 +3,29 @@ type tuple = int array
 module Tuple_tbl = Hashtbl.Make (struct
   type t = tuple
 
-  let equal a b = a = b
+  (* Monomorphic element-wise comparison: polymorphic [=] on arrays
+     walks the generic structural-equality runtime path per tuple
+     probe. *)
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec eq i = i = n || (Array.unsafe_get a i = Array.unsafe_get b i && eq (i + 1)) in
+    eq 0
 
-  let hash a = Hashtbl.hash (Array.to_list a)
+  (* FNV-1a over the int elements directly. The previous
+     [Hashtbl.hash (Array.to_list a)] allocated a list per lookup and
+     hashed through the generic serializer; this is a tight loop with
+     no allocation. Fold each element in as its own FNV byte-block
+     (multiply-xor per element, not per byte — int elements here are
+     small term/constant ids, one mixing round each is plenty), then
+     mask to the non-negative range Hashtbl expects. *)
+  let hash a =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193
+    done;
+    !h land max_int
 end)
 
 type t = {

@@ -5,118 +5,449 @@ type result = {
   tasks_executed : int;
   tasks_activated : int;
   ops : Sched.Intf.ops;
+  worker_ops : Sched.Intf.ops array;
   log : task_record array;
   work_executed : float;
+  steals : int;
 }
 
-let now () = Unix.gettimeofday ()
+(* Task lifecycle, CAS-driven:
 
-let spin seconds =
-  if seconds > 0.0 then begin
-    let deadline = now () +. seconds in
-    while now () < deadline do
-      ignore (Sys.opaque_identity 0)
-    done
-  end
+     Inactive --activate--> Active --claim--> Running --finish--> Done
 
-(* Task lifecycle under the dispatch lock. *)
-type status = Inactive | Active | Running | Done
+   [activate] is raced by every completing parent with a changed edge;
+   the CAS guarantees exactly one wins and delivers [on_activated].
+   [claim] happens when the executor accepts a task released by the
+   scheduler; a failed claim CAS means the scheduler released a task
+   that was never activated, was already claimed, or already ran —
+   the safety violations the seed executor caught under its big lock,
+   now caught without one. *)
+let inactive = 0
 
-let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
+let active = 1
+
+let running = 2
+
+let done_ = 3
+
+(* Per-worker execution log as three flat arrays. The obvious
+   [task_record Vec.t] costs a record block plus two boxed floats per
+   task — measurable at dispatch rates of ~1M tasks/s — whereas float
+   array stores are unboxed. Records are materialised once, at join. *)
+type tlog = {
+  mutable t_task : int array;
+  mutable t_start : float array;
+  mutable t_finish : float array;
+  mutable t_len : int;
+}
+
+let tlog_create capacity =
+  let cap = max 1024 capacity in
+  { t_task = Array.make cap 0;
+    t_start = Array.make cap 0.0;
+    t_finish = Array.make cap 0.0;
+    t_len = 0 }
+
+let tlog_grow l =
+  let cap = Array.length l.t_task in
+  let nt = Array.make (2 * cap) 0
+  and ns = Array.make (2 * cap) 0.0
+  and nf = Array.make (2 * cap) 0.0 in
+  Array.blit l.t_task 0 nt 0 l.t_len;
+  Array.blit l.t_start 0 ns 0 l.t_len;
+  Array.blit l.t_finish 0 nf 0 l.t_len;
+  l.t_task <- nt;
+  l.t_start <- ns;
+  l.t_finish <- nf
+
+let[@inline] tlog_push l task start finish =
+  if l.t_len = Array.length l.t_task then tlog_grow l;
+  let i = l.t_len in
+  l.t_task.(i) <- task;
+  l.t_start.(i) <- start;
+  l.t_finish.(i) <- finish;
+  l.t_len <- i + 1
+
+let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
+    (trace : Workload.Trace.t) =
   if domains < 1 then invalid_arg "Executor.run: need at least one domain";
+  if batch < 1 then invalid_arg "Executor.run: need a positive batch";
   let g = trace.Workload.Trace.graph in
   let n = Dag.Graph.node_count g in
-  let inst = sched.Sched.Intf.make g in
-  let lock = Mutex.create () in
-  let work_ready = Condition.create () in
-  let status = Array.make n Inactive in
-  let activated = ref 0 in
-  let completed = ref 0 in
-  let running = ref 0 in
-  let failed = ref None in
-  let log = Prelude.Vec.create ~dummy:{ task = 0; start = 0.0; finish = 0.0; worker = 0 } () in
-  let work_executed = ref 0.0 in
-  let epoch = now () in
-  let activate u =
-    match status.(u) with
-    | Inactive ->
-      status.(u) <- Active;
-      incr activated;
-      inst.Sched.Intf.on_activated u
-    | Active -> ()
-    | Running | Done ->
-      failed := Some (Printf.sprintf "task %d activated after it ran" u)
+  let timed = work_unit > 0.0 in
+  if timed then Spinwork.calibrate ();
+  let psched = Sched.Protected.make ~workers:domains sched g in
+  (* flat atomic status array: one cache line touch per transition
+     instead of a pointer chase into a boxed [Atomic.t] per task *)
+  let status = Prelude.Atomic_int_array.make n in
+  let activated = Atomic.make 0 in
+  let failure = Atomic.make None in
+  (* Parking lot: an eventcount plus one mutex/condvar pair used only
+     for sleeping. Any publication of work increments [events] first;
+     an idle worker snapshots [events] before its last search and only
+     sleeps if no event intervened, so wakeups cannot be lost. Wakers
+     signal exactly as many workers as they have spare cores for
+     (broadcast only on termination or failure) — no thundering herd,
+     and no churn when the host is oversubscribed. *)
+  let events = Atomic.make 0 in
+  let parked = Atomic.make 0 in
+  let pmutex = Mutex.create () in
+  let pcond = Condition.create () in
+  let cores = Domain.recommended_domain_count () in
+  (* How many sleeping workers a core could actually run right now.
+     Waking beyond this just burns context switches: on a fully loaded
+     (or single-core) host the woken worker preempts the one holding
+     the work. Racy reads are fine — this gates an optimisation, never
+     progress (an unwoken parker is woken at the next event or at
+     termination, and any non-parked worker drains the scheduler by
+     itself). *)
+  let wake_budget () =
+    let sleeping = Atomic.get parked in
+    if sleeping = 0 then 0
+    else
+      let active_workers = domains - sleeping in
+      if active_workers >= cores then 0 else min sleeping (cores - active_workers)
   in
-  Mutex.lock lock;
-  Array.iter activate trace.Workload.Trace.initial;
-  Mutex.unlock lock;
+  let wake k =
+    if k > 0 && Atomic.get parked > 0 then begin
+      Mutex.lock pmutex;
+      let p = Atomic.get parked in
+      if p > 0 then
+        if k >= p then Condition.broadcast pcond
+        else
+          for _ = 1 to k do
+            Condition.signal pcond
+          done;
+      Mutex.unlock pmutex
+    end
+  in
+  let wake_all () =
+    Atomic.incr events;
+    Mutex.lock pmutex;
+    Condition.broadcast pcond;
+    Mutex.unlock pmutex
+  in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        ignore (Atomic.compare_and_set failure None (Some msg));
+        wake_all ())
+      fmt
+  in
+  let park e =
+    Mutex.lock pmutex;
+    (* order matters: register as parked *before* re-checking the
+       eventcount. A waker increments [events] before reading [parked];
+       with both atomics sequentially consistent, either we see its
+       event here and skip the sleep, or it sees our registration and
+       signals — a lost wakeup would need both reads to miss. *)
+    Atomic.incr parked;
+    while Atomic.get events = e do
+      Condition.wait pcond pmutex
+    done;
+    Atomic.decr parked;
+    Mutex.unlock pmutex
+  in
+  (* [completed] is incremented inside the scheduler critical section
+     (after the batch's activations were both counted in [activated]
+     and delivered), so completed <= activated always, and equality
+     means every activated task has fully completed: the termination
+     test. Read completed first — activated can only have grown since,
+     so a stale equal pair still implies a true equal pair. *)
+  let terminated () =
+    let c = Sched.Protected.completed psched in
+    c = Atomic.get activated
+  in
+  (* initial activations: no concurrency yet *)
+  Array.iter
+    (fun u ->
+      Prelude.Atomic_int_array.set status u active;
+      Atomic.incr activated)
+    trace.Workload.Trace.initial;
+  Sched.Protected.activate psched ~wid:0 trace.Workload.Trace.initial;
+  let bufs = Array.init domains (fun _ -> Wbuf.create batch) in
+  let cap = Wbuf.capacity bufs.(0) in
+  (* size the per-worker logs so steady-state pushes never grow the
+     arrays mid-dispatch: total log entries across workers is bounded
+     by the node count *)
+  let logs = Array.init domains (fun _ -> tlog_create ((n / domains) + 1)) in
+  let works = Array.make domains 0.0 in
+  let steal_counts = Array.make domains 0 in
+  let edge_changed = trace.Workload.Trace.edge_changed in
+  (* per-task work cost, flattened once: [Trace.work] chases a shape
+     block per call, which is a cache miss on big traces *)
+  let workv = Array.init n (fun u -> Workload.Trace.work trace u) in
+  let soff, sdst, seid = Dag.Graph.csr_succ g in
+  (* Start barrier: every domain finishes spawning and runtime setup
+     before the epoch is taken by the last arriver, so the measured
+     makespan covers dispatch, not [Domain.spawn]. The mutex hand-off
+     publishes [epoch_ref] to all workers. *)
+  let arrived = ref 0 in
+  let epoch_ref = ref 0.0 in
+  let bmutex = Mutex.create () in
+  let bcond = Condition.create () in
+  let barrier () =
+    Mutex.lock bmutex;
+    incr arrived;
+    if !arrived = domains then begin
+      epoch_ref := Prelude.Mclock.now ();
+      Condition.broadcast bcond
+    end
+    else
+      while !arrived < domains do
+        Condition.wait bcond bmutex
+      done;
+    Mutex.unlock bmutex
+  in
   let worker wid =
-    Mutex.lock lock;
-    let rec loop () =
-      if !failed <> None then ()
-      else if !completed = !activated && !running = 0 then
-        (* nothing active remains and nothing can activate more *)
-        Condition.broadcast work_ready
-      else begin
-        match inst.Sched.Intf.next_ready () with
-        | Some u ->
-          (match status.(u) with
-          | Active -> ()
-          | Inactive | Running | Done ->
-            failed := Some (Printf.sprintf "scheduler released task %d unsafely" u));
-          if !failed = None then begin
-            status.(u) <- Running;
-            incr running;
-            inst.Sched.Intf.on_started u;
-            Mutex.unlock lock;
-            let start = now () -. epoch in
-            let work = Workload.Trace.work trace u in
-            spin (work *. work_unit);
-            let finish = now () -. epoch in
-            Mutex.lock lock;
-            status.(u) <- Done;
-            decr running;
-            incr completed;
-            work_executed := !work_executed +. work;
-            Prelude.Vec.push log { task = u; start; finish; worker = wid };
-            Dag.Graph.iter_succ g u (fun ~dst ~eid ->
-                if trace.Workload.Trace.edge_changed.(eid) then activate dst);
-            inst.Sched.Intf.on_completed u;
-            Condition.broadcast work_ready;
-            loop ()
-          end
-          else Condition.broadcast work_ready
-        | None ->
-          if !running = 0 then begin
-            failed :=
-              Some
-                (Printf.sprintf
-                   "scheduler stalled: %d of %d activated tasks incomplete, none \
-                    running"
-                   (!activated - !completed) !activated);
-            Condition.broadcast work_ready
-          end
-          else begin
-            Condition.wait work_ready lock;
-            loop ()
-          end
+    let buf = bufs.(wid) in
+    let tmp = Array.make cap 0 in
+    let scratch = Array.make cap 0 in
+    (* pending completions, flushed to the scheduler in one batched
+       critical section: completed tasks in order, their newly
+       activated children flattened, and a per-task child count. Flat
+       arrays: [comp_tasks]/[counts] are bounded by the batch size,
+       [acts] grows (a task can activate any number of children). *)
+    let comp_tasks = Array.make cap 0 in
+    let counts = Array.make cap 0 in
+    let ncomp = ref 0 in
+    let acts = ref (Array.make (4 * cap) 0) in
+    let nacts = ref 0 in
+    let push_act dst =
+      if !nacts = Array.length !acts then begin
+        let bigger = Array.make (2 * !nacts) 0 in
+        Array.blit !acts 0 bigger 0 !nacts;
+        acts := bigger
+      end;
+      !acts.(!nacts) <- dst;
+      incr nacts
+    in
+    (* spinning before parking only pays when a core is actually free
+       to produce work meanwhile; oversubscribed, it steals the CPU
+       from the worker it is waiting on — park immediately instead *)
+    let backoff =
+      Prelude.Backoff.create ~limit:(if domains > cores then 0 else 10) ()
+    in
+    let log = logs.(wid) in
+    barrier ();
+    let epoch = !epoch_ref in
+    (* One clock read per task: a task's recorded start is the previous
+       time stamp on this worker — the preceding task's finish, or the
+       moment its batch was obtained from the scheduler (refill/steal),
+       whichever came last. This understates the true start by at most
+       the executor's own per-task overhead, and it can never violate
+       precedence in the log: a task only enters this worker's ring at
+       a refill (or steal) that happened after every activating
+       parent's completion was flushed, and that refill re-stamps the
+       clock — so recorded start >= refill stamp >= parent's recorded
+       finish. Kept in a one-element float array: a [float ref] boxes
+       every store (3 words per task), and on a saturated host that
+       allocation rate forces minor collections whose stop-the-world
+       handshake must wake every parked domain. *)
+    let last_stamp = Array.make 1 0.0 in
+    let rec try_activate dst =
+      match Prelude.Atomic_int_array.get status dst with
+      | s when s = inactive ->
+        if Prelude.Atomic_int_array.cas status dst inactive active then begin
+          Atomic.incr activated;
+          push_act dst
+        end
+        else try_activate dst
+      | s when s = active -> ()
+      | _ -> fail "task %d activated after it ran" dst
+    in
+    let flush () =
+      if !ncomp > 0 then begin
+        let nact = !nacts in
+        Sched.Protected.complete_batch psched ~wid ~tasks:comp_tasks ~ntasks:!ncomp
+          ~acts:!acts ~counts;
+        ncomp := 0;
+        nacts := 0;
+        if terminated () then wake_all ()
+        else begin
+          (* even an activation-free completion can unlock scheduler-
+             gated tasks (e.g. the next level), so always publish the
+             event; only signal sleepers when there are activations to
+             hand them and spare cores to run them *)
+          Atomic.incr events;
+          if nact > 0 then wake (min nact (wake_budget ()))
+        end
       end
     in
-    loop ();
-    Mutex.unlock lock
+    let run_task u =
+      let start = Array.unsafe_get last_stamp 0 in
+      let work = Array.unsafe_get workv u in
+      if timed then Spinwork.spin (work *. work_unit);
+      let finish = Prelude.Mclock.now () -. epoch in
+      Array.unsafe_set last_stamp 0 finish;
+      tlog_push log u start finish;
+      works.(wid) <- works.(wid) +. work;
+      Prelude.Atomic_int_array.set status u done_;
+      let before = !nacts in
+      let lo = Array.unsafe_get soff u in
+      let hi = Array.unsafe_get soff (u + 1) - 1 in
+      for j = lo to hi do
+        if Array.unsafe_get edge_changed (Array.unsafe_get seid j) then
+          try_activate (Array.unsafe_get sdst j)
+      done;
+      let i = !ncomp in
+      comp_tasks.(i) <- u;
+      counts.(i) <- !nacts - before;
+      ncomp := i + 1;
+      (* flush eagerly when this completion activated someone a parked
+         peer could pick up on a spare core, or when the batch is full;
+         otherwise batches drain at the next refill. On a saturated
+         host eager flushing would wake workers that have nowhere to
+         run and halve the batch size for nothing. *)
+      if !ncomp >= cap || (!nacts > before && wake_budget () > 0) then flush ()
+    in
+    (* claim a scheduler-released task; a failed CAS is a safety
+       violation by the scheduler *)
+    let claim u =
+      if not (Prelude.Atomic_int_array.cas status u active running) then
+        fail "scheduler released task %d unsafely" u
+    in
+    let try_steal () =
+      let got = ref 0 in
+      let i = ref 1 in
+      while !got = 0 && !i < domains do
+        let victim = bufs.((wid + !i) mod domains) in
+        if Wbuf.length victim > 0 then got := Wbuf.steal_into victim scratch;
+        incr i
+      done;
+      !got
+    in
+    (* drain the private ring with no shared-state checks at all: every
+       task in it is already claimed, and failure/termination are
+       re-examined once the ring is empty (a bounded delay). Tasks come
+       out a small batch per lock round-trip — large enough to amortize
+       the ring spinlock to noise, small enough that thieves still see
+       most of the ring *)
+    let dq = Array.make 32 0 in
+    let rec drain () =
+      let k = Wbuf.pop_batch buf dq 32 in
+      if k > 0 then begin
+        for i = 0 to k - 1 do
+          run_task (Array.unsafe_get dq i)
+        done;
+        drain ()
+      end
+    in
+    (* Workers beyond the core count park before their first search:
+       on an oversubscribed host they could only time-slice against the
+       workers already running, adding context switches and GC
+       synchronization for zero extra throughput. They are normal
+       parkers — woken the moment a flush finds both an activation and
+       a spare core for them ([wake_budget]), or at termination.
+       Worker 0 never parks here (cores >= 1), so progress and the
+       termination broadcast are unaffected. The eventcount snapshot
+       must precede the termination test: on a tiny trace worker 0 can
+       finish everything before this worker even gets scheduled, and a
+       park that missed that final broadcast would sleep forever —
+       with the snapshot taken first, the terminating wake_all either
+       happens-before the test (seen here) or bumps [events] after the
+       snapshot (defeats the park). *)
+    if wid >= cores then begin
+      let e = Atomic.get events in
+      if (not (terminated ())) && Atomic.get failure = None then park e
+    end;
+    let rec loop () =
+      match Atomic.get failure with
+      | Some _ -> ()
+      | None ->
+        drain ();
+        (* ring is dry: retire pending completions before asking the
+           scheduler — they may be exactly what unlocks the next batch
+           (and Drained detection requires it) *)
+        flush ();
+        if terminated () then wake_all ()
+        else begin
+          (* snapshot the eventcount before the final search; any work
+             published after this point bumps it and defeats the park *)
+          let e = Atomic.get events in
+          let stolen = try_steal () in
+          if stolen > 0 then begin
+            Prelude.Backoff.reset backoff;
+            steal_counts.(wid) <- steal_counts.(wid) + stolen;
+            ignore (Wbuf.push_batch buf scratch 0 stolen);
+            last_stamp.(0) <- Prelude.Mclock.now () -. epoch;
+            loop ()
+          end
+          else
+            match Sched.Protected.refill psched ~wid ~into:tmp with
+            | Sched.Protected.Got k ->
+              Prelude.Backoff.reset backoff;
+              for i = 0 to k - 1 do
+                claim tmp.(i)
+              done;
+              ignore (Wbuf.push_batch buf tmp 0 k);
+              last_stamp.(0) <- Prelude.Mclock.now () -. epoch;
+              (* more work probably remains behind us in the scheduler
+                 and our surplus is stealable: if a core is free for a
+                 parked peer, wake one, which wakes another if it also
+                 finds a batch — exponential wake diffusion *)
+              if k > 1 && wake_budget () > 0 then begin
+                Atomic.incr events;
+                wake 1
+              end;
+              loop ()
+            | Sched.Protected.Pending ->
+              if Prelude.Backoff.is_exhausted backoff then begin
+                park e;
+                Prelude.Backoff.reset backoff
+              end
+              else Prelude.Backoff.once backoff;
+              loop ()
+            | Sched.Protected.Drained ->
+              (* nothing ready, nothing in flight: either done, or the
+                 scheduler gave up with activated tasks remaining *)
+              if terminated () then wake_all ()
+              else
+                fail
+                  "scheduler stalled: %d of %d activated tasks incomplete, none \
+                   running"
+                  (Atomic.get activated - Sched.Protected.completed psched)
+                  (Atomic.get activated)
+        end
+    in
+    loop ()
   in
+  (* Enter dispatch with an empty minor heap: setup (scheduler
+     precompute, work table) leaves megabytes of garbage behind, and a
+     minor collection once the domains exist is a stop-the-world event
+     that must interrupt every one of them — collect while we are
+     still alone instead. *)
+  Gc.minor ();
   let handles = List.init domains (fun wid -> Domain.spawn (fun () -> worker wid)) in
   List.iter Domain.join handles;
-  (match !failed with Some msg -> failwith ("Executor: " ^ msg) | None -> ());
-  let log = Prelude.Vec.to_array log in
+  (match Atomic.get failure with
+  | Some msg -> failwith ("Executor: " ^ msg)
+  | None -> ());
+  let total = Array.fold_left (fun acc l -> acc + l.t_len) 0 logs in
+  let log = Array.make total { task = 0; start = 0.0; finish = 0.0; worker = 0 } in
+  let pos = ref 0 in
+  Array.iteri
+    (fun w l ->
+      for i = 0 to l.t_len - 1 do
+        log.(!pos) <-
+          { task = l.t_task.(i);
+            start = l.t_start.(i);
+            finish = l.t_finish.(i);
+            worker = w };
+        incr pos
+      done)
+    logs;
+  Array.sort (fun a b -> Float.compare a.finish b.finish) log;
   let wall_makespan = Array.fold_left (fun acc r -> Float.max acc r.finish) 0.0 log in
   {
     wall_makespan;
-    tasks_executed = !completed;
-    tasks_activated = !activated;
-    ops = inst.Sched.Intf.ops;
+    tasks_executed = Sched.Protected.completed psched;
+    tasks_activated = Atomic.get activated;
+    ops = Sched.Protected.ops psched;
+    worker_ops = Sched.Protected.worker_ops psched;
     log;
-    work_executed = !work_executed;
+    work_executed = Array.fold_left ( +. ) 0.0 works;
+    steals = Array.fold_left ( + ) 0 steal_counts;
   }
 
 let check trace result =

@@ -1,28 +1,42 @@
-(** Real multicore execution of a trace (OCaml 5 domains).
+(** Real multicore execution of a trace (OCaml 5 domains), built for
+    low coordination overhead.
 
     Where {!Simulator.Engine} charges virtual time, this executor runs
-    the schedule for real: one domain per simulated processor, task
-    durations realized as calibrated busy-work, and the online scheduler
-    consulted under a global dispatch lock — the concrete form of the
-    engine's "scheduler thread holding the dispatch lock" cost model,
-    and of the paper's interleaved hybrid (Section V).
+    the schedule for real — and unlike the original big-lock design
+    (retained as {!Legacy} for benchmarking), it keeps the hot paths
+    off any global lock:
 
-    The protocol is identical to the simulator's: a worker that goes
-    idle asks [next_ready] under the lock; completions deliver
-    activations to the scheduler (children on changed edges) before
-    [on_completed]; every task runs exactly once. Workers block on a
-    condition variable while no work is available and exit when every
-    activated task has completed with none running.
+    - task status is an atomic state machine
+      (Inactive → Active → Running → Done via CAS), so activation
+      races, double-release detection and completion counting need no
+      lock;
+    - the scheduler itself stays single-threaded behind
+      {!Sched.Protected}: workers refill a private bounded ready-buffer
+      in batches (one short critical section per batch, [on_started]
+      delivered at release), and completions hand a task's discovered
+      activations plus [on_completed] to the scheduler in one batched
+      critical section;
+    - idle workers steal from peers' buffers before touching the
+      scheduler lock;
+    - each worker appends to a private log, merged after join;
+    - idle workers spin with bounded exponential backoff, then park on
+      an eventcount; wakeups are targeted (one signal per unit of new
+      work) instead of broadcast.
 
-    Intended for laptop-scale demonstrations and cross-checking the
-    simulator; durations below ~50 us are dominated by scheduling
-    noise. Inner task parallelism ([Par]/[Stages]) is executed
-    sequentially inside the owning worker (its work, not its span, is
-    what the wall clock sees). *)
+    The protocol seen by the scheduler is the same as the simulator's:
+    activations are delivered before the completion of the parent that
+    caused them, and every task runs exactly once. Termination is
+    detected lock-free from completed = activated (activations are
+    counted before the counting of their parent's completion).
+
+    Task durations are realized as calibrated busy-work against the
+    monotonic clock ({!Spinwork}); durations below ~50 us are dominated
+    by scheduling noise. Inner task parallelism ([Par]/[Stages]) is
+    executed sequentially inside the owning worker. *)
 
 type task_record = {
   task : int;
-  start : float;  (** seconds since the run began (monotonic-ish) *)
+  start : float;  (** seconds since the run began (monotonic) *)
   finish : float;
   worker : int;  (** domain index that executed the task *)
 }
@@ -31,22 +45,32 @@ type result = {
   wall_makespan : float;  (** real seconds from start to last completion *)
   tasks_executed : int;
   tasks_activated : int;
-  ops : Sched.Intf.ops;
+  ops : Sched.Intf.ops;  (** aggregate scheduler decision work *)
+  worker_ops : Sched.Intf.ops array;
+      (** {!ops} attributed to the worker whose critical section did
+          the work; sums to [ops] *)
   log : task_record array;  (** completion order *)
   work_executed : float;  (** simulated-work units actually spun *)
+  steals : int;  (** tasks moved between worker buffers *)
 }
 
 val run :
   ?domains:int ->
   ?work_unit:float ->
+  ?batch:int ->
   sched:Sched.Intf.factory ->
   Workload.Trace.t ->
   result
-(** [run ~domains ~work_unit ~sched trace] executes the whole active set
-    on [domains] worker domains (default 4), spinning [work_unit] real
-    seconds per unit of task work (default [1e-4]).
+(** [run ~domains ~work_unit ~batch ~sched trace] executes the whole
+    active set on [domains] worker domains (default 4), spinning
+    [work_unit] real seconds per unit of task work (default [1e-4]).
+    [batch] (default 16, rounded up to a power of two) bounds both the
+    per-worker ready-buffer and the number of tasks pulled from the
+    scheduler per critical section.
     @raise Failure if the scheduler deadlocks (no ready task while
-    activated tasks remain and nothing is running). *)
+    activated tasks remain and nothing is running) or violates safety
+    (releases a task that was never activated, twice, or after it ran;
+    activates a task after it ran). *)
 
 val check : Workload.Trace.t -> result -> (unit, string) Stdlib.result
 (** Model validation on the real timestamps: exactly the active set ran,

@@ -1,0 +1,154 @@
+(* The original big-lock executor, kept as the baseline for the
+   dispatch benchmark: every scheduler call, status transition,
+   activation and log append happens under one global mutex, and every
+   completion broadcasts the condition variable at every waiting
+   worker. See Executor for the replacement.
+
+   The only change from the seed protocol is the startup barrier: all
+   workers rendezvous after [Domain.spawn], and the makespan epoch is
+   taken by the last arriver — identical to Executor's, so the two
+   executors' [wall_makespan] measure dispatch from the same
+   post-spawn instant and neither is charged for domain spawn time.
+   Everything past the barrier is the seed dispatch protocol,
+   unchanged. *)
+
+type status = Inactive | Active | Running | Done
+
+let now () = Unix.gettimeofday ()
+
+let spin seconds =
+  if seconds > 0.0 then begin
+    let deadline = now () +. seconds in
+    while now () < deadline do
+      ignore (Sys.opaque_identity 0)
+    done
+  end
+
+let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
+  if domains < 1 then invalid_arg "Legacy.run: need at least one domain";
+  let g = trace.Workload.Trace.graph in
+  let n = Dag.Graph.node_count g in
+  let inst = sched.Sched.Intf.make g in
+  let lock = Mutex.create () in
+  let work_ready = Condition.create () in
+  let status = Array.make n Inactive in
+  let activated = ref 0 in
+  let completed = ref 0 in
+  let running = ref 0 in
+  let failed = ref None in
+  let log =
+    Prelude.Vec.create
+      ~dummy:{ Executor.task = 0; start = 0.0; finish = 0.0; worker = 0 }
+      ()
+  in
+  let work_executed = ref 0.0 in
+  (* startup barrier (see header): the last worker to arrive stamps
+     the epoch, so dispatch is measured from a common post-spawn
+     instant *)
+  let arrived = ref 0 in
+  let epoch_ref = ref 0.0 in
+  let bmutex = Mutex.create () in
+  let bcond = Condition.create () in
+  let barrier () =
+    Mutex.lock bmutex;
+    incr arrived;
+    if !arrived = domains then begin
+      epoch_ref := now ();
+      Condition.broadcast bcond
+    end
+    else
+      while !arrived < domains do
+        Condition.wait bcond bmutex
+      done;
+    Mutex.unlock bmutex
+  in
+  let activate u =
+    match status.(u) with
+    | Inactive ->
+      status.(u) <- Active;
+      incr activated;
+      inst.Sched.Intf.on_activated u
+    | Active -> ()
+    | Running | Done ->
+      failed := Some (Printf.sprintf "task %d activated after it ran" u)
+  in
+  Mutex.lock lock;
+  Array.iter activate trace.Workload.Trace.initial;
+  Mutex.unlock lock;
+  let worker wid =
+    barrier ();
+    let epoch = !epoch_ref in
+    Mutex.lock lock;
+    let rec loop () =
+      if !failed <> None then ()
+      else if !completed = !activated && !running = 0 then
+        (* nothing active remains and nothing can activate more *)
+        Condition.broadcast work_ready
+      else begin
+        match inst.Sched.Intf.next_ready () with
+        | Some u ->
+          (match status.(u) with
+          | Active -> ()
+          | Inactive | Running | Done ->
+            failed := Some (Printf.sprintf "scheduler released task %d unsafely" u));
+          if !failed = None then begin
+            status.(u) <- Running;
+            incr running;
+            inst.Sched.Intf.on_started u;
+            Mutex.unlock lock;
+            let start = now () -. epoch in
+            let work = Workload.Trace.work trace u in
+            spin (work *. work_unit);
+            let finish = now () -. epoch in
+            Mutex.lock lock;
+            status.(u) <- Done;
+            decr running;
+            incr completed;
+            work_executed := !work_executed +. work;
+            Prelude.Vec.push log { Executor.task = u; start; finish; worker = wid };
+            Dag.Graph.iter_succ g u (fun ~dst ~eid ->
+                if trace.Workload.Trace.edge_changed.(eid) then activate dst);
+            inst.Sched.Intf.on_completed u;
+            Condition.broadcast work_ready;
+            loop ()
+          end
+          else Condition.broadcast work_ready
+        | None ->
+          if !running = 0 then begin
+            failed :=
+              Some
+                (Printf.sprintf
+                   "scheduler stalled: %d of %d activated tasks incomplete, none \
+                    running"
+                   (!activated - !completed) !activated);
+            Condition.broadcast work_ready
+          end
+          else begin
+            Condition.wait work_ready lock;
+            loop ()
+          end
+      end
+    in
+    loop ();
+    Mutex.unlock lock
+  in
+  (* empty minor heap before spawning, as in Executor: a minor
+     collection with live domains stops all of them *)
+  Gc.minor ();
+  let handles = List.init domains (fun wid -> Domain.spawn (fun () -> worker wid)) in
+  List.iter Domain.join handles;
+  (match !failed with Some msg -> failwith ("Executor: " ^ msg) | None -> ());
+  let log = Prelude.Vec.to_array log in
+  let wall_makespan =
+    Array.fold_left (fun acc r -> Float.max acc r.Executor.finish) 0.0 log
+  in
+  {
+    Executor.wall_makespan;
+    tasks_executed = !completed;
+    tasks_activated = !activated;
+    ops = inst.Sched.Intf.ops;
+    worker_ops = Array.init domains (fun _ -> Sched.Intf.zero_ops ());
+    log;
+    work_executed = !work_executed;
+    steals = 0;
+  }

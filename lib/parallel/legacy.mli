@@ -1,0 +1,17 @@
+(** The seed's big-lock executor, retained as a benchmark baseline.
+
+    Serializes [next_ready], status transitions, activation
+    propagation and log appends through one global mutex, and wakes
+    every waiting worker with [Condition.broadcast] on each
+    completion. Protocol and result are identical to {!Executor} (the
+    [worker_ops] attribution and [steals] counter are zero — this
+    executor has neither). Exists so [bench/main.exe -- dispatch] can
+    measure the coordination cost the sharded executor removes; new
+    code should use {!Executor.run}. *)
+
+val run :
+  ?domains:int ->
+  ?work_unit:float ->
+  sched:Sched.Intf.factory ->
+  Workload.Trace.t ->
+  Executor.result

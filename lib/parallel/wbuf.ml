@@ -1,0 +1,92 @@
+(* A bounded FIFO ring of task ids guarded by a tiny test-and-set
+   spinlock. The owner pushes refilled batches and pops from the front;
+   idle peers steal the front half. Every operation is a handful of
+   loads and stores, and contention is rare (a thief only shows up when
+   it has nothing else to do), so a spinlock beats both a Mutex (futex
+   round-trip) and a lock-free deque (fences on the owner's fast path)
+   at this scale. *)
+
+type t = {
+  lock : int Atomic.t;
+  slots : int array;
+  mask : int;
+  mutable head : int; (* pop end; slots in [head, tail) are live *)
+  mutable tail : int;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Wbuf.create: capacity < 1";
+  let cap = next_pow2 capacity 1 in
+  { lock = Atomic.make 0; slots = Array.make cap 0; mask = cap - 1; head = 0; tail = 0 }
+
+let capacity t = t.mask + 1
+
+let acquire t =
+  while not (Atomic.compare_and_set t.lock 0 1) do
+    Domain.cpu_relax ()
+  done
+
+let release t = Atomic.set t.lock 0
+
+let length t = t.tail - t.head
+
+(* Owner only. Returns how many of [tasks.(off .. off+len-1)] were
+   accepted (all of them unless the ring is full). *)
+let push_batch t tasks off len =
+  acquire t;
+  let room = capacity t - length t in
+  let n = min len room in
+  for i = 0 to n - 1 do
+    t.slots.((t.tail + i) land t.mask) <- tasks.(off + i)
+  done;
+  t.tail <- t.tail + n;
+  release t;
+  n
+
+(* Returns -1 when empty: the pop is the owner's per-task fast path,
+   and an option would allocate on every success. Task ids are node
+   ids, always >= 0. *)
+let pop t =
+  acquire t;
+  let r =
+    if t.head = t.tail then -1
+    else begin
+      let u = t.slots.(t.head land t.mask) in
+      t.head <- t.head + 1;
+      u
+    end
+  in
+  release t;
+  r
+
+(* Owner only. Pop up to [max] tasks from the front into
+   [tasks.(0 .. n-1)], returning [n]. One lock round-trip amortized
+   over the whole batch; keep [max] modest so most of the ring stays
+   visible to thieves. *)
+let pop_batch t tasks max =
+  acquire t;
+  let n = min max (length t) in
+  for i = 0 to n - 1 do
+    tasks.(i) <- t.slots.((t.head + i) land t.mask)
+  done;
+  t.head <- t.head + n;
+  release t;
+  n
+
+(* Steal the front half (at least one) of [victim] into [tasks],
+   returning the count. Called by a thief; [tasks] must have room for
+   [capacity victim] entries. Locks only the victim — the thief's own
+   ring is touched by its owner afterwards, so no lock ordering issue
+   can arise. *)
+let steal_into victim tasks =
+  acquire victim;
+  let len = length victim in
+  let n = if len = 0 then 0 else (len + 1) / 2 in
+  for i = 0 to n - 1 do
+    tasks.(i) <- victim.slots.((victim.head + i) land victim.mask)
+  done;
+  victim.head <- victim.head + n;
+  release victim;
+  n

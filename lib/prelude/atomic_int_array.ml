@@ -1,0 +1,11 @@
+type t = int array
+
+let make n = Array.make n 0
+
+let length = Array.length
+
+external get : t -> int -> int = "prelude_aia_get" [@@noalloc]
+
+external set : t -> int -> int -> unit = "prelude_aia_set" [@@noalloc]
+
+external cas : t -> int -> int -> int -> bool = "prelude_aia_cas" [@@noalloc]

@@ -1,0 +1,26 @@
+(** Flat array of ints with atomic access (acquire loads, release
+    stores, seq-cst compare-and-swap).
+
+    [int Atomic.t array] boxes every element: each access chases a
+    pointer to a two-word block, an extra cache miss per operation on
+    large arrays. This is a plain [int array] whose fields are read and
+    written with C11 atomics via stubs — the representation of
+    choice for big per-task state machines (e.g. executor task status).
+
+    All indices are unchecked except through {!length}; callers index
+    within bounds as with [Array.unsafe_*]. *)
+
+type t
+
+val make : int -> t
+(** [make n] is an array of [n] zeros. *)
+
+val length : t -> int
+
+external get : t -> int -> int = "prelude_aia_get" [@@noalloc]
+
+external set : t -> int -> int -> unit = "prelude_aia_set" [@@noalloc]
+
+external cas : t -> int -> int -> int -> bool = "prelude_aia_cas" [@@noalloc]
+(** [cas a i expected desired] atomically replaces [a.(i)] with
+    [desired] if it equals [expected], returning whether it did. *)

@@ -1,0 +1,37 @@
+/* Atomic operations on the fields of a plain OCaml int array:
+   acquire loads, release stores, sequentially consistent
+   compare-and-swap — the orderings a status state machine needs
+   (every transition that must be globally ordered goes through the
+   CAS; the plain store is only ever a final-state publication whose
+   visibility is additionally guaranteed by a later lock release).
+
+   OCaml 5.1 has no atomic arrays: an [int Atomic.t array] costs one
+   heap block and one dependent pointer load per element, which on a
+   multi-hundred-thousand-task status array means an extra cache miss
+   on every state transition. Int array fields are immediates (tagged
+   ints), so no write barrier is needed and a C11 atomic on the field
+   itself is sound. The operations run with the domain lock held (no
+   blocking-section release), so a moving minor collection cannot run
+   concurrently with an in-flight access; the array pointer is
+   re-derived from the value argument on every call. */
+
+#include <caml/mlvalues.h>
+
+CAMLprim value prelude_aia_get(value arr, value idx)
+{
+  return (value)__atomic_load_n(&Field(arr, Long_val(idx)), __ATOMIC_ACQUIRE);
+}
+
+CAMLprim value prelude_aia_set(value arr, value idx, value v)
+{
+  __atomic_store_n(&Field(arr, Long_val(idx)), v, __ATOMIC_RELEASE);
+  return Val_unit;
+}
+
+CAMLprim value prelude_aia_cas(value arr, value idx, value expected, value desired)
+{
+  value e = expected;
+  return Val_bool(__atomic_compare_exchange_n(&Field(arr, Long_val(idx)), &e,
+                                              desired, 0, __ATOMIC_SEQ_CST,
+                                              __ATOMIC_SEQ_CST));
+}

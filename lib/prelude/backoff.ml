@@ -1,0 +1,16 @@
+type t = { mutable pow : int; limit : int }
+
+let create ?(limit = 10) () =
+  if limit < 0 then invalid_arg "Backoff.create: negative limit";
+  { pow = 0; limit }
+
+let reset b = b.pow <- 0
+
+let is_exhausted b = b.pow >= b.limit
+
+let once b =
+  let spins = 1 lsl min b.pow b.limit in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done;
+  if b.pow < b.limit then b.pow <- b.pow + 1

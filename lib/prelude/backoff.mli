@@ -1,0 +1,22 @@
+(** Bounded exponential backoff for lock-free retry loops.
+
+    A worker that repeatedly fails to find work spins with
+    exponentially growing pauses ([Domain.cpu_relax], 1, 2, 4, ...,
+    [2^limit] relaxations) before escalating to a real park on a
+    condition variable. This keeps short idle gaps off the futex path
+    while bounding the busy-wait burned on long ones. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [create ~limit ()] caps the pause at [2^limit] relaxations
+    (default [limit = 10], i.e. 1024). *)
+
+val once : t -> unit
+(** Pause for the current step and double the next step (saturating). *)
+
+val is_exhausted : t -> bool
+(** [true] once the cap has been reached: time to park properly. *)
+
+val reset : t -> unit
+(** Call after successfully finding work. *)

@@ -8,6 +8,8 @@ let create n =
 
 let capacity t = t.n
 
+let storage_words t = Array.length t.words
+
 let check t i =
   if i < 0 || i >= t.n then
     invalid_arg (Printf.sprintf "Bitset: %d out of bounds [0,%d)" i t.n)

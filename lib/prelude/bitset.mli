@@ -11,6 +11,11 @@ val create : int -> t
 
 val capacity : t -> int
 
+val storage_words : t -> int
+(** Number of words in the backing array: [(capacity + int_size - 1) /
+    int_size + 1] (one slack word). The reference for memory-footprint
+    accounting of bitset-backed scheduler state. *)
+
 val mem : t -> int -> bool
 
 val add : t -> int -> unit

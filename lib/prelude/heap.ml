@@ -38,6 +38,8 @@ let push h x =
 
 let peek h = if is_empty h then None else Some (Vec.get h.v 0)
 
+let top_exn h = Vec.get h.v 0
+
 let pop h =
   match Vec.length h.v with
   | 0 -> None

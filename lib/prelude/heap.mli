@@ -16,6 +16,10 @@ val push : 'a t -> 'a -> unit
 
 val peek : 'a t -> 'a option
 
+val top_exn : 'a t -> 'a
+(** The minimum element without removing it; raises if empty. The
+    allocation-free [peek] for hot paths that checked {!is_empty}. *)
+
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)
 

@@ -1,0 +1,3 @@
+external now : unit -> (float[@unboxed])
+  = "prelude_mclock_now" "prelude_mclock_now_unboxed"
+[@@noalloc]

@@ -1,0 +1,16 @@
+(** Monotonic clock.
+
+    [now ()] is CLOCK_MONOTONIC in seconds as a float: strictly
+    non-decreasing, unaffected by NTP slews or wall-clock changes.
+    Differences of two readings are meaningful; the absolute value is
+    not (the epoch is arbitrary, typically boot time). Used by the
+    multicore executor for timestamps and calibrated busy-waiting,
+    where [Unix.gettimeofday] would both distort under clock
+    adjustment and cost a timeval conversion per call. *)
+
+external now : unit -> (float[@unboxed])
+  = "prelude_mclock_now" "prelude_mclock_now_unboxed"
+[@@noalloc]
+(** Exported as an [external] so cross-module callers use the unboxed
+    native convention; a [val] here would route every call through the
+    boxing wrapper — one minor allocation per reading. *)

@@ -1,0 +1,21 @@
+/* Monotonic clock for the multicore executor: CLOCK_MONOTONIC seconds
+   as a float, immune to wall-clock adjustments (Unix.gettimeofday is
+   not). The unboxed native variant makes a reading allocation-free,
+   which matters when every task logs two timestamps. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim double prelude_mclock_now_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value prelude_mclock_now(value unit)
+{
+  return caml_copy_double(prelude_mclock_now_unboxed(unit));
+}

@@ -95,6 +95,7 @@ let make ?ops ~initial ~edge_changed ~work g =
                 Prelude.Heap.push t.ready (-.span.(dst), dst)
             end));
     next_ready = pop;
+    next_ready_into = None;
     ops;
     memory_words = (fun () -> 3 * n);
   }

@@ -21,6 +21,7 @@ let make_with ~name ~co ?ops ?levels g =
         match lb.Intf.next_ready () with
         | Some u -> Some u
         | None -> co_inst.Intf.next_ready ());
+    next_ready_into = None;
     ops;
     memory_words = (fun () -> lb.Intf.memory_words () + co_inst.Intf.memory_words ());
   }

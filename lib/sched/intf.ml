@@ -38,6 +38,7 @@ type instance = {
   on_started : task -> unit;
   on_completed : task -> unit;
   next_ready : unit -> task option;
+  next_ready_into : (task array -> int -> int) option;
   ops : ops;
   memory_words : unit -> int;
 }

@@ -59,6 +59,17 @@ type instance = {
   on_started : task -> unit;
   on_completed : task -> unit;
   next_ready : unit -> task option;
+  next_ready_into : (task array -> int -> int) option;
+      (** Optional batched release path for multicore adapters:
+          [fill into max] behaves exactly like repeatedly calling
+          [next_ready ()] followed by [on_started u] on each released
+          task — including every safety decision in between — writing
+          the tasks to [into.(0 .. k-1)] and returning [k <= max].
+          Schedulers whose single-task path allocates (options, queue
+          cells) implement this so a thread-safe wrapper can drain a
+          whole buffer allocation-free in one critical section;
+          [None] means the wrapper falls back to the single-task
+          calls. The sequential engine never uses it. *)
   ops : ops;  (** live counters, updated as the scheduler works *)
   memory_words : unit -> int;
       (** current resident footprint of scheduler state, in words;

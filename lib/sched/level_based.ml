@@ -1,8 +1,16 @@
 module Core = struct
+  (* Buckets are flat vectors with a head index rather than linked
+     [Queue.t]s: the multicore executor drives [next_ready] a quarter
+     million times per second, and a queue cell per activation (plus
+     the [option] returned by every heap peek) is enough minor-heap
+     traffic to force stop-the-world collections that stall every
+     domain. The hot paths below ([min_queued_level_i], [next_ready],
+     [next_ready_into]) are allocation-free. *)
   type t = {
     g : Dag.Graph.t;
     levels : int array;
-    buckets : Intf.task Queue.t array;
+    buckets : Intf.task Prelude.Vec.t array;
+    heads : int array; (* per level: bucket slots before this are consumed *)
     queued_levels : int Prelude.Heap.t; (* lazy: may hold stale/duplicate levels *)
     running_at : int array;
     running_levels : int Prelude.Heap.t; (* lazy *)
@@ -18,7 +26,8 @@ module Core = struct
     {
       g;
       levels;
-      buckets = Array.init (max nlevels 1) (fun _ -> Queue.create ());
+      buckets = Array.init (max nlevels 1) (fun _ -> Prelude.Vec.create ~dummy:0 ());
+      heads = Array.make (max nlevels 1) 0;
       queued_levels = Prelude.Heap.create ~cmp:compare ~dummy:0 ();
       running_at = Array.make (max nlevels 1) 0;
       running_levels = Prelude.Heap.create ~cmp:compare ~dummy:0 ();
@@ -33,12 +42,15 @@ module Core = struct
   let active t = t.active
   let is_started t u = Prelude.Bitset.mem t.started u
 
+  let[@inline] bucket_is_empty t l =
+    t.heads.(l) >= Prelude.Vec.length t.buckets.(l)
+
   let on_activated t u =
     let l = t.levels.(u) in
     t.ops.bucket_ops <- t.ops.bucket_ops + 1;
     Prelude.Bitset.add t.active u;
-    if Queue.is_empty t.buckets.(l) then Prelude.Heap.push t.queued_levels l;
-    Queue.add u t.buckets.(l)
+    if bucket_is_empty t l then Prelude.Heap.push t.queued_levels l;
+    Prelude.Vec.push t.buckets.(l) u
 
   let on_started t u =
     let l = t.levels.(u) in
@@ -54,50 +66,91 @@ module Core = struct
     t.running_at.(l) <- t.running_at.(l) - 1;
     assert (t.running_at.(l) >= 0)
 
-  (* Drop started tasks from the bucket front, then stale heap entries. *)
-  let rec min_queued_level t =
-    match Prelude.Heap.peek t.queued_levels with
-    | None -> None
-    | Some l ->
+  (* Drop started tasks from the bucket front, then stale heap entries.
+     Returns the level, or -1 when no active unstarted task is queued. *)
+  let rec min_queued_level_i t =
+    if Prelude.Heap.is_empty t.queued_levels then -1
+    else begin
+      let l = Prelude.Heap.top_exn t.queued_levels in
       let q = t.buckets.(l) in
-      while (not (Queue.is_empty q)) && Prelude.Bitset.mem t.started (Queue.peek q) do
-        ignore (Queue.pop q);
+      let len = Prelude.Vec.length q in
+      let h = ref t.heads.(l) in
+      while !h < len && Prelude.Bitset.mem t.started (Prelude.Vec.get q !h) do
+        incr h;
         t.ops.bucket_ops <- t.ops.bucket_ops + 1
       done;
-      if Queue.is_empty q then begin
-        ignore (Prelude.Heap.pop t.queued_levels);
+      t.heads.(l) <- !h;
+      if !h >= len then begin
+        ignore (Prelude.Heap.pop_exn t.queued_levels);
         t.ops.bucket_ops <- t.ops.bucket_ops + 1;
-        min_queued_level t
+        min_queued_level_i t
       end
-      else Some l
+      else l
+    end
 
-  let rec min_running_level t =
-    match Prelude.Heap.peek t.running_levels with
-    | None -> None
-    | Some l ->
-      if t.running_at.(l) > 0 then Some l
+  let rec min_running_level_i t =
+    if Prelude.Heap.is_empty t.running_levels then -1
+    else begin
+      let l = Prelude.Heap.top_exn t.running_levels in
+      if t.running_at.(l) > 0 then l
       else begin
-        ignore (Prelude.Heap.pop t.running_levels);
+        ignore (Prelude.Heap.pop_exn t.running_levels);
         t.ops.bucket_ops <- t.ops.bucket_ops + 1;
-        min_running_level t
+        min_running_level_i t
       end
+    end
+
+  let min_queued_level t =
+    match min_queued_level_i t with -1 -> None | l -> Some l
+
+  let min_running_level t =
+    match min_running_level_i t with -1 -> None | l -> Some l
+
+  (* front of bucket [l] is active and unstarted (cleaned above) *)
+  let[@inline] pop_front t l =
+    let h = t.heads.(l) in
+    t.heads.(l) <- h + 1;
+    Prelude.Vec.get t.buckets.(l) h
 
   let next_ready t =
-    match min_queued_level t with
-    | None -> None
-    | Some la -> (
+    match min_queued_level_i t with
+    | -1 -> None
+    | la ->
       t.ops.bucket_ops <- t.ops.bucket_ops + 1;
-      match min_running_level t with
-      | Some lr when lr < la -> None
-      | Some _ | None ->
-        (* front of bucket la is active and unstarted (cleaned above) *)
-        Some (Queue.pop t.buckets.(la)))
+      let lr = min_running_level_i t in
+      if lr >= 0 && lr < la then None else Some (pop_front t la)
+
+  (* Batched [next_ready]+[on_started]: each iteration performs exactly
+     the sequential pair's checks and counter updates, so the released
+     schedule (and the ops accounting) is identical — marking each task
+     started before the next pop is what keeps a freshly emptied level
+     gating the one above it mid-batch. *)
+  let next_ready_into t into max =
+    let k = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && !k < max do
+      match min_queued_level_i t with
+      | -1 -> blocked := true
+      | la ->
+        t.ops.bucket_ops <- t.ops.bucket_ops + 1;
+        let lr = min_running_level_i t in
+        if lr >= 0 && lr < la then blocked := true
+        else begin
+          let u = pop_front t la in
+          on_started t u;
+          Array.unsafe_set into !k u;
+          incr k
+        end
+    done;
+    !k
 
   let memory_words t =
     let n = Dag.Graph.node_count t.g in
-    (* levels + running counts + buckets + two bitsets *)
-    n + Array.length t.running_at + Prelude.Bitset.cardinal t.active
-    + (2 * (n / 63))
+    (* levels + per-level running counts and bucket heads + two bitsets
+       of capacity n, each (n + 62) / 63 one-word limbs *)
+    n
+    + (2 * Array.length t.running_at)
+    + (2 * ((n + 62) / 63))
 end
 
 let make ?ops ?levels g =
@@ -108,6 +161,7 @@ let make ?ops ?levels g =
     on_started = Core.on_started t;
     on_completed = Core.on_completed t;
     next_ready = (fun () -> Core.next_ready t);
+    next_ready_into = Some (fun into max -> Core.next_ready_into t into max);
     ops = Core.ops t;
     memory_words = (fun () -> Core.memory_words t);
   }

@@ -37,7 +37,13 @@ module Core : sig
 
   val next_ready : t -> Intf.task option
 
+  val next_ready_into : t -> Intf.task array -> int -> int
+  (** Batched, allocation-free [next_ready]+[on_started] pairs; see
+      {!Intf.instance}. *)
+
   val memory_words : t -> int
+  (** Resident scheduler state: levels array, per-level counters, and
+      two capacity-[n] bitsets at [(n + 62) / 63] words each. *)
 end
 
 val make : ?ops:Intf.ops -> ?levels:int array -> Dag.Graph.t -> Intf.instance

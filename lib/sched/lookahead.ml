@@ -86,6 +86,7 @@ let make ?ops ?levels ~k g =
     on_started = on_started t;
     on_completed = on_completed t;
     next_ready = (fun () -> next_ready t);
+    next_ready_into = None;
     ops = Level_based.Core.ops t.core;
     memory_words = (fun () -> Level_based.Core.memory_words t.core + Queue.length t.promoted);
   }

@@ -1,0 +1,109 @@
+type t = {
+  inst : Intf.instance;
+  lock : Mutex.t;
+  per_worker : Intf.ops array;
+  mutable outstanding : int;
+  completed : int Atomic.t;
+}
+
+type refill = Got of int | Pending | Drained
+
+let make ~workers (factory : Intf.factory) g =
+  if workers < 1 then invalid_arg "Protected.make: need at least one worker";
+  {
+    inst = factory.Intf.make g;
+    lock = Mutex.create ();
+    per_worker = Array.init workers (fun _ -> Intf.zero_ops ());
+    outstanding = 0;
+    completed = Atomic.make 0;
+  }
+
+let name t = t.inst.Intf.name
+
+let ops t = t.inst.Intf.ops
+
+let worker_ops t = t.per_worker
+
+let completed t = Atomic.get t.completed
+
+(* Per-worker op attribution: snapshot the instance's cumulative
+   counters entering the critical section, credit the delta to the
+   calling worker on the way out. The instance record stays the single
+   source of truth for the aggregate. *)
+let credit t wid ~q ~s ~m ~b ~f =
+  let o = t.inst.Intf.ops and w = t.per_worker.(wid) in
+  w.Intf.queries <- w.Intf.queries + o.Intf.queries - q;
+  w.Intf.scans <- w.Intf.scans + o.Intf.scans - s;
+  w.Intf.messages <- w.Intf.messages + o.Intf.messages - m;
+  w.Intf.bucket_ops <- w.Intf.bucket_ops + o.Intf.bucket_ops - b;
+  w.Intf.bfs_steps <- w.Intf.bfs_steps + o.Intf.bfs_steps - f
+
+let[@inline] locked t wid body =
+  Mutex.lock t.lock;
+  let o = t.inst.Intf.ops in
+  let q = o.Intf.queries
+  and s = o.Intf.scans
+  and m = o.Intf.messages
+  and b = o.Intf.bucket_ops
+  and f = o.Intf.bfs_steps in
+  let result = body t.inst in
+  credit t wid ~q ~s ~m ~b ~f;
+  Mutex.unlock t.lock;
+  result
+
+let activate t ~wid tasks =
+  locked t wid (fun inst -> Array.iter inst.Intf.on_activated tasks)
+
+let memory_words t =
+  Mutex.lock t.lock;
+  let w = t.inst.Intf.memory_words () in
+  Mutex.unlock t.lock;
+  w
+
+let refill t ~wid ~into =
+  let max = Array.length into in
+  let k, out =
+    locked t wid (fun inst ->
+        let k =
+          (* prefer the scheduler's allocation-free batched path; the
+             fallback pairs [next_ready] with [on_started] one task at
+             a time, which is semantically identical *)
+          match inst.Intf.next_ready_into with
+          | Some fill -> fill into max
+          | None ->
+            let k = ref 0 in
+            let exception Dry in
+            (try
+               while !k < max do
+                 match inst.Intf.next_ready () with
+                 | Some u ->
+                   inst.Intf.on_started u;
+                   into.(!k) <- u;
+                   incr k
+                 | None -> raise Dry
+               done
+             with Dry -> ());
+            !k
+        in
+        t.outstanding <- t.outstanding + k;
+        (k, t.outstanding))
+  in
+  if k > 0 then Got k else if out > 0 then Pending else Drained
+
+let complete_batch t ~wid ~tasks ~ntasks ~acts ~counts =
+  locked t wid (fun inst ->
+      let pos = ref 0 in
+      for i = 0 to ntasks - 1 do
+        let c = Array.unsafe_get counts i in
+        for j = !pos to !pos + c - 1 do
+          inst.Intf.on_activated (Array.unsafe_get acts j)
+        done;
+        pos := !pos + c;
+        inst.Intf.on_completed (Array.unsafe_get tasks i)
+      done;
+      (* counter updates batched: [completed] must only rise after the
+         corresponding activations were delivered (the termination
+         invariant), which holds a fortiori when the whole batch lands
+         before the single bump *)
+      t.outstanding <- t.outstanding - ntasks;
+      ignore (Atomic.fetch_and_add t.completed ntasks))

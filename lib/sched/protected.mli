@@ -1,0 +1,91 @@
+(** Thread-safety adapter for scheduler instances.
+
+    Every {!Intf.instance} in this library is single-threaded state; a
+    multicore executor must serialize access to it. [Protected] is that
+    serialization point, designed so the critical sections are few and
+    short ("the scheduler lock protects the scheduler, nothing else"):
+
+    - {!refill} pops up to a whole buffer of ready tasks in one lock
+      acquisition ([next_ready] + [on_started] per task), so a worker
+      pays one lock round-trip per batch, not per task;
+    - {!complete} delivers a completed task's discovered activations
+      and its [on_completed] in one critical section, preserving the
+      protocol order (activations strictly before the parent's
+      completion);
+    - the adapter tracks [outstanding] — tasks released by the
+      scheduler whose completion has not yet been processed — which is
+      what lets the executor distinguish "no work ready {e yet}"
+      ({!Pending}) from a genuine scheduler stall or termination
+      ({!Drained}) without any global state freeze;
+    - scheduler op counters are additionally attributed per worker:
+      each critical section credits the delta of the instance's
+      cumulative {!Intf.ops} to the calling worker, so contention
+      analysis can see who drove the scheduler.
+
+    The completion count is maintained here, incremented {e inside}
+    the critical section after [on_completed]: together with the
+    executor counting a task's activations before calling {!complete},
+    this gives the invariant [completed = activated] iff every
+    activated task has fully completed — the executor's lock-free
+    termination test. *)
+
+type t
+
+(** Outcome of a {!refill} call. *)
+type refill =
+  | Got of int  (** that many tasks were written to the buffer prefix *)
+  | Pending
+      (** nothing ready, but released tasks are still in flight — their
+          completions may unlock more work; wait *)
+  | Drained
+      (** nothing ready and nothing in flight: either every activated
+          task has completed, or the scheduler has stalled (caller
+          decides by comparing activation and completion counts) *)
+
+val make : workers:int -> Intf.factory -> Dag.Graph.t -> t
+(** Runs the factory's precomputation. [workers] sizes the per-worker
+    op-attribution table; worker ids passed below must be in
+    [0, workers). *)
+
+val name : t -> string
+
+val activate : t -> wid:int -> Intf.task array -> unit
+(** Deliver a batch of initial activations (one critical section). *)
+
+val refill : t -> wid:int -> into:int array -> refill
+(** Pop up to [Array.length into] safe tasks, delivering [on_started]
+    for each under the same lock. *)
+
+val complete_batch :
+  t ->
+  wid:int ->
+  tasks:Intf.task array ->
+  ntasks:int ->
+  acts:Intf.task array ->
+  counts:int array ->
+  unit
+(** [complete_batch t ~wid ~tasks ~ntasks ~acts ~counts] retires a
+    worker's accumulated completions in one critical section.
+    [tasks.(0 .. ntasks-1)] are the completed tasks in completion
+    order; task [i]'s newly activated children are the next
+    [counts.(i)] entries of the flattened [acts]. For each task in
+    order: [on_activated] its children, then [on_completed] it — so the
+    protocol order (activations strictly before the causing parent's
+    completion) is preserved within and across batch entries. The
+    [outstanding] and completion counters move once per batch, after
+    every delivery, which keeps the termination invariant a fortiori.
+    Arrays are unchecked hot-path buffers owned by the calling worker;
+    prefixes must be within bounds. *)
+
+val completed : t -> int
+(** Number of {!complete} calls processed (atomic read; exact). *)
+
+val ops : t -> Intf.ops
+(** Aggregate scheduler op counters (the instance's own record). Only
+    stable once all workers have joined. *)
+
+val worker_ops : t -> Intf.ops array
+(** Per-worker attribution of {!ops}, indexed by [wid]. Sums to {!ops}
+    once all workers have joined. *)
+
+val memory_words : t -> int

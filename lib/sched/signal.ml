@@ -75,6 +75,7 @@ let make ?ops g =
     on_started = on_started t;
     on_completed = on_completed t;
     next_ready = (fun () -> next_ready t);
+    next_ready_into = None;
     ops = t.ops;
     memory_words = (fun () -> memory_words t);
   }

@@ -50,29 +50,43 @@ let check_times (trace : Workload.Trace.t) (log : Engine.log_entry array) =
 
 let check_precedence (trace : Workload.Trace.t) (log : Engine.log_entry array) =
   let w = Workload.Trace.active_set trace in
-  let n = Dag.Graph.node_count trace.graph in
+  let g = trace.graph in
+  let n = Dag.Graph.node_count g in
   let finish = Array.make n infinity in
   Array.iter (fun e -> finish.(e.Engine.task) <- e.Engine.finish) log;
+  (* [latest.(u)]: the max finish time over u's proper active
+     ancestors ([latest_who] the arg max) — a linear forward DP over a
+     topological order. An active ancestor that never executed keeps
+     finish = infinity and so is flagged, as before. This replaces a
+     per-log-entry ancestor BFS (O(V·(V+E)) total, minutes on a
+     100k-task chain) with one O(V+E) pass. *)
+  let order = Dag.Topo.sort_exn g in
+  let latest = Array.make n neg_infinity in
+  let latest_who = Array.make n (-1) in
+  Array.iter
+    (fun u ->
+      let own = if Prelude.Bitset.mem w u then finish.(u) else neg_infinity in
+      let lu = latest.(u) and wu = latest_who.(u) in
+      Dag.Graph.iter_succ g u (fun ~dst ~eid:_ ->
+          if own > latest.(dst) then begin
+            latest.(dst) <- own;
+            latest_who.(dst) <- u
+          end;
+          if lu > latest.(dst) then begin
+            latest.(dst) <- lu;
+            latest_who.(dst) <- wu
+          end))
+    order;
   let eps = 1e-9 in
   let rec go i =
     if i >= Array.length log then Ok ()
     else begin
       let e = log.(i) in
-      let anc = Dag.Reach.ancestors trace.graph e.Engine.task in
-      let bad = ref None in
-      Prelude.Bitset.iter
-        (fun a ->
-          if
-            Prelude.Bitset.mem w a
-            && finish.(a) > e.Engine.start +. eps
-            && !bad = None
-          then bad := Some a)
-        anc;
-      match !bad with
-      | Some a ->
+      if latest.(e.Engine.task) > e.Engine.start +. eps then
+        let a = latest_who.(e.Engine.task) in
         err "task %d started at %.9f before active ancestor %d finished at %.9f"
           e.Engine.task e.Engine.start a finish.(a)
-      | None -> go (i + 1)
+      else go (i + 1)
     end
   in
   go 0

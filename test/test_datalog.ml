@@ -126,6 +126,33 @@ let relation_ops () =
   check_int "index updated" 1 (List.length (Datalog.Relation.find r ~col:0 ~value:1));
   check_bool "remove absent" false (Datalog.Relation.remove r [| 9; 9 |])
 
+(* The tuple hashtbl switched to an FNV-1a hash over the int elements
+   with monomorphic equality; add/mem/remove semantics must be exactly
+   those of a reference set, including for negative components (the
+   hash must stay non-negative) and high-collision key ranges. *)
+let relation_hash_semantics () =
+  let module Ref = Set.Make (struct
+    type t = int list
+
+    let compare = compare
+  end) in
+  let r = Datalog.Relation.create ~arity:3 in
+  let reference = ref Ref.empty in
+  let rng = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 3000 do
+    let tup = Array.init 3 (fun _ -> Random.State.int rng 7 - 3) in
+    let key = Array.to_list tup in
+    match Random.State.int rng 3 with
+    | 0 ->
+      check_bool "add agrees" (not (Ref.mem key !reference)) (Datalog.Relation.add r tup);
+      reference := Ref.add key !reference
+    | 1 ->
+      check_bool "remove agrees" (Ref.mem key !reference) (Datalog.Relation.remove r tup);
+      reference := Ref.remove key !reference
+    | _ -> check_bool "mem agrees" (Ref.mem key !reference) (Datalog.Relation.mem r tup)
+  done;
+  check_int "final cardinality" (Ref.cardinal !reference) (Datalog.Relation.cardinality r)
+
 let relation_qcheck =
   QCheck.Test.make ~name:"relation: behaves like a set with index" ~count:300
     QCheck.(list (pair bool (pair (int_bound 5) (int_bound 5))))
@@ -785,6 +812,7 @@ let () =
         [
           test `Quick "symbol interning" symbol_interning;
           test `Quick "relation ops and indexes" relation_ops;
+          test `Quick "tuple hash preserves set semantics" relation_hash_semantics;
           test `Quick "database arity clash" database_arity_clash;
           test `Quick "database facts" database_facts;
         ]

@@ -72,6 +72,7 @@ let deadlock_detected () =
             on_started = (fun _ -> ());
             on_completed = (fun _ -> ());
             next_ready = (fun () -> None);
+            next_ready_into = None;
             ops = Sched.Intf.zero_ops ();
             memory_words = (fun () -> 0);
           })
@@ -98,6 +99,120 @@ let work_accounting () =
   check_bool "wall at least the critical work" true
     (r.Parallel.Executor.wall_makespan >= 4.0 *. 5e-5 *. 0.5)
 
+(* Randomized stress: traces spanning high fan-out, heavy-tailed work
+   skew and pure zero-work dispatch, crossed with domains {1,2,4,8} and
+   every scheduler. Every run must produce a valid schedule
+   ([Executor.check]) and execute exactly the set it activated. Traces
+   are kept small so the full matrix stays quick at [work_unit = 0]. *)
+
+let stress_schedulers =
+  [
+    Sched.Level_based.factory;
+    Sched.Lookahead.factory ~k:4;
+    Sched.Logicblox.factory;
+    Sched.Signal.factory;
+    Sched.Hybrid.factory;
+  ]
+
+let stress_trace ~variant ~seed =
+  match variant with
+  | `Fanout ->
+    (* wide layers, high out-degree: many simultaneous activations *)
+    Workload.Pathological.unit_layers ~width:24 ~layers:8 ~fanout:6 ~seed
+  | `Skewed ->
+    (* heavy tail: most tasks near-unit, one in ten ~30x heavier *)
+    let duration rng _u =
+      if Prelude.Rng.bernoulli rng 0.1 then
+        Workload.Trace.Seq (Prelude.Rng.uniform rng ~lo:10.0 ~hi:30.0)
+      else Workload.Trace.Seq (0.1 +. Prelude.Rng.float rng)
+    in
+    Workload.Synthetic.generate ~duration ~name:"stress-skew"
+      {
+        Workload.Synthetic.nodes = 240;
+        edges = 700;
+        levels = 10;
+        initial = 6;
+        active_jobs = 150;
+        descendants = None;
+        task_fraction = 0.8;
+        seed;
+      }
+  | `Zero ->
+    (* pure dispatch: every task zero work, scheduler overhead only *)
+    let duration _rng _u = Workload.Trace.Seq 0.0 in
+    Workload.Synthetic.generate ~duration ~name:"stress-zero"
+      {
+        Workload.Synthetic.nodes = 200;
+        edges = 520;
+        levels = 8;
+        initial = 5;
+        active_jobs = 120;
+        descendants = None;
+        task_fraction = 1.0;
+        seed;
+      }
+
+let stress_matrix () =
+  List.iter
+    (fun (vname, variant, seed) ->
+      let trace = stress_trace ~variant ~seed in
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun (factory : Sched.Intf.factory) ->
+              let r =
+                Parallel.Executor.run ~domains ~work_unit:0.0 ~sched:factory trace
+              in
+              (match Parallel.Executor.check trace r with
+              | Ok () -> ()
+              | Error e ->
+                Alcotest.failf "%s/%s d=%d: invalid schedule: %s" vname
+                  factory.Sched.Intf.fname domains e);
+              check_int
+                (Printf.sprintf "%s/%s d=%d executes what it activates" vname
+                   factory.Sched.Intf.fname domains)
+                r.Parallel.Executor.tasks_activated
+                r.Parallel.Executor.tasks_executed)
+            stress_schedulers)
+        [ 1; 2; 4; 8 ])
+    [ ("fanout", `Fanout, 42); ("skew", `Skewed, 43); ("zero", `Zero, 44) ]
+
+let unsafe_release_detected () =
+  (* A scheduler that violates the release protocol by handing every
+     activated task out twice. The executor's claim CAS (the only
+     Active->Running edge) must reject the second copy. *)
+  let rogue_factory =
+    {
+      Sched.Intf.fname = "rogue";
+      make =
+        (fun _g ->
+          let q = Queue.create () in
+          {
+            Sched.Intf.name = "rogue";
+            on_activated =
+              (fun u ->
+                Queue.add u q;
+                Queue.add u q);
+            on_started = (fun _ -> ());
+            on_completed = (fun _ -> ());
+            next_ready = (fun () -> Queue.take_opt q);
+            next_ready_into = None;
+            ops = Sched.Intf.zero_ops ();
+            memory_words = (fun () -> 0);
+          });
+    }
+  in
+  let contains_unsafely msg =
+    let n = String.length msg in
+    let rec find i = i + 8 <= n && (String.sub msg i 8 = "unsafely" || find (i + 1)) in
+    find 0
+  in
+  let trace = Workload.Pathological.unit_layers ~width:6 ~layers:3 ~fanout:2 ~seed:5 in
+  match Parallel.Executor.run ~domains:2 ~work_unit:0.0 ~sched:rogue_factory trace with
+  | exception Failure msg ->
+    check_bool "reports the unsafe release" true (contains_unsafely msg)
+  | _ -> Alcotest.fail "expected the executor to reject the rogue scheduler"
+
 let agrees_with_simulator_counts () =
   let trace = Workload.Pathological.broom ~spine:15 ~fan:20 in
   let r = run_checked trace Sched.Hybrid.factory in
@@ -121,5 +236,10 @@ let () =
           test `Quick "deadlock detected" deadlock_detected;
           test `Quick "work accounting" work_accounting;
           test `Quick "agrees with the simulator" agrees_with_simulator_counts;
+        ] );
+      ( "stress",
+        [
+          test `Quick "random traces x domains x schedulers" stress_matrix;
+          test `Quick "unsafe release detected" unsafe_release_detected;
         ] );
     ]

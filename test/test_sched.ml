@@ -430,6 +430,37 @@ let ops_pp_and_total () =
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* Pin the LevelBased memory accounting: the bitset term must be the
+   ceiling division 2 * ((n + 62) / 63) — the floor version 2 * (n / 63)
+   under-counted by up to two words — and the live cardinality of the
+   active set must not leak into the footprint (footprint is capacity,
+   not occupancy). Cross-checked against the actual backing-store size
+   reported by [Bitset.storage_words]. *)
+let lb_memory_words_formula () =
+  List.iter
+    (fun width ->
+      let trace = Workload.Pathological.unit_layers ~width ~layers:3 ~fanout:2 ~seed:1 in
+      let g = trace.Workload.Trace.graph in
+      let n = Dag.Graph.node_count g in
+      let core = Sched.Level_based.Core.create g in
+      let nlevels = Dag.Levels.count (Sched.Level_based.Core.levels core) in
+      let bitset_words = (n + 62) / 63 in
+      check_int
+        (Printf.sprintf "formula for n=%d" n)
+        (n + (2 * max nlevels 1) + (2 * bitset_words))
+        (Sched.Level_based.Core.memory_words core);
+      (* ceil-div matches the bitset's real backing store (one slack
+         word aside) and never under-counts it *)
+      let bs = Prelude.Bitset.create n in
+      check_int "bitset storage" (bitset_words + 1) (Prelude.Bitset.storage_words bs);
+      (* occupancy must not change the reported footprint *)
+      let before = Sched.Level_based.Core.memory_words core in
+      Sched.Level_based.Core.on_activated core 0;
+      Sched.Level_based.Core.on_activated core 1;
+      check_int "footprint ignores occupancy" before
+        (Sched.Level_based.Core.memory_words core))
+    [ 1; 20; 21; 63 ]
+
 let () =
   Alcotest.run "sched"
     [
@@ -438,6 +469,7 @@ let () =
         [
           test `Quick "respects level order" lb_respects_levels;
           test `Quick "serial chain" lb_skips_empty_levels;
+          test `Quick "memory accounting formula" lb_memory_words_formula;
         ] );
       ("tight-example", [ test `Quick "Theorem 9 shapes" tight_example_shapes ]);
       ( "logicblox",

@@ -139,6 +139,7 @@ let lazy_scheduler : Sched.Intf.factory =
           on_started = (fun _ -> ());
           on_completed = (fun _ -> ());
           next_ready = (fun () -> None);
+          next_ready_into = None;
           ops = Sched.Intf.zero_ops ();
           memory_words = (fun () -> 0);
         })
@@ -170,6 +171,7 @@ let eager_scheduler : Sched.Intf.factory =
                 served := true;
                 Some 1
               end);
+          next_ready_into = None;
           ops = Sched.Intf.zero_ops ();
           memory_words = (fun () -> 0);
         })
@@ -196,6 +198,7 @@ let double_scheduler : Sched.Intf.factory =
             (fun () ->
               incr count;
               if !count <= 2 then Some 0 else None);
+          next_ready_into = None;
           ops = Sched.Intf.zero_ops ();
           memory_words = (fun () -> 0);
         })
