@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke bench-datalog clean
 
 all: build
 
@@ -13,10 +13,17 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# compiled plans vs the interpreter: materialization + maintenance
+# batches on twin databases, plus the executor-composed row; writes
+# BENCH_datalog.json
+bench-datalog:
+	dune exec bench/main.exe -- datalog
+
 # tiny traces through the full dispatch matrix (both executors, all
-# domain counts, Executor.check everywhere); seconds, writes no JSON
+# domain counts, Executor.check everywhere) and a small compiled-vs-
+# interpreter pass; seconds, writes no JSON
 bench-smoke:
-	dune exec bench/main.exe -- dispatch-smoke
+	dune exec bench/main.exe -- dispatch-smoke datalog-smoke
 
 clean:
 	dune clean

@@ -7,8 +7,8 @@
      dune exec bench/main.exe -- table2 fig2 # selected sections
 
    Sections: table1 table2 table3 fig1 fig2 overhead memory bounds
-             rescue datalog ablation parallel dispatch dispatch-smoke
-             stream micro
+             rescue datalog datalog-smoke ablation parallel dispatch
+             dispatch-smoke stream micro
 
    [--legacy-executor] restricts the dispatch sections to the retained
    big-lock baseline (and implies the dispatch section when no section
@@ -295,44 +295,288 @@ let rescue () =
     (lbx.Simulator.Metrics.sched_overhead /. hy.Simulator.Metrics.sched_overhead)
 
 (* ---------------------------------------------------------------- *)
-(* Datalog end-to-end: maintenance DAG scheduling                    *)
+(* Datalog end-to-end: compiled plans vs the interpretive oracle      *)
 (* ---------------------------------------------------------------- *)
 
-let datalog () =
-  banner "Datalog end-to-end: incremental maintenance DAG, all schedulers";
-  let buf = Buffer.create 4096 in
-  let rng = Prelude.Rng.create 77 in
-  for _ = 1 to 600 do
-    Buffer.add_string buf
-      (Printf.sprintf "edge(\"v%d\",\"v%d\").\n" (Prelude.Rng.int rng 200)
-         (Prelude.Rng.int rng 200))
-  done;
+(* Evaluation-engine benchmark for the rule-compilation layer. Each
+   program is materialized from scratch and then maintained through a
+   stream of randomized insert/retract batches, once per engine, on twin
+   databases fed identical updates; [Eval.databases_agree] is asserted
+   after every run so the numbers can only come from equivalent
+   computations. Throughput is job tuples per second — derived tuples
+   for materialization, net changed tuples for maintenance — so the
+   compiled/interpreted speedup equals the wall-time ratio on the same
+   job. A final row composes the compiled engine with the low-contention
+   parallel executor over a [To_trace]-derived update, against the
+   interpreter + big-lock legacy executor baseline. *)
+
+type dlrow = {
+  dl_program : string;
+  dl_phase : string;  (* "materialize" | "maintain" *)
+  dl_engine : string;
+  dl_tuples : int;
+  dl_seconds : float;
+  dl_rate : float;
+}
+
+let dl_engines = [ (Datalog.Plan.Interpreted, "interpreted"); (Datalog.Plan.Compiled, "compiled") ]
+
+(* (name, program, update batches): base facts live in the program
+   source; deletions rotate through distinct base facts so every batch
+   really retracts something, additions are fresh random facts. *)
+let dl_programs ~smoke =
+  let rng = Prelude.Rng.create 4242 in
+  let batches = if smoke then 5 else 30 in
+  let mk name rules gen_fact n_base =
+    let base = List.init n_base (fun _ -> gen_fact ()) |> List.sort_uniq compare in
+    let src =
+      String.concat "" (List.map (fun f -> f ^ ".\n") base) ^ rules
+    in
+    let program = Datalog.Parser.parse src in
+    let base_arr = Array.of_list base in
+    let cursor = ref 0 in
+    let updates =
+      List.init batches (fun _ ->
+          let adds = List.init 3 (fun _ -> Datalog.Parser.parse_atom (gen_fact ())) in
+          let dels =
+            List.init 2 (fun _ ->
+                let f = base_arr.(!cursor mod Array.length base_arr) in
+                incr cursor;
+                Datalog.Parser.parse_atom f)
+          in
+          (adds, dels))
+    in
+    (name, program, updates)
+  in
+  let tc_n = if smoke then 40 else 100 in
+  let edge () =
+    Printf.sprintf {|edge("v%d","v%d")|} (Prelude.Rng.int rng tc_n)
+      (Prelude.Rng.int rng tc_n)
+  in
+  let sg_n = if smoke then 25 else 60 in
+  let parent () =
+    let c = 1 + Prelude.Rng.int rng (sg_n - 1) in
+    Printf.sprintf {|parent("n%d","n%d")|} (Prelude.Rng.int rng c) c
+  in
+  let ord_n = if smoke then 15 else 40 in
+  let line () =
+    Printf.sprintf {|line("o%d","i%d",%d)|} (Prelude.Rng.int rng ord_n)
+      (Prelude.Rng.int rng (3 * ord_n))
+      (1 + Prelude.Rng.int rng 9)
+  in
+  let syn_n = if smoke then 18 else 36 in
+  let e () =
+    Printf.sprintf {|e("w%d","w%d")|} (Prelude.Rng.int rng syn_n)
+      (Prelude.Rng.int rng syn_n)
+  in
+  [
+    mk "tc-neg"
+      "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n\
+       node(X) :- edge(X,Y).\nnode(Y) :- edge(X,Y).\n\
+       far(X,Y) :- node(X), node(Y), !path(X,Y), X != Y.\n"
+      edge
+      (if smoke then 90 else 300);
+    mk "same-gen"
+      "sg(X,Y) :- parent(P,X), parent(P,Y), X != Y.\n\
+       sg(X,Y) :- parent(PX,X), sg(PX,PY), parent(PY,Y).\n"
+      parent
+      (if smoke then 60 else 150);
+    mk "orders-agg"
+      "total(O, cnt(I), sum(N)) :- line(O, I, N).\n\
+       hi(O, max(N)) :- line(O, I, N).\n\
+       grand(sum(T)) :- total(O, C, T).\n\
+       busy(O) :- total(O, C, T), C >= 3.\n"
+      line
+      (if smoke then 120 else 400);
+    mk "synthetic"
+      "t1(X,Y) :- e(X,Y).\nt1(X,Z) :- t1(X,Y), e(Y,Z).\n\
+       t2(X,Y) :- t1(X,Y), X != Y.\n\
+       t3(X,Z) :- t2(X,Y), t2(Y,Z), X < Z.\n\
+       t4(X) :- t3(X,Y), !t2(Y,X).\n\
+       t5(X, cnt(Y)) :- t3(X,Y).\n"
+      e
+      (if smoke then 45 else 110);
+  ]
+
+let dl_run_engine engine program updates =
+  let db = Datalog.Database.create () in
+  let t0 = Unix.gettimeofday () in
+  let _, stats = Datalog.Eval.run ~engine db program in
+  let mat_s = Unix.gettimeofday () -. t0 in
+  let derived =
+    List.fold_left (fun acc s -> acc + s.Datalog.Eval.derived) 0 stats
+  in
+  let changed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (adds, dels) ->
+      let r = Datalog.Incremental.apply ~engine db program ~additions:adds ~deletions:dels in
+      List.iter
+        (fun (c : Datalog.Incremental.pred_change) ->
+          changed := !changed + c.Datalog.Incremental.added + c.Datalog.Incremental.removed)
+        r.Datalog.Incremental.changes)
+    updates;
+  let maint_s = Unix.gettimeofday () -. t0 in
+  (db, mat_s, derived, maint_s, !changed)
+
+(* Compiled evaluation composed with the real parallel executor: one
+   update's wall time is (maintenance + executing the revealed DAG),
+   where task processing time is tuples-examined at 1 us per tuple.
+   The baseline is the interpreter feeding the retained big-lock
+   executor — the two PRs' gains in one number. *)
+let dl_end_to_end ~smoke =
+  let rng = Prelude.Rng.create 515 in
+  let n = if smoke then 40 else 100 in
+  let edge () =
+    Printf.sprintf {|edge("v%d","v%d")|} (Prelude.Rng.int rng n) (Prelude.Rng.int rng n)
+  in
+  let base = List.init (if smoke then 90 else 300) (fun _ -> edge ()) |> List.sort_uniq compare in
   let src =
-    Buffer.contents buf
+    String.concat "" (List.map (fun f -> f ^ ".\n") base)
     ^ "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n\
        node(X) :- edge(X,Y).\nnode(Y) :- edge(X,Y).\n\
        far(X,Y) :- node(X), node(Y), !path(X,Y), X != Y.\n"
   in
-  let session = Incr_sched.materialize src in
-  let wall0 = Unix.gettimeofday () in
-  let tt =
-    Incr_sched.update session
-      ~additions:[ {|edge("v0","v199")|}; {|edge("v5","v7")|} ]
-      ~deletions:[ {|edge("v0","v1")|} ]
+  let program = Datalog.Parser.parse src in
+  let additions = List.init 3 (fun _ -> Datalog.Parser.parse_atom (edge ())) in
+  let deletions =
+    [ Datalog.Parser.parse_atom (List.hd base); Datalog.Parser.parse_atom (List.nth base 1) ]
   in
-  let wall = Unix.gettimeofday () -. wall0 in
-  Format.printf "maintenance wall time: %.4f s; changed predicates:@." wall;
+  let sched = Sched.Registry.find_exn "levelbased" in
+  let run engine legacy =
+    let db = Datalog.Database.create () in
+    ignore (Datalog.Eval.run ~engine db program);
+    let t0 = Unix.gettimeofday () in
+    let tt = Datalog.To_trace.of_update ~work_unit:1.0 ~engine db program ~additions ~deletions in
+    let maint = Unix.gettimeofday () -. t0 in
+    let trace = tt.Datalog.To_trace.trace in
+    let domains = 4 in
+    let r =
+      if legacy then Parallel.Legacy.run ~domains ~work_unit:1e-6 ~sched trace
+      else Parallel.Executor.run ~domains ~work_unit:1e-6 ~batch:256 ~sched trace
+    in
+    (maint, r.Parallel.Executor.wall_makespan, r.Parallel.Executor.tasks_executed)
+  in
+  let im, iw, _ = run Datalog.Plan.Interpreted true in
+  let cm, cw, tasks = run Datalog.Plan.Compiled false in
+  let interp_total = im +. iw and comp_total = cm +. cw in
+  Format.printf
+    "@.end-to-end (tc-neg update, maintenance + parallel execution of the revealed DAG, %d tasks):@."
+    tasks;
+  Format.printf "  interpreter + legacy executor : %.4f s  (maintain %.4f + execute %.4f)@."
+    interp_total im iw;
+  Format.printf "  compiled    + new executor    : %.4f s  (maintain %.4f + execute %.4f)@."
+    comp_total cm cw;
+  Format.printf "  composed speedup: %.2fx@." (interp_total /. Float.max comp_total 1e-9);
+  (interp_total, comp_total, tasks)
+
+let datalog_json rows headline end_to_end path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"benchmark\": \"datalog\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ()));
+  (match headline with
+  | Some (prog, interp, comp) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"headline\": {\"program\": \"%s\", \"phase\": \"maintain\", \
+          \"interpreted_s\": %.6f, \"compiled_s\": %.6f, \
+          \"compiled_tuples_per_sec\": %.0f, \"speedup\": %.3f},\n"
+         prog interp.dl_seconds comp.dl_seconds comp.dl_rate
+         (interp.dl_seconds /. Float.max comp.dl_seconds 1e-9))
+  | None -> ());
+  (match end_to_end with
+  | Some (interp_total, comp_total, tasks) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"end_to_end\": {\"program\": \"tc-neg\", \"tasks\": %d, \
+          \"interpreted_plus_legacy_s\": %.6f, \"compiled_plus_executor_s\": %.6f, \
+          \"speedup\": %.3f},\n"
+         tasks interp_total comp_total (interp_total /. Float.max comp_total 1e-9))
+  | None -> ());
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"program\": \"%s\", \"phase\": \"%s\", \"engine\": \"%s\", \
+            \"tuples\": %d, \"seconds\": %.6f, \"tuples_per_sec\": %.0f}%s\n"
+           r.dl_program r.dl_phase r.dl_engine r.dl_tuples r.dl_seconds r.dl_rate
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
+let datalog_core ~smoke () =
+  banner "Datalog engine: compiled plans vs interpreter (materialize + maintain)";
+  let programs = dl_programs ~smoke in
+  let rows = ref [] in
+  let maint = Hashtbl.create 8 in
+  Format.printf "%-12s %-12s %-12s %10s %12s %14s@." "program" "phase" "engine"
+    "tuples" "seconds" "tuples/s";
   List.iter
-    (fun (c : Datalog.Incremental.pred_change) ->
-      Format.printf "  %-6s +%d -%d@." c.Datalog.Incremental.pred
-        c.Datalog.Incremental.added c.Datalog.Incremental.removed)
-    tt.Datalog.To_trace.report.Datalog.Incremental.changes;
-  let trace = tt.Datalog.To_trace.trace in
-  List.iter
-    (fun name ->
-      let m = run_sched ~p:4 trace name in
-      Format.printf "  %a@." Simulator.Metrics.pp_row m)
-    [ "levelbased"; "logicblox"; "hybrid"; "signal" ]
+    (fun (name, program, updates) ->
+      let results =
+        List.map
+          (fun (engine, ename) -> (ename, dl_run_engine engine program updates))
+          dl_engines
+      in
+      (match results with
+      | [ (_, (db_a, _, _, _, _)); (_, (db_b, _, _, _, _)) ] -> (
+        match Datalog.Eval.databases_agree db_a db_b with
+        | Ok () -> ()
+        | Error e -> Format.printf "  *** ENGINES DISAGREE on %s: %s ***@." name e)
+      | _ -> ());
+      List.iter
+        (fun (ename, (_, mat_s, derived, maint_s, changed)) ->
+          let row phase tuples seconds =
+            let r =
+              { dl_program = name; dl_phase = phase; dl_engine = ename;
+                dl_tuples = tuples; dl_seconds = seconds;
+                dl_rate = float_of_int tuples /. Float.max seconds 1e-9 }
+            in
+            rows := r :: !rows;
+            Format.printf "%-12s %-12s %-12s %10d %12.4f %14.0f@." name phase ename
+              tuples seconds r.dl_rate;
+            r
+          in
+          ignore (row "materialize" derived mat_s);
+          let r = row "maintain" changed maint_s in
+          Hashtbl.replace maint (name, ename) r)
+        results)
+    programs;
+  let rows = List.rev !rows in
+  (* headline: the program where compilation helps maintenance most *)
+  let headline =
+    List.fold_left
+      (fun best (name, _, _) ->
+        match (Hashtbl.find_opt maint (name, "interpreted"), Hashtbl.find_opt maint (name, "compiled")) with
+        | Some i, Some c ->
+          let sp = i.dl_seconds /. Float.max c.dl_seconds 1e-9 in
+          (match best with
+          | Some (_, bi, bc) when bi.dl_seconds /. Float.max bc.dl_seconds 1e-9 >= sp -> best
+          | _ -> Some (name, i, c))
+        | _ -> best)
+      None programs
+  in
+  (match headline with
+  | Some (prog, i, c) ->
+    Format.printf
+      "@.headline: %s maintenance — interpreter %.4f s, compiled %.4f s: %.2fx@."
+      prog i.dl_seconds c.dl_seconds (i.dl_seconds /. Float.max c.dl_seconds 1e-9)
+  | None -> ());
+  let e2e = dl_end_to_end ~smoke in
+  if not smoke then
+    datalog_json rows
+      (Option.map (fun (p, i, c) -> (p, i, c)) headline)
+      (Some e2e) "BENCH_datalog.json"
+
+let datalog () = datalog_core ~smoke:false ()
+
+let datalog_smoke () = datalog_core ~smoke:true ()
 
 (* ---------------------------------------------------------------- *)
 (* Ablations: design choices called out in DESIGN.md                 *)
@@ -745,6 +989,7 @@ let sections =
     ("bounds", bounds);
     ("rescue", rescue);
     ("datalog", datalog);
+    ("datalog-smoke", datalog_smoke);
     ("ablation", ablation);
     ("parallel", parallel);
     ("dispatch", dispatch);

@@ -23,12 +23,24 @@ let validate (program : Ast.program) =
 module Tuple_tbl = Hashtbl.Make (struct
   type t = int array
 
-  let equal a b = a = b
+  (* same monomorphic equality / FNV-1a idiom as Relation's tuple
+     table: no list allocation, no generic structural path *)
+  let equal a b =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec eq i = i = n || (Array.unsafe_get a i = Array.unsafe_get b i && eq (i + 1)) in
+    eq 0
 
-  let hash a = Hashtbl.hash (Array.to_list a)
+  let hash a =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor Array.unsafe_get a i) * 0x01000193
+    done;
+    !h land max_int
 end)
 
-let evaluate ~symbols ~view ~work (rule : Ast.rule) =
+let evaluate ~engine ~symbols ~view ~card ~work (rule : Ast.rule) =
   let head_args = Array.of_list rule.Ast.head.Ast.args in
   let group_positions =
     Array.to_list head_args
@@ -42,20 +54,28 @@ let evaluate ~symbols ~view ~work (rule : Ast.rule) =
     |> List.filter_map (fun (i, t) ->
            match t with Ast.Agg (op, v) -> Some (i, op, v) | Ast.Var _ | Ast.Const _ -> None)
   in
-  (* distinct projections onto (group terms, aggregated variables) *)
+  (* distinct projections onto (group terms, aggregated variables),
+     enumerated by a synthetic rule whose plain head is exactly that
+     projection row — so the aggregate body runs on the same compiled
+     (or interpreted) hot path as any other rule *)
+  let proj_rule =
+    {
+      Ast.head =
+        {
+          Ast.pred = rule.Ast.head.Ast.pred;
+          args =
+            List.map (fun i -> head_args.(i)) group_positions
+            @ List.map (fun (_, _, v) -> Ast.Var v) agg_positions;
+        };
+      body = rule.Ast.body;
+    }
+  in
   let rows = Tuple_tbl.create 64 in
-  Matcher.eval_body ~symbols ~view ~work rule.Ast.body ~on_env:(fun env ->
-      let resolve t =
-        match Matcher.resolve_term ~symbols env t with
-        | Some code -> code
-        | None ->
-          invalid_arg
-            (Printf.sprintf "Aggregate: unbound variable in the head of %s"
-               rule.Ast.head.Ast.pred)
-      in
-      let group = List.map (fun i -> resolve head_args.(i)) group_positions in
-      let aggs = List.map (fun (_, _, v) -> resolve (Ast.Var v)) agg_positions in
-      Tuple_tbl.replace rows (Array.of_list (group @ aggs)) ());
+  Plan.exec_rule ~view ~work
+    ~on_derived:(fun row ->
+      (* [row] is the executor's scratch buffer: copy only when new *)
+      if not (Tuple_tbl.mem rows row) then Tuple_tbl.add rows (Array.copy row) ())
+    (Plan.executor ~engine ~symbols ~card proj_rule);
   (* fold per group *)
   let ngroups = List.length group_positions in
   let acc : (int array, (int option * int) array) Hashtbl.t = Hashtbl.create 64 in

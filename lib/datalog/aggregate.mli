@@ -20,11 +20,16 @@ val validate : Ast.program -> unit
     no facts. @raise Invalid_argument otherwise. *)
 
 val evaluate :
+  engine:Plan.engine ->
   symbols:Symbol.t ->
   view:Matcher.view ->
+  card:(string -> int) ->
   work:int ref ->
   Ast.rule ->
   Relation.tuple list
 (** Full output of one aggregate rule against the given view. Distinct
-    tuples, unspecified order.
+    tuples, unspecified order. The body is enumerated through
+    {!Plan.executor} — as a compiled plan or via the interpretive
+    oracle, per [engine] — with [card] feeding the join-order
+    heuristic.
     @raise Invalid_argument if [sum] meets a non-integer value. *)

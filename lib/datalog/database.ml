@@ -23,19 +23,33 @@ let predicates t =
   Hashtbl.fold (fun name r acc -> (name, r) :: acc) t.relations []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let intern_code t pred = function
+  | Ast.Const c -> Symbol.intern t.symbols c
+  | Ast.Var v ->
+    invalid_arg (Printf.sprintf "Database: atom %s has variable %s" pred v)
+  | Ast.Agg _ ->
+    invalid_arg (Printf.sprintf "Database: atom %s has an aggregate term" pred)
+
+(* Called once per fact on every insert/retract, including the bulk
+   update batches of {!Incremental}: build the tuple array directly
+   instead of a List.map-then-Array.of_list pair, with arity fast paths
+   for the unary/binary facts that dominate real programs. *)
 let intern_atom t (a : Ast.atom) =
   let tup =
-    List.map
-      (function
-        | Ast.Const c -> Symbol.intern t.symbols c
-        | Ast.Var v ->
-          invalid_arg (Printf.sprintf "Database: atom %s has variable %s" a.pred v)
-        | Ast.Agg _ ->
-          invalid_arg (Printf.sprintf "Database: atom %s has an aggregate term" a.pred))
-      a.args
+    match a.args with
+    | [] -> [||]
+    | [ t1 ] -> [| intern_code t a.pred t1 |]
+    | [ t1; t2 ] ->
+      let c1 = intern_code t a.pred t1 in
+      [| c1; intern_code t a.pred t2 |]
+    | args ->
+      let n = List.length args in
+      let tup = Array.make n 0 in
+      List.iteri (fun i arg -> tup.(i) <- intern_code t a.pred arg) args;
+      tup
   in
-  ignore (relation t a.pred ~arity:(List.length a.args));
-  Array.of_list tup
+  ignore (relation t a.pred ~arity:(Array.length tup));
+  tup
 
 let add_fact t a =
   let tup = intern_atom t a in

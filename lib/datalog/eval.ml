@@ -11,9 +11,12 @@ let insert_facts db program =
     program
 
 (* One component's fixpoint: semi-naive once seeded by a full round. *)
-let eval_comp db (anal : Stratify.t) program comp =
+let eval_comp ~engine db (anal : Stratify.t) program comp =
   let symbols = Database.symbols db in
   let view = Matcher.view_of_db db in
+  let card pred =
+    match Database.find db pred with Some r -> Relation.cardinality r | None -> 0
+  in
   let rules =
     List.filter
       (fun (r : Ast.rule) -> r.Ast.body <> [])
@@ -30,7 +33,7 @@ let eval_comp db (anal : Stratify.t) program comp =
     in
     List.iter
       (fun tup -> if Relation.add rel tup then incr derived)
-      (Aggregate.evaluate ~symbols ~view ~work r);
+      (Aggregate.evaluate ~engine ~symbols ~view ~card ~work r);
     { comp; rounds = 1; derived = !derived; work = !work }
   | rules ->
     List.iter
@@ -66,15 +69,18 @@ let eval_comp db (anal : Stratify.t) program comp =
         ignore (Relation.add d tup)
       end
     in
+    (* one executor per rule: every (rule, delta position) plan is
+       compiled once and reused across all fixpoint rounds *)
+    let execs = List.map (fun r -> (r, Plan.executor ~engine ~symbols ~card r)) rules in
     (* round 0: full evaluation *)
     List.iter
-      (fun r ->
-        Matcher.eval_rule ~symbols ~view ~work ~on_derived:(stage_into !delta r) r)
-      rules;
+      (fun (r, ex) ->
+        Plan.exec_rule ~view ~work ~on_derived:(stage_into !delta r) ex)
+      execs;
     let rounds = ref 1 in
     let recursive_positions =
       List.map
-        (fun (r : Ast.rule) ->
+        (fun ((r : Ast.rule), ex) ->
           let poss = ref [] in
           List.iteri
             (fun i lit ->
@@ -82,14 +88,14 @@ let eval_comp db (anal : Stratify.t) program comp =
               | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> poss := i :: !poss
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
             r.Ast.body;
-          (r, List.rev !poss))
-        rules
+          (r, ex, List.rev !poss))
+        execs
     in
     while Hashtbl.length !delta > 0 do
       incr rounds;
       let next = fresh_delta () in
       List.iter
-        (fun ((r : Ast.rule), positions) ->
+        (fun ((r : Ast.rule), ex, positions) ->
           List.iter
             (fun i ->
               let pred =
@@ -100,8 +106,8 @@ let eval_comp db (anal : Stratify.t) program comp =
               match Hashtbl.find_opt !delta pred with
               | None -> ()
               | Some d ->
-                Matcher.eval_rule ~symbols ~view ~delta:(i, d) ~work
-                  ~on_derived:(stage_into next r) r)
+                Plan.exec_rule ~view ~delta:(i, d) ~work
+                  ~on_derived:(stage_into next r) ex)
             positions)
         recursive_positions;
       delta := next
@@ -109,13 +115,14 @@ let eval_comp db (anal : Stratify.t) program comp =
     { comp; rounds = !rounds; derived = !derived; work = !work }
   end
 
-let run db program =
+let run ?(engine = Plan.default_engine) db program =
   Aggregate.validate program;
   let anal = Stratify.analyze program in
   Matcher.register db program;
   insert_facts db program;
   let stats =
-    Array.to_list (Array.map (eval_comp db anal program) (Stratify.scc_order anal))
+    Array.to_list
+      (Array.map (eval_comp ~engine db anal program) (Stratify.scc_order anal))
   in
   (anal, stats)
 
@@ -126,6 +133,9 @@ let run_naive db program =
   insert_facts db program;
   let symbols = Database.symbols db in
   let view = Matcher.view_of_db db in
+  let card pred =
+    match Database.find db pred with Some r -> Relation.cardinality r | None -> 0
+  in
   let work = ref 0 in
   let by_stratum = Stratify.predicates_by_stratum anal in
   Array.iteri
@@ -147,7 +157,8 @@ let run_naive db program =
               (* lower strata are final: recomputing is stable *)
               List.iter
                 (fun tup -> if Relation.add rel tup then changed := true)
-                (Aggregate.evaluate ~symbols ~view ~work r)
+                (Aggregate.evaluate ~engine:Plan.Interpreted ~symbols ~view ~card
+                   ~work r)
             else
               Matcher.eval_rule ~symbols ~view ~work
                 ~on_derived:(fun tup -> if Relation.add rel tup then changed := true)

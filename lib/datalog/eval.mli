@@ -13,10 +13,12 @@ type comp_stats = {
   work : int;  (** tuples examined — the work proxy for {!To_trace} *)
 }
 
-val run : Database.t -> Ast.program -> Stratify.t * comp_stats list
+val run : ?engine:Plan.engine -> Database.t -> Ast.program -> Stratify.t * comp_stats list
 (** Materialize every derived predicate into [db]. Facts in the program
     are inserted first. Returns the dependency analysis (reusable) and
-    per-component statistics in evaluation order.
+    per-component statistics in evaluation order. [engine] (default
+    {!Plan.Compiled}) selects compiled plans or the interpretive
+    oracle; both produce identical databases.
     @raise Stratify.Unstratifiable on negative recursion. *)
 
 val run_naive : Database.t -> Ast.program -> unit

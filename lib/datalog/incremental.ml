@@ -71,13 +71,17 @@ let check_edb (anal : Stratify.t) (a : Ast.atom) =
          a.Ast.pred)
   | Some _ | None -> ()
 
-let apply db program ~additions ~deletions =
+let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
   Aggregate.validate program;
   let anal = Stratify.analyze program in
   Matcher.register db program;
   List.iter (check_edb anal) additions;
   List.iter (check_edb anal) deletions;
   let symbols = Database.symbols db in
+  let card pred =
+    match Database.find db pred with Some r -> Relation.cardinality r | None -> 0
+  in
+  let make_exec r = Plan.executor ~engine ~symbols ~card r in
   let new_view = Matcher.view_of_db db in
   let d = { added = Hashtbl.create 16; removed = Hashtbl.create 16 } in
   (* The pre-update state as a delta overlay over the live database:
@@ -107,21 +111,19 @@ let apply db program ~additions ~deletions =
           && (match Database.find db p with
              | Some r -> Relation.mem r tup
              | None -> false));
-      find =
-        (fun p ~col ~value ->
-          let base =
-            match Database.find db p with
-            | Some r -> Relation.find r ~col ~value
-            | None -> []
-          in
-          let base =
+      iter_matching =
+        (fun p ~col ~value f ->
+          (match Database.find db p with
+          | Some r -> (
             match non_empty (added p) with
-            | Some a -> List.filter (fun t -> not (Relation.mem a t)) base
-            | None -> base
-          in
+            | Some a ->
+              Relation.iter_matching r ~col ~value (fun t ->
+                  if not (Relation.mem a t) then f t)
+            | None -> Relation.iter_matching r ~col ~value f)
+          | None -> ());
           match non_empty (removed p) with
-          | Some r -> List.rev_append (Relation.find r ~col ~value) base
-          | None -> base);
+          | Some r -> Relation.iter_matching r ~col ~value f
+          | None -> ());
       iter =
         (fun p f ->
           (match Database.find db p with
@@ -196,7 +198,7 @@ let apply db program ~additions ~deletions =
           let fresh = Relation.create ~arity in
           List.iter
             (fun tup -> ignore (Relation.add fresh tup))
-            (Aggregate.evaluate ~symbols ~view:new_view ~work r);
+            (Aggregate.evaluate ~engine ~symbols ~view:new_view ~card ~work r);
           let stale =
             Relation.fold
               (fun acc tup -> if Relation.mem fresh tup then acc else tup :: acc)
@@ -220,7 +222,10 @@ let apply db program ~additions ~deletions =
         in
         activity := { comp; work = !work; output_changed; input_changed } :: !activity
       | rules ->
-      ignore rules;
+      (* one executor per rule, shared by all three phases and every
+         cascade round, so each (rule, delta position) plan is compiled
+         at most once per update *)
+      let execs = List.map (fun r -> (r, make_exec r)) rules in
       (* ---- Phase A: overdeletion against the old state ---- *)
       let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
       let overdelete (r : Ast.rule) tup =
@@ -243,41 +248,42 @@ let apply db program ~additions ~deletions =
         end
       in
       List.iter
-        (fun (r : Ast.rule) ->
+        (fun ((r : Ast.rule), ex) ->
           List.iteri
             (fun i lit ->
               match lit with
               | Ast.Pos a when nonempty d.removed a.Ast.pred ->
-                Matcher.eval_rule ~symbols ~view:old_view
+                Plan.exec_rule ~view:old_view
                   ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                  ~work ~on_derived:(stage_round r) r
+                  ~work ~on_derived:(stage_round r) ex
               | Ast.Neg a when nonempty d.added a.Ast.pred ->
-                Matcher.eval_rule ~symbols ~view:old_view
+                let flipped = flip_negation r i in
+                Plan.exec_rule ~view:old_view
                   ~delta:(i, Hashtbl.find d.added a.Ast.pred)
                   ~work
-                  ~on_derived:(stage_round (flip_negation r i))
-                  (flip_negation r i)
+                  ~on_derived:(stage_round flipped)
+                  (make_exec flipped)
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
             r.Ast.body)
-        rules;
+        execs;
       (* cascade within the component *)
       while Hashtbl.length !round > 0 do
         let prev = !round in
         round := Hashtbl.create 4;
         List.iter
-          (fun (r : Ast.rule) ->
+          (fun ((r : Ast.rule), ex) ->
             List.iteri
               (fun i lit ->
                 match lit with
                 | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
                   match Hashtbl.find_opt prev a.Ast.pred with
                   | Some delta when Relation.cardinality delta > 0 ->
-                    Matcher.eval_rule ~symbols ~view:old_view ~delta:(i, delta) ~work
-                      ~on_derived:(stage_round r) r
+                    Plan.exec_rule ~view:old_view ~delta:(i, delta) ~work
+                      ~on_derived:(stage_round r) ex
                   | Some _ | None -> ())
                 | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
               r.Ast.body)
-          rules;
+          execs;
         (* tuples staged this round that were already overdeleted in a
            previous round were filtered by [stage_round]'s mem check *)
         ()
@@ -287,10 +293,10 @@ let apply db program ~additions ~deletions =
       while !changed do
         changed := false;
         List.iter
-          (fun (r : Ast.rule) ->
+          (fun ((r : Ast.rule), ex) ->
             match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
             | Some o when Relation.cardinality o > 0 ->
-              Matcher.eval_rule ~symbols ~view:new_view ~work
+              Plan.exec_rule ~view:new_view ~work
                 ~on_derived:(fun tup ->
                   if Relation.mem o tup then begin
                     let pred = r.Ast.head.Ast.pred in
@@ -301,9 +307,9 @@ let apply db program ~additions ~deletions =
                       changed := true
                     end
                   end)
-                r
+                ex
             | Some _ | None -> ())
-          rules
+          execs
       done;
       (* ---- Phase C: insertion against the new state ---- *)
       let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
@@ -316,42 +322,43 @@ let apply db program ~additions ~deletions =
         end
       in
       List.iter
-        (fun (r : Ast.rule) ->
+        (fun ((r : Ast.rule), ex) ->
           List.iteri
             (fun i lit ->
               match lit with
               | Ast.Pos a
                 when (not (Hashtbl.mem comp_preds a.Ast.pred))
                      && nonempty d.added a.Ast.pred ->
-                Matcher.eval_rule ~symbols ~view:new_view
+                Plan.exec_rule ~view:new_view
                   ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                  ~work ~on_derived:(stage_add r) r
+                  ~work ~on_derived:(stage_add r) ex
               | Ast.Neg a when nonempty d.removed a.Ast.pred ->
-                Matcher.eval_rule ~symbols ~view:new_view
+                let flipped = flip_negation r i in
+                Plan.exec_rule ~view:new_view
                   ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
                   ~work
-                  ~on_derived:(stage_add (flip_negation r i))
-                  (flip_negation r i)
+                  ~on_derived:(stage_add flipped)
+                  (make_exec flipped)
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
             r.Ast.body)
-        rules;
+        execs;
       while Hashtbl.length !roundc > 0 do
         let prev = !roundc in
         roundc := Hashtbl.create 4;
         List.iter
-          (fun (r : Ast.rule) ->
+          (fun ((r : Ast.rule), ex) ->
             List.iteri
               (fun i lit ->
                 match lit with
                 | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
                   match Hashtbl.find_opt prev a.Ast.pred with
                   | Some delta when Relation.cardinality delta > 0 ->
-                    Matcher.eval_rule ~symbols ~view:new_view ~delta:(i, delta) ~work
-                      ~on_derived:(stage_add r) r
+                    Plan.exec_rule ~view:new_view ~delta:(i, delta) ~work
+                      ~on_derived:(stage_add r) ex
                   | Some _ | None -> ())
                 | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
               r.Ast.body)
-          rules
+          execs
       done;
       let output_changed =
         Array.exists

@@ -37,6 +37,7 @@ type report = {
 }
 
 val apply :
+  ?engine:Plan.engine ->
   Database.t ->
   Ast.program ->
   additions:Ast.atom list ->
@@ -44,5 +45,7 @@ val apply :
   report
 (** Update base facts and restore the materialization. [db] must hold a
     completed materialization of [program] (via {!Eval.run}). Atoms must
-    be ground and extensional.
+    be ground and extensional. [engine] (default {!Plan.Compiled})
+    selects compiled plans or the interpretive oracle; both restore the
+    same database.
     @raise Invalid_argument on a non-ground or intensional atom. *)

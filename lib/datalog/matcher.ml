@@ -1,6 +1,6 @@
 type view = {
   mem : string -> Relation.tuple -> bool;
-  find : string -> col:int -> value:int -> Relation.tuple list;
+  iter_matching : string -> col:int -> value:int -> (Relation.tuple -> unit) -> unit;
   iter : string -> (Relation.tuple -> unit) -> unit;
 }
 
@@ -11,11 +11,11 @@ let view_of_db db =
         match Database.find db pred with
         | None -> false
         | Some r -> Relation.mem r tup);
-    find =
-      (fun pred ~col ~value ->
+    iter_matching =
+      (fun pred ~col ~value f ->
         match Database.find db pred with
-        | None -> []
-        | Some r -> Relation.find r ~col ~value);
+        | None -> ()
+        | Some r -> Relation.iter_matching r ~col ~value f);
     iter =
       (fun pred f ->
         match Database.find db pred with None -> () | Some r -> Relation.iter f r);
@@ -84,7 +84,7 @@ let match_positive ~symbols ~view ~work env (a : Ast.atom) k =
     match unify ~symbols env a.Ast.args tup with Some env' -> k env' | None -> ()
   in
   match bound_col with
-  | Some (col, value) -> List.iter try_tuple (view.find a.Ast.pred ~col ~value)
+  | Some (col, value) -> view.iter_matching a.Ast.pred ~col ~value try_tuple
   | None -> view.iter a.Ast.pred try_tuple
 
 let eval_body ~symbols ~view ?delta ~work ~on_env (body : Ast.literal list) =

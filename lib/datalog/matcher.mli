@@ -8,7 +8,9 @@
 
 type view = {
   mem : string -> Relation.tuple -> bool;
-  find : string -> col:int -> value:int -> Relation.tuple list;
+  iter_matching : string -> col:int -> value:int -> (Relation.tuple -> unit) -> unit;
+      (** index probe: every tuple whose [col]th component is [value],
+          handed out without per-probe allocation *)
   iter : string -> (Relation.tuple -> unit) -> unit;
 }
 

@@ -1,0 +1,337 @@
+(* Rule compilation: each rule is planned once — constants pre-interned,
+   variables mapped to integer slots, body literals reordered by a
+   static selectivity heuristic — and then executed many times over a
+   flat reusable [int array] environment with allocation-free index
+   probes. The interpretive matcher ({!Matcher.eval_rule}) survives as
+   the reference oracle; {!executor} picks between the two. *)
+
+type src = Sconst of int | Sslot of int
+
+(* One argument position of a positive atom, specialized at compile
+   time by what is known to be bound when the literal executes. Because
+   execution is depth-first over a fixed literal order, boundness is
+   static: a slot is written exactly by the [Bind] of its first
+   occurrence on every path that reads it, so no unbinding or occupancy
+   bitmap is needed. *)
+type arg_op =
+  | Check_const of int * int  (* column must equal the interned code *)
+  | Check_slot of int * int  (* column must equal an already-bound slot *)
+  | Bind of int * int  (* first occurrence: write column into slot *)
+
+type probe =
+  | Scan  (* no argument bound at this point: full relation scan *)
+  | Probe of int * src  (* indexed probe on (column, value source) *)
+
+type step =
+  | Match of { pred : string; arity : int; probe : probe; ops : arg_op array }
+  | Delta of { arity : int; ops : arg_op array }
+      (* the semi-naive literal: ranges over the delta relation passed
+         to {!run} instead of the view *)
+  | Reject of { pred : string; args : src array; scratch : int array }
+      (* negated atom, all arguments bound: membership must fail *)
+  | Filter of { op : Ast.cmp; a : src; b : src }
+
+type t = {
+  symbols : Symbol.t;
+  steps : step array;
+  head : src array;
+  env : int array;  (* slot scratch, reused across executions *)
+  head_buf : int array;  (* head tuple scratch; valid only inside on_derived *)
+}
+
+let term_src slots symbols = function
+  | Ast.Const c -> Some (Sconst (Symbol.intern symbols c))
+  | Ast.Var v -> (
+    match Hashtbl.find_opt slots v with Some s -> Some (Sslot s) | None -> None)
+  | Ast.Agg _ -> invalid_arg "Plan: aggregate term in a rule body"
+
+let compile ?delta ~symbols ~card (rule : Ast.rule) =
+  (* [slots] doubles as the bound-variable set: a variable has a slot
+     iff some already-emitted step binds it. *)
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let nslots = ref 0 in
+  let alloc v =
+    let s = !nslots in
+    incr nslots;
+    Hashtbl.add slots v s;
+    s
+  in
+  (* Compile an atom's argument list; allocates slots for first
+     occurrences. [skip_col] is the probed column, already guaranteed
+     equal by the index bucket. *)
+  let compile_args ~skip_col (args : Ast.term list) =
+    let ops = ref [] in
+    List.iteri
+      (fun col t ->
+        match t with
+        | Ast.Const c ->
+          if col <> skip_col then
+            ops := Check_const (col, Symbol.intern symbols c) :: !ops
+        | Ast.Var v -> (
+          match Hashtbl.find_opt slots v with
+          | Some s -> if col <> skip_col then ops := Check_slot (col, s) :: !ops
+          | None -> ops := Bind (col, alloc v) :: !ops)
+        | Ast.Agg _ -> invalid_arg "Plan: aggregate term in a body atom")
+      args;
+    Array.of_list (List.rev !ops)
+  in
+  let compile_pos (a : Ast.atom) =
+    (* probe on the first argument resolvable before this literal binds
+       anything new — same column the interpreter would pick *)
+    let probe =
+      let rec go col = function
+        | [] -> Scan
+        | t :: rest -> (
+          match term_src slots symbols t with
+          | Some s -> Probe (col, s)
+          | None -> go (col + 1) rest)
+      in
+      go 0 a.Ast.args
+    in
+    let skip_col = match probe with Probe (col, _) -> col | Scan -> -1 in
+    let ops = compile_args ~skip_col a.Ast.args in
+    Match { pred = a.Ast.pred; arity = List.length a.Ast.args; probe; ops }
+  in
+  let ground_srcs (a : Ast.atom) =
+    Array.of_list
+      (List.map
+         (fun t ->
+           match term_src slots symbols t with
+           | Some s -> s
+           | None ->
+             invalid_arg
+               (Printf.sprintf
+                  "Plan: unbound variable in %s (not range-restricted?)" a.Ast.pred))
+         a.Ast.args)
+  in
+  let term_ready = function
+    | Ast.Const _ -> true
+    | Ast.Var v -> Hashtbl.mem slots v
+    | Ast.Agg _ -> false
+  in
+  let lit_ready = function
+    | Ast.Pos _ -> false (* generators are scheduled by selectivity, not readiness *)
+    | Ast.Neg a -> List.for_all term_ready a.Ast.args
+    | Ast.Cmp (_, t1, t2) -> term_ready t1 && term_ready t2
+  in
+  (* distinct variables of the atom not yet bound *)
+  let unbound_count (a : Ast.atom) =
+    let seen = Hashtbl.create 4 in
+    List.iter
+      (fun t ->
+        match t with
+        | Ast.Var v when not (Hashtbl.mem slots v) -> Hashtbl.replace seen v ()
+        | Ast.Var _ | Ast.Const _ | Ast.Agg _ -> ())
+      a.Ast.args;
+    Hashtbl.length seen
+  in
+  let steps = ref [] in
+  let emit s = steps := s :: !steps in
+  let remaining = ref (List.mapi (fun i l -> (i, l)) rule.Ast.body) in
+  (* The delta literal leads unconditionally: semi-naive maintenance is
+     driven by the (small) changed set, so every later literal probes
+     with delta-bound values. *)
+  (match delta with
+  | None -> ()
+  | Some di -> (
+    match List.assoc_opt di !remaining with
+    | Some (Ast.Pos a) ->
+      emit (Delta { arity = List.length a.Ast.args; ops = compile_args ~skip_col:(-1) a.Ast.args });
+      remaining := List.filter (fun (i, _) -> i <> di) !remaining
+    | Some (Ast.Neg _ | Ast.Cmp _) | None ->
+      invalid_arg "Plan.compile: delta literal must be a positive body atom"));
+  while !remaining <> [] do
+    (* filters fire as soon as their variables are bound: they only
+       shrink the enumeration *)
+    let ready, rest = List.partition (fun (_, l) -> lit_ready l) !remaining in
+    if ready <> [] then begin
+      List.iter
+        (fun (_, l) ->
+          match l with
+          | Ast.Neg a ->
+            emit
+              (Reject
+                 { pred = a.Ast.pred;
+                   args = ground_srcs a;
+                   scratch = Array.make (List.length a.Ast.args) 0 })
+          | Ast.Cmp (op, t1, t2) ->
+            let s t =
+              match term_src slots symbols t with Some s -> s | None -> assert false
+            in
+            emit (Filter { op; a = s t1; b = s t2 })
+          | Ast.Pos _ -> assert false)
+        ready;
+      remaining := rest
+    end
+    else begin
+      (* most selective generator next: fewest unbound variables (most
+         join constraints), then smallest relation at plan time *)
+      let best = ref None in
+      List.iter
+        (fun (i, l) ->
+          match l with
+          | Ast.Pos a ->
+            let key = (unbound_count a, card a.Ast.pred, i) in
+            (match !best with
+            | Some (bkey, _, _) when bkey <= key -> ()
+            | Some _ | None -> best := Some (key, i, a))
+          | Ast.Neg _ | Ast.Cmp _ -> ())
+        !remaining;
+      match !best with
+      | None ->
+        (* only negations/comparisons with unbound variables remain *)
+        invalid_arg
+          (Printf.sprintf "Plan: rule for %s is not range-restricted"
+             rule.Ast.head.Ast.pred)
+      | Some (_, i, a) ->
+        emit (compile_pos a);
+        remaining := List.filter (fun (j, _) -> j <> i) !remaining
+    end
+  done;
+  let head =
+    Array.of_list
+      (List.map
+         (fun t ->
+           match t with
+           | Ast.Agg _ -> invalid_arg "Plan: aggregate term in a rule head"
+           | Ast.Const _ | Ast.Var _ -> (
+             match term_src slots symbols t with
+             | Some s -> s
+             | None ->
+               invalid_arg
+                 (Printf.sprintf "Plan: unbound variable in the head of %s"
+                    rule.Ast.head.Ast.pred)))
+         rule.Ast.head.Ast.args)
+  in
+  {
+    symbols;
+    steps = Array.of_list (List.rev !steps);
+    head;
+    env = Array.make !nslots 0;
+    head_buf = Array.make (Array.length head) 0;
+  }
+
+(* Element-wise unification of a planned argument list against a
+   concrete tuple. [unsafe_get]/[unsafe_set] are justified by the
+   arity check at each Match/Delta step: columns < arity = tuple
+   length, and slot indexes are < |env| by construction. *)
+let unify_ops env ops tup =
+  let n = Array.length ops in
+  let rec go j =
+    j = n
+    || (match Array.unsafe_get ops j with
+       | Check_const (col, code) -> Array.unsafe_get tup col = code
+       | Check_slot (col, s) -> Array.unsafe_get tup col = Array.unsafe_get env s
+       | Bind (col, s) ->
+         Array.unsafe_set env s (Array.unsafe_get tup col);
+         true)
+       && go (j + 1)
+  in
+  go 0
+
+let cmp_ok op c =
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Neq -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let run ?delta ~view ~work ~on_derived p =
+  let env = p.env in
+  let steps = p.steps in
+  let nsteps = Array.length steps in
+  let value = function Sconst c -> c | Sslot s -> Array.unsafe_get env s in
+  let rec exec i =
+    if i = nsteps then begin
+      let head = p.head in
+      let buf = p.head_buf in
+      for j = 0 to Array.length head - 1 do
+        buf.(j) <- value (Array.unsafe_get head j)
+      done;
+      on_derived buf
+    end
+    else
+      match Array.unsafe_get steps i with
+      | Match { pred; arity; probe; ops } ->
+        let try_tuple tup =
+          incr work;
+          if Array.length tup <> arity then
+            invalid_arg (Printf.sprintf "Plan: arity mismatch on %s" pred);
+          if unify_ops env ops tup then exec (i + 1)
+        in
+        (match probe with
+        | Scan -> view.Matcher.iter pred try_tuple
+        | Probe (col, s) -> view.Matcher.iter_matching pred ~col ~value:(value s) try_tuple)
+      | Delta { arity; ops } -> (
+        match delta with
+        | None -> invalid_arg "Plan.run: plan has a delta literal but no ~delta"
+        | Some d ->
+          Relation.iter
+            (fun tup ->
+              incr work;
+              if Array.length tup <> arity then
+                invalid_arg "Plan: arity mismatch on the delta relation";
+              if unify_ops env ops tup then exec (i + 1))
+            d)
+      | Reject { pred; args; scratch } ->
+        incr work;
+        for j = 0 to Array.length args - 1 do
+          scratch.(j) <- value (Array.unsafe_get args j)
+        done;
+        if not (view.Matcher.mem pred scratch) then exec (i + 1)
+      | Filter { op; a; b } ->
+        incr work;
+        if cmp_ok op (Symbol.compare_codes p.symbols (value a) (value b)) then
+          exec (i + 1)
+  in
+  exec 0
+
+(* ---- engine dispatch: compiled plans vs the interpretive oracle ---- *)
+
+type engine = Compiled | Interpreted
+
+let default_engine = Compiled
+
+type exec =
+  | Interp of { rule : Ast.rule; symbols : Symbol.t }
+  | Plans of {
+      rule : Ast.rule;
+      symbols : Symbol.t;
+      card : string -> int;
+      mutable base : t option;
+      deltas : (int, t) Hashtbl.t;  (* keyed by delta body position *)
+    }
+
+let executor ~engine ~symbols ~card (rule : Ast.rule) =
+  match engine with
+  | Interpreted -> Interp { rule; symbols }
+  | Compiled -> Plans { rule; symbols; card; base = None; deltas = Hashtbl.create 4 }
+
+let exec_rule ?delta ~view ~work ~on_derived e =
+  match e with
+  | Interp { rule; symbols } ->
+    Matcher.eval_rule ~symbols ~view ?delta ~work ~on_derived rule
+  | Plans p -> (
+    match delta with
+    | None ->
+      let plan =
+        match p.base with
+        | Some plan -> plan
+        | None ->
+          let plan = compile ~symbols:p.symbols ~card:p.card p.rule in
+          p.base <- Some plan;
+          plan
+      in
+      run ~view ~work ~on_derived plan
+    | Some (i, d) ->
+      let plan =
+        match Hashtbl.find_opt p.deltas i with
+        | Some plan -> plan
+        | None ->
+          let plan = compile ~delta:i ~symbols:p.symbols ~card:p.card p.rule in
+          Hashtbl.add p.deltas i plan;
+          plan
+      in
+      run ~delta:d ~view ~work ~on_derived plan)

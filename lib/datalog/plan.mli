@@ -1,0 +1,89 @@
+(** Rule compilation: the evaluation hot path.
+
+    {!compile} turns an {!Ast.rule} into a fixed instruction sequence:
+
+    - constants are interned once, at compile time — no [Symbol.intern]
+      during matching;
+    - variables become integer slots in a flat reusable [int array]
+      environment (no assoc lists). Boundness is static: with a fixed
+      literal order and depth-first enumeration, each slot is written by
+      the [Bind] of its first occurrence before any read, so argument
+      positions specialize to bind/check-slot/check-const ops and no
+      unbinding is needed on backtrack;
+    - body literals are reordered by a greedy static selectivity
+      heuristic — negations and comparisons fire as soon as their
+      variables are bound (they only filter), and among the remaining
+      positive atoms the next generator is the one with the fewest
+      unbound variables, ties broken by relation cardinality at plan
+      time then by original position. The semi-naive delta literal, when
+      present, is forced first so every subsequent literal probes with
+      delta-bound values;
+    - index probes go through {!Matcher.view.iter_matching} — no list is
+      allocated per probe, and the probed column's check is elided
+      (the index bucket already guarantees it).
+
+    Reordering is semantics-preserving: positive conjunction is
+    commutative, and filters are only moved to points where all their
+    variables are bound (range restriction guarantees such a point
+    exists). The head tuple handed to [on_derived] is a scratch buffer
+    valid only for the duration of the callback — consumers must copy to
+    retain, which {!Relation.add} already does.
+
+    Plans carry their scratch state, so a single plan (and hence a
+    single {!exec}) must not be executed reentrantly from inside its own
+    callbacks. *)
+
+type t
+(** A compiled plan for one rule, with the delta position (if any) fixed
+    at compile time. *)
+
+val compile : ?delta:int -> symbols:Symbol.t -> card:(string -> int) -> Ast.rule -> t
+(** [compile ?delta ~symbols ~card rule] plans [rule]. [card] supplies
+    per-predicate cardinalities for the join-order heuristic (cost only,
+    never semantics). [delta] is the body position of the semi-naive
+    literal; it must name a positive atom.
+    @raise Invalid_argument on aggregate body terms, a non-positive
+    delta literal, or a rule that is not range-restricted. *)
+
+val run :
+  ?delta:Relation.t ->
+  view:Matcher.view ->
+  work:int ref ->
+  on_derived:(Relation.tuple -> unit) ->
+  t ->
+  unit
+(** Enumerate all derivations of the plan's head against [view].
+    [delta] is required iff the plan was compiled with a delta position;
+    that literal then ranges over [delta] instead of the view. [work]
+    counts tuples and filter checks examined, as the interpreter does.
+    [on_derived] receives a scratch tuple — copy to retain; duplicates
+    are possible, callers dedupe via {!Relation.add}. *)
+
+(** {2 Engine dispatch}
+
+    {!Eval}, {!Incremental} and {!Aggregate} evaluate rules through an
+    {!exec}, which either runs compiled plans (memoized per delta
+    position, so fixpoint rounds reuse them) or delegates to the
+    interpretive {!Matcher.eval_rule} — the reference oracle for
+    differential testing. *)
+
+type engine = Compiled | Interpreted
+
+val default_engine : engine
+(** {!Compiled}. *)
+
+type exec
+
+val executor : engine:engine -> symbols:Symbol.t -> card:(string -> int) -> Ast.rule -> exec
+(** Plans are compiled lazily, on first use of each delta position, and
+    cached for the lifetime of the [exec]. *)
+
+val exec_rule :
+  ?delta:int * Relation.t ->
+  view:Matcher.view ->
+  work:int ref ->
+  on_derived:(Relation.tuple -> unit) ->
+  exec ->
+  unit
+(** Same contract as {!Matcher.eval_rule}; [delta = (i, d)] makes body
+    literal [i] range over [d]. *)

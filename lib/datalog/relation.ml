@@ -119,12 +119,23 @@ let build_index t col =
   t.indexes.(col) <- Some idx;
   idx
 
-let find t ~col ~value =
-  if col < 0 || col >= t.arity then invalid_arg "Relation.find: bad column";
+(* The probe hot path: hand matching tuples to [f] straight out of the
+   index bucket, no intermediate list. *)
+let iter_matching t ~col ~value f =
+  if col < 0 || col >= t.arity then invalid_arg "Relation.iter_matching: bad column";
   let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
   match Hashtbl.find_opt idx value with
-  | None -> []
-  | Some b -> Tuple_tbl.fold (fun tup () acc -> tup :: acc) b []
+  | None -> ()
+  | Some b -> Tuple_tbl.iter (fun tup () -> f tup) b
+
+let fold_matching t ~col ~value f acc =
+  if col < 0 || col >= t.arity then invalid_arg "Relation.fold_matching: bad column";
+  let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
+  match Hashtbl.find_opt idx value with
+  | None -> acc
+  | Some b -> Tuple_tbl.fold (fun tup () acc -> f acc tup) b acc
+
+let find t ~col ~value = fold_matching t ~col ~value (fun acc tup -> tup :: acc) []
 
 let choose_probe_col t ~bound =
   let rec go col = if col >= t.arity then None else if bound col then Some col else go (col + 1) in

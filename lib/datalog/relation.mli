@@ -29,9 +29,20 @@ val copy : t -> t
 
 val clear : t -> unit
 
+val iter_matching : t -> col:int -> value:int -> (tuple -> unit) -> unit
+(** Apply a function to every tuple whose [col]th component equals
+    [value]; O(matches) via a lazily-built index kept consistent under
+    [add]/[remove], with no per-probe allocation. The tuples handed out
+    are the relation's own arrays: callers must not mutate them and must
+    copy before retaining (as {!add} does). *)
+
+val fold_matching : t -> col:int -> value:int -> ('acc -> tuple -> 'acc) -> 'acc -> 'acc
+(** Fold variant of {!iter_matching}. *)
+
 val find : t -> col:int -> value:int -> tuple list
-(** Tuples whose [col]th component equals [value]; O(matches) via a
-    lazily-built index kept consistent under [add]/[remove]. *)
+(** Tuples whose [col]th component equals [value]. Compatibility wrapper
+    over {!fold_matching}: allocates the result list; probe loops should
+    use {!iter_matching}. *)
 
 val choose_probe_col : t -> bound:(int -> bool) -> int option
 (** Some column index on which a probe makes sense: the first column

@@ -4,8 +4,8 @@ type t = {
   labels : string array;
 }
 
-let of_update ?(work_unit = 1e-6) db program ~additions ~deletions =
-  let report = Incremental.apply db program ~additions ~deletions in
+let of_update ?(work_unit = 1e-6) ?engine db program ~additions ~deletions =
+  let report = Incremental.apply ?engine db program ~additions ~deletions in
   let anal = report.Incremental.analysis in
   let cond = anal.Stratify.condensation in
   let graph = cond.Dag.Scc.dag in

@@ -23,6 +23,7 @@ type t = {
 
 val of_update :
   ?work_unit:float ->
+  ?engine:Plan.engine ->
   Database.t ->
   Ast.program ->
   additions:Ast.atom list ->
@@ -30,7 +31,8 @@ val of_update :
   t
 (** [db] must hold a completed materialization (see {!Eval.run}); it is
     updated in place. [work_unit] converts tuples-examined into seconds
-    of simulated processing time (default [1e-6]). *)
+    of simulated processing time (default [1e-6]). [engine] is passed
+    through to {!Incremental.apply}. *)
 
 val node_of_pred : t -> string -> int option
 (** The task node evaluating the given predicate. *)
