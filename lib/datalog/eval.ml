@@ -52,10 +52,7 @@ let eval_comp ~engine db (anal : Stratify.t) program comp =
     let derived = ref 0 in
     let fresh_delta () : (string, Relation.t) Hashtbl.t = Hashtbl.create 8 in
     let delta = ref (fresh_delta ()) in
-    let stage_into delta (r : Ast.rule) tup =
-      let rel =
-        Database.relation db r.Ast.head.Ast.pred ~arity:(List.length r.Ast.head.Ast.args)
-      in
+    let stage_into delta (r : Ast.rule) rel tup =
       if Relation.add rel tup then begin
         incr derived;
         let d =
@@ -70,17 +67,31 @@ let eval_comp ~engine db (anal : Stratify.t) program comp =
       end
     in
     (* one executor per rule: every (rule, delta position) plan is
-       compiled once and reused across all fixpoint rounds *)
-    let execs = List.map (fun r -> (r, Plan.executor ~engine ~symbols ~card r)) rules in
+       compiled once and reused across all fixpoint rounds. Staging goes
+       through {!Plan.exec_rule_deferred}: [stage_into] grows the head
+       relation, which a recursive rule is itself probing mid-call. *)
+    let execs =
+      List.map
+        (fun (r : Ast.rule) ->
+          let rel =
+            Database.relation db r.Ast.head.Ast.pred
+              ~arity:(List.length r.Ast.head.Ast.args)
+          in
+          (r, rel, Plan.executor ~engine ~symbols ~card r))
+        rules
+    in
     (* round 0: full evaluation *)
     List.iter
-      (fun (r, ex) ->
-        Plan.exec_rule ~view ~work ~on_derived:(stage_into !delta r) ex)
+      (fun (r, rel, ex) ->
+        Plan.exec_rule_deferred ~view ~work
+          ~keep:(fun tup -> not (Relation.mem rel tup))
+          ~on_derived:(stage_into !delta r rel)
+          ex)
       execs;
     let rounds = ref 1 in
     let recursive_positions =
       List.map
-        (fun ((r : Ast.rule), ex) ->
+        (fun ((r : Ast.rule), rel, ex) ->
           let poss = ref [] in
           List.iteri
             (fun i lit ->
@@ -88,14 +99,14 @@ let eval_comp ~engine db (anal : Stratify.t) program comp =
               | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> poss := i :: !poss
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
             r.Ast.body;
-          (r, ex, List.rev !poss))
+          (r, rel, ex, List.rev !poss))
         execs
     in
     while Hashtbl.length !delta > 0 do
       incr rounds;
       let next = fresh_delta () in
       List.iter
-        (fun ((r : Ast.rule), ex, positions) ->
+        (fun ((r : Ast.rule), rel, ex, positions) ->
           List.iter
             (fun i ->
               let pred =
@@ -106,8 +117,10 @@ let eval_comp ~engine db (anal : Stratify.t) program comp =
               match Hashtbl.find_opt !delta pred with
               | None -> ()
               | Some d ->
-                Plan.exec_rule ~view ~delta:(i, d) ~work
-                  ~on_derived:(stage_into next r) ex)
+                Plan.exec_rule_deferred ~view ~delta:(i, d) ~work
+                  ~keep:(fun tup -> not (Relation.mem rel tup))
+                  ~on_derived:(stage_into next r rel)
+                  ex)
             positions)
         recursive_positions;
       delta := next
@@ -159,10 +172,18 @@ let run_naive db program =
                 (fun tup -> if Relation.add rel tup then changed := true)
                 (Aggregate.evaluate ~engine:Plan.Interpreted ~symbols ~view ~card
                    ~work r)
-            else
+            else begin
+              (* buffer new heads: a recursive rule scans the relation
+                 it derives into, which must not grow mid-walk *)
+              let fresh = ref [] in
               Matcher.eval_rule ~symbols ~view ~work
-                ~on_derived:(fun tup -> if Relation.add rel tup then changed := true)
-                r)
+                ~on_derived:(fun tup ->
+                  if not (Relation.mem rel tup) then fresh := Array.copy tup :: !fresh)
+                r;
+              List.iter
+                (fun tup -> if Relation.add rel tup then changed := true)
+                (List.rev !fresh)
+            end)
           rules
       done)
     by_stratum

@@ -150,6 +150,9 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
       if Relation.add rel tup then record_add d a.Ast.pred ~arity:(Array.length tup) tup)
     additions;
   let head_arity (r : Ast.rule) = List.length r.Ast.head.Ast.args in
+  let head_rel (r : Ast.rule) =
+    Database.relation db r.Ast.head.Ast.pred ~arity:(head_arity r)
+  in
   let activity = ref [] in
   let process_comp comp =
     let members = anal.Stratify.condensation.Dag.Scc.members.(comp) in
@@ -236,7 +239,14 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
           ignore (Relation.add (delta_rel overdeleted pred ~arity:(head_arity r)) tup)
         end
       in
-      (* round 0: external triggers *)
+      (* round 0: external triggers. All staging callbacks here and in
+         phases B/C mutate state the enumeration is reading — the head
+         relation probed by recursive rules, and the net-delta overlay
+         [old_view] iterates — so every exec goes through
+         {!Plan.exec_rule_deferred}: derive first against frozen state,
+         apply after the walk. The deferral does not change the old
+         view: overdeletion removes from the live relation and records
+         into [d.removed], which cancel out under the overlay. *)
       let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
       let stage_round (r : Ast.rule) tup =
         let pred = r.Ast.head.Ast.pred in
@@ -253,14 +263,17 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
             (fun i lit ->
               match lit with
               | Ast.Pos a when nonempty d.removed a.Ast.pred ->
-                Plan.exec_rule ~view:old_view
+                Plan.exec_rule_deferred ~view:old_view
                   ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                  ~work ~on_derived:(stage_round r) ex
+                  ~work
+                  ~keep:(Relation.mem (head_rel r))
+                  ~on_derived:(stage_round r) ex
               | Ast.Neg a when nonempty d.added a.Ast.pred ->
                 let flipped = flip_negation r i in
-                Plan.exec_rule ~view:old_view
+                Plan.exec_rule_deferred ~view:old_view
                   ~delta:(i, Hashtbl.find d.added a.Ast.pred)
                   ~work
+                  ~keep:(Relation.mem (head_rel flipped))
                   ~on_derived:(stage_round flipped)
                   (make_exec flipped)
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
@@ -278,7 +291,8 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
                 | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
                   match Hashtbl.find_opt prev a.Ast.pred with
                   | Some delta when Relation.cardinality delta > 0 ->
-                    Plan.exec_rule ~view:old_view ~delta:(i, delta) ~work
+                    Plan.exec_rule_deferred ~view:old_view ~delta:(i, delta) ~work
+                      ~keep:(Relation.mem (head_rel r))
                       ~on_derived:(stage_round r) ex
                   | Some _ | None -> ())
                 | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
@@ -296,7 +310,8 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
           (fun ((r : Ast.rule), ex) ->
             match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
             | Some o when Relation.cardinality o > 0 ->
-              Plan.exec_rule ~view:new_view ~work
+              Plan.exec_rule_deferred ~view:new_view ~work
+                ~keep:(Relation.mem o)
                 ~on_derived:(fun tup ->
                   if Relation.mem o tup then begin
                     let pred = r.Ast.head.Ast.pred in
@@ -321,6 +336,10 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
           ignore (Relation.add (delta_rel !roundc pred ~arity:(head_arity r)) tup)
         end
       in
+      let keep_new (r : Ast.rule) =
+        let rel = head_rel r in
+        fun tup -> not (Relation.mem rel tup)
+      in
       List.iter
         (fun ((r : Ast.rule), ex) ->
           List.iteri
@@ -329,14 +348,15 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
               | Ast.Pos a
                 when (not (Hashtbl.mem comp_preds a.Ast.pred))
                      && nonempty d.added a.Ast.pred ->
-                Plan.exec_rule ~view:new_view
+                Plan.exec_rule_deferred ~view:new_view
                   ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                  ~work ~on_derived:(stage_add r) ex
+                  ~work ~keep:(keep_new r) ~on_derived:(stage_add r) ex
               | Ast.Neg a when nonempty d.removed a.Ast.pred ->
                 let flipped = flip_negation r i in
-                Plan.exec_rule ~view:new_view
+                Plan.exec_rule_deferred ~view:new_view
                   ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
                   ~work
+                  ~keep:(keep_new flipped)
                   ~on_derived:(stage_add flipped)
                   (make_exec flipped)
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
@@ -353,8 +373,8 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
                 | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
                   match Hashtbl.find_opt prev a.Ast.pred with
                   | Some delta when Relation.cardinality delta > 0 ->
-                    Plan.exec_rule ~view:new_view ~delta:(i, delta) ~work
-                      ~on_derived:(stage_add r) ex
+                    Plan.exec_rule_deferred ~view:new_view ~delta:(i, delta) ~work
+                      ~keep:(keep_new r) ~on_derived:(stage_add r) ex
                   | Some _ | None -> ())
                 | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
               r.Ast.body)

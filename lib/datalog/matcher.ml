@@ -84,7 +84,16 @@ let match_positive ~symbols ~view ~work env (a : Ast.atom) k =
     match unify ~symbols env a.Ast.args tup with Some env' -> k env' | None -> ()
   in
   match bound_col with
-  | Some (col, value) -> view.iter_matching a.Ast.pred ~col ~value try_tuple
+  | Some (col, value) ->
+    (* Materialize the bucket before unifying, as the pre-compilation
+       [Relation.find] did. This interpreter is the reference oracle for
+       differential testing: it must not share the compiled path's
+       live-bucket iteration semantics, or a mutation-during-iteration
+       bug would make both engines fail identically and pass the
+       differential net. The allocation is fine off the hot path. *)
+    let matches = ref [] in
+    view.iter_matching a.Ast.pred ~col ~value (fun t -> matches := t :: !matches);
+    List.iter try_tuple !matches
   | None -> view.iter a.Ast.pred try_tuple
 
 let eval_body ~symbols ~view ?delta ~work ~on_env (body : Ast.literal list) =

@@ -37,6 +37,9 @@ type t = {
   head : src array;
   env : int array;  (* slot scratch, reused across executions *)
   head_buf : int array;  (* head tuple scratch; valid only inside on_derived *)
+  mutable running : bool;
+      (* the scratch above makes a plan non-reentrant; [run] raises
+         instead of silently corrupting bindings *)
 }
 
 let term_src slots symbols = function
@@ -209,6 +212,7 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
     head;
     env = Array.make !nslots 0;
     head_buf = Array.make (Array.length head) 0;
+    running = false;
   }
 
 (* Element-wise unification of a planned argument list against a
@@ -239,6 +243,10 @@ let cmp_ok op c =
   | Ast.Ge -> c >= 0
 
 let run ?delta ~view ~work ~on_derived p =
+  if p.running then
+    invalid_arg "Plan.run: reentrant execution of a plan (its scratch state is live)";
+  p.running <- true;
+  Fun.protect ~finally:(fun () -> p.running <- false) @@ fun () ->
   let env = p.env in
   let steps = p.steps in
   let nsteps = Array.length steps in
@@ -335,3 +343,21 @@ let exec_rule ?delta ~view ~work ~on_derived e =
           plan
       in
       run ~delta:d ~view ~work ~on_derived plan)
+
+(* Evaluation callbacks in {!Eval} and {!Incremental} mutate the very
+   relations the rule body is probing — the head relation when it also
+   occurs as a body literal (recursive rules), and the net-delta overlay
+   relations during maintenance. Those probes walk live index buckets,
+   so mutation mid-enumeration is forbidden ({!Relation.iter_matching}).
+   Enumerate first against the frozen state, buffering head tuples that
+   pass [keep], then hand them to [on_derived] once no iteration is
+   live. [keep] is a read-only pre-filter evaluated on the scratch
+   buffer (typically a membership probe of the head relation) so that
+   already-known derivations are never copied; [on_derived] must still
+   dedupe, since one call can buffer the same new tuple twice. *)
+let exec_rule_deferred ?delta ~view ~work ~keep ~on_derived e =
+  let buf = ref [] in
+  exec_rule ?delta ~view ~work
+    ~on_derived:(fun tup -> if keep tup then buf := Array.copy tup :: !buf)
+    e;
+  List.iter on_derived (List.rev !buf)

@@ -31,7 +31,9 @@
 
     Plans carry their scratch state, so a single plan (and hence a
     single {!exec}) must not be executed reentrantly from inside its own
-    callbacks. *)
+    callbacks; {!run} enforces this with a running flag and raises on
+    violation. Callbacks must also not mutate relations the rule is
+    probing — use {!exec_rule_deferred} when they do. *)
 
 type t
 (** A compiled plan for one rule, with the delta position (if any) fixed
@@ -57,7 +59,11 @@ val run :
     that literal then ranges over [delta] instead of the view. [work]
     counts tuples and filter checks examined, as the interpreter does.
     [on_derived] receives a scratch tuple — copy to retain; duplicates
-    are possible, callers dedupe via {!Relation.add}. *)
+    are possible, callers dedupe via {!Relation.add}. [on_derived] must
+    not mutate any relation reachable from [view] or [delta] (the probes
+    walk live index buckets): mutating consumers go through
+    {!exec_rule_deferred}.
+    @raise Invalid_argument on reentrant execution of the same plan. *)
 
 (** {2 Engine dispatch}
 
@@ -86,4 +92,25 @@ val exec_rule :
   exec ->
   unit
 (** Same contract as {!Matcher.eval_rule}; [delta = (i, d)] makes body
-    literal [i] range over [d]. *)
+    literal [i] range over [d]. Like {!run}, [on_derived] must not
+    mutate relations the rule is reading. *)
+
+val exec_rule_deferred :
+  ?delta:int * Relation.t ->
+  view:Matcher.view ->
+  work:int ref ->
+  keep:(Relation.tuple -> bool) ->
+  on_derived:(Relation.tuple -> unit) ->
+  exec ->
+  unit
+(** {!exec_rule} for consumers whose [on_derived] mutates relations the
+    rule may be probing (the head relation of a recursive rule, the
+    incremental net-delta overlay). Enumeration runs first, against
+    frozen state; head tuples satisfying the read-only pre-filter [keep]
+    are copied into a buffer and handed to [on_derived] only after the
+    enumeration — and every live bucket walk — has finished. [keep] is
+    called on the scratch buffer and must not mutate anything; it exists
+    so duplicate derivations are discarded without allocation.
+    [on_derived] receives tuples it may retain, in derivation order, and
+    must still dedupe (the same new tuple can be buffered twice within
+    one call). *)

@@ -33,11 +33,22 @@ type t = {
   tuples : unit Tuple_tbl.t;
   indexes : (int, unit Tuple_tbl.t) Hashtbl.t option array;
       (* indexes.(col), built lazily; kept consistent once built *)
+  mutable version : int;
+      (* bumped by every successful add/remove and by clear. Iteration
+         walks live hashtable buckets, and OCaml Hashtbl mutation during
+         iteration is unspecified (a resize relinks bucket cells, so a
+         walk can silently skip pre-existing tuples); the guards below
+         compare against this counter to fail fast instead. *)
 }
 
 let create ~arity =
   if arity < 0 then invalid_arg "Relation.create: negative arity";
-  { arity; tuples = Tuple_tbl.create 64; indexes = Array.make (max arity 1) None }
+  {
+    arity;
+    tuples = Tuple_tbl.create 64;
+    indexes = Array.make (max arity 1) None;
+    version = 0;
+  }
 
 let arity t = t.arity
 
@@ -84,6 +95,7 @@ let add t tup =
   if Tuple_tbl.mem t.tuples tup then false
   else begin
     let tup = Array.copy tup in
+    t.version <- t.version + 1;
     Tuple_tbl.replace t.tuples tup ();
     index_add t tup;
     true
@@ -92,15 +104,36 @@ let add t tup =
 let remove t tup =
   check t tup;
   if Tuple_tbl.mem t.tuples tup then begin
+    t.version <- t.version + 1;
     Tuple_tbl.remove t.tuples tup;
     index_remove t tup;
     true
   end
   else false
 
-let iter f t = Tuple_tbl.iter (fun tup () -> f tup) t.tuples
+(* Best-effort fail-fast check, evaluated before handing out each tuple:
+   catches a callback that mutated the relation on any tuple but the
+   last one of a walk. *)
+let guard t v0 =
+  if t.version <> v0 then
+    invalid_arg
+      "Relation: mutation during iteration (defer updates until the walk finishes)"
 
-let fold f acc t = Tuple_tbl.fold (fun tup () acc -> f acc tup) t.tuples acc
+let iter f t =
+  let v0 = t.version in
+  Tuple_tbl.iter
+    (fun tup () ->
+      guard t v0;
+      f tup)
+    t.tuples
+
+let fold f acc t =
+  let v0 = t.version in
+  Tuple_tbl.fold
+    (fun tup () acc ->
+      guard t v0;
+      f acc tup)
+    t.tuples acc
 
 let to_list t = fold (fun acc tup -> tup :: acc) [] t
 
@@ -110,6 +143,7 @@ let copy t =
   fresh
 
 let clear t =
+  t.version <- t.version + 1;
   Tuple_tbl.reset t.tuples;
   Array.iteri (fun i _ -> t.indexes.(i) <- None) t.indexes
 
@@ -126,14 +160,26 @@ let iter_matching t ~col ~value f =
   let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
   match Hashtbl.find_opt idx value with
   | None -> ()
-  | Some b -> Tuple_tbl.iter (fun tup () -> f tup) b
+  | Some b ->
+    let v0 = t.version in
+    Tuple_tbl.iter
+      (fun tup () ->
+        guard t v0;
+        f tup)
+      b
 
 let fold_matching t ~col ~value f acc =
   if col < 0 || col >= t.arity then invalid_arg "Relation.fold_matching: bad column";
   let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
   match Hashtbl.find_opt idx value with
   | None -> acc
-  | Some b -> Tuple_tbl.fold (fun tup () acc -> f acc tup) b acc
+  | Some b ->
+    let v0 = t.version in
+    Tuple_tbl.fold
+      (fun tup () acc ->
+        guard t v0;
+        f acc tup)
+      b acc
 
 let find t ~col ~value = fold_matching t ~col ~value (fun acc tup -> tup :: acc) []
 

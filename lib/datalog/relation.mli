@@ -20,6 +20,13 @@ val remove : t -> tuple -> bool
 (** [true] iff the tuple was present. *)
 
 val iter : (tuple -> unit) -> t -> unit
+(** Iteration walks live hashtable state, so the relation must not be
+    mutated while a walk is in progress (callers buffer derived updates
+    and apply them afterwards — see {!Plan.exec_rule_deferred}). A
+    best-effort version check raises [Invalid_argument] when a callback
+    mutates the iterated relation, instead of silently skipping tuples
+    when a resize relinks buckets mid-walk. The same contract applies to
+    {!fold}, {!iter_matching} and {!fold_matching}. *)
 
 val fold : ('acc -> tuple -> 'acc) -> 'acc -> t -> 'acc
 
@@ -34,7 +41,9 @@ val iter_matching : t -> col:int -> value:int -> (tuple -> unit) -> unit
     [value]; O(matches) via a lazily-built index kept consistent under
     [add]/[remove], with no per-probe allocation. The tuples handed out
     are the relation's own arrays: callers must not mutate them and must
-    copy before retaining (as {!add} does). *)
+    copy before retaining (as {!add} does). The callback must not mutate
+    the probed relation (see {!iter}); raises [Invalid_argument] if it
+    does. *)
 
 val fold_matching : t -> col:int -> value:int -> ('acc -> tuple -> 'acc) -> 'acc -> 'acc
 (** Fold variant of {!iter_matching}. *)

@@ -605,6 +605,110 @@ let relation_iter_matching () =
   check_bool "index updated" true (collect 0 1 = [ [ 1; 2 ] ]);
   check_bool "other bucket updated" true (collect 1 3 = [ [ 2; 3 ] ])
 
+(* Relation iteration walks live hashtable buckets; a callback that
+   mutates the iterated relation must be caught by the version tripwire
+   rather than silently skipping tuples after a bucket resize. *)
+let relation_mutation_tripwire () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  let fill () =
+    let r = Datalog.Relation.create ~arity:2 in
+    for i = 1 to 64 do
+      ignore (Datalog.Relation.add r [| 1; i |])
+    done;
+    r
+  in
+  let r = fill () in
+  let n = ref 65 in
+  check_bool "iter rejects add" true
+    (raises (fun () ->
+         Datalog.Relation.iter
+           (fun _ ->
+             incr n;
+             ignore (Datalog.Relation.add r [| 1; !n |]))
+           r));
+  let r = fill () in
+  let n = ref 65 in
+  check_bool "iter_matching rejects add" true
+    (raises (fun () ->
+         Datalog.Relation.iter_matching r ~col:0 ~value:1 (fun _ ->
+             incr n;
+             ignore (Datalog.Relation.add r [| 1; !n |]))));
+  let r = fill () in
+  check_bool "iter_matching rejects remove" true
+    (raises (fun () ->
+         Datalog.Relation.iter_matching r ~col:0 ~value:1 (fun t ->
+             ignore (Datalog.Relation.remove r (Array.copy t)))));
+  (* mutating a different relation is fine *)
+  let r = fill () in
+  let other = Datalog.Relation.create ~arity:2 in
+  Datalog.Relation.iter_matching r ~col:0 ~value:1 (fun t ->
+      ignore (Datalog.Relation.add other t));
+  check_int "cross-relation writes allowed" 64 (Datalog.Relation.cardinality other)
+
+(* A plan's flat environment and head buffer are scratch state: running
+   the same plan from inside its own on_derived must raise, not corrupt
+   bindings. *)
+let plan_reentrant_run_rejected () =
+  let db = Datalog.Database.create () in
+  List.iter
+    (fun s -> ignore (Datalog.Database.add_fact db (atom s)))
+    [ "e(\"a\",\"b\")"; "e(\"b\",\"c\")" ];
+  let rule = List.hd (parse "h(X,Y) :- e(X,Y).") in
+  let symbols = Datalog.Database.symbols db in
+  let card = cardinal db in
+  let plan = Datalog.Plan.compile ~symbols ~card rule in
+  let view = Datalog.Matcher.view_of_db db in
+  let work = ref 0 in
+  let inner_raised = ref false in
+  let outer = ref 0 in
+  Datalog.Plan.run ~view ~work
+    ~on_derived:(fun _ ->
+      incr outer;
+      match Datalog.Plan.run ~view ~work ~on_derived:(fun _ -> ()) plan with
+      | exception Invalid_argument _ -> inner_raised := true
+      | () -> ())
+    plan;
+  check_bool "reentrant run raises" true !inner_raised;
+  check_int "outer run completes" 2 !outer;
+  (* the running flag is reset by the guard: the plan stays usable *)
+  let again = ref 0 in
+  Datalog.Plan.run ~view ~work ~on_derived:(fun _ -> incr again) plan;
+  check_int "plan reusable after the reentrancy error" 2 !again
+
+(* Regression: a doubly-recursive rule probes [path] while staging grows
+   [path] — with live-bucket iteration and undeferred staging, resizes
+   mid-probe silently dropped derivations on cyclic data. The cycle of
+   [n] nodes must close to exactly n^2 paths. *)
+let eval_recursive_self_join_on_cycle () =
+  let n = 48 in
+  let facts =
+    List.init n (fun i -> Printf.sprintf "edge(\"n%d\",\"n%d\").\n" i ((i + 1) mod n))
+    |> String.concat ""
+  in
+  let src = facts ^ "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\n" in
+  List.iter
+    (fun engine ->
+      let db = Datalog.Database.create () in
+      let _ = Datalog.Eval.run ~engine db (parse src) in
+      check_int "n^2 paths on a cycle" (n * n) (cardinal db "path"))
+    [ Datalog.Plan.Compiled; Datalog.Plan.Interpreted ]
+
+(* Same shape under maintenance: deleting a cycle edge overdeletes the
+   whole closure and rederives the surviving chain, probing [path] while
+   phases A/B mutate it. *)
+let incr_recursive_self_join_on_cycle () =
+  let n = 24 in
+  let base =
+    List.init n (fun i -> Printf.sprintf "edge(\"n%d\",\"n%d\")" i ((i + 1) mod n))
+  in
+  let prog = "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y)." in
+  (match check_incremental prog base [] [ List.hd base ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match check_incremental prog base [ "edge(\"n3\",\"n0\")" ] [ List.nth base 1 ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
 (* Run one compiled plan (with a delta literal, exercising reordering,
    probe elision and the scratch head buffer) directly against the
    interpreter on the same rule and view. *)
@@ -980,6 +1084,11 @@ let () =
       ( "plan",
         [
           test `Quick "iter_matching and fold_matching" relation_iter_matching;
+          test `Quick "mutation during iteration trips" relation_mutation_tripwire;
+          test `Quick "reentrant plan execution rejected" plan_reentrant_run_rejected;
+          test `Quick "recursive self-join on a cycle" eval_recursive_self_join_on_cycle;
+          test `Quick "incremental self-join on a cycle"
+            incr_recursive_self_join_on_cycle;
           test `Quick "compiled plan matches interpreter" plan_matches_interpreter;
         ]
         @ qsuite [ engine_differential_qcheck ] );
