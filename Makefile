@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-datalog clean
+.PHONY: all build test bench bench-smoke bench-datalog model-check model-check-smoke clean
 
 all: build
 
@@ -7,8 +7,17 @@ build:
 
 # OCAMLRUNPARAM=b: backtraces from any executor failure inside the
 # stress matrix (test/test_parallel.ml runs up to 8 domains per case)
-test:
+test: model-check-smoke
 	OCAMLRUNPARAM=b dune runtest
+
+# exhaustive bounded model checking of the executor's concurrency
+# protocols (lib/analysis); needs the instrumented Vatomic, hence the
+# analysis profile. The smoke variant is part of `make test`.
+model-check:
+	dune exec --profile analysis bin/model_check.exe
+
+model-check-smoke:
+	dune exec --profile analysis bin/model_check.exe -- --smoke
 
 bench:
 	dune exec bench/main.exe

@@ -60,6 +60,12 @@ let wrap f = try f (); 0 with
   | Invalid_argument e | Failure e ->
     Format.eprintf "error: %s@." e;
     1
+  | Datalog.Parser.Error { line; col; message } ->
+    Format.eprintf "error: %d:%d: %s@." line col message;
+    1
+  | Datalog.Lint.Failed diagnostics ->
+    Format.eprintf "%a@." Datalog.Lint.pp diagnostics;
+    1
 
 (* ---- gen ---- *)
 
@@ -193,13 +199,23 @@ let datalog_cmd =
     Arg.(value & opt_all string [] & info [ "del" ] ~docv:"ATOM"
            ~doc:"Base fact to delete incrementally.")
   in
-  let run program queries adds dels sched procs =
+  let lint_flag =
+    Arg.(value & flag & info [ "lint" ]
+           ~doc:"Report rule diagnostics (unbound variables with names, \
+                 singleton variables) before evaluating.")
+  in
+  let run program queries adds dels lint sched procs =
     wrap (fun () ->
         let ic = open_in program in
         let n = in_channel_length ic in
         let src = really_input_string ic n in
         close_in ic;
-        let session = Incr_sched.materialize src in
+        let session = Incr_sched.materialize ~lint src in
+        if lint then begin
+          match Incr_sched.lint session with
+          | [] -> Format.printf "lint: clean@."
+          | diags -> Format.printf "%a@." Datalog.Lint.pp diags
+        end;
         Format.printf "materialized %d tuples@."
           (Datalog.Database.total_tuples session.Incr_sched.db);
         if adds <> [] || dels <> [] then begin
@@ -228,7 +244,7 @@ let datalog_cmd =
        ~doc:
          "Materialize a Datalog program; optionally apply an incremental update \
           and schedule its maintenance DAG.")
-    Term.(const run $ program $ queries $ adds $ dels $ sched_arg $ procs_arg)
+    Term.(const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg)
 
 (* ---- schedule (chrome trace export) ---- *)
 

@@ -1,0 +1,149 @@
+(* Model-checking driver for the executor's concurrency protocols.
+
+   Meaningful only in the [analysis] dune profile, where Vatomic is
+   instrumented — use `make model-check` / `make model-check-smoke`,
+   which pass `--profile analysis` to dune. Exit status: 0 all checks
+   passed, 1 a check failed, 2 not instrumented / usage error.
+
+   The run is a self-test in both directions: safe scenarios must come
+   up clean (no violation, no race) under exhaustive bounded
+   exploration, and each deliberately broken sibling scenario must
+   yield a counterexample — if the checker stops finding those, the
+   checker itself has regressed. *)
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+type mode = Full | Smoke | Random
+
+let usage () =
+  prerr_endline
+    "usage: model_check [--smoke | --random] [--seed N] [--bound N]\n\
+    \       [--scenario NAME] [--replay NAME SCHEDULE] [--list]";
+  exit 2
+
+let () =
+  let mode = ref Full in
+  let seed = ref 1 in
+  let bound = ref (-1) in
+  let only = ref None in
+  let replay = ref None in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      mode := Smoke;
+      parse rest
+    | "--random" :: rest ->
+      mode := Random;
+      parse rest
+    | "--seed" :: n :: rest ->
+      seed := int_of_string n;
+      parse rest
+    | "--bound" :: n :: rest ->
+      bound := int_of_string n;
+      parse rest
+    | "--scenario" :: n :: rest ->
+      only := Some n;
+      parse rest
+    | "--replay" :: name :: sched :: rest ->
+      replay := Some (name, sched);
+      parse rest
+    | "--list" :: _ ->
+      List.iter
+        (fun (s, e) ->
+          Printf.printf "%-32s %s\n" s.Analysis.Mc.name
+            (match e with Analysis.Scenarios.Safe -> "safe" | Buggy -> "buggy"))
+        Analysis.Scenarios.all;
+      exit 0
+    | a :: _ ->
+      Printf.eprintf "model_check: unknown argument %s\n" a;
+      usage ()
+  in
+  parse (List.tl args);
+  if not Prelude.Vatomic.instrumented then begin
+    prerr_endline
+      "model_check: Vatomic is not instrumented in this build profile.\n\
+       Interleavings cannot be controlled, so results would be meaningless.\n\
+       Run via `make model-check` or `dune exec --profile analysis bin/model_check.exe`.";
+    exit 2
+  end;
+  let failures = ref 0 in
+  let report_violation v =
+    say "  VIOLATION [%a] %s" Analysis.Mc.pp_violation_kind v.Analysis.Mc.vkind
+      v.Analysis.Mc.message;
+    say "  schedule: %s" v.Analysis.Mc.schedule;
+    say "  replay:   model_check --replay <scenario> %s" v.Analysis.Mc.schedule
+  in
+  (match !replay with
+  | Some (name, sched) ->
+    let s = Analysis.Scenarios.find name in
+    (match Analysis.Mc.replay s sched with
+    | None -> say "replay of %s on %S: clean final state" name sched
+    | Some v ->
+      say "replay of %s on %S:" name sched;
+      report_violation v);
+    exit 0
+  | None -> ());
+  let scenarios =
+    match !only with
+    | Some n -> [ (Analysis.Scenarios.find n, Analysis.Scenarios.Safe) ]
+    | None -> Analysis.Scenarios.all
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (s, expect) ->
+      let name = s.Analysis.Mc.name in
+      let bounded b ~max_execs =
+        if !bound >= 0 then Analysis.Mc.explore ~preemption_bound:!bound ~max_execs s
+        else Analysis.Mc.explore ~preemption_bound:b ~max_execs s
+      in
+      (* Unbounded + sleep sets (exhaustive up to trace equivalence)
+         and bounded without them (every schedule with <= b
+         preemptions) prune differently and are each sound; the full
+         check runs both and keeps the first violation. *)
+      let both b ~max_execs =
+        let o1 = Analysis.Mc.explore ~max_execs s in
+        if o1.Analysis.Mc.violation <> None then o1
+        else
+          let o2 = bounded b ~max_execs in
+          o2.Analysis.Mc.stats.transitions <-
+            o2.Analysis.Mc.stats.transitions + o1.Analysis.Mc.stats.transitions;
+          o2.Analysis.Mc.stats.executions <-
+            o2.Analysis.Mc.stats.executions + o1.Analysis.Mc.stats.executions;
+          o2.Analysis.Mc.stats.cut_sleep <- o1.Analysis.Mc.stats.cut_sleep;
+          o2
+      in
+      let outcome =
+        match !mode with
+        | Full -> both 3 ~max_execs:1_000_000
+        | Smoke -> both 2 ~max_execs:100_000
+        | Random -> Analysis.Mc.random_walk ~seed:!seed ~walks:500 s
+      in
+      let ok =
+        match (expect, outcome.Analysis.Mc.violation) with
+        | Analysis.Scenarios.Safe, None -> true
+        | Analysis.Scenarios.Safe, Some _ -> false
+        | Buggy, Some _ -> true
+        (* random walks may legitimately miss a bug; exploration must not *)
+        | Buggy, None -> !mode = Random
+      in
+      say "%-32s %s  %a"
+        name
+        (if ok then
+           match expect with
+           | Analysis.Scenarios.Safe -> "ok (no violation)"
+           | Buggy -> (
+             match outcome.Analysis.Mc.violation with
+             | Some _ -> "ok (counterexample found, as expected)"
+             | None -> "ok (random walks missed the known bug; explore finds it)")
+         else "FAILED")
+        Analysis.Mc.pp_stats outcome.Analysis.Mc.stats;
+      (match outcome.Analysis.Mc.violation with
+      | Some v when (not ok) || expect = Analysis.Scenarios.Buggy -> report_violation v
+      | _ -> ());
+      if not ok then incr failures)
+    scenarios;
+  say "model_check: %d scenario(s), %d failure(s), %.1fs" (List.length scenarios)
+    !failures
+    (Unix.gettimeofday () -. t0);
+  exit (if !failures = 0 then 0 else 1)

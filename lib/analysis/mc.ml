@@ -1,0 +1,579 @@
+(* Bounded model checker for Vatomic programs.
+
+   Runs every process of a scenario as an effect-suspended fiber on a
+   single domain. The [analysis]-profile {!Prelude.Vatomic} reports
+   each shared operation through {!Prelude.Vhook} *before* performing
+   it; the installed hook performs {!Step}, which suspends the fiber
+   and hands the checker its continuation plus a description of the
+   pending operation. The checker therefore always knows every
+   process's next shared access, decides who moves, and resumes that
+   fiber — the memory operation then executes for real (the Vatomic
+   cells are backed by actual atomics) before the fiber runs on to its
+   next shared access. One decision sequence = one interleaving,
+   deterministic and replayable from its schedule string.
+
+   Exploration is a stateless depth-first search: each run re-executes
+   the scenario from a fresh instantiation following the recorded
+   prefix of choices, then extends it with a non-preemptive default
+   policy. Three prunings keep it bounded:
+
+   - preemption bound: switching away from a process that is still
+     runnable costs one preemption; runs may spend at most
+     [preemption_bound] of them (Musuvathi & Qadeer's iterative
+     context bounding — most concurrency bugs need very few);
+   - sleep sets (Godefroid): after a subtree rooted at choice [p] is
+     fully explored, [p] sleeps in the sibling subtrees until some
+     dependent operation (same location, at least one write) executes,
+     eliminating interleavings that only commute independent steps —
+     the DPOR-lite of the issue;
+   - spin futility: a CAS that would fail, retried by the same process
+     immediately after it already failed on the same location, cannot
+     change anything; the process is considered blocked until another
+     process writes that location. This makes spinlock acquire loops
+     (Wbuf) explorable without unrolling unbounded failed spins, while
+     leaving one-shot CAS failure handling (executor activation races)
+     fully explored.
+
+   A vector-clock happens-before checker rides along on the same
+   stream of operations: atomic accesses synchronize (SC, as OCaml
+   atomics are), plain [Vatomic.Plain] accesses are checked for
+   unordered conflicts and reported as races. *)
+
+module Vhook = Prelude.Vhook
+
+type _ Effect.t += Step : Vhook.info -> unit Effect.t
+
+type scenario = {
+  name : string;
+  nprocs : int;
+  instantiate : unit -> (int -> unit) * (unit -> unit);
+}
+
+type violation_kind = Assertion | Race | Deadlock | Step_budget | Replay_divergence
+
+let pp_violation_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Assertion -> "assertion"
+    | Race -> "race"
+    | Deadlock -> "deadlock"
+    | Step_budget -> "step-budget"
+    | Replay_divergence -> "replay-divergence")
+
+type violation = { vkind : violation_kind; message : string; schedule : string }
+
+type stats = {
+  mutable executions : int;  (* runs that reached a final state *)
+  mutable cut_sleep : int;  (* runs pruned by sleep sets *)
+  mutable cut_bound : int;  (* runs cut by the preemption bound *)
+  mutable transitions : int;
+  mutable max_depth : int;
+  mutable capped : bool;  (* stopped at the execution budget *)
+}
+
+type outcome = { stats : stats; violation : violation option }
+
+let new_stats () =
+  {
+    executions = 0;
+    cut_sleep = 0;
+    cut_bound = 0;
+    transitions = 0;
+    max_depth = 0;
+    capped = false;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d executions (%d sleep-set cuts, %d bound cuts, %d transitions, depth <= %d)%s"
+    s.executions s.cut_sleep s.cut_bound s.transitions s.max_depth
+    (if s.capped then " [CAPPED]" else "")
+
+(* ---- per-run machinery ---------------------------------------- *)
+
+type pstate =
+  | Pending of (unit, unit) Effect.Deep.continuation * Vhook.info
+  | Finished
+
+exception Abort_run
+
+type runtime = {
+  states : pstate option array;  (* None until started *)
+  mutable cur : int;
+  mutable crashed : (int * exn) option;
+  mutable aborting : bool;
+  (* spin futility: [Some loc] when the process's last executed
+     operation was a CAS on [loc] that failed *)
+  spin_sig : int option array;
+  (* happens-before state *)
+  clocks : Vclock.t array;
+  sync_clock : (int, Vclock.t) Hashtbl.t;
+  plain_clock : (int, Vclock.t * Vclock.t) Hashtbl.t;  (* writes, reads *)
+  mutable race : string option;
+  trace : Buffer.t;
+}
+
+let make_runtime n =
+  {
+    states = Array.make n None;
+    cur = -1;
+    crashed = None;
+    aborting = false;
+    spin_sig = Array.make n None;
+    clocks = Array.init n (fun _ -> Vclock.make n);
+    sync_clock = Hashtbl.create 64;
+    plain_clock = Hashtbl.create 64;
+    race = None;
+    trace = Buffer.create 64;
+  }
+
+let run_segment rt p f =
+  rt.cur <- p;
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> rt.states.(rt.cur) <- Some Finished);
+      exnc =
+        (fun e ->
+          rt.states.(rt.cur) <- Some Finished;
+          if not rt.aborting then
+            if rt.crashed = None then rt.crashed <- Some (rt.cur, e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Step info ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                rt.states.(rt.cur) <- Some (Pending (k, info)))
+          | _ -> None);
+    }
+
+let start_proc rt p body = run_segment rt p (fun () -> body p)
+
+let resume rt p =
+  match rt.states.(p) with
+  | Some (Pending (k, _)) ->
+    rt.cur <- p;
+    Effect.Deep.continue k ()
+  | _ -> invalid_arg "Mc.resume: process has no pending operation"
+
+(* Kill every still-suspended fiber so its stack unwinds (Fun.protect
+   style cleanup in scenario code, if any, runs). A discontinued fiber
+   may in principle perform further steps before dying; loop with a
+   small fuel budget. *)
+let abort_run rt =
+  rt.aborting <- true;
+  let fuel = ref 1000 in
+  let rec kill p =
+    if !fuel > 0 then
+      match rt.states.(p) with
+      | Some (Pending (k, _)) ->
+        decr fuel;
+        rt.cur <- p;
+        (try Effect.Deep.discontinue k Abort_run with _ -> ());
+        kill p
+      | _ -> ()
+  in
+  Array.iteri (fun p _ -> kill p) rt.states
+
+let is_write = function
+  | Vhook.Awrite | Vhook.Aupdate | Vhook.Pwrite -> true
+  | Vhook.Aread | Vhook.Pread | Vhook.Racy_read -> false
+
+let dependent (a : Vhook.info) (b : Vhook.info) =
+  a.Vhook.loc = b.Vhook.loc && (is_write a.Vhook.kind || is_write b.Vhook.kind)
+
+(* A process is runnable when it has a pending operation that is not a
+   futile respin of a CAS that just failed on an unchanged location. *)
+let runnable rt p =
+  match rt.states.(p) with
+  | Some (Pending (_, info)) -> (
+    match (info.Vhook.kind, rt.spin_sig.(p)) with
+    | Vhook.Aupdate, Some loc when loc = info.Vhook.loc -> not (info.Vhook.futile ())
+    | _ -> true)
+  | _ -> false
+
+let pending_info rt p =
+  match rt.states.(p) with Some (Pending (_, info)) -> Some info | _ -> None
+
+(* Happens-before bookkeeping for the operation [info] about to be
+   executed by [p]. [will_fail] tells whether a CAS is about to fail
+   (it then synchronizes only as a read). Atomic accesses are treated
+   as fully synchronizing (join both ways), which matches OCaml's
+   SC-for-atomics model; plain accesses are race-checked against the
+   location's write/read clocks, FastTrack-style. *)
+let hb_step rt p (info : Vhook.info) ~will_fail =
+  let c = rt.clocks.(p) in
+  let n = Vclock.size c in
+  let sync_acquire loc =
+    match Hashtbl.find_opt rt.sync_clock loc with
+    | Some l -> Vclock.join ~into:c l
+    | None -> ()
+  in
+  let sync_release loc = Hashtbl.replace rt.sync_clock loc (Vclock.copy c) in
+  let plain_state loc =
+    match Hashtbl.find_opt rt.plain_clock loc with
+    | Some ws -> ws
+    | None ->
+      let ws = (Vclock.make n, Vclock.make n) in
+      Hashtbl.add rt.plain_clock loc ws;
+      ws
+  in
+  let report kind q =
+    if rt.race = None then
+      rt.race <-
+        Some
+          (Printf.sprintf "plain %s of location %d by P%d races with P%d" kind
+             info.Vhook.loc p q)
+  in
+  (match info.Vhook.kind with
+  | Vhook.Aread -> sync_acquire info.Vhook.loc
+  | Vhook.Awrite ->
+    sync_acquire info.Vhook.loc;
+    Vclock.tick c p;
+    sync_release info.Vhook.loc
+  | Vhook.Aupdate ->
+    sync_acquire info.Vhook.loc;
+    if not will_fail then begin
+      Vclock.tick c p;
+      sync_release info.Vhook.loc
+    end
+  | Vhook.Pread ->
+    let w, r = plain_state info.Vhook.loc in
+    for q = 0 to n - 1 do
+      if q <> p && Vclock.get w q > Vclock.get c q then report "read" q
+    done;
+    Vclock.tick c p;
+    Vclock.set r p (Vclock.get c p)
+  | Vhook.Pwrite ->
+    let w, r = plain_state info.Vhook.loc in
+    for q = 0 to n - 1 do
+      if q <> p && (Vclock.get w q > Vclock.get c q || Vclock.get r q > Vclock.get c q)
+      then report "write" q
+    done;
+    Vclock.tick c p;
+    Vclock.set w p (Vclock.get c p)
+  | Vhook.Racy_read ->
+    (* intentionally unsynchronized: no race check, no edges *)
+    ());
+  ()
+
+(* Execute process [p]'s pending operation: account for it, resume the
+   fiber (the real memory operation happens now), record the decision. *)
+let execute rt p =
+  (match pending_info rt p with
+  | Some info ->
+    let will_fail =
+      info.Vhook.kind = Vhook.Aupdate && info.Vhook.futile ()
+    in
+    hb_step rt p info ~will_fail;
+    rt.spin_sig.(p) <- (if will_fail then Some info.Vhook.loc else None)
+  | None -> invalid_arg "Mc.execute: no pending operation");
+  Buffer.add_char rt.trace (Char.chr (Char.code '0' + p));
+  resume rt p
+
+let schedule_of rt = Buffer.contents rt.trace
+
+(* ---- one run under a choice policy ----------------------------- *)
+
+type run_end =
+  | Run_done  (* every process finished; final check passed *)
+  | Run_cut_sleep
+  | Run_cut_bound
+  | Run_violation of violation_kind * string
+
+(* Shared driver: [choose] picks the next process among the runnable
+   ones (already filtered); it may also cut the run. *)
+let drive scenario ~max_steps ~(choose : runtime -> step:int -> int list -> int option)
+    ~(cut : run_end option ref) =
+  let body, finish = scenario.instantiate () in
+  let rt = make_runtime scenario.nprocs in
+  let finished = ref None in
+  let old_hook = !Vhook.hook in
+  Vhook.hook := (fun info -> Effect.perform (Step info));
+  Vhook.active := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Vhook.active := false;
+      Vhook.hook := old_hook;
+      abort_run rt)
+    (fun () ->
+      for p = 0 to scenario.nprocs - 1 do
+        start_proc rt p body
+      done;
+      let step = ref 0 in
+      while !finished = None do
+        (match rt.crashed with
+        | Some (p, e) ->
+          finished :=
+            Some
+              (Run_violation
+                 (Assertion, Printf.sprintf "P%d raised %s" p (Printexc.to_string e)))
+        | None -> (
+          match rt.race with
+          | Some msg -> finished := Some (Run_violation (Race, msg))
+          | None ->
+            let pending =
+              List.filter
+                (fun p -> match rt.states.(p) with Some (Pending _) -> true | _ -> false)
+                (List.init scenario.nprocs Fun.id)
+            in
+            let candidates = List.filter (runnable rt) pending in
+            if pending = [] then begin
+              (* all processes returned: final invariant check, with
+                 the hook off so it reads raw values *)
+              Vhook.active := false;
+              (match finish () with
+              | () -> finished := Some Run_done
+              | exception e ->
+                finished :=
+                  Some
+                    (Run_violation
+                       ( Assertion,
+                         Printf.sprintf "final check failed: %s" (Printexc.to_string e)
+                       )));
+              Vhook.active := true
+            end
+            else if candidates = [] then
+              finished :=
+                Some
+                  (Run_violation
+                     ( Deadlock,
+                       Printf.sprintf "all of %d pending processes are blocked spinning"
+                         (List.length pending) ))
+            else if !step >= max_steps then
+              finished :=
+                Some
+                  (Run_violation
+                     (Step_budget, Printf.sprintf "no final state within %d steps" max_steps))
+            else begin
+              match choose rt ~step:!step candidates with
+              | None -> finished := Some (match !cut with Some c -> c | None -> Run_cut_sleep)
+              | Some p ->
+                execute rt p;
+                incr step
+            end));
+        ()
+      done;
+      (rt, match !finished with Some e -> e | None -> assert false))
+
+(* ---- exhaustive DFS with preemption bound and sleep sets -------- *)
+
+type frame = {
+  mutable chosen : int;
+  mutable done_ : int list;  (* fully explored choices at this node *)
+  mutable candidates : int list;
+  mutable sleep : int list;  (* sleep set on entry (path-determined) *)
+  mutable preempts : int;  (* preemptions spent before this node *)
+  mutable prev : int;  (* process that moved at the previous step *)
+}
+
+let explore ?preemption_bound ?(sleep_sets = preemption_bound = None)
+    ?(max_steps = 5000) ?(max_execs = 1_000_000) scenario =
+  (* Sleep sets and preemption bounding are each sound alone but not
+     together: a sleeping process is redundant only because an
+     equivalent schedule (its op commuted leftward) lies in an already
+     explored subtree — under a bound that representative may itself
+     have been bound-cut, so pruning on top of bounding can miss
+     behaviours reachable within the bound (cf. bounded partial-order
+     reduction). Hence the default pairing: unbounded exploration uses
+     sleep sets (exhaustive up to Mazurkiewicz-trace equivalence),
+     bounded exploration disables them (exhaustive for <= bound
+     preemptions). Passing both explicitly is allowed for experiments
+     but is a heuristic, not exhaustive. *)
+  let preemption_bound =
+    match preemption_bound with Some b -> b | None -> max_int
+  in
+  let stats = new_stats () in
+  let frames : frame Prelude.Vec.t =
+    Prelude.Vec.create
+      ~dummy:{ chosen = -1; done_ = []; candidates = []; sleep = []; preempts = 0; prev = -1 }
+      ()
+  in
+  let violation = ref None in
+  let stop = ref false in
+  while not !stop do
+    (* one run following the frame prefix, extending with the default
+       non-preemptive policy; live sleep set recomputed along the way *)
+    let live_sleep = ref [] in
+    let cut = ref None in
+    let choose rt ~step candidates =
+      let frame_opt =
+        if step < Prelude.Vec.length frames then Some (Prelude.Vec.get frames step)
+        else None
+      in
+      let prev =
+        if step = 0 then -1
+        else (Prelude.Vec.get frames (step - 1)).chosen
+      in
+      let preempts =
+        if step = 0 then 0
+        else
+          let pf = Prelude.Vec.get frames (step - 1) in
+          pf.preempts
+          + if pf.prev >= 0 && pf.chosen <> pf.prev && List.mem pf.prev pf.candidates then 1 else 0
+      in
+      let sleep = !live_sleep in
+      let choice =
+        match frame_opt with
+        | Some f ->
+          (* follow the prefix; refresh the recorded context (it is
+             deterministic, but [done_] may have grown) *)
+          f.candidates <- candidates;
+          f.sleep <- sleep;
+          f.preempts <- preempts;
+          f.prev <- prev;
+          Some f.chosen
+        | None ->
+          let asleep = List.rev_append sleep [] in
+          let eligible =
+            List.filter (fun p -> not (List.mem p asleep)) candidates
+          in
+          let affordable p =
+            let cost = if prev >= 0 && p <> prev && List.mem prev candidates then 1 else 0 in
+            preempts + cost <= preemption_bound
+          in
+          let eligible_b = List.filter affordable eligible in
+          let pick =
+            if List.mem prev eligible_b then Some prev
+            else (match eligible_b with [] -> None | p :: _ -> Some p)
+          in
+          (match pick with
+          | None ->
+            cut := Some (if eligible = [] then Run_cut_sleep else Run_cut_bound);
+            None
+          | Some p ->
+            Prelude.Vec.push frames
+              { chosen = p; done_ = []; candidates; sleep; preempts; prev };
+            Some p)
+      in
+      (match choice with
+      | Some p when sleep_sets ->
+        (* the sleep set below this node: the inherited sleepers plus
+           this node's fully explored siblings (classic sleep sets:
+           [done_] choices are redundant in the remaining subtrees),
+           minus anyone whose pending op depends on the op about to
+           execute — those represent genuinely different interleavings
+           again *)
+        let f = Prelude.Vec.get frames step in
+        let base = List.rev_append f.done_ sleep in
+        let op = match pending_info rt p with Some i -> i | None -> assert false in
+        live_sleep :=
+          List.filter
+            (fun q ->
+              q <> p
+              &&
+              match pending_info rt q with
+              | Some oq -> not (dependent op oq)
+              | None -> false)
+            base
+      | _ -> ());
+      choice
+    in
+    let _rt, run_end = drive scenario ~max_steps ~choose ~cut in
+    stats.max_depth <- max stats.max_depth (Prelude.Vec.length frames);
+    stats.transitions <- stats.transitions + Prelude.Vec.length frames;
+    (match run_end with
+    | Run_done -> stats.executions <- stats.executions + 1
+    | Run_cut_sleep -> stats.cut_sleep <- stats.cut_sleep + 1
+    | Run_cut_bound -> stats.cut_bound <- stats.cut_bound + 1
+    | Run_violation (vkind, message) ->
+      violation := Some { vkind; message; schedule = schedule_of _rt };
+      stop := true);
+    if not !stop then begin
+      if stats.executions + stats.cut_sleep + stats.cut_bound >= max_execs then begin
+        stats.capped <- true;
+        stop := true
+      end
+      else begin
+        (* backtrack: deepest frame with an unexplored admissible
+           sibling *)
+        let rec backtrack () =
+          if Prelude.Vec.length frames = 0 then stop := true
+          else begin
+            let i = Prelude.Vec.length frames - 1 in
+            let f = Prelude.Vec.get frames i in
+            f.done_ <- f.chosen :: f.done_;
+            let excluded = List.rev_append f.sleep f.done_ in
+            let affordable p =
+              let cost =
+                if f.prev >= 0 && p <> f.prev && List.mem f.prev f.candidates then 1
+                else 0
+              in
+              f.preempts + cost <= preemption_bound
+            in
+            let alts =
+              List.filter
+                (fun p -> (not (List.mem p excluded)) && affordable p)
+                f.candidates
+            in
+            match alts with
+            | a :: _ -> f.chosen <- a
+            | [] ->
+              ignore (Prelude.Vec.pop frames);
+              backtrack ()
+          end
+        in
+        backtrack ()
+      end
+    end
+  done;
+  { stats; violation = !violation }
+
+(* ---- random walk ------------------------------------------------ *)
+
+let random_walk ?(seed = 1) ?(walks = 200) ?(max_steps = 5000) scenario =
+  let rng = Prelude.Rng.create seed in
+  let stats = new_stats () in
+  let violation = ref None in
+  let w = ref 0 in
+  while !w < walks && !violation = None do
+    incr w;
+    let cut = ref None in
+    let choose _rt ~step:_ candidates =
+      Some (List.nth candidates (Prelude.Rng.int rng (List.length candidates)))
+    in
+    let rt, run_end = drive scenario ~max_steps ~choose ~cut in
+    stats.transitions <- stats.transitions + Buffer.length rt.trace;
+    stats.max_depth <- max stats.max_depth (Buffer.length rt.trace);
+    (match run_end with
+    | Run_done -> stats.executions <- stats.executions + 1
+    | Run_cut_sleep | Run_cut_bound -> ()
+    | Run_violation (vkind, message) ->
+      violation := Some { vkind; message; schedule = schedule_of rt })
+  done;
+  { stats; violation = !violation }
+
+(* ---- deterministic replay --------------------------------------- *)
+
+let replay ?(max_steps = 5000) scenario schedule =
+  let cut = ref None in
+  let choose _rt ~step candidates =
+    if step >= String.length schedule then None
+    else
+      let p = Char.code schedule.[step] - Char.code '0' in
+      if List.mem p candidates then Some p
+      else begin
+        cut :=
+          Some
+            (Run_violation
+               ( Replay_divergence,
+                 Printf.sprintf "step %d: P%d is not runnable (schedule %S)" step p
+                   schedule ));
+        None
+      end
+  in
+  let rt, run_end = drive scenario ~max_steps ~choose ~cut in
+  match run_end with
+  | Run_done -> None
+  | Run_cut_sleep | Run_cut_bound ->
+    (* the schedule string ran out before the run finished: that is a
+       divergence unless it was cut deliberately *)
+    Some
+      {
+        vkind = Replay_divergence;
+        message =
+          Printf.sprintf "schedule %S exhausted after %d steps without a final state"
+            schedule (Buffer.length rt.trace);
+        schedule = schedule_of rt;
+      }
+  | Run_violation (vkind, message) -> Some { vkind; message; schedule = schedule_of rt }

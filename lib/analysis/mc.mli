@@ -1,0 +1,87 @@
+(** Bounded model checker for {!Prelude.Vatomic} programs.
+
+    Only meaningful in the [analysis] dune profile, where Vatomic
+    routes every shared-memory operation through {!Prelude.Vhook}; the
+    checker installs a hook that suspends the acting fiber before each
+    operation and so controls the interleaving completely. In the
+    default profile (check {!Prelude.Vatomic.instrumented}) scenarios
+    run straight through with real atomics and the checker explores
+    exactly one schedule — callers should refuse to draw conclusions
+    from that.
+
+    All entry points are deterministic: a given scenario, bound and
+    seed always explore the same schedules, and any violation carries a
+    schedule string that {!replay} re-executes decision for
+    decision. *)
+
+type scenario = {
+  name : string;
+  nprocs : int;  (** number of processes; at most 10 (schedule digits) *)
+  instantiate : unit -> (int -> unit) * (unit -> unit);
+      (** Fresh shared state per run. Returns [(body, finish)]: [body p]
+          is process [p]'s program; [finish ()] checks final-state
+          invariants (raise to signal violation) after all processes
+          returned, with instrumentation disabled. *)
+}
+
+type violation_kind =
+  | Assertion  (** a process or the final check raised *)
+  | Race  (** unordered conflicting plain accesses (happens-before) *)
+  | Deadlock  (** every unfinished process is blocked in a futile spin *)
+  | Step_budget  (** a run exceeded [max_steps] — likely livelock *)
+  | Replay_divergence  (** a pinned schedule no longer matches the code *)
+
+val pp_violation_kind : Format.formatter -> violation_kind -> unit
+
+type violation = {
+  vkind : violation_kind;
+  message : string;
+  schedule : string;  (** digit string of process ids, one per decision *)
+}
+
+type stats = {
+  mutable executions : int;  (** runs that reached a final state *)
+  mutable cut_sleep : int;  (** runs pruned by sleep sets *)
+  mutable cut_bound : int;  (** runs cut by the preemption bound *)
+  mutable transitions : int;
+  mutable max_depth : int;
+  mutable capped : bool;  (** stopped at the execution budget *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type outcome = { stats : stats; violation : violation option }
+
+val explore :
+  ?preemption_bound:int ->
+  ?sleep_sets:bool ->
+  ?max_steps:int ->
+  ?max_execs:int ->
+  scenario ->
+  outcome
+(** Exhaustive depth-first exploration, stopping at the first
+    violation. [max_execs] (default 1e6) caps the number of runs;
+    hitting it sets [stats.capped].
+
+    Two sound configurations, selected by [preemption_bound]:
+    - omitted (default): unbounded exploration with sleep-set pruning —
+      exhaustive up to Mazurkiewicz-trace equivalence (commuting
+      adjacent independent operations);
+    - [~preemption_bound:k]: every schedule with at most [k]
+      preemptions, sleep sets off — iterative context bounding.
+
+    The two prunings are each sound alone but not combined (a sleeping
+    process's representative schedule may itself have been bound-cut),
+    so [sleep_sets] defaults to [preemption_bound = None]; overriding
+    both on together is a heuristic search, not exhaustive. *)
+
+val random_walk : ?seed:int -> ?walks:int -> ?max_steps:int -> scenario -> outcome
+(** [walks] (default 200) uniformly random schedules from the seeded
+    generator; same seed, same schedules. Complements [explore] beyond
+    the preemption bound. *)
+
+val replay : ?max_steps:int -> scenario -> string -> violation option
+(** Re-execute one schedule. [None] if the run reaches a passing final
+    state; otherwise the violation it hits — including
+    [Replay_divergence] if the schedule no longer matches the
+    scenario's behaviour (e.g. after a code change). *)

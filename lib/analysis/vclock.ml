@@ -1,0 +1,41 @@
+(* Fixed-width vector clocks over process ids [0, n). The model
+   checker allocates a handful per run (one per process plus one per
+   shared location), so a plain int array is plenty; operations are
+   O(n) with n <= 8. *)
+
+type t = int array
+
+let make n = Array.make n 0
+
+let size = Array.length
+
+let get (t : t) i = t.(i)
+
+let set (t : t) i v = t.(i) <- v
+
+let tick (t : t) i = t.(i) <- t.(i) + 1
+
+let copy = Array.copy
+
+let join ~into src =
+  for i = 0 to Array.length into - 1 do
+    if src.(i) > into.(i) then into.(i) <- src.(i)
+  done
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+type cmp = Equal | Before | After | Concurrent
+
+let compare a b =
+  let le = leq a b and ge = leq b a in
+  if le && ge then Equal
+  else if le then Before
+  else if ge then After
+  else Concurrent
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t)))

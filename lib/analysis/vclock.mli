@@ -1,0 +1,35 @@
+(** Vector clocks for the happens-before checker.
+
+    A clock maps each process id to the number of events of that
+    process known to have happened before the clock's owner's current
+    point. Event [e1] happens-before [e2] iff [e1]'s clock is
+    componentwise [leq] [e2]'s; two events with [Concurrent] clocks are
+    unordered, and unordered conflicting accesses to the same plain
+    location are races. *)
+
+type t
+
+val make : int -> t
+(** All-zero clock over [n] processes. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit
+
+val tick : t -> int -> unit
+(** Advance process [i]'s own component. *)
+
+val copy : t -> t
+
+val join : into:t -> t -> unit
+(** Componentwise maximum, in place. *)
+
+val leq : t -> t -> bool
+
+type cmp = Equal | Before | After | Concurrent
+
+val compare : t -> t -> cmp
+
+val pp : Format.formatter -> t -> unit

@@ -30,11 +30,13 @@ let trace_of_string = Workload.Trace_io.of_string
 
 type datalog_session = { db : Datalog.Database.t; program : Datalog.Ast.program }
 
-let materialize src =
+let materialize ?(lint = false) src =
   let program = Datalog.Parser.parse src in
   let db = Datalog.Database.create () in
-  let _analysis, _stats = Datalog.Eval.run db program in
+  let _analysis, _stats = Datalog.Eval.run ~lint db program in
   { db; program }
+
+let lint session = Datalog.Lint.check session.program
 
 let update ?work_unit session ~additions ~deletions =
   let parse = List.map Datalog.Parser.parse_atom in

@@ -58,10 +58,17 @@ type datalog_session = {
   program : Datalog.Ast.program;
 }
 
-val materialize : string -> datalog_session
-(** Parse a program and compute its full materialization.
+val materialize : ?lint:bool -> string -> datalog_session
+(** Parse a program and compute its full materialization. [lint]
+    (default off) re-checks range restriction with named-variable
+    diagnostics before evaluating.
     @raise Datalog.Parser.Error on syntax errors
+    @raise Datalog.Lint.Failed when [lint] and the check fails
     @raise Datalog.Stratify.Unstratifiable on negative recursion. *)
+
+val lint : datalog_session -> Datalog.Lint.diagnostic list
+(** All lint diagnostics (warnings included) for the session's
+    program; see {!Datalog.Lint.pp}. *)
 
 val update :
   ?work_unit:float ->

@@ -43,6 +43,10 @@ val atom_is_ground : atom -> bool
 
 val rule_is_fact : rule -> bool
 
+val term_var : term -> string option
+(** The variable a term binds or mentions: [Var v] and [Agg (_, v)]
+    yield [v], constants [None]. *)
+
 val vars_of_atom : atom -> string list
 (** Distinct variables, in order of first occurrence; aggregate-bound
     variables included. *)

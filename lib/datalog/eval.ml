@@ -128,7 +128,10 @@ let eval_comp ~engine db (anal : Stratify.t) program comp =
     { comp; rounds = !rounds; derived = !derived; work = !work }
   end
 
-let run ?(engine = Plan.default_engine) db program =
+let run ?(engine = Plan.default_engine) ?(lint = false) db program =
+  (* programs built as Ast values bypass the parser's range-restriction
+     gate; [~lint] closes that hole with named-variable evidence *)
+  if lint then Lint.enforce program;
   Aggregate.validate program;
   let anal = Stratify.analyze program in
   Matcher.register db program;

@@ -13,12 +13,21 @@ type comp_stats = {
   work : int;  (** tuples examined — the work proxy for {!To_trace} *)
 }
 
-val run : ?engine:Plan.engine -> Database.t -> Ast.program -> Stratify.t * comp_stats list
+val run :
+  ?engine:Plan.engine ->
+  ?lint:bool ->
+  Database.t ->
+  Ast.program ->
+  Stratify.t * comp_stats list
 (** Materialize every derived predicate into [db]. Facts in the program
     are inserted first. Returns the dependency analysis (reusable) and
     per-component statistics in evaluation order. [engine] (default
     {!Plan.Compiled}) selects compiled plans or the interpretive
-    oracle; both produce identical databases.
+    oracle; both produce identical databases. [lint] (default off)
+    first checks range restriction with {!Lint} — useful for programs
+    assembled directly as [Ast] values, which bypass the parser's gate.
+    @raise Lint.Failed with named-variable diagnostics when [lint] and
+    the program is not range-restricted.
     @raise Stratify.Unstratifiable on negative recursion. *)
 
 val run_naive : Database.t -> Ast.program -> unit

@@ -34,12 +34,12 @@ let nonempty tbl pred =
   | Some r -> Relation.cardinality r > 0
   | None -> false
 
-let record_add d pred ~arity tup =
+let record_add (d : deltas) pred ~arity tup =
   let removed = delta_rel d.removed pred ~arity in
   if not (Relation.remove removed tup) then
     ignore (Relation.add (delta_rel d.added pred ~arity) tup)
 
-let record_remove d pred ~arity tup =
+let record_remove (d : deltas) pred ~arity tup =
   let added = delta_rel d.added pred ~arity in
   if not (Relation.remove added tup) then
     ignore (Relation.add (delta_rel d.removed pred ~arity) tup)

@@ -37,7 +37,8 @@ let advance st =
   | None -> ());
   st.pos <- st.pos + 1
 
-let error st message = raise (Error { line = st.line; col = st.col; message })
+let error (st : state) message =
+  raise (Error { line = st.line; col = st.col; message })
 
 let is_digit c = c >= '0' && c <= '9'
 

@@ -1,0 +1,139 @@
+(* Rule diagnostics. {!Ast.range_restricted} answers yes/no — good
+   enough for the parser's gate, useless for telling an author *which*
+   variable sank a 40-line program. This module re-derives the same
+   analysis but keeps the evidence: every violated obligation becomes a
+   diagnostic naming the rule, the variable and the literal, and the
+   error set is empty exactly when [Ast.range_restricted] holds (a
+   property the test suite pins). Warnings flag likely typos —
+   variables used only once — without rejecting the program. *)
+
+type severity = Warning | Error
+
+type diagnostic = {
+  rule_index : int;  (* 0-based position in the program *)
+  pred : string;  (* head predicate, for grouping *)
+  severity : severity;
+  code : string;
+  message : string;
+}
+
+exception Failed of diagnostic list
+
+let atom_str a = Format.asprintf "%a" Ast.pp_atom a
+
+(* Variables of a term list, with multiplicity, in order. *)
+let term_vars ts =
+  List.filter_map (fun t -> Ast.term_var t) ts
+
+let literal_terms = function
+  | Ast.Pos a | Ast.Neg a -> a.Ast.args
+  | Ast.Cmp (_, t1, t2) -> [ t1; t2 ]
+
+let check_rule ~rule_index (r : Ast.rule) =
+  let diags = ref [] in
+  let emit severity code fmt =
+    Format.kasprintf
+      (fun message ->
+        diags := { rule_index; pred = r.Ast.head.Ast.pred; severity; code; message } :: !diags)
+      fmt
+  in
+  (* positively bound variables, as in Ast.range_restricted *)
+  let positive = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Pos a ->
+        List.iter (fun v -> Hashtbl.replace positive v ()) (Ast.vars_of_atom a)
+      | Ast.Neg _ | Ast.Cmp _ -> ())
+    r.Ast.body;
+  let bound v = Hashtbl.mem positive v in
+  (* 1. every head variable must be positively bound *)
+  List.iter
+    (fun v ->
+      if not (bound v) then
+        emit Error "unrestricted-head-variable"
+          "head variable %s is not bound by any positive body literal" v)
+    (Ast.vars_of_atom r.Ast.head);
+  (* 2. negation and comparisons only over bound variables *)
+  List.iter
+    (function
+      | Ast.Pos _ -> ()
+      | Ast.Neg a ->
+        List.iter
+          (fun v ->
+            if not (bound v) then
+              emit Error "unbound-negated-variable"
+                "variable %s in negated literal !%s is unbound; negation as \
+                 failure needs every argument bound by a positive literal"
+                v (atom_str a))
+          (Ast.vars_of_atom a)
+      | Ast.Cmp (_, t1, t2) as lit ->
+        List.iter
+          (fun v ->
+            if not (bound v) then
+              emit Error "unbound-comparison-variable"
+                "variable %s in comparison %s is unbound; comparisons filter \
+                 bindings, they cannot generate them"
+                v
+                (Format.asprintf "%a" Ast.pp_literal lit))
+          (term_vars [ t1; t2 ]))
+    r.Ast.body;
+  (* 3. aggregates are a head-only construct *)
+  List.iter
+    (fun lit ->
+      List.iter
+        (function
+          | Ast.Agg (a, v) ->
+            emit Error "body-aggregate" "aggregate %a(%s) is not allowed in a rule body"
+              Ast.pp_agg a v
+          | Ast.Var _ | Ast.Const _ -> ())
+        (literal_terms lit))
+    r.Ast.body;
+  (* 4. singleton variables: one occurrence across the whole rule is a
+     likely typo (a join that never joins); an _-prefixed name opts
+     out, matching the usual Datalog/Prolog convention *)
+  let occurrences = Hashtbl.create 16 in
+  let note v =
+    Hashtbl.replace occurrences v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt occurrences v))
+  in
+  List.iter note (term_vars r.Ast.head.Ast.args);
+  List.iter (fun lit -> List.iter note (term_vars (literal_terms lit))) r.Ast.body;
+  Hashtbl.iter
+    (fun v n ->
+      if n = 1 && not (String.length v > 0 && v.[0] = '_') then
+        emit Warning "singleton-variable"
+          "variable %s occurs only once in the rule; prefix it with _ if that \
+           is intentional"
+          v)
+    occurrences;
+  (* deterministic order for stable output: errors first, then by code
+     and message (Hashtbl iteration order is unspecified) *)
+  List.sort
+    (fun a b ->
+      match Stdlib.compare a.severity b.severity with
+      | 0 -> Stdlib.compare (a.code, a.message) (b.code, b.message)
+      | c -> -c)
+    !diags
+
+let check (p : Ast.program) =
+  List.concat (List.mapi (fun i r -> check_rule ~rule_index:i r) p)
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let enforce p = match errors (check p) with [] -> () | errs -> raise (Failed errs)
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf (match s with Warning -> "warning" | Error -> "error")
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "rule %d (%s): %a: %s [%s]" d.rule_index d.pred pp_severity
+    d.severity d.message d.code
+
+let pp ppf diags =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_diagnostic ppf diags
+
+let () =
+  Printexc.register_printer (function
+    | Failed diags ->
+      Some (Format.asprintf "Datalog lint failed:@,%a" pp diags)
+    | _ -> None)

@@ -1,0 +1,43 @@
+(** Rule diagnostics: {!Ast.range_restricted} with evidence.
+
+    The parser rejects programs that are not range-restricted, but only
+    says so per clause; this module names the offending variable and
+    literal, and adds non-fatal warnings for likely mistakes. The error
+    set is empty iff [Ast.range_restricted] holds for every rule, so it
+    can also gate programs assembled directly as {!Ast.program} values
+    without going through the parser.
+
+    Error codes: [unrestricted-head-variable], [unbound-negated-variable],
+    [unbound-comparison-variable], [body-aggregate].
+    Warning codes: [singleton-variable] (suppressed for [_]-prefixed
+    names). *)
+
+type severity = Warning | Error
+
+type diagnostic = {
+  rule_index : int;  (** 0-based position of the rule in the program *)
+  pred : string;  (** head predicate *)
+  severity : severity;
+  code : string;
+  message : string;
+}
+
+exception Failed of diagnostic list
+(** Raised by {!enforce}; carries the error-severity diagnostics. *)
+
+val check_rule : rule_index:int -> Ast.rule -> diagnostic list
+(** Diagnostics for one rule, errors first, deterministic order. *)
+
+val check : Ast.program -> diagnostic list
+
+val errors : diagnostic list -> diagnostic list
+(** The [Error]-severity subset. *)
+
+val enforce : Ast.program -> unit
+(** @raise Failed if [check] yields any error. Warnings pass. *)
+
+val pp_severity : Format.formatter -> severity -> unit
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val pp : Format.formatter -> diagnostic list -> unit

@@ -1,3 +1,5 @@
+module Vatomic = Prelude.Vatomic
+
 type task_record = { task : int; start : float; finish : float; worker : int }
 
 type result = {
@@ -78,10 +80,19 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
   if timed then Spinwork.calibrate ();
   let psched = Sched.Protected.make ~workers:domains sched g in
   (* flat atomic status array: one cache line touch per transition
-     instead of a pointer chase into a boxed [Atomic.t] per task *)
-  let status = Prelude.Atomic_int_array.make n in
-  let activated = Atomic.make 0 in
-  let failure = Atomic.make None in
+     instead of a pointer chase into a boxed [Atomic.t] per task.
+     Ordering: loads acquire, final-state stores release, lifecycle
+     CASes SC — see the transition comments below and the stub header.
+     Routed through Vatomic so the analysis build can interleave the
+     claim/activate races deterministically. *)
+  let status = Vatomic.Int_array.make n in
+  (* [activated]: SC counter; must be incremented before the winning
+     activation is delivered to the scheduler so [terminated] can never
+     see completed > activated (see [terminated]) *)
+  let activated = Vatomic.make 0 in
+  (* [failure]: one-shot publication; the CAS in [fail] is SC, readers
+     only need the acquire of [get] to see the message contents *)
+  let failure = Vatomic.make None in
   (* Parking lot: an eventcount plus one mutex/condvar pair used only
      for sleeping. Any publication of work increments [events] first;
      an idle worker snapshots [events] before its last search and only
@@ -89,8 +100,14 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
      signal exactly as many workers as they have spare cores for
      (broadcast only on termination or failure) — no thundering herd,
      and no churn when the host is oversubscribed. *)
-  let events = Atomic.make 0 in
-  let parked = Atomic.make 0 in
+  (* [events]/[parked]: both must be SC — the park/wake protocol's
+     correctness argument (in [park] below) is a classic store-buffering
+     pattern: waker writes events then reads parked, parker writes
+     parked then reads events; with anything weaker than SC both could
+     read stale values and a wakeup would be lost. This is the pair the
+     analysis build's park/wake scenario exercises. *)
+  let events = Vatomic.make 0 in
+  let parked = Vatomic.make 0 in
   let pmutex = Mutex.create () in
   let pcond = Condition.create () in
   let cores = Domain.recommended_domain_count () in
@@ -102,16 +119,16 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
      termination, and any non-parked worker drains the scheduler by
      itself). *)
   let wake_budget () =
-    let sleeping = Atomic.get parked in
+    let sleeping = Vatomic.get parked in
     if sleeping = 0 then 0
     else
       let active_workers = domains - sleeping in
       if active_workers >= cores then 0 else min sleeping (cores - active_workers)
   in
   let wake k =
-    if k > 0 && Atomic.get parked > 0 then begin
+    if k > 0 && Vatomic.get parked > 0 then begin
       Mutex.lock pmutex;
-      let p = Atomic.get parked in
+      let p = Vatomic.get parked in
       if p > 0 then
         if k >= p then Condition.broadcast pcond
         else
@@ -122,7 +139,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
     end
   in
   let wake_all () =
-    Atomic.incr events;
+    Vatomic.incr events;
     Mutex.lock pmutex;
     Condition.broadcast pcond;
     Mutex.unlock pmutex
@@ -130,7 +147,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
   let fail fmt =
     Printf.ksprintf
       (fun msg ->
-        ignore (Atomic.compare_and_set failure None (Some msg));
+        ignore (Vatomic.compare_and_set failure None (Some msg));
         wake_all ())
       fmt
   in
@@ -141,11 +158,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
        with both atomics sequentially consistent, either we see its
        event here and skip the sleep, or it sees our registration and
        signals — a lost wakeup would need both reads to miss. *)
-    Atomic.incr parked;
-    while Atomic.get events = e do
+    Vatomic.incr parked;
+    while Vatomic.get events = e do
       Condition.wait pcond pmutex
     done;
-    Atomic.decr parked;
+    Vatomic.decr parked;
     Mutex.unlock pmutex
   in
   (* [completed] is incremented inside the scheduler critical section
@@ -156,13 +173,13 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
      so a stale equal pair still implies a true equal pair. *)
   let terminated () =
     let c = Sched.Protected.completed psched in
-    c = Atomic.get activated
+    c = Vatomic.get activated
   in
   (* initial activations: no concurrency yet *)
   Array.iter
     (fun u ->
-      Prelude.Atomic_int_array.set status u active;
-      Atomic.incr activated)
+      Vatomic.Int_array.set status u active;
+      Vatomic.incr activated)
     trace.Workload.Trace.initial;
   Sched.Protected.activate psched ~wid:0 trace.Workload.Trace.initial;
   let bufs = Array.init domains (fun _ -> Wbuf.create batch) in
@@ -246,10 +263,14 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
        handshake must wake every parked domain. *)
     let last_stamp = Array.make 1 0.0 in
     let rec try_activate dst =
-      match Prelude.Atomic_int_array.get status dst with
+      (* acquire load: pairs with the winner's SC CAS / the release
+         store of [done_] so the failure branch reads a settled state *)
+      match Vatomic.Int_array.get status dst with
       | s when s = inactive ->
-        if Prelude.Atomic_int_array.cas status dst inactive active then begin
-          Atomic.incr activated;
+        (* SC CAS: the activation race — every completing parent with a
+           changed edge attempts it, exactly one transition wins *)
+        if Vatomic.Int_array.cas status dst inactive active then begin
+          Vatomic.incr activated;
           push_act dst
         end
         else try_activate dst
@@ -269,7 +290,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
              gated tasks (e.g. the next level), so always publish the
              event; only signal sleepers when there are activations to
              hand them and spare cores to run them *)
-          Atomic.incr events;
+          Vatomic.incr events;
           if nact > 0 then wake (min nact (wake_budget ()))
         end
       end
@@ -282,7 +303,10 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
       Array.unsafe_set last_stamp 0 finish;
       tlog_push log u start finish;
       works.(wid) <- works.(wid) +. work;
-      Prelude.Atomic_int_array.set status u done_;
+      (* release store: final-state publication; any parent that later
+         reads [done_] in [try_activate] must also see this task's side
+         effects (additionally ordered by the scheduler lock at flush) *)
+      Vatomic.Int_array.set status u done_;
       let before = !nacts in
       let lo = Array.unsafe_get soff u in
       let hi = Array.unsafe_get soff (u + 1) - 1 in
@@ -302,9 +326,12 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
       if !ncomp >= cap || (!nacts > before && wake_budget () > 0) then flush ()
     in
     (* claim a scheduler-released task; a failed CAS is a safety
-       violation by the scheduler *)
+       violation by the scheduler. SC CAS: the claim must be totally
+       ordered against the activation CAS and against other claim
+       attempts, so a double release shows up as exactly one failed
+       CAS rather than a silent double run. *)
     let claim u =
-      if not (Prelude.Atomic_int_array.cas status u active running) then
+      if not (Vatomic.Int_array.cas status u active running) then
         fail "scheduler released task %d unsafely" u
     in
     let try_steal () =
@@ -348,11 +375,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
        happens-before the test (seen here) or bumps [events] after the
        snapshot (defeats the park). *)
     if wid >= cores then begin
-      let e = Atomic.get events in
-      if (not (terminated ())) && Atomic.get failure = None then park e
+      let e = Vatomic.get events in
+      if (not (terminated ())) && Vatomic.get failure = None then park e
     end;
     let rec loop () =
-      match Atomic.get failure with
+      match Vatomic.get failure with
       | Some _ -> ()
       | None ->
         drain ();
@@ -364,7 +391,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
         else begin
           (* snapshot the eventcount before the final search; any work
              published after this point bumps it and defeats the park *)
-          let e = Atomic.get events in
+          let e = Vatomic.get events in
           let stolen = try_steal () in
           if stolen > 0 then begin
             Prelude.Backoff.reset backoff;
@@ -387,7 +414,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
                  parked peer, wake one, which wakes another if it also
                  finds a batch — exponential wake diffusion *)
               if k > 1 && wake_budget () > 0 then begin
-                Atomic.incr events;
+                Vatomic.incr events;
                 wake 1
               end;
               loop ()
@@ -406,8 +433,8 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
                 fail
                   "scheduler stalled: %d of %d activated tasks incomplete, none \
                    running"
-                  (Atomic.get activated - Sched.Protected.completed psched)
-                  (Atomic.get activated)
+                  (Vatomic.get activated - Sched.Protected.completed psched)
+                  (Vatomic.get activated)
         end
     in
     loop ()
@@ -420,7 +447,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
   Gc.minor ();
   let handles = List.init domains (fun wid -> Domain.spawn (fun () -> worker wid)) in
   List.iter Domain.join handles;
-  (match Atomic.get failure with
+  (match Vatomic.get failure with
   | Some msg -> failwith ("Executor: " ^ msg)
   | None -> ());
   let total = Array.fold_left (fun acc l -> acc + l.t_len) 0 logs in
@@ -442,7 +469,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
   {
     wall_makespan;
     tasks_executed = Sched.Protected.completed psched;
-    tasks_activated = Atomic.get activated;
+    tasks_activated = Vatomic.get activated;
     ops = Sched.Protected.ops psched;
     worker_ops = Sched.Protected.worker_ops psched;
     log;

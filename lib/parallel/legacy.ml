@@ -24,6 +24,12 @@ let spin seconds =
     done
   end
 
+(* All cross-worker mutable state below is guarded by [lock]; it is
+   held in [Vatomic.Plain] cells so the analysis build's happens-before
+   checker can verify that claim (every access is ordered through the
+   big mutex) rather than trusting it. *)
+module Plain = Prelude.Vatomic.Plain
+
 let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
   if domains < 1 then invalid_arg "Legacy.run: need at least one domain";
   let g = trace.Workload.Trace.graph in
@@ -32,16 +38,16 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
   let lock = Mutex.create () in
   let work_ready = Condition.create () in
   let status = Array.make n Inactive in
-  let activated = ref 0 in
-  let completed = ref 0 in
-  let running = ref 0 in
-  let failed = ref None in
+  let activated = Plain.make 0 in
+  let completed = Plain.make 0 in
+  let running = Plain.make 0 in
+  let failed = Plain.make None in
   let log =
     Prelude.Vec.create
       ~dummy:{ Executor.task = 0; start = 0.0; finish = 0.0; worker = 0 }
       ()
   in
-  let work_executed = ref 0.0 in
+  let work_executed = Plain.make 0.0 in
   (* startup barrier (see header): the last worker to arrive stamps
      the epoch, so dispatch is measured from a common post-spawn
      instant *)
@@ -66,11 +72,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
     match status.(u) with
     | Inactive ->
       status.(u) <- Active;
-      incr activated;
+      Plain.set activated (Plain.get activated + 1);
       inst.Sched.Intf.on_activated u
     | Active -> ()
     | Running | Done ->
-      failed := Some (Printf.sprintf "task %d activated after it ran" u)
+      Plain.set failed (Some (Printf.sprintf "task %d activated after it ran" u))
   in
   Mutex.lock lock;
   Array.iter activate trace.Workload.Trace.initial;
@@ -80,8 +86,8 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
     let epoch = !epoch_ref in
     Mutex.lock lock;
     let rec loop () =
-      if !failed <> None then ()
-      else if !completed = !activated && !running = 0 then
+      if Plain.get failed <> None then ()
+      else if Plain.get completed = Plain.get activated && Plain.get running = 0 then
         (* nothing active remains and nothing can activate more *)
         Condition.broadcast work_ready
       else begin
@@ -90,10 +96,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
           (match status.(u) with
           | Active -> ()
           | Inactive | Running | Done ->
-            failed := Some (Printf.sprintf "scheduler released task %d unsafely" u));
-          if !failed = None then begin
+            Plain.set failed
+              (Some (Printf.sprintf "scheduler released task %d unsafely" u)));
+          if Plain.get failed = None then begin
             status.(u) <- Running;
-            incr running;
+            Plain.set running (Plain.get running + 1);
             inst.Sched.Intf.on_started u;
             Mutex.unlock lock;
             let start = now () -. epoch in
@@ -102,9 +109,9 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
             let finish = now () -. epoch in
             Mutex.lock lock;
             status.(u) <- Done;
-            decr running;
-            incr completed;
-            work_executed := !work_executed +. work;
+            Plain.set running (Plain.get running - 1);
+            Plain.set completed (Plain.get completed + 1);
+            Plain.set work_executed (Plain.get work_executed +. work);
             Prelude.Vec.push log { Executor.task = u; start; finish; worker = wid };
             Dag.Graph.iter_succ g u (fun ~dst ~eid ->
                 if trace.Workload.Trace.edge_changed.(eid) then activate dst);
@@ -114,13 +121,14 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
           end
           else Condition.broadcast work_ready
         | None ->
-          if !running = 0 then begin
-            failed :=
-              Some
-                (Printf.sprintf
-                   "scheduler stalled: %d of %d activated tasks incomplete, none \
-                    running"
-                   (!activated - !completed) !activated);
+          if Plain.get running = 0 then begin
+            Plain.set failed
+              (Some
+                 (Printf.sprintf
+                    "scheduler stalled: %d of %d activated tasks incomplete, none \
+                     running"
+                    (Plain.get activated - Plain.get completed)
+                    (Plain.get activated)));
             Condition.broadcast work_ready
           end
           else begin
@@ -137,18 +145,20 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
   Gc.minor ();
   let handles = List.init domains (fun wid -> Domain.spawn (fun () -> worker wid)) in
   List.iter Domain.join handles;
-  (match !failed with Some msg -> failwith ("Executor: " ^ msg) | None -> ());
+  (match Plain.get failed with
+  | Some msg -> failwith ("Executor: " ^ msg)
+  | None -> ());
   let log = Prelude.Vec.to_array log in
   let wall_makespan =
     Array.fold_left (fun acc r -> Float.max acc r.Executor.finish) 0.0 log
   in
   {
     Executor.wall_makespan;
-    tasks_executed = !completed;
-    tasks_activated = !activated;
+    tasks_executed = Plain.get completed;
+    tasks_activated = Plain.get activated;
     ops = inst.Sched.Intf.ops;
     worker_ops = Array.init domains (fun _ -> Sched.Intf.zero_ops ());
     log;
-    work_executed = !work_executed;
+    work_executed = Plain.get work_executed;
     steals = 0;
   }

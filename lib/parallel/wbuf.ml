@@ -4,14 +4,24 @@
    loads and stores, and contention is rare (a thief only shows up when
    it has nothing else to do), so a spinlock beats both a Mutex (futex
    round-trip) and a lock-free deque (fences on the owner's fast path)
-   at this scale. *)
+   at this scale.
+
+   All shared state goes through {!Prelude.Vatomic} so the analysis
+   build can model-check owner/thief interleavings (the steal-vs-pop
+   scenario in Analysis.Scenarios runs this exact code) and its
+   happens-before checker can verify that every head/tail access is
+   ordered by the lock. [slots] stays a raw array: every slot access is
+   guarded by the same lock as the head/tail accesses next to it, so a
+   broken lock surfaces as a head/tail race first. *)
+
+module Vatomic = Prelude.Vatomic
 
 type t = {
-  lock : int Atomic.t;
+  lock : int Vatomic.t;
   slots : int array;
   mask : int;
-  mutable head : int; (* pop end; slots in [head, tail) are live *)
-  mutable tail : int;
+  head : int Vatomic.Plain.t; (* pop end; slots in [head, tail) are live *)
+  tail : int Vatomic.Plain.t;
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
@@ -19,29 +29,59 @@ let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 let create capacity =
   if capacity < 1 then invalid_arg "Wbuf.create: capacity < 1";
   let cap = next_pow2 capacity 1 in
-  { lock = Atomic.make 0; slots = Array.make cap 0; mask = cap - 1; head = 0; tail = 0 }
+  {
+    lock = Vatomic.make 0;
+    slots = Array.make cap 0;
+    mask = cap - 1;
+    head = Vatomic.Plain.make 0;
+    tail = Vatomic.Plain.make 0;
+  }
 
 let capacity t = t.mask + 1
 
+(* Lock acquire: the successful CAS is an acquire — it orders every
+   head/tail/slot load in the critical section after the previous
+   holder's release store below. (OCaml atomics are SC, which is
+   stronger than the acquire this needs.) *)
 let acquire t =
-  while not (Atomic.compare_and_set t.lock 0 1) do
+  while not (Vatomic.compare_and_set t.lock 0 1) do
     Domain.cpu_relax ()
   done
 
-let release t = Atomic.set t.lock 0
+(* Lock release: the store is a release — every plain write to
+   head/tail/slots inside the critical section becomes visible to the
+   next acquirer before the lock reads 0. *)
+let release t = Vatomic.set t.lock 0
 
-let length t = t.tail - t.head
+(* Unsynchronized occupancy probe for would-be thieves: reads both
+   cursors without the lock, so the result may be torn or stale. Fine
+   for its only use — deciding whether locking the victim is worth it;
+   any decision taken on a stale value is re-validated under the lock
+   by the steal itself. The racy reads are declared as such so the
+   analysis-build race detector does not flag them. *)
+let length t = Vatomic.Plain.get_racy t.tail - Vatomic.Plain.get_racy t.head
+
+(* Owner or lock holder only. *)
+let len_locked t = Vatomic.Plain.get t.tail - Vatomic.Plain.get t.head
 
 (* Owner only. Returns how many of [tasks.(off .. off+len-1)] were
    accepted (all of them unless the ring is full). *)
 let push_batch t tasks off len =
   acquire t;
-  let room = capacity t - length t in
+  let live = len_locked t in
+  let room = capacity t - live in
   let n = min len room in
+  let tail = Vatomic.Plain.get t.tail in
   for i = 0 to n - 1 do
-    t.slots.((t.tail + i) land t.mask) <- tasks.(off + i)
+    t.slots.((tail + i) land t.mask) <- tasks.(off + i)
   done;
-  t.tail <- t.tail + n;
+  Vatomic.Plain.set t.tail (tail + n);
+  (* loud capacity check in dev builds: a cursor bug (overflow past
+     capacity, or head overtaking tail) would otherwise corrupt the
+     ring silently by aliasing live slots *)
+  assert (
+    let l = len_locked t in
+    l >= 0 && l <= capacity t);
   release t;
   n
 
@@ -50,11 +90,12 @@ let push_batch t tasks off len =
    ids, always >= 0. *)
 let pop t =
   acquire t;
+  let head = Vatomic.Plain.get t.head in
   let r =
-    if t.head = t.tail then -1
+    if head = Vatomic.Plain.get t.tail then -1
     else begin
-      let u = t.slots.(t.head land t.mask) in
-      t.head <- t.head + 1;
+      let u = t.slots.(head land t.mask) in
+      Vatomic.Plain.set t.head (head + 1);
       u
     end
   in
@@ -67,11 +108,12 @@ let pop t =
    visible to thieves. *)
 let pop_batch t tasks max =
   acquire t;
-  let n = min max (length t) in
+  let n = min max (len_locked t) in
+  let head = Vatomic.Plain.get t.head in
   for i = 0 to n - 1 do
-    tasks.(i) <- t.slots.((t.head + i) land t.mask)
+    tasks.(i) <- t.slots.((head + i) land t.mask)
   done;
-  t.head <- t.head + n;
+  Vatomic.Plain.set t.head (head + n);
   release t;
   n
 
@@ -82,11 +124,12 @@ let pop_batch t tasks max =
    can arise. *)
 let steal_into victim tasks =
   acquire victim;
-  let len = length victim in
+  let len = len_locked victim in
   let n = if len = 0 then 0 else (len + 1) / 2 in
+  let head = Vatomic.Plain.get victim.head in
   for i = 0 to n - 1 do
-    tasks.(i) <- victim.slots.((victim.head + i) land victim.mask)
+    tasks.(i) <- victim.slots.((head + i) land victim.mask)
   done;
-  victim.head <- victim.head + n;
+  Vatomic.Plain.set victim.head (head + n);
   release victim;
   n

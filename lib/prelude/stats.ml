@@ -35,7 +35,7 @@ module Acc = struct
   let stddev t = sqrt (variance t)
   let min t = if t.n = 0 then 0.0 else t.min
   let max t = if t.n = 0 then 0.0 else t.max
-  let total t = t.total
+  let total (t : t) = t.total
 
   let summary t =
     {

@@ -1,0 +1,42 @@
+(* Vatomic, production implementation.
+
+   This file becomes [vatomic.ml] in every build profile except
+   [analysis] (see the copy rules in dune). It must add *zero* cost
+   over using [Stdlib.Atomic] / [Atomic_int_array] directly: atomics
+   are re-exported primitives (the [include] keeps their [external]
+   status, so call sites compile to the same instructions), the int
+   array is a module alias onto the C-stub implementation, and the
+   plain cells are one-field records whose accessors are trivially
+   inlined field loads/stores.
+
+   The [analysis] profile swaps in [vatomic_virtual.ml], which routes
+   every operation through {!Vhook} so the model checker can schedule
+   interleavings deterministically. Both files must keep structurally
+   identical interfaces; `make model-check` builds the virtual one, so
+   drift is caught by CI. *)
+
+include Stdlib.Atomic
+
+let instrumented = false
+
+(* Plain shared cells. In the real build this is just a [ref] with a
+   different name: the point of the type is that the analysis build can
+   observe these accesses and feed them to the happens-before race
+   detector, so any mutable location shared between domains should
+   prefer [Plain.t] over a bare [ref] / mutable field. *)
+module Plain = struct
+  type 'a t = { mutable v : 'a }
+
+  let[@inline] make v = { v }
+
+  let[@inline] get t = t.v
+
+  let[@inline] set t v = t.v <- v
+
+  (* Deliberately unsynchronized approximate read (e.g. probing a
+     steal victim's occupancy without taking its lock). Same plain
+     load here; the analysis build exempts it from race reporting. *)
+  let[@inline] get_racy t = t.v
+end
+
+module Int_array = Atomic_int_array

@@ -1,0 +1,86 @@
+(* Vatomic, analysis implementation (dune profile [analysis]).
+
+   Structurally the same interface as [vatomic_real.ml], but every
+   operation first reports itself through {!Vhook}. When the model
+   checker is driving ([Vhook.active]), the installed hook performs an
+   effect that suspends the calling fiber; the real memory operation
+   below the hook call executes only when the checker's scheduler
+   resumes it. Because the checker runs all fibers on one domain, the
+   "atomic" backing operations are then trivially serialized in
+   exactly the order the checker chose — which is what makes a
+   recorded schedule replayable bit-for-bit.
+
+   When no checker is active (e.g. the regular test suite compiled
+   under this profile), every operation degrades to the real atomic
+   plus one predictable branch on [Vhook.active]. *)
+
+type 'a t = { v : 'a Stdlib.Atomic.t; id : int }
+
+let instrumented = true
+
+let make v = { v = Stdlib.Atomic.make v; id = Vhook.fresh_loc () }
+
+let get t =
+  Vhook.note t.id Vhook.Aread;
+  Stdlib.Atomic.get t.v
+
+let set t x =
+  Vhook.note t.id Vhook.Awrite;
+  Stdlib.Atomic.set t.v x
+
+let exchange t x =
+  Vhook.note t.id Vhook.Aupdate;
+  Stdlib.Atomic.exchange t.v x
+
+let compare_and_set t expected desired =
+  Vhook.note_cas t.id (fun () -> Stdlib.Atomic.get t.v != expected);
+  Stdlib.Atomic.compare_and_set t.v expected desired
+
+let fetch_and_add t d =
+  Vhook.note t.id Vhook.Aupdate;
+  Stdlib.Atomic.fetch_and_add t.v d
+
+let incr t = ignore (fetch_and_add t 1)
+
+let decr t = ignore (fetch_and_add t (-1))
+
+module Plain = struct
+  type 'a t = { mutable v : 'a; id : int }
+
+  let make v : _ t = { v; id = Vhook.fresh_loc () }
+
+  let get (t : _ t) =
+    Vhook.note t.id Vhook.Pread;
+    t.v
+
+  let set (t : _ t) x =
+    Vhook.note t.id Vhook.Pwrite;
+    t.v <- x
+
+  let get_racy (t : _ t) =
+    Vhook.note t.id Vhook.Racy_read;
+    t.v
+end
+
+module Int_array = struct
+  (* Per-element location ids: a contiguous range reserved at creation,
+     so the checker's dependence analysis distinguishes accesses to
+     different slots of the same status array. *)
+  type t = { a : Atomic_int_array.t; base : int }
+
+  let make n = { a = Atomic_int_array.make n; base = Vhook.fresh_locs n }
+
+  let length t = Atomic_int_array.length t.a
+
+  let get t i =
+    Vhook.note (t.base + i) Vhook.Aread;
+    Atomic_int_array.get t.a i
+
+  let set t i x =
+    Vhook.note (t.base + i) Vhook.Awrite;
+    Atomic_int_array.set t.a i x
+
+  let cas t i expected desired =
+    Vhook.note_cas (t.base + i) (fun () -> Atomic_int_array.get t.a i <> expected);
+    Atomic_int_array.cas t.a i expected desired
+end

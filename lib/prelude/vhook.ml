@@ -1,0 +1,61 @@
+(* Shared-memory instrumentation hook behind {!Vatomic}.
+
+   The virtualized-atomics layer reports every shared access here
+   *before* performing it. In the default build the hook is never
+   consulted at all (the real [Vatomic] implementation does not
+   reference this module); under the [analysis] dune profile every
+   load/store/CAS calls [!hook] when [!active] is set, which is how the
+   model checker's deterministic scheduler regains control between
+   shared operations: the installed hook performs an effect, the
+   checker captures the continuation, and the actual memory operation
+   only executes once the checker resumes the fiber.
+
+   This module is deliberately effect-free: it knows nothing about the
+   checker. It only defines the vocabulary of observable operations and
+   a process-wide location namespace. *)
+
+type kind =
+  | Aread  (** atomic load *)
+  | Awrite  (** atomic store *)
+  | Aupdate  (** atomic read-modify-write: CAS, fetch-and-add, exchange *)
+  | Pread  (** plain (non-atomic) load of shared data *)
+  | Pwrite  (** plain (non-atomic) store to shared data *)
+  | Racy_read
+      (** intentionally unsynchronized approximate load (e.g. a
+          work-stealing victim's length probe); exempt from race
+          reporting, creates no happens-before edge *)
+
+type info = {
+  loc : int;  (** location id, unique per cell / array element *)
+  kind : kind;
+  futile : unit -> bool;
+      (** for [Aupdate] arising from a CAS: would the CAS fail if it
+          executed right now? Lets the checker treat a spinning CAS as
+          blocked instead of exploring unbounded failed retries.
+          Constant [false] for every other operation. *)
+}
+
+let no_futility = fun () -> false
+
+(* Location ids: a single monotone namespace shared by atomics, plain
+   cells and array elements. Allocation is unconditional (ids are
+   handed out even when no checker is active) so that a structure
+   created before a checking run is still addressable during it. *)
+let next_loc = Atomic.make 0
+
+let fresh_loc () = Atomic.fetch_and_add next_loc 1
+
+let fresh_locs n = Atomic.fetch_and_add next_loc n
+
+(* [active] gates the hook: the checker flips it on around a run. It is
+   only ever read from the single domain the checker schedules fibers
+   on, but executor tests in the same binary may run real domains while
+   it is [false]; a plain ref is safe because nothing concurrent ever
+   observes it [true]. *)
+let active = ref false
+
+let hook : (info -> unit) ref = ref (fun _ -> ())
+
+let[@inline] note loc kind = if !active then !hook { loc; kind; futile = no_futility }
+
+let[@inline] note_cas loc futile = if !active then !hook { loc; kind = Aupdate; futile }

@@ -1,0 +1,39 @@
+(** Instrumentation vocabulary for {!Vatomic} (see vhook.ml header).
+
+    Only the [analysis]-profile Vatomic implementation and the
+    [Analysis] model checker use this; the default build never calls
+    into it. *)
+
+type kind =
+  | Aread
+  | Awrite
+  | Aupdate
+  | Pread
+  | Pwrite
+  | Racy_read
+
+type info = {
+  loc : int;
+  kind : kind;
+  futile : unit -> bool;
+}
+
+val no_futility : unit -> bool
+
+val fresh_loc : unit -> int
+(** Allocate one location id. *)
+
+val fresh_locs : int -> int
+(** [fresh_locs n] reserves [n] consecutive ids, returning the first. *)
+
+val active : bool ref
+(** When set, every instrumented operation calls [!hook] first. Flipped
+    only by the model checker, around a single-domain run. *)
+
+val hook : (info -> unit) ref
+
+val note : int -> kind -> unit
+(** [note loc kind] reports an operation if [!active]. *)
+
+val note_cas : int -> (unit -> bool) -> unit
+(** Report a CAS with its futility probe if [!active]. *)

@@ -3,7 +3,12 @@ type t = {
   lock : Mutex.t;
   per_worker : Intf.ops array;
   mutable outstanding : int;
-  completed : int Atomic.t;
+  (* [completed] is the one field read outside [lock] (the executor's
+     termination test); SC counter via Vatomic so the analysis build
+     can check the completed<=activated ordering argument. The batched
+     bump in [complete_batch] happens inside the critical section,
+     after the batch's activations were delivered. *)
+  completed : int Prelude.Vatomic.t;
 }
 
 type refill = Got of int | Pending | Drained
@@ -15,7 +20,7 @@ let make ~workers (factory : Intf.factory) g =
     lock = Mutex.create ();
     per_worker = Array.init workers (fun _ -> Intf.zero_ops ());
     outstanding = 0;
-    completed = Atomic.make 0;
+    completed = Prelude.Vatomic.make 0;
   }
 
 let name t = t.inst.Intf.name
@@ -24,7 +29,7 @@ let ops t = t.inst.Intf.ops
 
 let worker_ops t = t.per_worker
 
-let completed t = Atomic.get t.completed
+let completed t = Prelude.Vatomic.get t.completed
 
 (* Per-worker op attribution: snapshot the instance's cumulative
    counters entering the critical section, credit the delta to the
@@ -106,4 +111,4 @@ let complete_batch t ~wid ~tasks ~ntasks ~acts ~counts =
          invariant), which holds a fortiori when the whole batch lands
          before the single bump *)
       t.outstanding <- t.outstanding - ntasks;
-      ignore (Atomic.fetch_and_add t.completed ntasks))
+      ignore (Prelude.Vatomic.fetch_and_add t.completed ntasks))

@@ -19,7 +19,7 @@ type status = Inactive | Active | Running | Done
 type task_state = {
   mutable stages : float array list; (* stages not yet released *)
   mutable chips_left : int; (* chips outstanding in the current stage *)
-  mutable start_time : float;
+  start_time : float;  (* records are replaced whole, never mutated here *)
 }
 
 (* Expand a task into its chip stages (Section IV task model). *)

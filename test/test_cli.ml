@@ -90,6 +90,24 @@ let datalog_session () =
     [ "materialized"; "update changed"; {|reach("a", 3)|} ];
   Sys.remove tmp
 
+let datalog_lint () =
+  let tmp = Filename.temp_file "cli" ".dl" in
+  let oc = open_out tmp in
+  output_string oc
+    {|edge("a","b").
+      path(X,Y) :- edge(X,Y).
+      odd(X) :- edge(X, Unused).|};
+  close_out oc;
+  expect_ok
+    [ "datalog"; tmp; "--lint" ]
+    [ "singleton-variable"; "Unused"; "rule 2 (odd)"; "materialized" ];
+  (* a clean program says so *)
+  let oc = open_out tmp in
+  output_string oc {|edge("a","b"). path(X,Y) :- edge(X,Y).|};
+  close_out oc;
+  expect_ok [ "datalog"; tmp; "--lint" ] [ "lint: clean" ];
+  Sys.remove tmp
+
 let unknown_scheduler_fails () =
   let status, out = run_capture [ "run"; "tight:5"; "-s"; "bogus" ] in
   check_bool "nonzero exit" true (status <> Unix.WEXITED 0);
@@ -112,6 +130,7 @@ let () =
           test `Quick "dot export" dot_export;
           test `Quick "chrome trace export" schedule_export;
           test `Quick "datalog session with aggregate" datalog_session;
+          test `Quick "datalog lint diagnostics" datalog_lint;
           test `Quick "unknown scheduler fails" unknown_scheduler_fails;
           test `Quick "bad trace spec fails" bad_trace_fails;
         ] );

@@ -353,7 +353,7 @@ let dot_output () =
   check_bool "has edge" true (contains out "n0 -> n1");
   check_bool "has node" true (contains out "n2 [label=")
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "dag"

@@ -1019,7 +1019,118 @@ let to_trace_activation_matches_report () =
   check_bool "r inactive" false (Prelude.Bitset.mem active (node "r"));
   check_bool "f inactive" false (Prelude.Bitset.mem active (node "f"))
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+(* ---------- Lint ---------- *)
+
+(* The error cases can't go through the parser (it rejects them with a
+   bare "not range-restricted"); building the Ast directly is exactly
+   the hole Lint covers. *)
+let mk_rule head body = { Datalog.Ast.head; body }
+
+let pos p args = Datalog.Ast.Pos { Datalog.Ast.pred = p; args }
+
+let v x = Datalog.Ast.Var x
+
+let codes ds = List.map (fun d -> d.Datalog.Lint.code) ds
+
+let lint_clean_program () =
+  let p = parse "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)." in
+  check_bool "no diagnostics" true (Datalog.Lint.check p = [])
+
+let lint_names_unbound_head_var () =
+  let r = mk_rule { Datalog.Ast.pred = "p"; args = [ v "X"; v "Y" ] } [ pos "e" [ v "X" ] ] in
+  check_bool "range_restricted agrees" false (Datalog.Ast.range_restricted r);
+  match Datalog.Lint.errors (Datalog.Lint.check_rule ~rule_index:0 r) with
+  | [ d ] ->
+    check_bool "code" true (d.Datalog.Lint.code = "unrestricted-head-variable");
+    check_bool "names the variable" true
+      (String.length d.Datalog.Lint.message >= 15
+      && String.sub d.Datalog.Lint.message 0 15 = "head variable Y");
+    check_bool "pred recorded" true (d.Datalog.Lint.pred = "p")
+  | ds -> Alcotest.failf "expected exactly one error, got %d" (List.length ds)
+
+let lint_unbound_negation_and_cmp () =
+  let r =
+    mk_rule
+      { Datalog.Ast.pred = "p"; args = [ v "X" ] }
+      [
+        pos "e" [ v "X" ];
+        Datalog.Ast.Neg { Datalog.Ast.pred = "q"; args = [ v "Z" ] };
+        Datalog.Ast.Cmp (Datalog.Ast.Lt, v "W", Datalog.Ast.Const (Datalog.Ast.Int 3));
+      ]
+  in
+  check_bool "range_restricted agrees" false (Datalog.Ast.range_restricted r);
+  let errs = Datalog.Lint.errors (Datalog.Lint.check_rule ~rule_index:3 r) in
+  check_bool "both reported" true
+    (List.sort compare (codes errs)
+    = [ "unbound-comparison-variable"; "unbound-negated-variable" ]);
+  check_bool "rule index kept" true
+    (List.for_all (fun d -> d.Datalog.Lint.rule_index = 3) errs)
+
+let lint_body_aggregate () =
+  let r =
+    mk_rule
+      { Datalog.Ast.pred = "p"; args = [ v "X" ] }
+      [ pos "e" [ v "X"; Datalog.Ast.Agg (Datalog.Ast.Count, "X") ] ]
+  in
+  check_bool "range_restricted agrees" false (Datalog.Ast.range_restricted r);
+  check_bool "reported" true
+    (codes (Datalog.Lint.errors (Datalog.Lint.check_rule ~rule_index:0 r))
+    = [ "body-aggregate" ])
+
+let lint_singleton_warning () =
+  let p = parse "odd(X) :- edge(X, Unused). fine(X) :- edge(X, _Ignored)." in
+  let ds = Datalog.Lint.check p in
+  check_bool "no errors" true (Datalog.Lint.errors ds = []);
+  match ds with
+  | [ d ] ->
+    check_bool "code" true (d.Datalog.Lint.code = "singleton-variable");
+    check_bool "on first rule only" true (d.Datalog.Lint.rule_index = 0);
+    check_bool "severity" true (d.Datalog.Lint.severity = Datalog.Lint.Warning)
+  | _ -> Alcotest.failf "expected exactly one warning, got %d" (List.length ds)
+
+let lint_agrees_with_range_restricted () =
+  (* on a grab-bag of rules, errors = [] iff Ast.range_restricted *)
+  let cases =
+    [
+      mk_rule { Datalog.Ast.pred = "p"; args = [ v "X" ] } [ pos "e" [ v "X" ] ];
+      mk_rule { Datalog.Ast.pred = "p"; args = [ v "X" ] } [];
+      mk_rule { Datalog.Ast.pred = "p"; args = [] } [];
+      mk_rule
+        { Datalog.Ast.pred = "p"; args = [ Datalog.Ast.Agg (Datalog.Ast.Sum, "X") ] }
+        [ pos "e" [ v "X" ] ];
+      mk_rule
+        { Datalog.Ast.pred = "p"; args = [ Datalog.Ast.Agg (Datalog.Ast.Sum, "X") ] }
+        [ pos "e" [ v "Y" ] ];
+      mk_rule { Datalog.Ast.pred = "p"; args = [ v "X" ] }
+        [ pos "e" [ v "X" ]; Datalog.Ast.Neg { Datalog.Ast.pred = "q"; args = [ v "X" ] } ];
+    ]
+  in
+  List.iteri
+    (fun i r ->
+      check_bool
+        (Printf.sprintf "case %d" i)
+        (Datalog.Ast.range_restricted r)
+        (Datalog.Lint.errors (Datalog.Lint.check_rule ~rule_index:i r) = []))
+    cases
+
+let lint_gates_eval () =
+  let bad =
+    [ mk_rule { Datalog.Ast.pred = "p"; args = [ v "X"; v "Y" ] } [ pos "e" [ v "X" ] ] ]
+  in
+  let db = Datalog.Database.create () in
+  (match Datalog.Eval.run ~lint:true db bad with
+  | _ -> Alcotest.fail "lint should have rejected the program"
+  | exception Datalog.Lint.Failed [ d ] ->
+    check_bool "code" true (d.Datalog.Lint.code = "unrestricted-head-variable")
+  | exception Datalog.Lint.Failed ds ->
+    Alcotest.failf "expected one error, got %d" (List.length ds));
+  (* the same program without lint is the historical behaviour *)
+  let db2 = Datalog.Database.create () in
+  let good = parse "p(X) :- e(X). e(\"a\")." in
+  let _ = Datalog.Eval.run ~lint:true db2 good in
+  check_int "lint passes clean programs through" 1 (cardinal db2 "p")
+
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "datalog"
@@ -1057,6 +1168,16 @@ let () =
           test `Quick "mutual negation rejected" strat_unstratifiable;
           test `Quick "negative self loop rejected" strat_negative_self;
           test `Quick "scc order is topological" strat_scc_order_topological;
+        ] );
+      ( "lint",
+        [
+          test `Quick "clean program" lint_clean_program;
+          test `Quick "unbound head variable named" lint_names_unbound_head_var;
+          test `Quick "unbound negation and comparison" lint_unbound_negation_and_cmp;
+          test `Quick "body aggregate rejected" lint_body_aggregate;
+          test `Quick "singleton variable warning" lint_singleton_warning;
+          test `Quick "errors iff not range-restricted" lint_agrees_with_range_restricted;
+          test `Quick "eval ~lint gate" lint_gates_eval;
         ] );
       ( "eval",
         [

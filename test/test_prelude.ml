@@ -332,7 +332,7 @@ let stats_acc_matches_batch =
       && abs_float (s.Prelude.Stats.stddev -. batch.Prelude.Stats.stddev) < 1e-9
       && s.Prelude.Stats.count = batch.Prelude.Stats.count)
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "prelude"

@@ -428,7 +428,7 @@ let ops_pp_and_total () =
   let s = Format.asprintf "%a" Sched.Intf.pp_ops ops in
   check_bool "pp nonempty" true (String.length s > 10)
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 (* Pin the LevelBased memory accounting: the bitset term must be the
    ceiling division 2 * ((n + 62) / 63) — the floor version 2 * (n / 63)

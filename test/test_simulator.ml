@@ -422,7 +422,7 @@ let export_wellformed () =
   String.iter (fun c -> if c = 'X' then incr count) contents;
   check_int "one event per task" (Array.length log) !count
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "simulator"

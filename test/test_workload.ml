@@ -308,7 +308,7 @@ let unit_layers_structure () =
   check_int "levels" 5 s.Workload.Trace.levels;
   Alcotest.(check (float 1e-9)) "unit work" 40.0 s.Workload.Trace.active_work
 
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "workload"
