@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-datalog model-check model-check-smoke clean
+.PHONY: all build test bench bench-smoke bench-datalog bench-maintain-par model-check model-check-smoke clean
 
 all: build
 
@@ -28,11 +28,18 @@ bench:
 bench-datalog:
 	dune exec bench/main.exe -- datalog
 
+# real parallel DRed maintenance (Incremental.apply_parallel) vs the
+# serial walk at 2/4/8 worker domains, with a database-parity assert
+# on every configuration; writes BENCH_maintain_par.json
+bench-maintain-par:
+	dune exec bench/main.exe -- maintain-par
+
 # tiny traces through the full dispatch matrix (both executors, all
-# domain counts, Executor.check everywhere) and a small compiled-vs-
-# interpreter pass; seconds, writes no JSON
+# domain counts, Executor.check everywhere), a small compiled-vs-
+# interpreter pass, and a 2-domain parallel-maintenance parity pass;
+# seconds, writes no JSON
 bench-smoke:
-	dune exec bench/main.exe -- dispatch-smoke datalog-smoke
+	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke
 
 clean:
 	dune clean

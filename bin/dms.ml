@@ -204,7 +204,12 @@ let datalog_cmd =
            ~doc:"Report rule diagnostics (unbound variables with names, \
                  singleton variables) before evaluating.")
   in
-  let run program queries adds dels lint sched procs =
+  let domains_arg =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+           ~doc:"Run the incremental maintenance itself on N worker domains \
+                 (real parallelism via the multicore executor; 1 = serial).")
+  in
+  let run program queries adds dels lint sched procs domains =
     wrap (fun () ->
         let ic = open_in program in
         let n = in_channel_length ic in
@@ -219,7 +224,8 @@ let datalog_cmd =
         Format.printf "materialized %d tuples@."
           (Datalog.Database.total_tuples session.Incr_sched.db);
         if adds <> [] || dels <> [] then begin
-          let tt = Incr_sched.update session ~additions:adds ~deletions:dels in
+          let tt = Incr_sched.update ~domains session ~additions:adds ~deletions:dels in
+          if domains > 1 then Format.printf "maintained on %d domains@." domains;
           Format.printf "update changed:@.";
           List.iter
             (fun (c : Datalog.Incremental.pred_change) ->
@@ -244,7 +250,9 @@ let datalog_cmd =
        ~doc:
          "Materialize a Datalog program; optionally apply an incremental update \
           and schedule its maintenance DAG.")
-    Term.(const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg)
+    Term.(
+      const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg
+      $ domains_arg)
 
 (* ---- schedule (chrome trace export) ---- *)
 

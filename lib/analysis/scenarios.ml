@@ -16,7 +16,11 @@
      for the condition variable, as in Executor.run's [park]/[wake]);
    - [protected_batch]: Sched.Protected.complete_batch's termination
      counters — activations delivered before the [completed] bump, and
-     the executor's read-completed-first termination test.
+     the executor's read-completed-first termination test;
+   - [comp_ownership]: the component-ownership protocol of
+     Incremental.apply_parallel — plain relation writes confined to
+     the owning task, downstream reads gated on the scheduler's
+     release rather than on mere activation.
 
    Every safe scenario has a deliberately broken sibling ([Buggy])
    whose counterexample the checker must find; those schedules are
@@ -281,6 +285,72 @@ let plain_race ~locked =
         (body, finish));
   }
 
+(* ---- 6. parallel maintenance: component ownership --------------- *)
+
+(* The protocol behind Incremental.apply_parallel: each DRed task
+   mutates only its own component's relations (plain, unsynchronized
+   writes) and reads upstream relations only after the scheduler has
+   released it — i.e. after every upstream task's completion has been
+   flushed through the Protected lock, which is the happens-before
+   edge. Modeled with two components: upstream (process 0) writes its
+   relation [up] and then publishes completion; downstream (process 1)
+   blocks on the release gate, reads [up] and writes its own relation
+   [down]. The buggy sibling starts the downstream task on the early
+   "activated" signal — delivered as soon as the first changed input
+   arrives, before the upstream is quiescent — and mutates [up]
+   directly (the ownership violation). The vector-clock checker must
+   flag the unordered conflicting plain accesses as a race. *)
+let comp_ownership ~gated =
+  {
+    Mc.name = (if gated then "comp-ownership" else "comp-ownership-buggy-eager");
+    nprocs = 2;
+    instantiate =
+      (fun () ->
+        (* relations are plain cells: the real code's tuple tables are
+           unsynchronized too, that is the point of the ownership rule *)
+        let up = V.Plain.make 0 in
+        let down = V.Plain.make 0 in
+        let activated = V.make 0 in
+        let released = V.make 0 in
+        let upstream () =
+          V.Plain.set up 1;
+          (* activation travels as soon as a changed input exists,
+             strictly before the component is done writing *)
+          V.set activated 1;
+          V.Plain.set up 2;
+          (* completion flush: the scheduler releases dependents only
+             after this (Protected.complete under the lock) *)
+          V.set released 1
+        in
+        let downstream () =
+          if gated then begin
+            (* wait for the release, the executor's claim CAS *)
+            while not (V.compare_and_set released 1 2) do
+              ()
+            done;
+            V.Plain.set down (V.Plain.get up + 10)
+          end
+          else begin
+            (* broken: run on mere activation and write the upstream
+               relation while its owner may still be writing *)
+            while not (V.compare_and_set activated 1 2) do
+              ()
+            done;
+            V.Plain.set up (V.Plain.get up + 10)
+          end
+        in
+        let body p = if p = 0 then upstream () else downstream () in
+        let finish () =
+          if gated then begin
+            (* the downstream read saw the fully-written upstream *)
+            assert (V.Plain.get up = 2);
+            assert (V.Plain.get down = 12)
+          end
+          else assert (V.Plain.get up > 0)
+        in
+        (body, finish));
+  }
+
 let safe =
   [
     lifecycle ~atomic_activate:true;
@@ -288,6 +358,7 @@ let safe =
     park_wake ~recheck:true;
     protected_batch ~deliver_first:true;
     plain_race ~locked:true;
+    comp_ownership ~gated:true;
   ]
 
 let buggy =
@@ -296,6 +367,7 @@ let buggy =
     park_wake ~recheck:false;
     protected_batch ~deliver_first:false;
     plain_race ~locked:false;
+    comp_ownership ~gated:false;
   ]
 
 let all =

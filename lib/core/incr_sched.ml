@@ -38,9 +38,9 @@ let materialize ?(lint = false) src =
 
 let lint session = Datalog.Lint.check session.program
 
-let update ?work_unit session ~additions ~deletions =
+let update ?work_unit ?domains session ~additions ~deletions =
   let parse = List.map Datalog.Parser.parse_atom in
-  Datalog.To_trace.of_update ?work_unit session.db session.program
+  Datalog.To_trace.of_update ?work_unit ?domains session.db session.program
     ~additions:(parse additions) ~deletions:(parse deletions)
 
 let query session pred =

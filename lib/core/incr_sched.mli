@@ -72,12 +72,16 @@ val lint : datalog_session -> Datalog.Lint.diagnostic list
 
 val update :
   ?work_unit:float ->
+  ?domains:int ->
   datalog_session ->
   additions:string list ->
   deletions:string list ->
   Datalog.To_trace.t
 (** Apply a base-fact update incrementally (atoms given as text, e.g.
-    ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace. *)
+    ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace.
+    [domains] (default 1) > 1 performs the maintenance in parallel on
+    that many worker domains
+    (see {!Datalog.Incremental.apply_parallel}). *)
 
 val query : datalog_session -> string -> Datalog.Ast.atom list
 (** All facts of a predicate, sorted. *)

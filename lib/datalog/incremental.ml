@@ -71,12 +71,34 @@ let check_edb (anal : Stratify.t) (a : Ast.atom) =
          a.Ast.pred)
   | Some _ | None -> ()
 
-let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
+(* ---- the update context -----------------------------------------
+
+   Everything component maintenance shares. After the serial prologue
+   ([make_ctx], base updates, [prepare_deltas], [prepare_comp] /
+   [precompile_comp]) the context's *structure* is frozen: the delta
+   and relation hashtables gain no further entries, the views and plan
+   stores are read-only. From then on [process_comp c] writes only the
+   relations and delta relations of component [c]'s own predicates —
+   every body predicate is upstream or same-component by construction
+   of the dependency graph — which is the ownership rule that makes
+   running components in parallel safe (see {!apply_parallel}). *)
+type ctx = {
+  db : Database.t;
+  program : Ast.program;
+  anal : Stratify.t;
+  engine : Plan.engine;
+  symbols : Symbol.t;
+  card : string -> int;
+  make_exec : Ast.rule -> Plan.exec;
+  d : deltas;
+  old_view : Matcher.view;
+  new_view : Matcher.view;
+}
+
+let make_ctx ~engine db program =
   Aggregate.validate program;
   let anal = Stratify.analyze program in
   Matcher.register db program;
-  List.iter (check_edb anal) additions;
-  List.iter (check_edb anal) deletions;
   let symbols = Database.symbols db in
   let card pred =
     match Database.find db pred with Some r -> Relation.cardinality r | None -> 0
@@ -135,276 +157,470 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
           match removed p with Some r -> Relation.iter f r | None -> ());
     }
   in
-  (* base updates *)
+  { db; program; anal; engine; symbols; card; make_exec; d; old_view; new_view }
+
+let apply_base_updates ctx ~additions ~deletions =
   List.iter
-    (fun a ->
-      let tup = Database.intern_atom db a in
-      let rel = Database.relation db a.Ast.pred ~arity:(Array.length tup) in
+    (fun (a : Ast.atom) ->
+      let tup = Database.intern_atom ctx.db a in
+      let rel = Database.relation ctx.db a.Ast.pred ~arity:(Array.length tup) in
       if Relation.remove rel tup then
-        record_remove d a.Ast.pred ~arity:(Array.length tup) tup)
+        record_remove ctx.d a.Ast.pred ~arity:(Array.length tup) tup)
     deletions;
   List.iter
-    (fun a ->
-      let tup = Database.intern_atom db a in
-      let rel = Database.relation db a.Ast.pred ~arity:(Array.length tup) in
-      if Relation.add rel tup then record_add d a.Ast.pred ~arity:(Array.length tup) tup)
-    additions;
+    (fun (a : Ast.atom) ->
+      let tup = Database.intern_atom ctx.db a in
+      let rel = Database.relation ctx.db a.Ast.pred ~arity:(Array.length tup) in
+      if Relation.add rel tup then
+        record_add ctx.d a.Ast.pred ~arity:(Array.length tup) tup)
+    additions
+
+(* Pre-create the delta relation pair of every analyzed predicate, so
+   the delta hashtables never grow a new entry during component
+   processing — structural mutation of a shared hashtable is the one
+   thing [record_add]/[record_remove] would otherwise do outside their
+   component's write set. ([Matcher.register] has already created every
+   predicate's relation, fixing the arities.) *)
+let prepare_deltas ctx =
+  Array.iter
+    (fun name ->
+      match Database.find ctx.db name with
+      | None -> ()
+      | Some rel ->
+        let arity = Relation.arity rel in
+        ignore (delta_rel ctx.d.added name ~arity);
+        ignore (delta_rel ctx.d.removed name ~arity))
+    ctx.anal.Stratify.predicates
+
+(* ---- per-component preparation ----------------------------------
+
+   Everything a component's maintenance needs, resolved up front: its
+   rules with one shared executor each (so every (rule, delta position)
+   plan is compiled at most once per update), plus the flipped-positive
+   variant of each negated literal — shared by phases A and C, where
+   the original code rebuilt it per trigger. *)
+
+type prepared_rule = {
+  rule : Ast.rule;
+  ex : Plan.exec;
+  flipped : (int * Ast.rule * Plan.exec) list;  (* keyed by negated body position *)
+}
+
+type comp_body =
+  | Extensional
+  | Aggregate_rule of Ast.rule
+  | Rules of prepared_rule list
+
+type prepared_comp = {
+  comp : int;
+  members : int array;
+  comp_preds : (string, unit) Hashtbl.t;
+  body : comp_body;
+}
+
+let prepare_comp ctx comp =
+  let anal = ctx.anal in
+  let members = anal.Stratify.condensation.Dag.Scc.members.(comp) in
+  let comp_preds = Hashtbl.create 4 in
+  Array.iter
+    (fun p -> Hashtbl.replace comp_preds anal.Stratify.predicates.(p) ())
+    members;
+  let rules =
+    List.filter
+      (fun (r : Ast.rule) -> r.Ast.body <> [])
+      (Stratify.rules_for_comp anal ctx.program comp)
+  in
+  let body =
+    match rules with
+    | [] -> Extensional
+    | [ r ] when Ast.rule_is_aggregate r -> Aggregate_rule r
+    | rules ->
+      Rules
+        (List.map
+           (fun (r : Ast.rule) ->
+             let flipped =
+               List.mapi (fun i lit -> (i, lit)) r.Ast.body
+               |> List.filter_map (fun (i, lit) ->
+                      match lit with
+                      | Ast.Neg _ ->
+                        let fr = flip_negation r i in
+                        Some (i, fr, ctx.make_exec fr)
+                      | Ast.Pos _ | Ast.Cmp _ -> None)
+             in
+             { rule = r; ex = ctx.make_exec r; flipped })
+           rules)
+  in
+  { comp; members; comp_preds; body }
+
+(* Compile every plan a component's phases could reach: the base plan
+   (phase B), a delta plan per positive body position (phases A/C and
+   the in-component cascades), and a delta plan per flipped negation.
+   Compilation interns constants into the shared symbol table and
+   consults relation cardinalities, so the parallel driver runs this
+   serially, before any worker domain exists. *)
+let precompile_comp pc =
+  match pc.body with
+  | Extensional | Aggregate_rule _ -> ()
+  | Rules prs ->
+    List.iter
+      (fun pr ->
+        Plan.prepare pr.ex;
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Ast.Pos _ -> Plan.prepare ~delta:i pr.ex
+            | Ast.Neg _ | Ast.Cmp _ -> ())
+          pr.rule.Ast.body;
+        List.iter (fun (i, _, fex) -> Plan.prepare ~delta:i fex) pr.flipped)
+      prs
+
+let flipped_for pr i =
+  let rec go = function
+    | [] -> invalid_arg "Incremental: missing flipped plan"
+    | (j, fr, fex) :: rest -> if j = i then (fr, fex) else go rest
+  in
+  go pr.flipped
+
+(* ---- per-component maintenance (DRed phases A/B/C) -------------- *)
+
+let process_comp ctx (pc : prepared_comp) =
+  let anal = ctx.anal in
+  let d = ctx.d in
+  let comp = pc.comp in
+  let comp_preds = pc.comp_preds in
   let head_arity (r : Ast.rule) = List.length r.Ast.head.Ast.args in
   let head_rel (r : Ast.rule) =
-    Database.relation db r.Ast.head.Ast.pred ~arity:(head_arity r)
+    Database.relation ctx.db r.Ast.head.Ast.pred ~arity:(head_arity r)
   in
-  let activity = ref [] in
-  let process_comp comp =
-    let members = anal.Stratify.condensation.Dag.Scc.members.(comp) in
-    let comp_preds = Hashtbl.create 4 in
-    Array.iter
-      (fun p -> Hashtbl.replace comp_preds anal.Stratify.predicates.(p) ())
-      members;
-    let rules =
-      List.filter
-        (fun (r : Ast.rule) -> r.Ast.body <> [])
-        (Stratify.rules_for_comp anal program comp)
-    in
-    let work = ref 0 in
-    if rules = [] then begin
-      (* extensional component: its delta is the base update itself *)
-      let output_changed =
-        Array.exists
-          (fun p ->
-            nonempty d.added anal.Stratify.predicates.(p)
-            || nonempty d.removed anal.Stratify.predicates.(p))
-          members
-      in
-      activity := { comp; work = 0; output_changed; input_changed = false } :: !activity
-    end
-    else begin
-      let input_changed =
+  let members_changed () =
+    Array.exists
+      (fun p ->
+        nonempty d.added anal.Stratify.predicates.(p)
+        || nonempty d.removed anal.Stratify.predicates.(p))
+      pc.members
+  in
+  let input_changed_of rules =
+    List.exists
+      (fun (r : Ast.rule) ->
         List.exists
-          (fun (r : Ast.rule) ->
-            List.exists
-              (function
-                | Ast.Pos a | Ast.Neg a ->
-                  (not (Hashtbl.mem comp_preds a.Ast.pred))
-                  && (nonempty d.added a.Ast.pred || nonempty d.removed a.Ast.pred)
-                | Ast.Cmp _ -> false)
-              r.Ast.body)
-          rules
-      in
-      match rules with
-      | [ r ] when Ast.rule_is_aggregate r ->
-        (* aggregates are functional: recompute when dirty, diff exactly *)
-        let work = ref 0 in
-        if input_changed then begin
-          let pred = r.Ast.head.Ast.pred in
-          let arity = head_arity r in
-          let rel = Database.relation db pred ~arity in
-          let fresh = Relation.create ~arity in
-          List.iter
-            (fun tup -> ignore (Relation.add fresh tup))
-            (Aggregate.evaluate ~engine ~symbols ~view:new_view ~card ~work r);
-          let stale =
-            Relation.fold
-              (fun acc tup -> if Relation.mem fresh tup then acc else tup :: acc)
-              [] rel
-          in
-          List.iter
-            (fun tup ->
-              ignore (Relation.remove rel tup);
-              record_remove d pred ~arity tup)
-            stale;
-          Relation.iter
-            (fun tup -> if Relation.add rel tup then record_add d pred ~arity tup)
-            fresh
-        end;
-        let output_changed =
-          Array.exists
-            (fun p ->
-              nonempty d.added anal.Stratify.predicates.(p)
-              || nonempty d.removed anal.Stratify.predicates.(p))
-            members
-        in
-        activity := { comp; work = !work; output_changed; input_changed } :: !activity
-      | rules ->
-      (* one executor per rule, shared by all three phases and every
-         cascade round, so each (rule, delta position) plan is compiled
-         at most once per update *)
-      let execs = List.map (fun r -> (r, make_exec r)) rules in
-      (* ---- Phase A: overdeletion against the old state ---- *)
-      let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
-      let overdelete (r : Ast.rule) tup =
-        let pred = r.Ast.head.Ast.pred in
-        let rel = Database.relation db pred ~arity:(head_arity r) in
-        if Relation.remove rel tup then begin
-          record_remove d pred ~arity:(head_arity r) tup;
-          ignore (Relation.add (delta_rel overdeleted pred ~arity:(head_arity r)) tup)
-        end
-      in
-      (* round 0: external triggers. All staging callbacks here and in
-         phases B/C mutate state the enumeration is reading — the head
-         relation probed by recursive rules, and the net-delta overlay
-         [old_view] iterates — so every exec goes through
-         {!Plan.exec_rule_deferred}: derive first against frozen state,
-         apply after the walk. The deferral does not change the old
-         view: overdeletion removes from the live relation and records
-         into [d.removed], which cancel out under the overlay. *)
-      let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
-      let stage_round (r : Ast.rule) tup =
-        let pred = r.Ast.head.Ast.pred in
-        let rel = Database.relation db pred ~arity:(head_arity r) in
-        if Relation.mem rel tup then begin
-          (* not yet overdeleted this phase *)
-          overdelete r tup;
-          ignore (Relation.add (delta_rel !round pred ~arity:(head_arity r)) tup)
-        end
-      in
-      List.iter
-        (fun ((r : Ast.rule), ex) ->
-          List.iteri
-            (fun i lit ->
-              match lit with
-              | Ast.Pos a when nonempty d.removed a.Ast.pred ->
-                Plan.exec_rule_deferred ~view:old_view
-                  ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                  ~work
-                  ~keep:(Relation.mem (head_rel r))
-                  ~on_derived:(stage_round r) ex
-              | Ast.Neg a when nonempty d.added a.Ast.pred ->
-                let flipped = flip_negation r i in
-                Plan.exec_rule_deferred ~view:old_view
-                  ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                  ~work
-                  ~keep:(Relation.mem (head_rel flipped))
-                  ~on_derived:(stage_round flipped)
-                  (make_exec flipped)
-              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-            r.Ast.body)
-        execs;
-      (* cascade within the component *)
-      while Hashtbl.length !round > 0 do
-        let prev = !round in
-        round := Hashtbl.create 4;
-        List.iter
-          (fun ((r : Ast.rule), ex) ->
-            List.iteri
-              (fun i lit ->
-                match lit with
-                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
-                  match Hashtbl.find_opt prev a.Ast.pred with
-                  | Some delta when Relation.cardinality delta > 0 ->
-                    Plan.exec_rule_deferred ~view:old_view ~delta:(i, delta) ~work
-                      ~keep:(Relation.mem (head_rel r))
-                      ~on_derived:(stage_round r) ex
-                  | Some _ | None -> ())
-                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-              r.Ast.body)
-          execs;
-        (* tuples staged this round that were already overdeleted in a
-           previous round were filtered by [stage_round]'s mem check *)
-        ()
-      done;
-      (* ---- Phase B: rederivation over the new state ---- *)
-      let changed = ref true in
-      while !changed do
-        changed := false;
-        List.iter
-          (fun ((r : Ast.rule), ex) ->
-            match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
-            | Some o when Relation.cardinality o > 0 ->
-              Plan.exec_rule_deferred ~view:new_view ~work
-                ~keep:(Relation.mem o)
-                ~on_derived:(fun tup ->
-                  if Relation.mem o tup then begin
-                    let pred = r.Ast.head.Ast.pred in
-                    let rel = Database.relation db pred ~arity:(head_arity r) in
-                    if Relation.add rel tup then begin
-                      record_add d pred ~arity:(head_arity r) tup;
-                      ignore (Relation.remove o tup);
-                      changed := true
-                    end
-                  end)
-                ex
-            | Some _ | None -> ())
-          execs
-      done;
-      (* ---- Phase C: insertion against the new state ---- *)
-      let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
-      let stage_add (r : Ast.rule) tup =
-        let pred = r.Ast.head.Ast.pred in
-        let rel = Database.relation db pred ~arity:(head_arity r) in
-        if Relation.add rel tup then begin
-          record_add d pred ~arity:(head_arity r) tup;
-          ignore (Relation.add (delta_rel !roundc pred ~arity:(head_arity r)) tup)
-        end
-      in
-      let keep_new (r : Ast.rule) =
-        let rel = head_rel r in
-        fun tup -> not (Relation.mem rel tup)
-      in
-      List.iter
-        (fun ((r : Ast.rule), ex) ->
-          List.iteri
-            (fun i lit ->
-              match lit with
-              | Ast.Pos a
-                when (not (Hashtbl.mem comp_preds a.Ast.pred))
-                     && nonempty d.added a.Ast.pred ->
-                Plan.exec_rule_deferred ~view:new_view
-                  ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                  ~work ~keep:(keep_new r) ~on_derived:(stage_add r) ex
-              | Ast.Neg a when nonempty d.removed a.Ast.pred ->
-                let flipped = flip_negation r i in
-                Plan.exec_rule_deferred ~view:new_view
-                  ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                  ~work
-                  ~keep:(keep_new flipped)
-                  ~on_derived:(stage_add flipped)
-                  (make_exec flipped)
-              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-            r.Ast.body)
-        execs;
-      while Hashtbl.length !roundc > 0 do
-        let prev = !roundc in
-        roundc := Hashtbl.create 4;
-        List.iter
-          (fun ((r : Ast.rule), ex) ->
-            List.iteri
-              (fun i lit ->
-                match lit with
-                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
-                  match Hashtbl.find_opt prev a.Ast.pred with
-                  | Some delta when Relation.cardinality delta > 0 ->
-                    Plan.exec_rule_deferred ~view:new_view ~delta:(i, delta) ~work
-                      ~keep:(keep_new r) ~on_derived:(stage_add r) ex
-                  | Some _ | None -> ())
-                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-              r.Ast.body)
-          execs
-      done;
-      let output_changed =
-        Array.exists
-          (fun p ->
-            nonempty d.added anal.Stratify.predicates.(p)
-            || nonempty d.removed anal.Stratify.predicates.(p))
-          members
-      in
-      activity := { comp; work = !work; output_changed; input_changed } :: !activity
-    end
+          (function
+            | Ast.Pos a | Ast.Neg a ->
+              (not (Hashtbl.mem comp_preds a.Ast.pred))
+              && (nonempty d.added a.Ast.pred || nonempty d.removed a.Ast.pred)
+            | Ast.Cmp _ -> false)
+          r.Ast.body)
+      rules
   in
-  Array.iter process_comp (Stratify.scc_order anal);
+  match pc.body with
+  | Extensional ->
+    (* extensional component: its delta is the base update itself *)
+    { comp; work = 0; output_changed = members_changed (); input_changed = false }
+  | Aggregate_rule r ->
+    (* aggregates are functional: recompute when dirty, diff exactly *)
+    let input_changed = input_changed_of [ r ] in
+    let work = ref 0 in
+    if input_changed then begin
+      let pred = r.Ast.head.Ast.pred in
+      let arity = head_arity r in
+      let rel = Database.relation ctx.db pred ~arity in
+      let fresh = Relation.create ~arity in
+      List.iter
+        (fun tup -> ignore (Relation.add fresh tup))
+        (Aggregate.evaluate ~engine:ctx.engine ~symbols:ctx.symbols ~view:ctx.new_view
+           ~card:ctx.card ~work r);
+      let stale =
+        Relation.fold
+          (fun acc tup -> if Relation.mem fresh tup then acc else tup :: acc)
+          [] rel
+      in
+      List.iter
+        (fun tup ->
+          ignore (Relation.remove rel tup);
+          record_remove d pred ~arity tup)
+        stale;
+      Relation.iter
+        (fun tup -> if Relation.add rel tup then record_add d pred ~arity tup)
+        fresh
+    end;
+    { comp; work = !work; output_changed = members_changed (); input_changed }
+  | Rules prs ->
+    let input_changed = input_changed_of (List.map (fun pr -> pr.rule) prs) in
+    let work = ref 0 in
+    (* ---- Phase A: overdeletion against the old state ---- *)
+    let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+    let overdelete (r : Ast.rule) tup =
+      let pred = r.Ast.head.Ast.pred in
+      let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+      if Relation.remove rel tup then begin
+        record_remove d pred ~arity:(head_arity r) tup;
+        ignore (Relation.add (delta_rel overdeleted pred ~arity:(head_arity r)) tup)
+      end
+    in
+    (* round 0: external triggers. All staging callbacks here and in
+       phases B/C mutate state the enumeration is reading — the head
+       relation probed by recursive rules, and the net-delta overlay
+       [old_view] iterates — so every exec goes through
+       {!Plan.exec_rule_deferred}: derive first against frozen state,
+       apply after the walk. The deferral does not change the old
+       view: overdeletion removes from the live relation and records
+       into [d.removed], which cancel out under the overlay. *)
+    let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+    let stage_round (r : Ast.rule) tup =
+      let pred = r.Ast.head.Ast.pred in
+      let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+      if Relation.mem rel tup then begin
+        (* not yet overdeleted this phase *)
+        overdelete r tup;
+        ignore (Relation.add (delta_rel !round pred ~arity:(head_arity r)) tup)
+      end
+    in
+    List.iter
+      (fun pr ->
+        let r = pr.rule in
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Ast.Pos a when nonempty d.removed a.Ast.pred ->
+              Plan.exec_rule_deferred ~view:ctx.old_view
+                ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                ~work
+                ~keep:(Relation.mem (head_rel r))
+                ~on_derived:(stage_round r) pr.ex
+            | Ast.Neg a when nonempty d.added a.Ast.pred ->
+              let fr, fex = flipped_for pr i in
+              Plan.exec_rule_deferred ~view:ctx.old_view
+                ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                ~work
+                ~keep:(Relation.mem (head_rel fr))
+                ~on_derived:(stage_round fr) fex
+            | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+          r.Ast.body)
+      prs;
+    (* cascade within the component *)
+    while Hashtbl.length !round > 0 do
+      let prev = !round in
+      round := Hashtbl.create 4;
+      List.iter
+        (fun pr ->
+          let r = pr.rule in
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                match Hashtbl.find_opt prev a.Ast.pred with
+                | Some delta when Relation.cardinality delta > 0 ->
+                  Plan.exec_rule_deferred ~view:ctx.old_view ~delta:(i, delta) ~work
+                    ~keep:(Relation.mem (head_rel r))
+                    ~on_derived:(stage_round r) pr.ex
+                | Some _ | None -> ())
+              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+            r.Ast.body)
+        prs;
+      (* tuples staged this round that were already overdeleted in a
+         previous round were filtered by [stage_round]'s mem check *)
+      ()
+    done;
+    (* ---- Phase B: rederivation over the new state ---- *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun pr ->
+          let r = pr.rule in
+          match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
+          | Some o when Relation.cardinality o > 0 ->
+            Plan.exec_rule_deferred ~view:ctx.new_view ~work
+              ~keep:(Relation.mem o)
+              ~on_derived:(fun tup ->
+                if Relation.mem o tup then begin
+                  let pred = r.Ast.head.Ast.pred in
+                  let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+                  if Relation.add rel tup then begin
+                    record_add d pred ~arity:(head_arity r) tup;
+                    ignore (Relation.remove o tup);
+                    changed := true
+                  end
+                end)
+              pr.ex
+          | Some _ | None -> ())
+        prs
+    done;
+    (* ---- Phase C: insertion against the new state ---- *)
+    let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+    let stage_add (r : Ast.rule) tup =
+      let pred = r.Ast.head.Ast.pred in
+      let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+      if Relation.add rel tup then begin
+        record_add d pred ~arity:(head_arity r) tup;
+        ignore (Relation.add (delta_rel !roundc pred ~arity:(head_arity r)) tup)
+      end
+    in
+    let keep_new (r : Ast.rule) =
+      let rel = head_rel r in
+      fun tup -> not (Relation.mem rel tup)
+    in
+    List.iter
+      (fun pr ->
+        let r = pr.rule in
+        List.iteri
+          (fun i lit ->
+            match lit with
+            | Ast.Pos a
+              when (not (Hashtbl.mem comp_preds a.Ast.pred))
+                   && nonempty d.added a.Ast.pred ->
+              Plan.exec_rule_deferred ~view:ctx.new_view
+                ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                ~work ~keep:(keep_new r) ~on_derived:(stage_add r) pr.ex
+            | Ast.Neg a when nonempty d.removed a.Ast.pred ->
+              let fr, fex = flipped_for pr i in
+              Plan.exec_rule_deferred ~view:ctx.new_view
+                ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                ~work
+                ~keep:(keep_new fr)
+                ~on_derived:(stage_add fr) fex
+            | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+          r.Ast.body)
+      prs;
+    while Hashtbl.length !roundc > 0 do
+      let prev = !roundc in
+      roundc := Hashtbl.create 4;
+      List.iter
+        (fun pr ->
+          let r = pr.rule in
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                match Hashtbl.find_opt prev a.Ast.pred with
+                | Some delta when Relation.cardinality delta > 0 ->
+                  Plan.exec_rule_deferred ~view:ctx.new_view ~delta:(i, delta) ~work
+                    ~keep:(keep_new r) ~on_derived:(stage_add r) pr.ex
+                | Some _ | None -> ())
+              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+            r.Ast.body)
+        prs
+    done;
+    { comp; work = !work; output_changed = members_changed (); input_changed }
+
+(* ---- report assembly -------------------------------------------- *)
+
+let assemble_report ctx slots =
+  (* components the parallel run never reached are provably untouched
+     (no upstream delta, see [apply_parallel]); report them exactly as
+     the serial walk would: zero work, nothing changed *)
+  let activity =
+    Stratify.scc_order ctx.anal
+    |> Array.to_list
+    |> List.map (fun c ->
+           match slots.(c) with
+           | Some a -> a
+           | None ->
+             { comp = c; work = 0; output_changed = false; input_changed = false })
+  in
   let changes =
     let tbl = Hashtbl.create 16 in
     Hashtbl.iter
       (fun pred r ->
-        if Relation.cardinality r > 0 then Hashtbl.replace tbl pred (Relation.cardinality r, 0))
-      d.added;
+        if Relation.cardinality r > 0 then
+          Hashtbl.replace tbl pred (Relation.cardinality r, 0))
+      ctx.d.added;
     Hashtbl.iter
       (fun pred r ->
         if Relation.cardinality r > 0 then begin
           let a = match Hashtbl.find_opt tbl pred with Some (a, _) -> a | None -> 0 in
           Hashtbl.replace tbl pred (a, Relation.cardinality r)
         end)
-      d.removed;
+      ctx.d.removed;
     Hashtbl.fold (fun pred (added, removed) acc -> { pred; added; removed } :: acc) tbl []
     |> List.sort (fun a b -> String.compare a.pred b.pred)
   in
-  { changes; activity = List.rev !activity; analysis = anal }
+  { changes; activity; analysis = ctx.anal }
+
+let setup ~engine db program ~additions ~deletions =
+  let ctx = make_ctx ~engine db program in
+  List.iter (check_edb ctx.anal) additions;
+  List.iter (check_edb ctx.anal) deletions;
+  apply_base_updates ctx ~additions ~deletions;
+  prepare_deltas ctx;
+  let n = Dag.Graph.node_count ctx.anal.Stratify.condensation.Dag.Scc.dag in
+  (ctx, Array.init n (prepare_comp ctx))
+
+let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
+  let ctx, prepared = setup ~engine db program ~additions ~deletions in
+  let slots = Array.make (Array.length prepared) None in
+  Array.iter
+    (fun c -> slots.(c) <- Some (process_comp ctx prepared.(c)))
+    (Stratify.scc_order ctx.anal);
+  assemble_report ctx slots
+
+(* ---- parallel maintenance over the multicore executor -----------
+
+   One executor task per condensation component, running the exact
+   serial [process_comp] body. Safety rests on two facts:
+
+   - {e ownership}: a component task writes only its own predicates'
+     relations and delta relations (every head predicate of its rules
+     is a member); everything it reads — body predicates, through the
+     views — is upstream or same-component in the dependency DAG.
+
+   - {e quiescence by precedence}: the executor starts a task only
+     after every *activated* ancestor completed. The trace below marks
+     every edge changed (which inputs actually changed is only
+     discovered as upstream tasks run, so the activation wavefront is
+     conservative), hence a task's released state implies each of its
+     ancestor chains from the initial set is fully completed: had any
+     chain a first-incomplete node, that node would be activated and
+     incomplete, and the scheduler would still be holding this task.
+     Ancestors outside the wavefront never run and never touch their
+     relations. Either way every upstream read observes settled state,
+     with happens-before established by the scheduler's lock
+     ({!Sched.Protected}) on the release path.
+
+   The serial prologue above freezes all shared structure (plans
+   compiled, delta tables pre-created, relations registered); the one
+   remaining cross-component write — aggregate tasks interning fresh
+   constants — is what {!Symbol}'s internal mutex is for. *)
+
+let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched db program
+    ~additions ~deletions =
+  if domains <= 1 then apply ~engine db program ~additions ~deletions
+  else begin
+    (match engine with
+    | Plan.Compiled -> ()
+    | Plan.Interpreted ->
+      invalid_arg
+        "Incremental.apply_parallel: the interpretive oracle is not domain-safe; \
+         use the compiled engine");
+    let sched = match sched with Some s -> s | None -> Sched.Level_based.factory in
+    let ctx, prepared = setup ~engine db program ~additions ~deletions in
+    Array.iter precompile_comp prepared;
+    let cond = ctx.anal.Stratify.condensation in
+    let g = cond.Dag.Scc.dag in
+    let n = Dag.Graph.node_count g in
+    let slots = Array.make n None in
+    (* initial tasks: extensional components whose base facts changed *)
+    let initial =
+      Array.to_list (Array.init n Fun.id)
+      |> List.filter (fun c ->
+             let members = cond.Dag.Scc.members.(c) in
+             Array.for_all (fun p -> ctx.anal.Stratify.edb.(p)) members
+             && Array.exists
+                  (fun p ->
+                    let name = ctx.anal.Stratify.predicates.(p) in
+                    nonempty ctx.d.added name || nonempty ctx.d.removed name)
+                  members)
+      |> Array.of_list
+    in
+    if Array.length initial > 0 then begin
+      let kind = Array.make n Workload.Trace.Task in
+      let shape = Array.make n (Workload.Trace.Seq 1.0) in
+      let edge_changed = Array.make (Dag.Graph.edge_count g) true in
+      let trace =
+        Workload.Trace.create ~name:"dred-parallel" ~graph:g ~kind ~shape ~initial
+          ~edge_changed
+      in
+      let run_task c = slots.(c) <- Some (process_comp ctx prepared.(c)) in
+      ignore (Parallel.Executor.run ~domains ~work_unit:0.0 ~run_task ~sched trace)
+    end;
+    assemble_report ctx slots
+  end

@@ -49,3 +49,30 @@ val apply :
     selects compiled plans or the interpretive oracle; both restore the
     same database.
     @raise Invalid_argument on a non-ground or intensional atom. *)
+
+val apply_parallel :
+  ?engine:Plan.engine ->
+  ?domains:int ->
+  ?sched:Sched.Intf.factory ->
+  Database.t ->
+  Ast.program ->
+  additions:Ast.atom list ->
+  deletions:Ast.atom list ->
+  report
+(** {!apply}, with the components maintained as real tasks on the
+    multicore executor ({!Parallel.Executor}) under [sched] (default
+    the paper's LevelBased scheduler), [domains] worker domains
+    (default 4; [domains <= 1] falls back to the serial walk). The
+    task DAG is the condensation of the predicate dependency graph
+    with every edge marked changed — which inputs actually changed is
+    only discovered as tasks run — and the changed extensional
+    components as initial tasks. Each task writes only its own
+    component's relations and deltas and reads upstream state that the
+    scheduler's precedence guarantees is quiescent, so the final
+    database and report are the serial ones (up to interning order of
+    aggregate-minted constants, and [work] counts, whose phase-B round
+    structure may differ with hashing order). All plans are compiled
+    and delta tables created serially before the first task runs.
+    @raise Invalid_argument on a non-ground or intensional atom, or if
+    [engine] is {!Plan.Interpreted} with [domains > 1]
+    @raise Failure if a maintenance task raises. *)

@@ -344,6 +344,24 @@ let exec_rule ?delta ~view ~work ~on_derived e =
       in
       run ~delta:d ~view ~work ~on_derived plan)
 
+(* Force the compilation a later [exec_rule ?delta] call would perform
+   lazily. Compilation interns the rule's constants into the shared
+   symbol table and consults [card]; a parallel maintenance driver
+   pre-compiles every plan it may need serially, so that task-time
+   execution only reads the plan store. *)
+let prepare ?delta e =
+  match e with
+  | Interp _ -> ()
+  | Plans p -> (
+    match delta with
+    | None -> (
+      match p.base with
+      | Some _ -> ()
+      | None -> p.base <- Some (compile ~symbols:p.symbols ~card:p.card p.rule))
+    | Some i ->
+      if not (Hashtbl.mem p.deltas i) then
+        Hashtbl.add p.deltas i (compile ~delta:i ~symbols:p.symbols ~card:p.card p.rule))
+
 (* Evaluation callbacks in {!Eval} and {!Incremental} mutate the very
    relations the rule body is probing — the head relation when it also
    occurs as a body literal (recursive rules), and the net-delta overlay

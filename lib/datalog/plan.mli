@@ -95,6 +95,14 @@ val exec_rule :
     literal [i] range over [d]. Like {!run}, [on_derived] must not
     mutate relations the rule is reading. *)
 
+val prepare : ?delta:int -> exec -> unit
+(** Force compilation of the plan a later {!exec_rule} call with the
+    same [delta] position would build lazily. Compilation interns the
+    rule's constants into the shared symbol table; a parallel driver
+    calls this for every plan it may need {e before} spawning worker
+    domains, so task-time execution only reads the memoized store.
+    No-op on the interpretive engine and on already-compiled plans. *)
+
 val exec_rule_deferred :
   ?delta:int * Relation.t ->
   view:Matcher.view ->

@@ -31,8 +31,16 @@ end)
 type t = {
   arity : int;
   tuples : unit Tuple_tbl.t;
-  indexes : (int, unit Tuple_tbl.t) Hashtbl.t option array;
-      (* indexes.(col), built lazily; kept consistent once built *)
+  indexes : (int, unit Tuple_tbl.t) Hashtbl.t option Atomic.t array;
+      (* indexes.(col), built lazily; kept consistent once built. Each
+         slot is an [Atomic.t] so a lazy build on a relation shared
+         read-only across domains publishes a *fully constructed*
+         index: plain-field publication could be observed partially
+         initialized under the OCaml memory model. Concurrent probers
+         may race to build the same column; the loser's table is
+         simply dropped (both are complete, last [Atomic.set] wins).
+         Mutation ([add]/[remove]/[clear]) remains single-owner, as
+         everywhere in this module. *)
   mutable version : int;
       (* bumped by every successful add/remove and by clear. Iteration
          walks live hashtable buckets, and OCaml Hashtbl mutation during
@@ -46,7 +54,7 @@ let create ~arity =
   {
     arity;
     tuples = Tuple_tbl.create 64;
-    indexes = Array.make (max arity 1) None;
+    indexes = Array.init (max arity 1) (fun _ -> Atomic.make None);
     version = 0;
   }
 
@@ -73,16 +81,16 @@ let bucket_of idx value =
 
 let index_add t tup =
   Array.iteri
-    (fun col idx ->
-      match idx with
+    (fun col slot ->
+      match Atomic.get slot with
       | None -> ()
       | Some idx -> Tuple_tbl.replace (bucket_of idx tup.(col)) tup ())
     t.indexes
 
 let index_remove t tup =
   Array.iteri
-    (fun col idx ->
-      match idx with
+    (fun col slot ->
+      match Atomic.get slot with
       | None -> ()
       | Some idx -> (
         match Hashtbl.find_opt idx tup.(col) with
@@ -145,19 +153,24 @@ let copy t =
 let clear t =
   t.version <- t.version + 1;
   Tuple_tbl.reset t.tuples;
-  Array.iteri (fun i _ -> t.indexes.(i) <- None) t.indexes
+  Array.iter (fun slot -> Atomic.set slot None) t.indexes
 
+(* Build fully, publish atomically: a sibling domain either sees [None]
+   (and builds its own complete copy) or a finished index — never a
+   hashtable under construction. *)
 let build_index t col =
   let idx = Hashtbl.create 64 in
   iter (fun tup -> Tuple_tbl.replace (bucket_of idx tup.(col)) tup ()) t;
-  t.indexes.(col) <- Some idx;
+  Atomic.set t.indexes.(col) (Some idx);
   idx
 
 (* The probe hot path: hand matching tuples to [f] straight out of the
    index bucket, no intermediate list. *)
 let iter_matching t ~col ~value f =
   if col < 0 || col >= t.arity then invalid_arg "Relation.iter_matching: bad column";
-  let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
+  let idx =
+    match Atomic.get t.indexes.(col) with Some idx -> idx | None -> build_index t col
+  in
   match Hashtbl.find_opt idx value with
   | None -> ()
   | Some b ->
@@ -170,7 +183,9 @@ let iter_matching t ~col ~value f =
 
 let fold_matching t ~col ~value f acc =
   if col < 0 || col >= t.arity then invalid_arg "Relation.fold_matching: bad column";
-  let idx = match t.indexes.(col) with Some idx -> idx | None -> build_index t col in
+  let idx =
+    match Atomic.get t.indexes.(col) with Some idx -> idx | None -> build_index t col
+  in
   match Hashtbl.find_opt idx value with
   | None -> acc
   | Some b ->
@@ -182,6 +197,20 @@ let fold_matching t ~col ~value f acc =
       b acc
 
 let find t ~col ~value = fold_matching t ~col ~value (fun acc tup -> tup :: acc) []
+
+let prepare ?cols t =
+  let build col =
+    if col < 0 || col >= t.arity then invalid_arg "Relation.prepare: bad column";
+    match Atomic.get t.indexes.(col) with
+    | Some _ -> ()
+    | None -> ignore (build_index t col)
+  in
+  match cols with
+  | Some cols -> List.iter build cols
+  | None ->
+    for col = 0 to t.arity - 1 do
+      build col
+    done
 
 let choose_probe_col t ~bound =
   let rec go col = if col >= t.arity then None else if bound col then Some col else go (col + 1) in

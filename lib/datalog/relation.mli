@@ -48,6 +48,15 @@ val iter_matching : t -> col:int -> value:int -> (tuple -> unit) -> unit
 val fold_matching : t -> col:int -> value:int -> ('acc -> tuple -> 'acc) -> 'acc -> 'acc
 (** Fold variant of {!iter_matching}. *)
 
+val prepare : ?cols:int list -> t -> unit
+(** Eagerly finalize the per-column probe indexes ([cols], default all
+    columns) before the relation is shared read-only across domains.
+    Lazy builds are themselves safe to race — a probe that finds no
+    index constructs one fully and publishes it atomically, so a
+    sibling domain sees either nothing or a finished index — but eager
+    preparation avoids sibling readers duplicating the build work.
+    @raise Invalid_argument on an out-of-range column. *)
+
 val find : t -> col:int -> value:int -> tuple list
 (** Tuples whose [col]th component equals [value]. Compatibility wrapper
     over {!fold_matching}: allocates the result list; probe loops should

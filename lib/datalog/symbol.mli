@@ -1,5 +1,10 @@
 (** Constant interning: maps ground constants to dense integers so that
-    tuples are flat [int array]s. One table per database. *)
+    tuples are flat [int array]s. One table per database.
+
+    Domain-safe: [intern] serializes writers on a mutex (parallel
+    maintenance tasks mint aggregate results concurrently), while
+    [const_of]/[compare_codes]/[count] stay lock-free over an
+    atomically published snapshot of the constant store. *)
 
 type t
 

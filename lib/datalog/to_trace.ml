@@ -4,8 +4,13 @@ type t = {
   labels : string array;
 }
 
-let of_update ?(work_unit = 1e-6) ?engine db program ~additions ~deletions =
-  let report = Incremental.apply ?engine db program ~additions ~deletions in
+let of_update ?(work_unit = 1e-6) ?engine ?(domains = 1) db program ~additions
+    ~deletions =
+  let report =
+    if domains > 1 then
+      Incremental.apply_parallel ?engine ~domains db program ~additions ~deletions
+    else Incremental.apply ?engine db program ~additions ~deletions
+  in
   let anal = report.Incremental.analysis in
   let cond = anal.Stratify.condensation in
   let graph = cond.Dag.Scc.dag in

@@ -24,6 +24,7 @@ type t = {
 val of_update :
   ?work_unit:float ->
   ?engine:Plan.engine ->
+  ?domains:int ->
   Database.t ->
   Ast.program ->
   additions:Ast.atom list ->
@@ -32,7 +33,9 @@ val of_update :
 (** [db] must hold a completed materialization (see {!Eval.run}); it is
     updated in place. [work_unit] converts tuples-examined into seconds
     of simulated processing time (default [1e-6]). [engine] is passed
-    through to {!Incremental.apply}. *)
+    through to {!Incremental.apply}. [domains] (default 1) > 1 runs the
+    maintenance itself in parallel via {!Incremental.apply_parallel};
+    the resulting trace is built from that run's report the same way. *)
 
 val node_of_pred : t -> string -> int option
 (** The task node evaluating the given predicate. *)

@@ -70,13 +70,15 @@ let[@inline] tlog_push l task start finish =
   l.t_finish.(i) <- finish;
   l.t_len <- i + 1
 
-let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
+let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
     (trace : Workload.Trace.t) =
   if domains < 1 then invalid_arg "Executor.run: need at least one domain";
   if batch < 1 then invalid_arg "Executor.run: need a positive batch";
   let g = trace.Workload.Trace.graph in
   let n = Dag.Graph.node_count g in
-  let timed = work_unit > 0.0 in
+  (* a real task body replaces the simulated duration entirely; spin
+     calibration would only waste startup time *)
+  let timed = work_unit > 0.0 && Option.is_none run_task in
   if timed then Spinwork.calibrate ();
   let psched = Sched.Protected.make ~workers:domains sched g in
   (* flat atomic status array: one cache line touch per transition
@@ -295,10 +297,17 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
         end
       end
     in
-    let run_task u =
+    let execute_task u =
       let start = Array.unsafe_get last_stamp 0 in
       let work = Array.unsafe_get workv u in
-      if timed then Spinwork.spin (work *. work_unit);
+      (match run_task with
+      | None -> if timed then Spinwork.spin (work *. work_unit)
+      | Some f -> (
+        (* a raising body must not abandon the completion protocol:
+           route it through [fail] (every worker exits, Domain.join
+           returns) and finish this task normally — leaving it
+           unfinished would park peers forever on a dead run *)
+        try f u with e -> fail "task %d raised: %s" u (Printexc.to_string e)));
       let finish = Prelude.Mclock.now () -. epoch in
       Array.unsafe_set last_stamp 0 finish;
       tlog_push log u start finish;
@@ -355,7 +364,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ~sched
       let k = Wbuf.pop_batch buf dq 32 in
       if k > 0 then begin
         for i = 0 to k - 1 do
-          run_task (Array.unsafe_get dq i)
+          execute_task (Array.unsafe_get dq i)
         done;
         drain ()
       end

@@ -58,6 +58,7 @@ val run :
   ?domains:int ->
   ?work_unit:float ->
   ?batch:int ->
+  ?run_task:(int -> unit) ->
   sched:Sched.Intf.factory ->
   Workload.Trace.t ->
   result
@@ -67,10 +68,23 @@ val run :
     [batch] (default 16, rounded up to a power of two) bounds both the
     per-worker ready-buffer and the number of tasks pulled from the
     scheduler per critical section.
+
+    [run_task] replaces the simulated spin entirely: when given, task
+    [u]'s body is [run_task u] executed on the claiming worker domain
+    (spin calibration is skipped; [work_unit] only scales the logged
+    [work_executed]). The dispatch protocol is unchanged, so the body
+    runs exactly once, strictly after every body of an activated
+    ancestor task has returned and its completion was flushed to the
+    scheduler — the precedence guarantee real maintenance work
+    ({!Datalog.Incremental.apply_parallel}) relies on for quiescent
+    upstream reads. A body must confine its writes to state owned by
+    its task; if it raises, the run is aborted (every worker exits at
+    its next shared-state check) and {!run} raises [Failure] with the
+    task id and exception.
     @raise Failure if the scheduler deadlocks (no ready task while
     activated tasks remain and nothing is running) or violates safety
     (releases a task that was never activated, twice, or after it ran;
-    activates a task after it ran). *)
+    activates a task after it ran), or if [run_task] raises. *)
 
 val check : Workload.Trace.t -> result -> (unit, string) Stdlib.result
 (** Model validation on the real timestamps: exactly the active set ran,

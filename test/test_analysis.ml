@@ -116,6 +116,7 @@ let test_buggy_found () =
     | "park-wake-buggy-lost-wakeup" -> Mc.Deadlock
     | "protected-batch-buggy-early-bump" -> Mc.Assertion
     | "plain-race-buggy" -> Mc.Race
+    | "comp-ownership-buggy-eager" -> Mc.Race
     | n -> Alcotest.failf "unexpected buggy scenario %s" n
   in
   List.iter
@@ -139,6 +140,7 @@ let pinned =
     ("park-wake-buggy-lost-wakeup", "111000001111", Mc.Deadlock);
     ("protected-batch-buggy-early-bump", "00111", Mc.Assertion);
     ("plain-race-buggy", "001", Mc.Race);
+    ("comp-ownership-buggy-eager", "000011", Mc.Race);
   ]
 
 let test_pinned_replays () =

@@ -797,6 +797,75 @@ let engine_differential_qcheck =
       done;
       !ok)
 
+(* ---------- Parallel maintenance (apply_parallel) ---------- *)
+
+(* The parallel-maintenance acceptance property: running the DRed
+   component tasks on the multicore executor at any domain count
+   restores exactly the serial database and reports the same net
+   changes and the same activation flags. [work] counts are excluded
+   on purpose: the rederive fixpoint's round structure depends on
+   hash-iteration order, which parallel interning perturbs. *)
+let parallel_differential_qcheck =
+  QCheck.Test.make
+    ~name:"parallel maintenance equals serial apply at 1/2/4 domains"
+    ~count:100
+    QCheck.(triple (1 -- 4) (0 -- 18) (0 -- 10_000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 911) + (preds * 23) + nfacts) in
+      let prog_src = random_program ~aggregates:true rng ~preds in
+      let program = parse prog_src in
+      let mk () =
+        Printf.sprintf {|e("n%d","n%d")|} (Prelude.Rng.int rng 5)
+          (Prelude.Rng.int rng 5)
+      in
+      let base = List.init nfacts (fun _ -> mk ()) |> List.sort_uniq compare in
+      let load () =
+        let db = Datalog.Database.create () in
+        List.iter (fun f -> ignore (Datalog.Database.add_fact db (atom f))) base;
+        let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+        db
+      in
+      let flags r =
+        List.map
+          (fun (a : Datalog.Incremental.comp_activity) ->
+            (a.Datalog.Incremental.comp, a.Datalog.Incremental.output_changed,
+             a.Datalog.Incremental.input_changed))
+          r.Datalog.Incremental.activity
+      in
+      let serial = load () in
+      let twins = List.map (fun d -> (d, load ())) [ 1; 2; 4 ] in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let adds = List.init (Prelude.Rng.int rng 3) (fun _ -> atom (mk ())) in
+        let dels = List.init (Prelude.Rng.int rng 2) (fun _ -> atom (mk ())) in
+        let r0 =
+          Datalog.Incremental.apply ~engine:Datalog.Plan.Compiled serial program
+            ~additions:adds ~deletions:dels
+        in
+        List.iter
+          (fun (domains, db) ->
+            let r =
+              Datalog.Incremental.apply_parallel ~engine:Datalog.Plan.Compiled
+                ~domains db program ~additions:adds ~deletions:dels
+            in
+            ok := !ok && Datalog.Eval.databases_agree serial db = Ok ();
+            ok := !ok && r.Datalog.Incremental.changes = r0.Datalog.Incremental.changes;
+            ok := !ok && flags r = flags r0)
+          twins
+      done;
+      !ok)
+
+let parallel_rejects_interpreter () =
+  let program = parse "p(X,Y) :- e(X,Y). e(\"a\",\"b\")." in
+  let db = Datalog.Database.create () in
+  let _ = Datalog.Eval.run db program in
+  match
+    Datalog.Incremental.apply_parallel ~engine:Datalog.Plan.Interpreted ~domains:2
+      db program ~additions:[ atom {|e("b","c")|} ] ~deletions:[]
+  with
+  | _ -> Alcotest.fail "interpreted engine must be rejected at domains > 1"
+  | exception Invalid_argument _ -> ()
+
 (* ---------- Aggregates ---------- *)
 
 let agg_db src =
@@ -1213,6 +1282,9 @@ let () =
           test `Quick "compiled plan matches interpreter" plan_matches_interpreter;
         ]
         @ qsuite [ engine_differential_qcheck ] );
+      ( "parallel-maintenance",
+        [ test `Quick "interpreted engine rejected" parallel_rejects_interpreter ]
+        @ qsuite [ parallel_differential_qcheck ] );
       ( "aggregates",
         [
           test `Quick "count, sum, min, max" agg_eval_basic;

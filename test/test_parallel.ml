@@ -213,6 +213,116 @@ let unsafe_release_detected () =
     check_bool "reports the unsafe release" true (contains_unsafely msg)
   | _ -> Alcotest.fail "expected the executor to reject the rogue scheduler"
 
+(* ---- run_task: arbitrary task bodies on the executor ---- *)
+
+let run_task_bodies_execute_once () =
+  (* every activated task's closure runs exactly once, and a body sees
+     its predecessors' writes (precedence = happens-before) *)
+  let n = 32 in
+  let graph = Dag.Graph.of_edges ~nodes:n (Array.init (n - 1) (fun i -> (i, i + 1))) in
+  let trace =
+    Workload.Trace.create ~name:"closure-chain" ~graph
+      ~kind:(Array.make n Workload.Trace.Task)
+      ~shape:(Array.make n (Workload.Trace.Seq 1.0))
+      ~initial:[| 0 |]
+      ~edge_changed:(Array.make (n - 1) true)
+  in
+  let hits = Array.make n 0 in
+  let prefix = Array.make n (-1) in
+  let run_task u =
+    hits.(u) <- hits.(u) + 1;
+    prefix.(u) <- (if u = 0 then 0 else prefix.(u - 1) + 1)
+  in
+  let r =
+    Parallel.Executor.run ~domains:4 ~work_unit:0.0 ~run_task
+      ~sched:Sched.Level_based.factory trace
+  in
+  (match Parallel.Executor.check trace r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid schedule: %s" e);
+  check_int "all tasks executed" n r.Parallel.Executor.tasks_executed;
+  Array.iteri (fun u h -> check_int (Printf.sprintf "task %d ran once" u) 1 h) hits;
+  (* the chained prefix is only correct if each body observed the
+     previous body's write before running *)
+  Array.iteri (fun u p -> check_int (Printf.sprintf "prefix at %d" u) u p) prefix
+
+let run_task_failure_propagates () =
+  let trace = Workload.Pathological.deep_chain ~n:4 in
+  let run_task u = if u = 2 then failwith "boom" in
+  match
+    Parallel.Executor.run ~domains:2 ~work_unit:0.0 ~run_task
+      ~sched:Sched.Level_based.factory trace
+  with
+  | exception Failure msg ->
+    let mentions s msg =
+      let n = String.length msg and m = String.length s in
+      let rec find i = i + m <= n && (String.sub msg i m = s || find (i + 1)) in
+      find 0
+    in
+    check_bool "names the task" true (mentions "task 2" msg);
+    check_bool "carries the exception" true (mentions "boom" msg)
+  | _ -> Alcotest.fail "expected the body's exception to surface as Failure"
+
+(* ---- frozen relations under concurrent domain reads ---- *)
+
+(* Regression for the lazy-index hazard: two domains probing a frozen
+   relation concurrently. Both the pre-built path (Relation.prepare)
+   and the racing-builders path (no prepare; both domains trigger the
+   index build and publish atomically) must serve exactly the right
+   buckets. Under tsan/an unsound index publication this test is the
+   one that trips. *)
+let frozen_relation_concurrent_reads () =
+  let n = 400 in
+  let check_reads ~prepared () =
+    let r = Datalog.Relation.create ~arity:2 in
+    for i = 0 to n - 1 do
+      ignore (Datalog.Relation.add r [| i mod 20; i |])
+    done;
+    if prepared then Datalog.Relation.prepare ~cols:[ 0 ] r;
+    let hammer () =
+      let total = ref 0 in
+      for _ = 1 to 200 do
+        for v = 0 to 19 do
+          Datalog.Relation.iter_matching r ~col:0 ~value:v (fun _ -> incr total)
+        done
+      done;
+      !total
+    in
+    let d1 = Domain.spawn hammer and d2 = Domain.spawn hammer in
+    let t1 = Domain.join d1 and t2 = Domain.join d2 in
+    check_int (Printf.sprintf "domain 1 (prepared=%b)" prepared) (200 * n) t1;
+    check_int (Printf.sprintf "domain 2 (prepared=%b)" prepared) (200 * n) t2
+  in
+  check_reads ~prepared:true ();
+  check_reads ~prepared:false ()
+
+(* ---- tiny 2-domain maintenance parity, riding `make test` ---- *)
+
+let parallel_maintenance_smoke () =
+  let src =
+    "edge(\"a\",\"b\"). edge(\"b\",\"c\"). edge(\"c\",\"d\"). edge(\"d\",\"e\").\n\
+     path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n\
+     node(X) :- edge(X,Y).\nnode(Y) :- edge(X,Y).\n\
+     unreach(X,Y) :- node(X), node(Y), !path(X,Y), X != Y.\n"
+  in
+  let program = Datalog.Parser.parse src in
+  let load () =
+    let db = Datalog.Database.create () in
+    let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+    db
+  in
+  let adds = [ Datalog.Parser.parse_atom {|edge("e","a")|} ] in
+  let dels = [ Datalog.Parser.parse_atom {|edge("b","c")|} ] in
+  let serial = load () and par = load () in
+  let _ = Datalog.Incremental.apply serial program ~additions:adds ~deletions:dels in
+  let _ =
+    Datalog.Incremental.apply_parallel ~domains:2 par program ~additions:adds
+      ~deletions:dels
+  in
+  match Datalog.Eval.databases_agree serial par with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "parallel maintenance diverged: %s" e
+
 let agrees_with_simulator_counts () =
   let trace = Workload.Pathological.broom ~spine:15 ~fan:20 in
   let r = run_checked trace Sched.Hybrid.factory in
@@ -236,6 +346,16 @@ let () =
           test `Quick "deadlock detected" deadlock_detected;
           test `Quick "work accounting" work_accounting;
           test `Quick "agrees with the simulator" agrees_with_simulator_counts;
+        ] );
+      ( "run-task",
+        [
+          test `Quick "bodies execute once, ordered" run_task_bodies_execute_once;
+          test `Quick "body failure propagates" run_task_failure_propagates;
+        ] );
+      ( "maintenance",
+        [
+          test `Quick "frozen relation: concurrent reads" frozen_relation_concurrent_reads;
+          test `Quick "2-domain maintenance parity" parallel_maintenance_smoke;
         ] );
       ( "stress",
         [
