@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-datalog bench-maintain-par model-check model-check-smoke clean
+.PHONY: all build test bench bench-smoke bench-check bench-datalog bench-maintain-par model-check model-check-smoke ci clean
 
 all: build
 
@@ -37,9 +37,20 @@ bench-maintain-par:
 # tiny traces through the full dispatch matrix (both executors, all
 # domain counts, Executor.check everywhere), a small compiled-vs-
 # interpreter pass, and a 2-domain parallel-maintenance parity pass;
-# seconds, writes no JSON
+# seconds; writes BENCH_*_smoke.json into the current directory
 bench-smoke:
 	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke
+
+# compare the BENCH_*_smoke.json of the last `make bench-smoke` against
+# the committed baselines: fails on parity drift (task/tuple/changed
+# counts, workload structure), never on timing noise — policy in
+# EXPERIMENTS.md. Refresh baselines by copying the fresh files over
+# tools/baselines/ when a change legitimately moves the counts.
+bench-check:
+	dune exec tools/bench_check.exe -- --baseline tools/baselines --fresh .
+
+# what .github/workflows/ci.yml runs per compiler
+ci: build test bench-smoke bench-check
 
 clean:
 	dune clean

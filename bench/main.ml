@@ -569,10 +569,10 @@ let datalog_core ~smoke () =
       prog i.dl_seconds c.dl_seconds (i.dl_seconds /. Float.max c.dl_seconds 1e-9)
   | None -> ());
   let e2e = dl_end_to_end ~smoke in
-  if not smoke then
-    datalog_json rows
-      (Option.map (fun (p, i, c) -> (p, i, c)) headline)
-      (Some e2e) "BENCH_datalog.json"
+  datalog_json rows
+    (Option.map (fun (p, i, c) -> (p, i, c)) headline)
+    (Some e2e)
+    (if smoke then "BENCH_datalog_smoke.json" else "BENCH_datalog.json")
 
 let datalog () = datalog_core ~smoke:false ()
 
@@ -637,7 +637,7 @@ let mp_wide ~smoke =
   in
   (Printf.sprintf "wide-%dtc" groups, program, updates)
 
-let mp_run ~domains program updates =
+let mp_run ?(obs = Obs.Trace.disabled) ~domains program updates =
   let engine = Datalog.Plan.Compiled in
   let db = Datalog.Database.create () in
   ignore (Datalog.Eval.run ~engine db program);
@@ -647,9 +647,10 @@ let mp_run ~domains program updates =
     (fun (adds, dels) ->
       let r =
         if domains <= 1 then
-          Datalog.Incremental.apply ~engine db program ~additions:adds ~deletions:dels
+          Datalog.Incremental.apply ~engine ~obs db program ~additions:adds
+            ~deletions:dels
         else
-          Datalog.Incremental.apply_parallel ~engine ~domains db program
+          Datalog.Incremental.apply_parallel ~engine ~domains ~obs db program
             ~additions:adds ~deletions:dels
       in
       List.iter
@@ -660,12 +661,14 @@ let mp_run ~domains program updates =
   let s = Unix.gettimeofday () -. t0 in
   (db, s, !changed)
 
-let maintain_par_json rows headline domain_set path =
+let maintain_par_json rows headline breakdown domain_set path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"maintain-par\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"host_cores\": %d,\n  \"sched\": \"levelbased\",\n"
        (Domain.recommended_domain_count ()));
+  Buffer.add_string b
+    (Printf.sprintf "  \"breakdown\": %s,\n" (Obs.Summary.json breakdown));
   Buffer.add_string b
     (Printf.sprintf "  \"domains\": [%s],\n"
        (String.concat ", " (List.map string_of_int domain_set)));
@@ -747,8 +750,22 @@ let maintain_par_core ~smoke () =
       "(host has %d core(s): domains beyond the core count park and add no \
        speedup here; run on a >= 8-core host for the Table III ratios)@."
       cores;
-  if not smoke then
-    maintain_par_json (List.rev !rows) !best domain_set "BENCH_maintain_par.json"
+  (* traced rerun of the wide workload at the largest domain count: the
+     measured per-worker breakdown — where maintenance wall time
+     actually goes — attached to the bench JSON *)
+  let breakdown =
+    let _, program, updates = mp_wide ~smoke in
+    let domains = List.fold_left max 2 domain_set in
+    let obs = Obs.Trace.create ~domains () in
+    let _db, _s, _changed = mp_run ~obs ~domains program updates in
+    let s = Obs.Summary.of_trace obs in
+    Format.printf
+      "@.measured breakdown (wide workload, %d domains, traced rerun):@.@[<v>%a@]@."
+      domains Obs.Summary.pp s;
+    s
+  in
+  maintain_par_json (List.rev !rows) !best breakdown domain_set
+    (if smoke then "BENCH_maintain_par_smoke.json" else "BENCH_maintain_par.json")
 
 let maintain_par () = maintain_par_core ~smoke:false ()
 
@@ -898,12 +915,23 @@ let dispatch_run ~legacy ~domains ~reps trace =
   done;
   Option.get !best
 
-let dispatch_json rows headline path =
+let dispatch_json rows headline sched_overhead path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"benchmark\": \"dispatch\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"host_cores\": %d,\n  \"work_unit\": 0.0,\n  \"batch\": 256,\n"
        (Domain.recommended_domain_count ()));
+  (match sched_overhead with
+  | Some (tname, domains, measured, ops, modeled, util) ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"sched_overhead\": {\"trace\": \"%s\", \"domains\": %d, \
+          \"measured_sched_s\": %.6f, \"ops\": %d, \"modeled_s\": %.6f, \
+          \"measured_over_modeled\": %.3f, \"utilization\": %.4f},\n"
+         tname domains measured ops modeled
+         (measured /. Float.max modeled 1e-12)
+         util)
+  | None -> ());
   (match headline with
   | Some (l, n) ->
     Buffer.add_string b
@@ -989,7 +1017,36 @@ let dispatch_core ~smoke () =
     | _ -> None
   in
   ignore headline;
-  if not smoke then dispatch_json rows headline "BENCH_executor.json"
+  (* traced rerun on the wide trace: measured scheduler-lock seconds
+     (wait + hold, from the ring timeline) against the paper's abstract
+     op-count model at the default 1e-7 s/op — the quantity Tables
+     II/III call "overhead", finally measured instead of charged *)
+  let sched_overhead =
+    if !legacy_only then None
+    else begin
+      let _, _, trace = List.find (fun (n, _, _) -> n = wide_name) traces in
+      let domains = 8 in
+      let obs = Obs.Trace.create ~domains () in
+      let sched = Sched.Registry.find_exn "levelbased" in
+      let r =
+        Parallel.Executor.run ~domains ~work_unit:0.0 ~batch:256 ~obs ~sched trace
+      in
+      let s = Obs.Summary.of_trace obs in
+      let ops = Sched.Intf.total_ops r.Parallel.Executor.ops in
+      let measured = Obs.Summary.sched_overhead_s s in
+      let modeled = float_of_int ops *. 1e-7 in
+      Format.printf
+        "@.scheduler overhead (wide, new, d=%d, traced): measured %.6f s over \
+         %d ops; op-count model at 1e-7 s/op: %.6f s (measured/modeled %.2fx); \
+         utilization %.1f%%@."
+        domains measured ops modeled
+        (measured /. Float.max modeled 1e-12)
+        (100.0 *. s.Obs.Summary.utilization);
+      Some (wide_name, domains, measured, ops, modeled, s.Obs.Summary.utilization)
+    end
+  in
+  dispatch_json rows headline sched_overhead
+    (if smoke then "BENCH_executor_smoke.json" else "BENCH_executor.json")
 
 let dispatch () = dispatch_core ~smoke:false ()
 

@@ -5,7 +5,9 @@
      info     print structural statistics of a trace (Table I row)
      run      simulate one scheduler on a trace
      compare  simulate several schedulers on a trace
-     dot      export a trace's DAG to Graphviz *)
+     dot      export a trace's DAG to Graphviz
+     datalog  materialize a program, apply an incremental update
+     trace    summarize a recorded maintenance timeline *)
 
 open Cmdliner
 
@@ -209,7 +211,13 @@ let datalog_cmd =
            ~doc:"Run the incremental maintenance itself on N worker domains \
                  (real parallelism via the multicore executor; 1 = serial).")
   in
-  let run program queries adds dels lint sched procs domains =
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the maintenance run's per-worker timeline and write \
+                 it as Chrome trace_event JSON (open in chrome://tracing or \
+                 Perfetto; summarize with 'dms trace FILE').")
+  in
+  let run program queries adds dels lint sched procs domains trace =
     wrap (fun () ->
         let ic = open_in program in
         let n = in_channel_length ic in
@@ -223,9 +231,15 @@ let datalog_cmd =
         end;
         Format.printf "materialized %d tuples@."
           (Datalog.Database.total_tuples session.Incr_sched.db);
-        if adds <> [] || dels <> [] then begin
-          let tt = Incr_sched.update ~domains session ~additions:adds ~deletions:dels in
+        if adds <> [] || dels <> [] || trace <> None then begin
+          let tt =
+            Incr_sched.update ~domains ?trace session ~additions:adds
+              ~deletions:dels
+          in
           if domains > 1 then Format.printf "maintained on %d domains@." domains;
+          (match trace with
+          | Some path -> Format.printf "timeline written to %s@." path
+          | None -> ());
           Format.printf "update changed:@.";
           List.iter
             (fun (c : Datalog.Incremental.pred_change) ->
@@ -252,7 +266,38 @@ let datalog_cmd =
           and schedule its maintenance DAG.")
     Term.(
       const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg
-      $ domains_arg)
+      $ domains_arg $ trace_out)
+
+(* ---- trace (summarize a recorded timeline) ---- *)
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json"
+           ~doc:"Chrome trace_event JSON written by 'dms datalog --trace' or \
+                 the bench harness.")
+  in
+  let run file =
+    wrap (fun () ->
+        let json =
+          try Obs.Json.of_file file
+          with Obs.Json.Parse_error msg ->
+            invalid_arg (Printf.sprintf "%s: %s" file msg)
+        in
+        let s = Obs.Export.summary_of_json json in
+        Format.printf "@[<v>%s: %d events across %d workers%s@,%a@]@." file
+          s.Obs.Summary.events
+          (Array.length s.Obs.Summary.workers)
+          (if s.Obs.Summary.dropped > 0 then
+             Printf.sprintf " (%d dropped to ring wraparound)"
+               s.Obs.Summary.dropped
+           else "")
+          Obs.Summary.pp s)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Summarize a recorded maintenance timeline (per-worker busy / \
+             scheduler / steal / park / idle breakdown).")
+    Term.(const run $ file)
 
 (* ---- schedule (chrome trace export) ---- *)
 
@@ -284,6 +329,7 @@ let schedule_cmd =
 let main =
   let doc = "Datalog incremental-maintenance scheduling (IPDPS 2020 reproduction)." in
   Cmd.group (Cmd.info "dms" ~version:"1.0.0" ~doc)
-    [ gen_cmd; info_cmd; run_cmd; compare_cmd; dot_cmd; schedule_cmd; datalog_cmd ]
+    [ gen_cmd; info_cmd; run_cmd; compare_cmd; dot_cmd; schedule_cmd; datalog_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -351,6 +351,50 @@ let comp_ownership ~gated =
         (body, finish));
   }
 
+(* ---- 7. observability: ring publish/consume --------------------- *)
+
+(* Obs.Ring's single-writer protocol: the owning worker writes a
+   record's slots (plain stores into the flat arrays) and only then
+   bumps the published cursor through Vatomic; a consumer loads the
+   cursor first and touches only slots the cursor covers, so every
+   record it reads is fully written — the cursor is the happens-before
+   edge. The buggy sibling bumps the cursor before writing the slot:
+   the consumer can then read a record the writer is still filling in,
+   and the two plain slot accesses are unordered — a race the
+   vector-clock checker must flag. *)
+let ring_publish ~publish_after =
+  {
+    Mc.name =
+      (if publish_after then "ring-publish" else "ring-publish-buggy-early-cursor");
+    nprocs = 2;
+    instantiate =
+      (fun () ->
+        let slot = V.Plain.make 0 in
+        let published = V.make 0 in
+        let seen = V.Plain.make (-1) in
+        let writer () =
+          if publish_after then begin
+            V.Plain.set slot 42;
+            V.set published 1
+          end
+          else begin
+            (* broken: cursor visible while the slot is still blank *)
+            V.set published 1;
+            V.Plain.set slot 42
+          end
+        in
+        let consumer () =
+          if V.get published = 1 then V.Plain.set seen (V.Plain.get slot)
+        in
+        let body p = if p = 0 then writer () else consumer () in
+        let finish () =
+          (* a consumed record is a whole record; -1 = cursor not yet
+             visible, nothing consumed, also fine *)
+          if publish_after then assert (V.Plain.get seen = -1 || V.Plain.get seen = 42)
+        in
+        (body, finish));
+  }
+
 let safe =
   [
     lifecycle ~atomic_activate:true;
@@ -359,6 +403,7 @@ let safe =
     protected_batch ~deliver_first:true;
     plain_race ~locked:true;
     comp_ownership ~gated:true;
+    ring_publish ~publish_after:true;
   ]
 
 let buggy =
@@ -368,6 +413,7 @@ let buggy =
     protected_batch ~deliver_first:false;
     plain_race ~locked:false;
     comp_ownership ~gated:false;
+    ring_publish ~publish_after:false;
   ]
 
 let all =

@@ -38,10 +38,28 @@ let materialize ?(lint = false) src =
 
 let lint session = Datalog.Lint.check session.program
 
-let update ?work_unit ?domains session ~additions ~deletions =
+let update ?work_unit ?domains ?trace session ~additions ~deletions =
   let parse = List.map Datalog.Parser.parse_atom in
-  Datalog.To_trace.of_update ?work_unit ?domains session.db session.program
-    ~additions:(parse additions) ~deletions:(parse deletions)
+  let additions = parse additions and deletions = parse deletions in
+  match trace with
+  | None ->
+    Datalog.To_trace.of_update ?work_unit ?domains session.db session.program
+      ~additions ~deletions
+  | Some path ->
+    let obs =
+      Obs.Trace.create ~domains:(max 1 (Option.value domains ~default:1)) ()
+    in
+    let tt =
+      Datalog.To_trace.of_update ?work_unit ?domains ~obs session.db
+        session.program ~additions ~deletions
+    in
+    (* name task (and DRed) spans by their component's predicates *)
+    let labels = tt.Datalog.To_trace.labels in
+    let task_label c =
+      if c >= 0 && c < Array.length labels then labels.(c) else string_of_int c
+    in
+    Obs.Export.to_file ~task_label path obs;
+    tt
 
 let query session pred =
   match Datalog.Database.find session.db pred with

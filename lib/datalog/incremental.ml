@@ -283,10 +283,17 @@ let flipped_for pr i =
 
 (* ---- per-component maintenance (DRed phases A/B/C) -------------- *)
 
-let process_comp ctx (pc : prepared_comp) =
+let process_comp ?(ring = Obs.Ring.null) ctx (pc : prepared_comp) =
   let anal = ctx.anal in
   let d = ctx.d in
   let comp = pc.comp in
+  (* DRed phase spans (delete / rederive / insert), one per phase per
+     component, tagged with the component id; a single mutable start
+     stamp suffices because phases never nest *)
+  let traced = Obs.Ring.enabled ring in
+  let phase0 = ref 0 in
+  let phase_begin () = if traced then phase0 := Obs.Ring.now_ns ring in
+  let phase_end kind = if traced then Obs.Ring.emit ring ~kind ~a:comp ~b:!phase0 in
   let comp_preds = pc.comp_preds in
   let head_arity (r : Ast.rule) = List.length r.Ast.head.Ast.args in
   let head_rel (r : Ast.rule) =
@@ -320,6 +327,7 @@ let process_comp ctx (pc : prepared_comp) =
     let input_changed = input_changed_of [ r ] in
     let work = ref 0 in
     if input_changed then begin
+      phase_begin ();
       let pred = r.Ast.head.Ast.pred in
       let arity = head_arity r in
       let rel = Database.relation ctx.db pred ~arity in
@@ -340,13 +348,16 @@ let process_comp ctx (pc : prepared_comp) =
         stale;
       Relation.iter
         (fun tup -> if Relation.add rel tup then record_add d pred ~arity tup)
-        fresh
+        fresh;
+      (* functional recompute-and-diff is closest to rederivation *)
+      phase_end Obs.Event.dred_rederive
     end;
     { comp; work = !work; output_changed = members_changed (); input_changed }
   | Rules prs ->
     let input_changed = input_changed_of (List.map (fun pr -> pr.rule) prs) in
     let work = ref 0 in
     (* ---- Phase A: overdeletion against the old state ---- *)
+    phase_begin ();
     let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
     let overdelete (r : Ast.rule) tup =
       let pred = r.Ast.head.Ast.pred in
@@ -420,7 +431,9 @@ let process_comp ctx (pc : prepared_comp) =
          previous round were filtered by [stage_round]'s mem check *)
       ()
     done;
+    phase_end Obs.Event.dred_delete;
     (* ---- Phase B: rederivation over the new state ---- *)
+    phase_begin ();
     let changed = ref true in
     while !changed do
       changed := false;
@@ -445,7 +458,9 @@ let process_comp ctx (pc : prepared_comp) =
           | Some _ | None -> ())
         prs
     done;
+    phase_end Obs.Event.dred_rederive;
     (* ---- Phase C: insertion against the new state ---- *)
+    phase_begin ();
     let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
     let stage_add (r : Ast.rule) tup =
       let pred = r.Ast.head.Ast.pred in
@@ -500,6 +515,7 @@ let process_comp ctx (pc : prepared_comp) =
             r.Ast.body)
         prs
     done;
+    phase_end Obs.Event.dred_insert;
     { comp; work = !work; output_changed = members_changed (); input_changed }
 
 (* ---- report assembly -------------------------------------------- *)
@@ -545,11 +561,14 @@ let setup ~engine db program ~additions ~deletions =
   let n = Dag.Graph.node_count ctx.anal.Stratify.condensation.Dag.Scc.dag in
   (ctx, Array.init n (prepare_comp ctx))
 
-let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
+let apply ?(engine = Plan.default_engine) ?(obs = Obs.Trace.disabled) db program
+    ~additions ~deletions =
   let ctx, prepared = setup ~engine db program ~additions ~deletions in
   let slots = Array.make (Array.length prepared) None in
+  (* the serial walk records DRed phase spans on ring 0 *)
+  let ring = Obs.Trace.ring obs 0 in
   Array.iter
-    (fun c -> slots.(c) <- Some (process_comp ctx prepared.(c)))
+    (fun c -> slots.(c) <- Some (process_comp ~ring ctx prepared.(c)))
     (Stratify.scc_order ctx.anal);
   assemble_report ctx slots
 
@@ -581,9 +600,9 @@ let apply ?(engine = Plan.default_engine) db program ~additions ~deletions =
    remaining cross-component write — aggregate tasks interning fresh
    constants — is what {!Symbol}'s internal mutex is for. *)
 
-let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched db program
-    ~additions ~deletions =
-  if domains <= 1 then apply ~engine db program ~additions ~deletions
+let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched
+    ?(obs = Obs.Trace.disabled) db program ~additions ~deletions =
+  if domains <= 1 then apply ~engine ~obs db program ~additions ~deletions
   else begin
     (match engine with
     | Plan.Compiled -> ()
@@ -619,8 +638,10 @@ let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched db prog
         Workload.Trace.create ~name:"dred-parallel" ~graph:g ~kind ~shape ~initial
           ~edge_changed
       in
-      let run_task c = slots.(c) <- Some (process_comp ctx prepared.(c)) in
-      ignore (Parallel.Executor.run ~domains ~work_unit:0.0 ~run_task ~sched trace)
+      let run_task ~wid c =
+        slots.(c) <- Some (process_comp ~ring:(Obs.Trace.ring obs wid) ctx prepared.(c))
+      in
+      ignore (Parallel.Executor.run ~domains ~work_unit:0.0 ~run_task ~obs ~sched trace)
     end;
     assemble_report ctx slots
   end

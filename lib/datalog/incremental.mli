@@ -38,6 +38,7 @@ type report = {
 
 val apply :
   ?engine:Plan.engine ->
+  ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
   additions:Ast.atom list ->
@@ -47,13 +48,16 @@ val apply :
     completed materialization of [program] (via {!Eval.run}). Atoms must
     be ground and extensional. [engine] (default {!Plan.Compiled})
     selects compiled plans or the interpretive oracle; both restore the
-    same database.
+    same database. [obs] (default disabled) records a DRed phase span
+    (delete / rederive / insert, tagged with the component id) per
+    maintained component on the trace's ring 0.
     @raise Invalid_argument on a non-ground or intensional atom. *)
 
 val apply_parallel :
   ?engine:Plan.engine ->
   ?domains:int ->
   ?sched:Sched.Intf.factory ->
+  ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
   additions:Ast.atom list ->
@@ -73,6 +77,10 @@ val apply_parallel :
     aggregate-minted constants, and [work] counts, whose phase-B round
     structure may differ with hashing order). All plans are compiled
     and delta tables created serially before the first task runs.
+    [obs] (default disabled) threads the executor's per-worker tracing
+    (task / steal / park / scheduler-lock events) through the run and
+    adds DRed phase spans on the executing worker's ring; recording
+    never changes maintenance results.
     @raise Invalid_argument on a non-ground or intensional atom, or if
     [engine] is {!Plan.Interpreted} with [domains > 1]
     @raise Failure if a maintenance task raises. *)

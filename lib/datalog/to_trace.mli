@@ -25,6 +25,7 @@ val of_update :
   ?work_unit:float ->
   ?engine:Plan.engine ->
   ?domains:int ->
+  ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
   additions:Ast.atom list ->
@@ -35,7 +36,10 @@ val of_update :
     of simulated processing time (default [1e-6]). [engine] is passed
     through to {!Incremental.apply}. [domains] (default 1) > 1 runs the
     maintenance itself in parallel via {!Incremental.apply_parallel};
-    the resulting trace is built from that run's report the same way. *)
+    the resulting trace is built from that run's report the same way.
+    [obs] records the maintenance run's timeline (see
+    {!Incremental.apply_parallel}); the [labels] field names its task
+    spans when exporting with {!Obs.Export.to_file}. *)
 
 val node_of_pred : t -> string -> int option
 (** The task node evaluating the given predicate. *)

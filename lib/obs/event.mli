@@ -1,0 +1,53 @@
+(** Trace event kinds.
+
+    Events are flat int records [(kind, t_ns, a, b)]; every span is a
+    single record carrying its own start stamp in [b] (and, for
+    scheduler sections, the lock wait in [a]), so recording never
+    needs a matching begin/end pass and the ring can drop oldest
+    records without orphaning half a span. Timestamps are integer
+    nanoseconds since the owning trace's epoch. *)
+
+type kind = int
+
+val task : kind
+(** Task execution span: [a] = task id, [b] = start, [t] = finish. *)
+
+val steal : kind
+(** Steal attempt span: [a] = tasks obtained (0 = failed attempt),
+    [b] = start, [t] = end. *)
+
+val park : kind
+(** Blocked-on-eventcount span: [b] = park start, [t] = wake. *)
+
+val wake : kind
+(** Instant: this worker asked the eventcount to wake [a] peers. *)
+
+val sched_refill : kind
+val sched_complete : kind
+val sched_activate : kind
+(** Batched scheduler-lock sections ({!Sched.Protected}): [t] =
+    release stamp, [b] = acquire stamp, [a] = nanoseconds spent
+    waiting for the lock; the full section spans [b - a, t]. *)
+
+val dred_delete : kind
+val dred_rederive : kind
+val dred_insert : kind
+(** DRed maintenance phases per condensation component: [a] =
+    component id, [b] = phase start, [t] = phase end. *)
+
+val count : int
+(** Number of kinds; valid kinds are [0 .. count - 1]. *)
+
+val name : kind -> string
+
+val of_name : string -> kind option
+
+val is_instant : kind -> bool
+
+val is_sched : kind -> bool
+
+val is_dred : kind -> bool
+
+val span_start_ns : kind -> a:int -> b:int -> int
+(** Start of the full span (for sched sections, including the lock
+    wait) in ns since the trace epoch. *)

@@ -1,0 +1,149 @@
+(* Chrome trace_event writer (and reader, for [dms trace] and the
+   round-trip tests). One pid, one tid per worker ring; spans as "X"
+   complete events (ts + dur in microseconds), wakes as thread-scoped
+   "i" instants, worker names as "M" metadata. The object form —
+   {"traceEvents": [...], ...} — loads in chrome://tracing and
+   Perfetto. The event kind always travels in "cat" and the payload in
+   args.v, so a parsed file maps losslessly back onto ring records. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us ns = float_of_int ns /. 1e3
+
+let write ?task_label oc tr =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{ \"traceEvents\": [\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  sep ();
+  Buffer.add_string buf
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": \
+     {\"name\": \"incremental maintenance\"}}";
+  let n = Trace.domains tr in
+  for w = 0 to n - 1 do
+    sep ();
+    Printf.bprintf buf
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"args\": \
+       {\"name\": \"worker %d\"}}"
+      w w
+  done;
+  for w = 0 to n - 1 do
+    Ring.iter (Trace.ring tr w) (fun ~kind ~t_ns ~a ~b ->
+        sep ();
+        if Event.is_instant kind then
+          Printf.bprintf buf
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"s\": \"t\", \
+             \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"args\": {\"v\": %d}}"
+            (Event.name kind) (Event.name kind) w (us t_ns) a
+        else begin
+          let t0 = Event.span_start_ns kind ~a ~b in
+          let name =
+            match task_label with
+            | Some label when kind = Event.task -> escape (label a)
+            | Some label when Event.is_dred kind ->
+              escape (Event.name kind ^ " " ^ label a)
+            | _ -> Event.name kind
+          in
+          Printf.bprintf buf
+            "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \"args\": {\"v\": %d}}"
+            name (Event.name kind) w (us t0)
+            (us (max 0 (t_ns - t0)))
+            a
+        end)
+  done;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\",\n\"otherData\": { \"domains\": ";
+  Printf.bprintf buf "%d, \"dropped\": [" n;
+  for w = 0 to n - 1 do
+    if w > 0 then Buffer.add_string buf ", ";
+    Printf.bprintf buf "%d" (Ring.dropped (Trace.ring tr w))
+  done;
+  Buffer.add_string buf "] } }\n";
+  Buffer.output_buffer oc buf
+
+let to_file ?task_label path tr =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> write ?task_label oc tr)
+
+(* ---- reading back ------------------------------------------------ *)
+
+let events_of_json j =
+  let evs =
+    match Json.member "traceEvents" j with
+    | Some (Json.Array l) -> l
+    | _ -> raise (Json.Parse_error "no traceEvents array")
+  in
+  List.filter_map
+    (fun e ->
+      let str k = Option.bind (Json.member k e) Json.to_str in
+      let num k = Option.bind (Json.member k e) Json.to_float in
+      let kind =
+        match Option.bind (str "cat") Event.of_name with
+        | Some k -> Some k
+        | None -> Option.bind (str "name") Event.of_name
+      in
+      match (str "ph", kind, num "ts") with
+      | Some "X", Some kind, Some ts ->
+        let dur = Option.value (num "dur") ~default:0.0 in
+        let wid =
+          Option.value (Option.bind (Json.member "tid" e) Json.to_int) ~default:0
+        in
+        let arg =
+          Option.value
+            (Option.bind (Json.member "args" e) (fun a ->
+                 Option.bind (Json.member "v" a) Json.to_int))
+            ~default:0
+        in
+        let t0_ns = int_of_float (ts *. 1e3) in
+        Some
+          {
+            Summary.wid;
+            kind;
+            t0_ns;
+            t1_ns = t0_ns + int_of_float (dur *. 1e3);
+            arg;
+          }
+      | Some "i", Some kind, Some ts ->
+        let wid =
+          Option.value (Option.bind (Json.member "tid" e) Json.to_int) ~default:0
+        in
+        let arg =
+          Option.value
+            (Option.bind (Json.member "args" e) (fun a ->
+                 Option.bind (Json.member "v" a) Json.to_int))
+            ~default:0
+        in
+        let t = int_of_float (ts *. 1e3) in
+        Some { Summary.wid; kind; t0_ns = t; t1_ns = t; arg }
+      | _ -> None)
+    evs
+
+let dropped_of_json j =
+  match
+    Option.bind (Json.member "otherData" j) (fun o ->
+        Option.bind (Json.member "dropped" o) Json.to_list)
+  with
+  | Some l -> Some (Array.of_list (List.map (fun v -> Option.value (Json.to_int v) ~default:0) l))
+  | None -> None
+
+let summary_of_json j =
+  let events = events_of_json j in
+  let domains =
+    List.fold_left (fun acc (e : Summary.event) -> max acc (e.Summary.wid + 1)) 1 events
+  in
+  Summary.of_events ~domains ?dropped:(dropped_of_json j) events

@@ -1,0 +1,29 @@
+(** Chrome [trace_event] JSON export and re-import.
+
+    The written file is the object form ({"traceEvents": [...]}),
+    loadable in chrome://tracing and {{:https://ui.perfetto.dev}
+    Perfetto}: one process, one track (tid) per worker ring, spans as
+    "X" complete events with microsecond [ts]/[dur], wakes as
+    thread-scoped instants, and a per-worker dropped-record count
+    under "otherData". The event kind always travels in the "cat"
+    field and the payload in [args.v], so {!events_of_json} can map a
+    parsed file losslessly back onto ring records. *)
+
+val write : ?task_label:(int -> string) -> out_channel -> Trace.t -> unit
+(** [task_label] names task spans (and suffixes DRed phase spans) by
+    their id — e.g. condensation-component labels; defaults to the
+    bare kind name. Call only after the trace's writers quiesced. *)
+
+val to_file : ?task_label:(int -> string) -> string -> Trace.t -> unit
+
+val events_of_json : Json.t -> Summary.event list
+(** Normalized events of a parsed trace file; skips metadata records
+    and events of unknown kind. Raises {!Json.Parse_error} when there
+    is no [traceEvents] array at all. *)
+
+val dropped_of_json : Json.t -> int array option
+(** The per-worker dropped counts from "otherData", when present. *)
+
+val summary_of_json : Json.t -> Summary.t
+(** [Summary.of_events] over {!events_of_json}, with domain count
+    inferred from the largest tid. *)

@@ -1,0 +1,40 @@
+(** Minimal strict JSON reader.
+
+    Enough to parse back the trace and bench files this repo writes
+    (well-formedness tests, [dms trace], tools/bench_check) without an
+    external dependency. Strict RFC 8259: bare [NaN]/[Infinity],
+    trailing commas and comments are parse errors — deliberately, so a
+    bench emitter printing a non-finite float fails loudly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} with a byte offset on malformed input. *)
+
+val of_file : string -> t
+(** Reads and parses a whole file; raises {!Parse_error} or
+    [Sys_error]. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val to_list : t -> t list option
+
+val to_assoc : t -> (string * t) list option
+
+val to_str : t -> string option
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+(** [Some] only for numbers with integral value. *)
+
+val to_bool : t -> bool option

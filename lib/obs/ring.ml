@@ -1,0 +1,96 @@
+(* Per-worker event ring. Four parallel int arrays (no records on the
+   hot path, nothing for the GC to scan), power-of-two capacity so the
+   write index is a mask, overwrite-oldest on overflow with exact
+   dropped-count accounting.
+
+   Single-writer protocol: only the owning worker calls [emit]; the
+   [published] cursor is the one field a consumer may look at from
+   another domain. The writer fills the four slot arrays (plain
+   stores) and THEN bumps [published] — readers that observe cursor n
+   see record n-1's fields. [published] goes through Prelude.Vatomic
+   so the analysis build checks exactly this argument (see the
+   ring-publish scenario in lib/analysis); consumers in this repo
+   additionally only iterate after the writing domain has joined. *)
+
+module V = Prelude.Vatomic
+
+type t = {
+  kinds : int array;
+  stamps : int array;
+  aargs : int array;
+  bargs : int array;
+  mask : int;
+  enabled : bool;
+  epoch : float;
+  published : int V.t;
+}
+
+let null =
+  {
+    kinds = [| 0 |];
+    stamps = [| 0 |];
+    aargs = [| 0 |];
+    bargs = [| 0 |];
+    mask = 0;
+    enabled = false;
+    epoch = 0.0;
+    published = V.make 0;
+  }
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 16384) ~epoch () =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  {
+    kinds = Array.make cap 0;
+    stamps = Array.make cap 0;
+    aargs = Array.make cap 0;
+    bargs = Array.make cap 0;
+    mask = cap - 1;
+    enabled = true;
+    epoch;
+    published = V.make 0;
+  }
+
+let enabled t = t.enabled
+
+let epoch t = t.epoch
+
+let capacity t = Array.length t.kinds
+
+(* Stamps are ns since the ring's epoch: at nanosecond resolution an
+   OCaml int overflows after ~146 years of tracing, and keeping them
+   int-sized is what keeps the record flat. *)
+let[@inline] ns_of t abs = int_of_float ((abs -. t.epoch) *. 1e9)
+
+let[@inline] now_ns t = ns_of t (Prelude.Mclock.now ())
+
+let[@inline] emit_at t ~t_ns ~kind ~a ~b =
+  if t.enabled then begin
+    let n = V.get t.published in
+    let i = n land t.mask in
+    Array.unsafe_set t.kinds i kind;
+    Array.unsafe_set t.stamps i t_ns;
+    Array.unsafe_set t.aargs i a;
+    Array.unsafe_set t.bargs i b;
+    (* publish after the slot is fully written (single writer) *)
+    V.set t.published (n + 1)
+  end
+
+let[@inline] emit t ~kind ~a ~b =
+  if t.enabled then emit_at t ~t_ns:(now_ns t) ~kind ~a ~b
+
+let written t = V.get t.published
+
+let length t = min (written t) (capacity t)
+
+let dropped t = written t - length t
+
+let iter t f =
+  let w = written t in
+  let first = w - length t in
+  for n = first to w - 1 do
+    let i = n land t.mask in
+    f ~kind:t.kinds.(i) ~t_ns:t.stamps.(i) ~a:t.aargs.(i) ~b:t.bargs.(i)
+  done

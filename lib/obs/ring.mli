@@ -1,0 +1,61 @@
+(** Fixed-capacity per-worker event ring.
+
+    One record is four flat ints — [(kind, t_ns, a, b)], see
+    {!Event} for the field conventions — stored in parallel int
+    arrays: recording allocates nothing and the arrays contain no
+    pointers for the GC to scan. Capacity is rounded up to a power of
+    two; on overflow the oldest records are overwritten and counted in
+    {!dropped}, never silently.
+
+    Single-writer: only the owning worker may {!emit}; {!iter} is for
+    after that domain has quiesced (the executor reads rings only
+    after joining its domains). The publish cursor goes through
+    {!Prelude.Vatomic} so the [--profile analysis] build can check the
+    write-slots-then-bump-cursor ordering. *)
+
+type t
+
+val null : t
+(** The shared disabled ring: {!emit} on it is a single branch. Use it
+    wherever an optional ring is absent so call sites stay
+    unconditional. *)
+
+val create : ?capacity:int -> epoch:float -> unit -> t
+(** [capacity] (default 16384 records, ~512 KiB) is rounded up to a
+    power of two. [epoch] is the {!Prelude.Mclock} reading that all
+    stamps are relative to; rings sharing a trace share it. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!null}. Guard any work beyond the emit call
+    itself (extra clock reads, label formatting) behind this. *)
+
+val epoch : t -> float
+
+val capacity : t -> int
+
+val ns_of : t -> float -> int
+(** Convert an absolute {!Prelude.Mclock} reading (seconds) to integer
+    nanoseconds since the ring's epoch. *)
+
+val now_ns : t -> int
+(** [ns_of t (Mclock.now ())]. *)
+
+val emit : t -> kind:Event.kind -> a:int -> b:int -> unit
+(** Record an event stamped now. Disabled rings return after one
+    branch; enabled cost is one clock read and four int stores. *)
+
+val emit_at : t -> t_ns:int -> kind:Event.kind -> a:int -> b:int -> unit
+(** Record with an explicit stamp (when the caller already read the
+    clock, e.g. the executor's per-task stamps). *)
+
+val written : t -> int
+(** Total records ever emitted, including overwritten ones. *)
+
+val length : t -> int
+(** Records currently retained ([min written capacity]). *)
+
+val dropped : t -> int
+(** [written - length]: records lost to wraparound. *)
+
+val iter : t -> (kind:Event.kind -> t_ns:int -> a:int -> b:int -> unit) -> unit
+(** Oldest retained to newest. Only after the writer has quiesced. *)

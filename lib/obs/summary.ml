@@ -1,0 +1,197 @@
+(* Measured makespan breakdown from a trace: where each worker's
+   wall-clock went (busy / scheduler / steal / park / idle), plus DRed
+   phase totals and a critical-path utilization figure. Works on
+   normalized events so the same pass serves both live rings
+   ([of_trace]) and a re-parsed Chrome file ([dms trace]). *)
+
+type event = { wid : int; kind : Event.kind; t0_ns : int; t1_ns : int; arg : int }
+
+type worker = {
+  wid : int;
+  busy_s : float;
+  sched_s : float;
+  steal_s : float;
+  park_s : float;
+  idle_s : float;
+  tasks : int;
+  steal_attempts : int;
+  stolen : int;
+  wakes : int;
+  events : int;
+  dropped : int;
+}
+
+type t = {
+  workers : worker array;
+  makespan_s : float;
+  busy_s : float;
+  sched_s : float;
+  steal_s : float;
+  park_s : float;
+  idle_s : float;
+  utilization : float;
+  dred_delete_s : float;
+  dred_rederive_s : float;
+  dred_insert_s : float;
+  events : int;
+  dropped : int;
+}
+
+let seconds ns = float_of_int ns /. 1e9
+
+let of_events ~domains ?dropped events =
+  let domains = max 1 domains in
+  let busy = Array.make domains 0 in
+  let sched = Array.make domains 0 in
+  let steal = Array.make domains 0 in
+  let park = Array.make domains 0 in
+  let dred = Array.make domains 0 in
+  let tasks = Array.make domains 0 in
+  let attempts = Array.make domains 0 in
+  let stolen = Array.make domains 0 in
+  let wakes = Array.make domains 0 in
+  let nevents = Array.make domains 0 in
+  let dd = ref 0 and dr = ref 0 and di = ref 0 in
+  let lo = ref max_int and hi = ref min_int in
+  List.iter
+    (fun (e : event) ->
+      if e.wid >= 0 && e.wid < domains then begin
+        let w = e.wid in
+        nevents.(w) <- nevents.(w) + 1;
+        if e.t0_ns < !lo then lo := e.t0_ns;
+        if e.t1_ns > !hi then hi := e.t1_ns;
+        let d = e.t1_ns - e.t0_ns in
+        if e.kind = Event.task then begin
+          busy.(w) <- busy.(w) + d;
+          tasks.(w) <- tasks.(w) + 1
+        end
+        else if e.kind = Event.steal then begin
+          steal.(w) <- steal.(w) + d;
+          attempts.(w) <- attempts.(w) + 1;
+          stolen.(w) <- stolen.(w) + e.arg
+        end
+        else if e.kind = Event.park then park.(w) <- park.(w) + d
+        else if e.kind = Event.wake then wakes.(w) <- wakes.(w) + e.arg
+        else if Event.is_sched e.kind then sched.(w) <- sched.(w) + d
+        else if Event.is_dred e.kind then begin
+          dred.(w) <- dred.(w) + d;
+          if e.kind = Event.dred_delete then dd := !dd + d
+          else if e.kind = Event.dred_rederive then dr := !dr + d
+          else di := !di + d
+        end
+      end)
+    events;
+  let makespan_ns = if !hi > !lo then !hi - !lo else 0 in
+  let makespan_s = seconds makespan_ns in
+  let workers =
+    Array.init domains (fun w ->
+        (* a worker that ran no executor tasks but recorded DRed
+           phases (the serial maintenance path) counts those as its
+           busy time — they are nested inside tasks otherwise *)
+        let busy_ns = if tasks.(w) > 0 then busy.(w) else dred.(w) in
+        let accounted = busy_ns + sched.(w) + steal.(w) + park.(w) in
+        {
+          wid = w;
+          busy_s = seconds busy_ns;
+          sched_s = seconds sched.(w);
+          steal_s = seconds steal.(w);
+          park_s = seconds park.(w);
+          idle_s = seconds (max 0 (makespan_ns - accounted));
+          tasks = tasks.(w);
+          steal_attempts = attempts.(w);
+          stolen = stolen.(w);
+          wakes = wakes.(w);
+          events = nevents.(w);
+          dropped = (match dropped with Some a when w < Array.length a -> a.(w) | _ -> 0);
+        })
+  in
+  let sum f = Array.fold_left (fun acc w -> acc +. f w) 0.0 workers in
+  let busy_s = sum (fun w -> w.busy_s) in
+  {
+    workers;
+    makespan_s;
+    busy_s;
+    sched_s = sum (fun w -> w.sched_s);
+    steal_s = sum (fun w -> w.steal_s);
+    park_s = sum (fun w -> w.park_s);
+    idle_s = sum (fun w -> w.idle_s);
+    utilization =
+      (if makespan_s > 0.0 then busy_s /. (float_of_int domains *. makespan_s) else 0.0);
+    dred_delete_s = seconds !dd;
+    dred_rederive_s = seconds !dr;
+    dred_insert_s = seconds !di;
+    events = Array.fold_left ( + ) 0 nevents;
+    dropped =
+      (match dropped with Some a -> Array.fold_left ( + ) 0 a | None -> 0);
+  }
+
+let of_trace tr =
+  let n = Trace.domains tr in
+  let events = ref [] in
+  let dropped = Array.make (max 1 n) 0 in
+  for w = 0 to n - 1 do
+    let r = Trace.ring tr w in
+    dropped.(w) <- Ring.dropped r;
+    Ring.iter r (fun ~kind ~t_ns ~a ~b ->
+        let t0_ns =
+          if Event.is_instant kind then t_ns else Event.span_start_ns kind ~a ~b
+        in
+        events := { wid = w; kind; t0_ns; t1_ns = t_ns; arg = a } :: !events)
+  done;
+  of_events ~domains:n ~dropped !events
+
+let sched_overhead_s (t : t) = t.sched_s
+
+let pp ppf t =
+  let n = Array.length t.workers in
+  Format.fprintf ppf "makespan %.6f s over %d worker%s, utilization %.1f%%@,"
+    t.makespan_s n
+    (if n = 1 then "" else "s")
+    (100.0 *. t.utilization);
+  Format.fprintf ppf
+    "totals: busy %.6f s, scheduler %.6f s (lock wait + hold), steal %.6f s, park \
+     %.6f s, idle %.6f s@,"
+    t.busy_s t.sched_s t.steal_s t.park_s t.idle_s;
+  if t.dred_delete_s +. t.dred_rederive_s +. t.dred_insert_s > 0.0 then
+    Format.fprintf ppf "DRed phases: delete %.6f s, rederive %.6f s, insert %.6f s@,"
+      t.dred_delete_s t.dred_rederive_s t.dred_insert_s;
+  Format.fprintf ppf "%4s %10s %10s %10s %10s %10s %6s %6s %7s@," "wid" "busy" "sched"
+    "steal" "park" "idle" "tasks" "stolen" "events";
+  Array.iter
+    (fun (w : worker) ->
+      Format.fprintf ppf "%4d %10.6f %10.6f %10.6f %10.6f %10.6f %6d %6d %7d%s@,"
+        w.wid w.busy_s w.sched_s w.steal_s w.park_s w.idle_s w.tasks w.stolen w.events
+        (if w.dropped > 0 then Printf.sprintf " (dropped %d)" w.dropped else ""))
+    t.workers;
+  if t.dropped > 0 then
+    Format.fprintf ppf "WARNING: %d event%s dropped to ring wraparound@," t.dropped
+      (if t.dropped = 1 then "" else "s")
+
+let json t =
+  let buf = Buffer.create 1024 in
+  let fld name v = Printf.bprintf buf "\"%s\": %.9f, " name v in
+  Buffer.add_string buf "{ ";
+  fld "makespan_s" t.makespan_s;
+  fld "utilization" t.utilization;
+  fld "busy_s" t.busy_s;
+  fld "sched_s" t.sched_s;
+  fld "steal_s" t.steal_s;
+  fld "park_s" t.park_s;
+  fld "idle_s" t.idle_s;
+  Printf.bprintf buf
+    "\"dred\": { \"delete_s\": %.9f, \"rederive_s\": %.9f, \"insert_s\": %.9f }, "
+    t.dred_delete_s t.dred_rederive_s t.dred_insert_s;
+  Printf.bprintf buf "\"events\": %d, \"dropped\": %d, \"workers\": [ " t.events
+    t.dropped;
+  Array.iteri
+    (fun i (w : worker) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Printf.bprintf buf
+        "{ \"wid\": %d, \"busy_s\": %.9f, \"sched_s\": %.9f, \"steal_s\": %.9f, \
+         \"park_s\": %.9f, \"idle_s\": %.9f, \"tasks\": %d, \"steal_attempts\": %d, \
+         \"stolen\": %d, \"wakes\": %d, \"events\": %d, \"dropped\": %d }"
+        w.wid w.busy_s w.sched_s w.steal_s w.park_s w.idle_s w.tasks w.steal_attempts
+        w.stolen w.wakes w.events w.dropped)
+    t.workers;
+  Buffer.add_string buf " ] }";
+  Buffer.contents buf

@@ -1,0 +1,64 @@
+(** Measured makespan breakdown.
+
+    Aggregates a trace into per-worker busy / scheduler / steal /
+    park / idle seconds, task and steal counts, DRed phase totals and
+    a critical-path utilization figure
+    ([total busy / (workers x makespan)]). "Scheduler" time is the
+    measured cost of the batched scheduler lock — wait plus hold — the
+    quantity the paper models with abstract op counts; setting the two
+    against each other is the point of this module. *)
+
+type event = { wid : int; kind : Event.kind; t0_ns : int; t1_ns : int; arg : int }
+(** A normalized event: a closed span [t0, t1] (equal for instants)
+    with its payload argument. *)
+
+type worker = {
+  wid : int;
+  busy_s : float;  (** inside executor tasks (or DRed phases when the
+                       worker ran no executor tasks — the serial path) *)
+  sched_s : float;  (** scheduler-lock sections, wait + hold *)
+  steal_s : float;  (** steal attempts, successful or not *)
+  park_s : float;  (** blocked on the eventcount *)
+  idle_s : float;  (** makespan minus the above, clamped at 0 *)
+  tasks : int;
+  steal_attempts : int;
+  stolen : int;
+  wakes : int;
+  events : int;
+  dropped : int;
+}
+
+type t = {
+  workers : worker array;
+  makespan_s : float;  (** first event start to last event end *)
+  busy_s : float;
+  sched_s : float;
+  steal_s : float;
+  park_s : float;
+  idle_s : float;
+  utilization : float;
+  dred_delete_s : float;
+  dred_rederive_s : float;
+  dred_insert_s : float;
+  events : int;
+  dropped : int;
+}
+
+val of_trace : Trace.t -> t
+(** Summarize live rings (after the writers have quiesced). *)
+
+val of_events : domains:int -> ?dropped:int array -> event list -> t
+(** Summarize normalized events, e.g. re-read from a Chrome file by
+    {!Export.events_of_json}. [dropped] is per-worker wraparound loss
+    when known. *)
+
+val sched_overhead_s : t -> float
+(** Total measured scheduler time (= [sched_s]); named for the
+    measured-vs-modeled comparison in bench output. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable table (use within a vertical box). *)
+
+val json : t -> string
+(** The breakdown as a JSON object string, for embedding in
+    [BENCH_*.json]. *)

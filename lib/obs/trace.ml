@@ -1,0 +1,25 @@
+type t = { rings : Ring.t array; epoch : float; enabled : bool }
+
+let disabled = { rings = [||]; epoch = 0.0; enabled = false }
+
+let create ?capacity ~domains () =
+  if domains < 1 then invalid_arg "Trace.create: need at least one domain";
+  let epoch = Prelude.Mclock.now () in
+  {
+    rings = Array.init domains (fun _ -> Ring.create ?capacity ~epoch ());
+    epoch;
+    enabled = true;
+  }
+
+let enabled t = t.enabled
+
+let epoch t = t.epoch
+
+let domains t = Array.length t.rings
+
+let ring t wid =
+  if wid >= 0 && wid < Array.length t.rings then t.rings.(wid) else Ring.null
+
+let written t = Array.fold_left (fun acc r -> acc + Ring.written r) 0 t.rings
+
+let dropped t = Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings

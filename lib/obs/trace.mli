@@ -1,0 +1,31 @@
+(** A trace: one {!Ring} per worker domain, sharing an epoch.
+
+    Thread the trace through a run and hand each worker
+    [ring t wid] — out-of-range ids (and the {!disabled} trace) get
+    {!Ring.null}, so instrumentation sites never branch on an
+    option. *)
+
+type t
+
+val disabled : t
+(** No rings; [ring] always returns {!Ring.null}. The default for
+    every [?obs] parameter in this repo. *)
+
+val create : ?capacity:int -> domains:int -> unit -> t
+(** Fresh rings with a common epoch taken now. [capacity] is per
+    ring (see {!Ring.create}). *)
+
+val enabled : t -> bool
+
+val epoch : t -> float
+
+val domains : t -> int
+
+val ring : t -> int -> Ring.t
+(** [ring t wid]; {!Ring.null} when disabled or out of range. *)
+
+val written : t -> int
+(** Total records emitted across all rings. *)
+
+val dropped : t -> int
+(** Total records lost to wraparound across all rings. *)

@@ -70,8 +70,8 @@ let[@inline] tlog_push l task start finish =
   l.t_finish.(i) <- finish;
   l.t_len <- i + 1
 
-let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
-    (trace : Workload.Trace.t) =
+let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task
+    ?(obs = Obs.Trace.disabled) ~sched (trace : Workload.Trace.t) =
   if domains < 1 then invalid_arg "Executor.run: need at least one domain";
   if batch < 1 then invalid_arg "Executor.run: need a positive batch";
   let g = trace.Workload.Trace.graph in
@@ -80,7 +80,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
      calibration would only waste startup time *)
   let timed = work_unit > 0.0 && Option.is_none run_task in
   if timed then Spinwork.calibrate ();
-  let psched = Sched.Protected.make ~workers:domains sched g in
+  (* per-worker observability rings: [Ring.null] (emit = one branch)
+     when tracing is off, so every instrumentation site below stays
+     unconditional on the hot path *)
+  let rings = Array.init domains (Obs.Trace.ring obs) in
+  let psched = Sched.Protected.make ~rings ~workers:domains sched g in
   (* flat atomic status array: one cache line touch per transition
      instead of a pointer chase into a boxed [Atomic.t] per task.
      Ordering: loads acquire, final-state stores release, lifecycle
@@ -153,7 +157,10 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
         wake_all ())
       fmt
   in
-  let park e =
+  let park ring e =
+    let t0 =
+      if Obs.Ring.enabled ring then Prelude.Mclock.now () else 0.0
+    in
     Mutex.lock pmutex;
     (* order matters: register as parked *before* re-checking the
        eventcount. A waker increments [events] before reading [parked];
@@ -165,7 +172,9 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
       Condition.wait pcond pmutex
     done;
     Vatomic.decr parked;
-    Mutex.unlock pmutex
+    Mutex.unlock pmutex;
+    if Obs.Ring.enabled ring then
+      Obs.Ring.emit ring ~kind:Obs.Event.park ~a:0 ~b:(Obs.Ring.ns_of ring t0)
   in
   (* [completed] is incremented inside the scheduler critical section
      (after the batch's activations were both counted in [activated]
@@ -248,6 +257,8 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
       Prelude.Backoff.create ~limit:(if domains > cores then 0 else 10) ()
     in
     let log = logs.(wid) in
+    let ring = Array.unsafe_get rings wid in
+    let traced = Obs.Ring.enabled ring in
     barrier ();
     let epoch = !epoch_ref in
     (* One clock read per task: a task's recorded start is the previous
@@ -293,7 +304,12 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
              event; only signal sleepers when there are activations to
              hand them and spare cores to run them *)
           Vatomic.incr events;
-          if nact > 0 then wake (min nact (wake_budget ()))
+          if nact > 0 then begin
+            let k = min nact (wake_budget ()) in
+            wake k;
+            if traced && k > 0 then
+              Obs.Ring.emit ring ~kind:Obs.Event.wake ~a:k ~b:0
+          end
         end
       end
     in
@@ -307,10 +323,17 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
            route it through [fail] (every worker exits, Domain.join
            returns) and finish this task normally — leaving it
            unfinished would park peers forever on a dead run *)
-        try f u with e -> fail "task %d raised: %s" u (Printexc.to_string e)));
+        try f ~wid u with e -> fail "task %d raised: %s" u (Printexc.to_string e)));
       let finish = Prelude.Mclock.now () -. epoch in
       Array.unsafe_set last_stamp 0 finish;
       tlog_push log u start finish;
+      (* reuse the per-task stamps already taken for the log; [start]
+         and [finish] are relative to the barrier epoch *)
+      if traced then
+        Obs.Ring.emit_at ring
+          ~t_ns:(Obs.Ring.ns_of ring (epoch +. finish))
+          ~kind:Obs.Event.task ~a:u
+          ~b:(Obs.Ring.ns_of ring (epoch +. start));
       works.(wid) <- works.(wid) +. work;
       (* release store: final-state publication; any parent that later
          reads [done_] in [try_activate] must also see this task's side
@@ -385,7 +408,7 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
        snapshot (defeats the park). *)
     if wid >= cores then begin
       let e = Vatomic.get events in
-      if (not (terminated ())) && Vatomic.get failure = None then park e
+      if (not (terminated ())) && Vatomic.get failure = None then park ring e
     end;
     let rec loop () =
       match Vatomic.get failure with
@@ -401,7 +424,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
           (* snapshot the eventcount before the final search; any work
              published after this point bumps it and defeats the park *)
           let e = Vatomic.get events in
+          let steal_t0 = if traced then Prelude.Mclock.now () else 0.0 in
           let stolen = try_steal () in
+          if traced then
+            Obs.Ring.emit ring ~kind:Obs.Event.steal ~a:stolen
+              ~b:(Obs.Ring.ns_of ring steal_t0);
           if stolen > 0 then begin
             Prelude.Backoff.reset backoff;
             steal_counts.(wid) <- steal_counts.(wid) + stolen;
@@ -424,12 +451,14 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ?(batch = 64) ?run_task ~sched
                  finds a batch — exponential wake diffusion *)
               if k > 1 && wake_budget () > 0 then begin
                 Vatomic.incr events;
-                wake 1
+                wake 1;
+                if traced then
+                  Obs.Ring.emit ring ~kind:Obs.Event.wake ~a:1 ~b:0
               end;
               loop ()
             | Sched.Protected.Pending ->
               if Prelude.Backoff.is_exhausted backoff then begin
-                park e;
+                park ring e;
                 Prelude.Backoff.reset backoff
               end
               else Prelude.Backoff.once backoff;

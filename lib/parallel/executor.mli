@@ -58,7 +58,8 @@ val run :
   ?domains:int ->
   ?work_unit:float ->
   ?batch:int ->
-  ?run_task:(int -> unit) ->
+  ?run_task:(wid:int -> int -> unit) ->
+  ?obs:Obs.Trace.t ->
   sched:Sched.Intf.factory ->
   Workload.Trace.t ->
   result
@@ -70,7 +71,7 @@ val run :
     scheduler per critical section.
 
     [run_task] replaces the simulated spin entirely: when given, task
-    [u]'s body is [run_task u] executed on the claiming worker domain
+    [u]'s body is [run_task ~wid u] executed on worker domain [wid]
     (spin calibration is skipped; [work_unit] only scales the logged
     [work_executed]). The dispatch protocol is unchanged, so the body
     runs exactly once, strictly after every body of an activated
@@ -81,6 +82,14 @@ val run :
     its task; if it raises, the run is aborted (every worker exits at
     its next shared-state check) and {!run} raises [Failure] with the
     task id and exception.
+
+    [obs] (default {!Obs.Trace.disabled}) collects a timeline into the
+    trace's per-worker rings: task spans (reusing the per-task log
+    stamps — no extra clock reads), steal attempts with their yield,
+    park spans, wake instants, and — via {!Sched.Protected} — one span
+    per scheduler critical section recording measured lock wait and
+    hold. Disabled, every instrumentation site is a single branch on
+    [Ring.enabled]; summarize afterwards with {!Obs.Summary.of_trace}.
     @raise Failure if the scheduler deadlocks (no ready task while
     activated tasks remain and nothing is running) or violates safety
     (releases a task that was never activated, twice, or after it ran;

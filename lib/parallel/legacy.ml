@@ -30,12 +30,36 @@ let spin seconds =
    big mutex) rather than trusting it. *)
 module Plain = Prelude.Vatomic.Plain
 
-let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
+let run ?(domains = 4) ?(work_unit = 1e-4) ?(obs = Obs.Trace.disabled) ~sched
+    (trace : Workload.Trace.t) =
   if domains < 1 then invalid_arg "Legacy.run: need at least one domain";
   let g = trace.Workload.Trace.graph in
   let n = Dag.Graph.node_count g in
   let inst = sched.Sched.Intf.make g in
   let lock = Mutex.create () in
+  (* Per-worker scheduler-op attribution, same snapshot/credit scheme
+     as Sched.Protected: scheduler calls all happen under [lock] with
+     the calling worker known, so the delta of the instance's
+     cumulative counters across each scheduler-touching section is
+     credited to that worker. (The seed reported all-zero worker_ops;
+     see legacy.mli.) *)
+  let per_worker = Array.init domains (fun _ -> Sched.Intf.zero_ops ()) in
+  let snap () =
+    let o = inst.Sched.Intf.ops in
+    ( o.Sched.Intf.queries,
+      o.Sched.Intf.scans,
+      o.Sched.Intf.messages,
+      o.Sched.Intf.bucket_ops,
+      o.Sched.Intf.bfs_steps )
+  in
+  let credit wid (q, s, m, b, f) =
+    let o = inst.Sched.Intf.ops and w = per_worker.(wid) in
+    w.Sched.Intf.queries <- w.Sched.Intf.queries + o.Sched.Intf.queries - q;
+    w.Sched.Intf.scans <- w.Sched.Intf.scans + o.Sched.Intf.scans - s;
+    w.Sched.Intf.messages <- w.Sched.Intf.messages + o.Sched.Intf.messages - m;
+    w.Sched.Intf.bucket_ops <- w.Sched.Intf.bucket_ops + o.Sched.Intf.bucket_ops - b;
+    w.Sched.Intf.bfs_steps <- w.Sched.Intf.bfs_steps + o.Sched.Intf.bfs_steps - f
+  in
   let work_ready = Condition.create () in
   let status = Array.make n Inactive in
   let activated = Plain.make 0 in
@@ -79,11 +103,24 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
       Plain.set failed (Some (Printf.sprintf "task %d activated after it ran" u))
   in
   Mutex.lock lock;
+  (* initial activations run on the spawning thread; their scheduler
+     work is credited to worker 0, mirroring Executor's
+     [Protected.activate ~wid:0] *)
+  let s0 = snap () in
   Array.iter activate trace.Workload.Trace.initial;
+  credit 0 s0;
   Mutex.unlock lock;
   let worker wid =
     barrier ();
     let epoch = !epoch_ref in
+    let ring = Obs.Trace.ring obs wid in
+    let traced = Obs.Ring.enabled ring in
+    (* big-lock scheduler sections carry no separately measured lock
+       wait (the lock is held across the whole dispatch loop), so the
+       span's wait field is 0 and [t0] is the section start *)
+    let emit_sched kind t0 =
+      if traced then Obs.Ring.emit ring ~kind ~a:0 ~b:(Obs.Ring.ns_of ring t0)
+    in
     Mutex.lock lock;
     let rec loop () =
       if Plain.get failed <> None then ()
@@ -91,6 +128,8 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
         (* nothing active remains and nothing can activate more *)
         Condition.broadcast work_ready
       else begin
+        let sq = snap () in
+        let nr_t0 = if traced then Prelude.Mclock.now () else 0.0 in
         match inst.Sched.Intf.next_ready () with
         | Some u ->
           (match status.(u) with
@@ -102,12 +141,23 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
             status.(u) <- Running;
             Plain.set running (Plain.get running + 1);
             inst.Sched.Intf.on_started u;
+            credit wid sq;
+            emit_sched Obs.Event.sched_refill nr_t0;
             Mutex.unlock lock;
             let start = now () -. epoch in
+            let mstart = if traced then Prelude.Mclock.now () else 0.0 in
             let work = Workload.Trace.work trace u in
             spin (work *. work_unit);
+            let mfinish = if traced then Prelude.Mclock.now () else 0.0 in
             let finish = now () -. epoch in
             Mutex.lock lock;
+            if traced then
+              Obs.Ring.emit_at ring
+                ~t_ns:(Obs.Ring.ns_of ring mfinish)
+                ~kind:Obs.Event.task ~a:u
+                ~b:(Obs.Ring.ns_of ring mstart);
+            let sc = snap () in
+            let cb_t0 = if traced then Prelude.Mclock.now () else 0.0 in
             status.(u) <- Done;
             Plain.set running (Plain.get running - 1);
             Plain.set completed (Plain.get completed + 1);
@@ -116,11 +166,17 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
             Dag.Graph.iter_succ g u (fun ~dst ~eid ->
                 if trace.Workload.Trace.edge_changed.(eid) then activate dst);
             inst.Sched.Intf.on_completed u;
+            credit wid sc;
+            emit_sched Obs.Event.sched_complete cb_t0;
             Condition.broadcast work_ready;
             loop ()
           end
-          else Condition.broadcast work_ready
+          else begin
+            credit wid sq;
+            Condition.broadcast work_ready
+          end
         | None ->
+          credit wid sq;
           if Plain.get running = 0 then begin
             Plain.set failed
               (Some
@@ -132,7 +188,11 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
             Condition.broadcast work_ready
           end
           else begin
+            let p0 = if traced then Prelude.Mclock.now () else 0.0 in
             Condition.wait work_ready lock;
+            if traced then
+              Obs.Ring.emit ring ~kind:Obs.Event.park ~a:0
+                ~b:(Obs.Ring.ns_of ring p0);
             loop ()
           end
       end
@@ -157,8 +217,10 @@ let run ?(domains = 4) ?(work_unit = 1e-4) ~sched (trace : Workload.Trace.t) =
     tasks_executed = Plain.get completed;
     tasks_activated = Plain.get activated;
     ops = inst.Sched.Intf.ops;
-    worker_ops = Array.init domains (fun _ -> Sched.Intf.zero_ops ());
+    worker_ops = per_worker;
     log;
     work_executed = Plain.get work_executed;
+    (* structural, not unmeasured: the big-lock design has no worker
+       buffers, so nothing can be stolen *)
     steals = 0;
   }

@@ -2,6 +2,11 @@ type t = {
   inst : Intf.instance;
   lock : Mutex.t;
   per_worker : Intf.ops array;
+  (* per-worker observability rings ([Obs.Ring.null] when tracing is
+     off): each critical section records one span — lock wait plus
+     hold — so the *measured* scheduler overhead can be set against
+     the op-count model the [ops] record implements *)
+  rings : Obs.Ring.t array;
   mutable outstanding : int;
   (* [completed] is the one field read outside [lock] (the executor's
      termination test); SC counter via Vatomic so the analysis build
@@ -13,12 +18,19 @@ type t = {
 
 type refill = Got of int | Pending | Drained
 
-let make ~workers (factory : Intf.factory) g =
+let make ?rings ~workers (factory : Intf.factory) g =
   if workers < 1 then invalid_arg "Protected.make: need at least one worker";
+  let rings =
+    match rings with
+    | Some r when Array.length r >= workers -> r
+    | Some _ -> invalid_arg "Protected.make: rings array shorter than workers"
+    | None -> Array.make workers Obs.Ring.null
+  in
   {
     inst = factory.Intf.make g;
     lock = Mutex.create ();
     per_worker = Array.init workers (fun _ -> Intf.zero_ops ());
+    rings;
     outstanding = 0;
     completed = Prelude.Vatomic.make 0;
   }
@@ -43,8 +55,18 @@ let credit t wid ~q ~s ~m ~b ~f =
   w.Intf.bucket_ops <- w.Intf.bucket_ops + o.Intf.bucket_ops - b;
   w.Intf.bfs_steps <- w.Intf.bfs_steps + o.Intf.bfs_steps - f
 
-let[@inline] locked t wid body =
+(* [kind] tags the emitted span (refill / complete / activate). The
+   two clock reads bracket the lock acquisition, so the span records
+   both the wait (contention) and the hold (scheduler work); both are
+   skipped entirely when the worker's ring is disabled. The emit
+   itself lands after the unlock — it touches only the caller's own
+   ring, never shared state. *)
+let[@inline] locked t wid kind body =
+  let ring = Array.unsafe_get t.rings wid in
+  let traced = Obs.Ring.enabled ring in
+  let t0 = if traced then Prelude.Mclock.now () else 0.0 in
   Mutex.lock t.lock;
+  let t1 = if traced then Prelude.Mclock.now () else 0.0 in
   let o = t.inst.Intf.ops in
   let q = o.Intf.queries
   and s = o.Intf.scans
@@ -54,10 +76,15 @@ let[@inline] locked t wid body =
   let result = body t.inst in
   credit t wid ~q ~s ~m ~b ~f;
   Mutex.unlock t.lock;
+  if traced then begin
+    let b0 = Obs.Ring.ns_of ring t0 and b1 = Obs.Ring.ns_of ring t1 in
+    Obs.Ring.emit ring ~kind ~a:(b1 - b0) ~b:b1
+  end;
   result
 
 let activate t ~wid tasks =
-  locked t wid (fun inst -> Array.iter inst.Intf.on_activated tasks)
+  locked t wid Obs.Event.sched_activate (fun inst ->
+      Array.iter inst.Intf.on_activated tasks)
 
 let memory_words t =
   Mutex.lock t.lock;
@@ -68,7 +95,7 @@ let memory_words t =
 let refill t ~wid ~into =
   let max = Array.length into in
   let k, out =
-    locked t wid (fun inst ->
+    locked t wid Obs.Event.sched_refill (fun inst ->
         let k =
           (* prefer the scheduler's allocation-free batched path; the
              fallback pairs [next_ready] with [on_started] one task at
@@ -96,7 +123,7 @@ let refill t ~wid ~into =
   if k > 0 then Got k else if out > 0 then Pending else Drained
 
 let complete_batch t ~wid ~tasks ~ntasks ~acts ~counts =
-  locked t wid (fun inst ->
+  locked t wid Obs.Event.sched_complete (fun inst ->
       let pos = ref 0 in
       for i = 0 to ntasks - 1 do
         let c = Array.unsafe_get counts i in

@@ -42,10 +42,13 @@ type refill =
           task has completed, or the scheduler has stalled (caller
           decides by comparing activation and completion counts) *)
 
-val make : workers:int -> Intf.factory -> Dag.Graph.t -> t
+val make : ?rings:Obs.Ring.t array -> workers:int -> Intf.factory -> Dag.Graph.t -> t
 (** Runs the factory's precomputation. [workers] sizes the per-worker
     op-attribution table; worker ids passed below must be in
-    [0, workers). *)
+    [0, workers). [rings], when given (length >= [workers]), receives
+    one span per critical section on the calling worker's ring —
+    measured lock wait and hold, tagged refill/complete/activate — the
+    empirically observed counterpart of the op-count model. *)
 
 val name : t -> string
 

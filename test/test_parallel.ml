@@ -229,7 +229,7 @@ let run_task_bodies_execute_once () =
   in
   let hits = Array.make n 0 in
   let prefix = Array.make n (-1) in
-  let run_task u =
+  let run_task ~wid:_ u =
     hits.(u) <- hits.(u) + 1;
     prefix.(u) <- (if u = 0 then 0 else prefix.(u - 1) + 1)
   in
@@ -248,7 +248,7 @@ let run_task_bodies_execute_once () =
 
 let run_task_failure_propagates () =
   let trace = Workload.Pathological.deep_chain ~n:4 in
-  let run_task u = if u = 2 then failwith "boom" in
+  let run_task ~wid:_ u = if u = 2 then failwith "boom" in
   match
     Parallel.Executor.run ~domains:2 ~work_unit:0.0 ~run_task
       ~sched:Sched.Level_based.factory trace
