@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-check bench-datalog bench-maintain-par model-check model-check-smoke ci clean
+.PHONY: all build test bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard model-check model-check-smoke ci clean
 
 all: build
 
@@ -34,12 +34,19 @@ bench-datalog:
 bench-maintain-par:
 	dune exec bench/main.exe -- maintain-par
 
+# intra-component parallelism: the shards x domains grid on a single
+# big-SCC workload, database-parity asserted on every cell; writes
+# BENCH_maintain_shard.json
+bench-maintain-shard:
+	dune exec bench/main.exe -- maintain-shard
+
 # tiny traces through the full dispatch matrix (both executors, all
 # domain counts, Executor.check everywhere), a small compiled-vs-
-# interpreter pass, and a 2-domain parallel-maintenance parity pass;
+# interpreter pass, a 2-domain parallel-maintenance parity pass, and
+# the sharded-maintenance parity grid;
 # seconds; writes BENCH_*_smoke.json into the current directory
 bench-smoke:
-	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke
+	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke maintain-shard-smoke
 
 # compare the BENCH_*_smoke.json of the last `make bench-smoke` against
 # the committed baselines: fails on parity drift (task/tuple/changed

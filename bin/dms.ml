@@ -211,13 +211,18 @@ let datalog_cmd =
            ~doc:"Run the incremental maintenance itself on N worker domains \
                  (real parallelism via the multicore executor; 1 = serial).")
   in
+  let shards_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K"
+           ~doc:"Split each component's DRed phase rounds into K hash-sharded \
+                 fan-out tasks (intra-component parallelism; 1 = unsharded).")
+  in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record the maintenance run's per-worker timeline and write \
                  it as Chrome trace_event JSON (open in chrome://tracing or \
                  Perfetto; summarize with 'dms trace FILE').")
   in
-  let run program queries adds dels lint sched procs domains trace =
+  let run program queries adds dels lint sched procs domains shards trace =
     wrap (fun () ->
         let ic = open_in program in
         let n = in_channel_length ic in
@@ -233,10 +238,11 @@ let datalog_cmd =
           (Datalog.Database.total_tuples session.Incr_sched.db);
         if adds <> [] || dels <> [] || trace <> None then begin
           let tt =
-            Incr_sched.update ~domains ?trace session ~additions:adds
+            Incr_sched.update ~domains ~shards ?trace session ~additions:adds
               ~deletions:dels
           in
-          if domains > 1 then Format.printf "maintained on %d domains@." domains;
+          if domains > 1 || shards > 1 then
+            Format.printf "maintained on %d domains x %d shards@." domains shards;
           (match trace with
           | Some path -> Format.printf "timeline written to %s@." path
           | None -> ());
@@ -266,7 +272,7 @@ let datalog_cmd =
           and schedule its maintenance DAG.")
     Term.(
       const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg
-      $ domains_arg $ trace_out)
+      $ domains_arg $ shards_arg $ trace_out)
 
 (* ---- trace (summarize a recorded timeline) ---- *)
 

@@ -20,7 +20,10 @@
    - [comp_ownership]: the component-ownership protocol of
      Incremental.apply_parallel — plain relation writes confined to
      the owning task, downstream reads gated on the scheduler's
-     release rather than on mere activation.
+     release rather than on mere activation;
+   - [shard_ownership]: the (component, shard) buffer-ownership rule
+     of the sharded phase rounds — each shard job stages only into its
+     private buffer, the coordinator merges behind the crew barrier.
 
    Every safe scenario has a deliberately broken sibling ([Buggy])
    whose counterexample the checker must find; those schedules are
@@ -351,7 +354,63 @@ let comp_ownership ~gated =
         (body, finish));
   }
 
-(* ---- 7. observability: ring publish/consume --------------------- *)
+(* ---- 7. intra-component sharding: buffer ownership -------------- *)
+
+(* The (component, shard) ownership rule behind the sharded phase
+   rounds of Incremental.process_comp: during a fan-out, shard job [s]
+   writes only its own candidate buffer (a plain, unsynchronized
+   store), and the coordinator reads every buffer only behind the
+   crew's completion barrier — Shard_crew's mutex handoff, modeled
+   here as the worker's atomic done-flag that the coordinator
+   CAS-claims. Process 0 is the coordinator running shard 0 into
+   [buf0]; process 1 is the crew worker running shard 1 into [buf1].
+   The buggy sibling has the worker also stage into the coordinator's
+   buffer — the cross-shard write the ownership rule forbids — which
+   races the coordinator's own plain write to [buf0]: the vector-clock
+   checker must flag it. *)
+let shard_ownership ~confined =
+  {
+    Mc.name =
+      (if confined then "shard-ownership" else "shard-ownership-buggy-cross-write");
+    nprocs = 2;
+    instantiate =
+      (fun () ->
+        (* candidate buffers are plain cells, like the per-shard
+           tuple buffers in the real fan-out *)
+        let buf0 = V.Plain.make 0 in
+        let buf1 = V.Plain.make 0 in
+        let done1 = V.make 0 in
+        let merged = V.Plain.make 0 in
+        let coordinator () =
+          (* shard 0 runs on the calling thread *)
+          V.Plain.set buf0 5;
+          (* crew barrier: claim the worker's completion *)
+          while not (V.compare_and_set done1 1 2) do
+            ()
+          done;
+          (* deterministic merge, shard order 0 then 1 *)
+          V.Plain.set merged (V.Plain.get buf0 + V.Plain.get buf1)
+        in
+        let worker () =
+          if confined then V.Plain.set buf1 7
+          else begin
+            (* broken: stage into shard 0's buffer while its owner may
+               still be writing it *)
+            V.Plain.set buf0 (V.Plain.get buf0 + 7);
+            V.Plain.set buf1 0
+          end;
+          (* completion publish: the release half of the barrier *)
+          V.set done1 1
+        in
+        let body p = if p = 0 then coordinator () else worker () in
+        let finish () =
+          if confined then assert (V.Plain.get merged = 12)
+          else assert (V.Plain.get merged >= 0)
+        in
+        (body, finish));
+  }
+
+(* ---- 8. observability: ring publish/consume --------------------- *)
 
 (* Obs.Ring's single-writer protocol: the owning worker writes a
    record's slots (plain stores into the flat arrays) and only then
@@ -403,6 +462,7 @@ let safe =
     protected_batch ~deliver_first:true;
     plain_race ~locked:true;
     comp_ownership ~gated:true;
+    shard_ownership ~confined:true;
     ring_publish ~publish_after:true;
   ]
 
@@ -413,6 +473,7 @@ let buggy =
     protected_batch ~deliver_first:false;
     plain_race ~locked:false;
     comp_ownership ~gated:false;
+    shard_ownership ~confined:false;
     ring_publish ~publish_after:false;
   ]
 

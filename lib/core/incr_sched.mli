@@ -73,6 +73,7 @@ val lint : datalog_session -> Datalog.Lint.diagnostic list
 val update :
   ?work_unit:float ->
   ?domains:int ->
+  ?shards:int ->
   ?trace:string ->
   datalog_session ->
   additions:string list ->
@@ -81,12 +82,15 @@ val update :
 (** Apply a base-fact update incrementally (atoms given as text, e.g.
     ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace.
     [domains] (default 1) > 1 performs the maintenance in parallel on
-    that many worker domains
-    (see {!Datalog.Incremental.apply_parallel}). [trace] records the
-    maintenance run's per-worker timeline and writes it to the given
-    path as Chrome trace_event JSON (chrome://tracing or Perfetto;
-    task spans named by component predicates) — summarize it with
-    [dms trace] or {!Obs.Export.summary_of_json}. *)
+    that many worker domains; [shards] (default 1) > 1 additionally
+    fans each component's DRed phase rounds out over that many shard
+    tasks (see {!Datalog.Incremental.apply_parallel}). [trace] records
+    the maintenance run's per-worker timeline — one ring per executor
+    worker plus one per extra shard — and writes it to the given path
+    as Chrome trace_event JSON (chrome://tracing or Perfetto; task
+    spans named by component predicates, shard fan-out as [shard j]
+    spans) — summarize it with [dms trace] or
+    {!Obs.Export.summary_of_json}. *)
 
 val query : datalog_session -> string -> Datalog.Ast.atom list
 (** All facts of a predicate, sorted. *)

@@ -206,10 +206,15 @@ type prepared_rule = {
   flipped : (int * Ast.rule * Plan.exec) list;  (* keyed by negated body position *)
 }
 
+(* [Rules] holds one independently compiled plan set per shard task
+   (length 1 when unsharded): plans carry non-reentrant scratch state,
+   so the per-shard enumerations of a sharded phase round must never
+   share one. Shard [s]'s list is touched only by the thread running
+   shard [s] (the crew pins shards to domains). *)
 type comp_body =
   | Extensional
   | Aggregate_rule of Ast.rule
-  | Rules of prepared_rule list
+  | Rules of prepared_rule list array
 
 type prepared_comp = {
   comp : int;
@@ -218,7 +223,7 @@ type prepared_comp = {
   body : comp_body;
 }
 
-let prepare_comp ctx comp =
+let prepare_comp ?(shards = 1) ctx comp =
   let anal = ctx.anal in
   let members = anal.Stratify.condensation.Dag.Scc.members.(comp) in
   let comp_preds = Hashtbl.create 4 in
@@ -235,44 +240,50 @@ let prepare_comp ctx comp =
     | [] -> Extensional
     | [ r ] when Ast.rule_is_aggregate r -> Aggregate_rule r
     | rules ->
-      Rules
-        (List.map
-           (fun (r : Ast.rule) ->
-             let flipped =
-               List.mapi (fun i lit -> (i, lit)) r.Ast.body
-               |> List.filter_map (fun (i, lit) ->
-                      match lit with
-                      | Ast.Neg _ ->
-                        let fr = flip_negation r i in
-                        Some (i, fr, ctx.make_exec fr)
-                      | Ast.Pos _ | Ast.Cmp _ -> None)
-             in
-             { rule = r; ex = ctx.make_exec r; flipped })
-           rules)
+      let prepare_set () =
+        List.map
+          (fun (r : Ast.rule) ->
+            let flipped =
+              List.mapi (fun i lit -> (i, lit)) r.Ast.body
+              |> List.filter_map (fun (i, lit) ->
+                     match lit with
+                     | Ast.Neg _ ->
+                       let fr = flip_negation r i in
+                       Some (i, fr, ctx.make_exec fr)
+                     | Ast.Pos _ | Ast.Cmp _ -> None)
+            in
+            { rule = r; ex = ctx.make_exec r; flipped })
+          rules
+      in
+      Rules (Array.init (max 1 shards) (fun _ -> prepare_set ()))
   in
   { comp; members; comp_preds; body }
 
 (* Compile every plan a component's phases could reach: the base plan
    (phase B), a delta plan per positive body position (phases A/C and
-   the in-component cascades), and a delta plan per flipped negation.
-   Compilation interns constants into the shared symbol table and
-   consults relation cardinalities, so the parallel driver runs this
-   serially, before any worker domain exists. *)
+   the in-component cascades), and a delta plan per flipped negation —
+   for every shard's plan set. Compilation interns constants into the
+   shared symbol table and consults relation cardinalities, so the
+   parallel driver runs this serially, before any worker domain
+   exists. *)
 let precompile_comp pc =
   match pc.body with
   | Extensional | Aggregate_rule _ -> ()
-  | Rules prs ->
-    List.iter
-      (fun pr ->
-        Plan.prepare pr.ex;
-        List.iteri
-          (fun i lit ->
-            match lit with
-            | Ast.Pos _ -> Plan.prepare ~delta:i pr.ex
-            | Ast.Neg _ | Ast.Cmp _ -> ())
-          pr.rule.Ast.body;
-        List.iter (fun (i, _, fex) -> Plan.prepare ~delta:i fex) pr.flipped)
-      prs
+  | Rules prs_by_shard ->
+    Array.iter
+      (fun prs ->
+        List.iter
+          (fun pr ->
+            Plan.prepare pr.ex;
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos _ -> Plan.prepare ~delta:i pr.ex
+                | Ast.Neg _ | Ast.Cmp _ -> ())
+              pr.rule.Ast.body;
+            List.iter (fun (i, _, fex) -> Plan.prepare ~delta:i fex) pr.flipped)
+          prs)
+      prs_by_shard
 
 let flipped_for pr i =
   let rec go = function
@@ -283,7 +294,20 @@ let flipped_for pr i =
 
 (* ---- per-component maintenance (DRed phases A/B/C) -------------- *)
 
-let process_comp ?(ring = Obs.Ring.null) ctx (pc : prepared_comp) =
+(* Shared intra-component fan-out machinery, one per update: the crew
+   ([Shard_crew.run] serializes concurrent component tasks internally
+   so two executor workers can both reach a sharded phase round), the
+   shard count, and one dedicated obs ring per non-coordinator shard.
+   Crew worker [j] always runs shard [j] and at most one fan-out is in
+   flight, so the rings keep their single-writer contract; shard 0
+   runs on the coordinating thread and shares its ring. *)
+type shard_ctx = {
+  crew : Parallel.Shard_crew.t;
+  nshards : int;
+  shard_rings : Obs.Ring.t array;  (* length [nshards]; slot 0 unused *)
+}
+
+let process_comp ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepared_comp) =
   let anal = ctx.anal in
   let d = ctx.d in
   let comp = pc.comp in
@@ -353,169 +377,405 @@ let process_comp ?(ring = Obs.Ring.null) ctx (pc : prepared_comp) =
       phase_end Obs.Event.dred_rederive
     end;
     { comp; work = !work; output_changed = members_changed (); input_changed }
-  | Rules prs ->
+  | Rules prs_by_shard ->
+    let prs = prs_by_shard.(0) in
     let input_changed = input_changed_of (List.map (fun pr -> pr.rule) prs) in
     let work = ref 0 in
-    (* ---- Phase A: overdeletion against the old state ---- *)
-    phase_begin ();
-    let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
-    let overdelete (r : Ast.rule) tup =
-      let pred = r.Ast.head.Ast.pred in
-      let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
-      if Relation.remove rel tup then begin
-        record_remove d pred ~arity:(head_arity r) tup;
-        ignore (Relation.add (delta_rel overdeleted pred ~arity:(head_arity r)) tup)
-      end
-    in
-    (* round 0: external triggers. All staging callbacks here and in
-       phases B/C mutate state the enumeration is reading — the head
-       relation probed by recursive rules, and the net-delta overlay
-       [old_view] iterates — so every exec goes through
-       {!Plan.exec_rule_deferred}: derive first against frozen state,
-       apply after the walk. The deferral does not change the old
-       view: overdeletion removes from the live relation and records
-       into [d.removed], which cancel out under the overlay. *)
-    let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
-    let stage_round (r : Ast.rule) tup =
-      let pred = r.Ast.head.Ast.pred in
-      let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
-      if Relation.mem rel tup then begin
-        (* not yet overdeleted this phase *)
-        overdelete r tup;
-        ignore (Relation.add (delta_rel !round pred ~arity:(head_arity r)) tup)
-      end
-    in
-    List.iter
-      (fun pr ->
-        let r = pr.rule in
-        List.iteri
-          (fun i lit ->
-            match lit with
-            | Ast.Pos a when nonempty d.removed a.Ast.pred ->
-              Plan.exec_rule_deferred ~view:ctx.old_view
-                ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                ~work
-                ~keep:(Relation.mem (head_rel r))
-                ~on_derived:(stage_round r) pr.ex
-            | Ast.Neg a when nonempty d.added a.Ast.pred ->
-              let fr, fex = flipped_for pr i in
-              Plan.exec_rule_deferred ~view:ctx.old_view
-                ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                ~work
-                ~keep:(Relation.mem (head_rel fr))
-                ~on_derived:(stage_round fr) fex
-            | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-          r.Ast.body)
-      prs;
-    (* cascade within the component *)
-    while Hashtbl.length !round > 0 do
-      let prev = !round in
-      round := Hashtbl.create 4;
-      List.iter
-        (fun pr ->
-          let r = pr.rule in
-          List.iteri
-            (fun i lit ->
-              match lit with
-              | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
-                match Hashtbl.find_opt prev a.Ast.pred with
-                | Some delta when Relation.cardinality delta > 0 ->
-                  Plan.exec_rule_deferred ~view:ctx.old_view ~delta:(i, delta) ~work
-                    ~keep:(Relation.mem (head_rel r))
-                    ~on_derived:(stage_round r) pr.ex
-                | Some _ | None -> ())
-              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-            r.Ast.body)
-        prs;
-      (* tuples staged this round that were already overdeleted in a
-         previous round were filtered by [stage_round]'s mem check *)
-      ()
-    done;
-    phase_end Obs.Event.dred_delete;
-    (* ---- Phase B: rederivation over the new state ---- *)
-    phase_begin ();
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      List.iter
-        (fun pr ->
-          let r = pr.rule in
-          match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
-          | Some o when Relation.cardinality o > 0 ->
-            Plan.exec_rule_deferred ~view:ctx.new_view ~work
-              ~keep:(Relation.mem o)
-              ~on_derived:(fun tup ->
-                if Relation.mem o tup then begin
-                  let pred = r.Ast.head.Ast.pred in
-                  let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
-                  if Relation.add rel tup then begin
-                    record_add d pred ~arity:(head_arity r) tup;
-                    ignore (Relation.remove o tup);
-                    changed := true
-                  end
-                end)
-              pr.ex
-          | Some _ | None -> ())
-        prs
-    done;
-    phase_end Obs.Event.dred_rederive;
-    (* ---- Phase C: insertion against the new state ---- *)
-    phase_begin ();
-    let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
-    let stage_add (r : Ast.rule) tup =
-      let pred = r.Ast.head.Ast.pred in
-      let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
-      if Relation.add rel tup then begin
-        record_add d pred ~arity:(head_arity r) tup;
-        ignore (Relation.add (delta_rel !roundc pred ~arity:(head_arity r)) tup)
-      end
-    in
     let keep_new (r : Ast.rule) =
       let rel = head_rel r in
       fun tup -> not (Relation.mem rel tup)
     in
-    List.iter
-      (fun pr ->
-        let r = pr.rule in
-        List.iteri
-          (fun i lit ->
-            match lit with
-            | Ast.Pos a
-              when (not (Hashtbl.mem comp_preds a.Ast.pred))
-                   && nonempty d.added a.Ast.pred ->
-              Plan.exec_rule_deferred ~view:ctx.new_view
-                ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                ~work ~keep:(keep_new r) ~on_derived:(stage_add r) pr.ex
-            | Ast.Neg a when nonempty d.removed a.Ast.pred ->
-              let fr, fex = flipped_for pr i in
-              Plan.exec_rule_deferred ~view:ctx.new_view
-                ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                ~work
-                ~keep:(keep_new fr)
-                ~on_derived:(stage_add fr) fex
-            | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-          r.Ast.body)
-      prs;
-    while Hashtbl.length !roundc > 0 do
-      let prev = !roundc in
-      roundc := Hashtbl.create 4;
+    (* ---- Phase B: rederivation over the new state ----
+       Shared by both drivers; serial either way — after overdeletion
+       the phase is empty for insert-only batches, and its fixpoint
+       mutates [overdeleted] mid-enumeration. *)
+    let rederive overdeleted =
+      phase_begin ();
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun pr ->
+            let r = pr.rule in
+            match Hashtbl.find_opt overdeleted r.Ast.head.Ast.pred with
+            | Some o when Relation.cardinality o > 0 ->
+              Plan.exec_rule_deferred ~view:ctx.new_view ~work
+                ~keep:(Relation.mem o)
+                ~on_derived:(fun tup ->
+                  if Relation.mem o tup then begin
+                    let pred = r.Ast.head.Ast.pred in
+                    let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+                    if Relation.add rel tup then begin
+                      record_add d pred ~arity:(head_arity r) tup;
+                      ignore (Relation.remove o tup);
+                      changed := true
+                    end
+                  end)
+                pr.ex
+            | Some _ | None -> ())
+          prs
+      done;
+      phase_end Obs.Event.dred_rederive
+    in
+    let run_phases_serial () =
+      (* ---- Phase A: overdeletion against the old state ---- *)
+      phase_begin ();
+      let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+      let overdelete (r : Ast.rule) tup =
+        let pred = r.Ast.head.Ast.pred in
+        let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+        if Relation.remove rel tup then begin
+          record_remove d pred ~arity:(head_arity r) tup;
+          ignore (Relation.add (delta_rel overdeleted pred ~arity:(head_arity r)) tup)
+        end
+      in
+      (* round 0: external triggers. All staging callbacks here and in
+         phases B/C mutate state the enumeration is reading — the head
+         relation probed by recursive rules, and the net-delta overlay
+         [old_view] iterates — so every exec goes through
+         {!Plan.exec_rule_deferred}: derive first against frozen state,
+         apply after the walk. The deferral does not change the old
+         view: overdeletion removes from the live relation and records
+         into [d.removed], which cancel out under the overlay. *)
+      let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+      let stage_round (r : Ast.rule) tup =
+        let pred = r.Ast.head.Ast.pred in
+        let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+        if Relation.mem rel tup then begin
+          (* not yet overdeleted this phase *)
+          overdelete r tup;
+          ignore (Relation.add (delta_rel !round pred ~arity:(head_arity r)) tup)
+        end
+      in
       List.iter
         (fun pr ->
           let r = pr.rule in
           List.iteri
             (fun i lit ->
               match lit with
-              | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
-                match Hashtbl.find_opt prev a.Ast.pred with
-                | Some delta when Relation.cardinality delta > 0 ->
-                  Plan.exec_rule_deferred ~view:ctx.new_view ~delta:(i, delta) ~work
-                    ~keep:(keep_new r) ~on_derived:(stage_add r) pr.ex
-                | Some _ | None -> ())
+              | Ast.Pos a when nonempty d.removed a.Ast.pred ->
+                Plan.exec_rule_deferred ~view:ctx.old_view
+                  ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                  ~work
+                  ~keep:(Relation.mem (head_rel r))
+                  ~on_derived:(stage_round r) pr.ex
+              | Ast.Neg a when nonempty d.added a.Ast.pred ->
+                let fr, fex = flipped_for pr i in
+                Plan.exec_rule_deferred ~view:ctx.old_view
+                  ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                  ~work
+                  ~keep:(Relation.mem (head_rel fr))
+                  ~on_derived:(stage_round fr) fex
               | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
             r.Ast.body)
-        prs
-    done;
-    phase_end Obs.Event.dred_insert;
+        prs;
+      (* cascade within the component *)
+      while Hashtbl.length !round > 0 do
+        let prev = !round in
+        round := Hashtbl.create 4;
+        List.iter
+          (fun pr ->
+            let r = pr.rule in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                  match Hashtbl.find_opt prev a.Ast.pred with
+                  | Some delta when Relation.cardinality delta > 0 ->
+                    Plan.exec_rule_deferred ~view:ctx.old_view ~delta:(i, delta) ~work
+                      ~keep:(Relation.mem (head_rel r))
+                      ~on_derived:(stage_round r) pr.ex
+                  | Some _ | None -> ())
+                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+              r.Ast.body)
+          prs;
+        (* tuples staged this round that were already overdeleted in a
+           previous round were filtered by [stage_round]'s mem check *)
+        ()
+      done;
+      phase_end Obs.Event.dred_delete;
+      rederive overdeleted;
+      (* ---- Phase C: insertion against the new state ---- *)
+      phase_begin ();
+      let roundc = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+      let stage_add (r : Ast.rule) tup =
+        let pred = r.Ast.head.Ast.pred in
+        let rel = Database.relation ctx.db pred ~arity:(head_arity r) in
+        if Relation.add rel tup then begin
+          record_add d pred ~arity:(head_arity r) tup;
+          ignore (Relation.add (delta_rel !roundc pred ~arity:(head_arity r)) tup)
+        end
+      in
+      List.iter
+        (fun pr ->
+          let r = pr.rule in
+          List.iteri
+            (fun i lit ->
+              match lit with
+              | Ast.Pos a
+                when (not (Hashtbl.mem comp_preds a.Ast.pred))
+                     && nonempty d.added a.Ast.pred ->
+                Plan.exec_rule_deferred ~view:ctx.new_view
+                  ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                  ~work ~keep:(keep_new r) ~on_derived:(stage_add r) pr.ex
+              | Ast.Neg a when nonempty d.removed a.Ast.pred ->
+                let fr, fex = flipped_for pr i in
+                Plan.exec_rule_deferred ~view:ctx.new_view
+                  ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                  ~work
+                  ~keep:(keep_new fr)
+                  ~on_derived:(stage_add fr) fex
+              | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+            r.Ast.body)
+        prs;
+      while Hashtbl.length !roundc > 0 do
+        let prev = !roundc in
+        roundc := Hashtbl.create 4;
+        List.iter
+          (fun pr ->
+            let r = pr.rule in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                  match Hashtbl.find_opt prev a.Ast.pred with
+                  | Some delta when Relation.cardinality delta > 0 ->
+                    Plan.exec_rule_deferred ~view:ctx.new_view ~delta:(i, delta) ~work
+                      ~keep:(keep_new r) ~on_derived:(stage_add r) pr.ex
+                  | Some _ | None -> ())
+                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+              r.Ast.body)
+          prs
+      done;
+      phase_end Obs.Event.dred_insert
+    in
+    (* ---- sharded phase drivers ----
+       Each phase round fans out into [nshards] enumerations over
+       frozen state: round 0 partitions the base deltas with Plan's
+       [?shard] filter, later rounds read their own slice of the
+       previous round's {!Relation.Sharded} delta. Shard job [s]
+       writes only its private candidate buffer ((component, shard)
+       ownership); the coordinator merges the buffers in shard order
+       0..k-1 behind the crew barrier, so the insertion order of every
+       relation and delta is a pure function of the derivations —
+       deterministic run to run. Duplicates across shards (or that a
+       serial walk's staging would have suppressed mid-round) are
+       dropped by the merge's mem/add checks; derivations a serial
+       walk found through tuples staged mid-round reappear here as
+       next-round delta hits, so the fixpoint is unchanged — only the
+       work counts can differ. *)
+    let run_phases_sharded sc =
+      let k = sc.nshards in
+      let card_of tbl pred =
+        match Hashtbl.find_opt tbl pred with
+        | Some r -> Relation.cardinality r
+        | None -> 0
+      in
+      (* below this many driving tuples a round stays on the caller:
+         the crew round-trip costs more than it buys *)
+      let gate = 4 * k in
+      let fanout ~par enumerate =
+        let bufs = Array.make k [] in
+        let works = Array.make k 0 in
+        let job s =
+          let ring_s = if s = 0 then ring else sc.shard_rings.(s) in
+          let t0 = if Obs.Ring.enabled ring_s then Obs.Ring.now_ns ring_s else 0 in
+          let w = ref 0 in
+          let acc = ref [] in
+          let emit r tup = acc := (r, tup) :: !acc in
+          enumerate ~shard:s ~sprs:prs_by_shard.(s) ~emit ~work:w;
+          bufs.(s) <- List.rev !acc;
+          works.(s) <- !w;
+          if Obs.Ring.enabled ring_s then
+            Obs.Ring.emit ring_s ~kind:Obs.Event.shard ~a:s ~b:t0
+        in
+        if par then Parallel.Shard_crew.run sc.crew job
+        else
+          for s = 0 to k - 1 do
+            job s
+          done;
+        Array.iter (fun w -> work := !work + w) works;
+        bufs
+      in
+      let sdelta tbl pred ~arity =
+        match Hashtbl.find_opt tbl pred with
+        | Some s -> s
+        | None ->
+          let s = Relation.Sharded.create ~arity ~shards:k in
+          Hashtbl.add tbl pred s;
+          s
+      in
+      (* ---- Phase A ---- *)
+      phase_begin ();
+      let overdeleted : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+      let snext = ref (Hashtbl.create 4 : (string, Relation.Sharded.t) Hashtbl.t) in
+      let staged = ref 0 in
+      let merge_delete bufs =
+        staged := 0;
+        Array.iter
+          (List.iter (fun ((r : Ast.rule), tup) ->
+               let pred = r.Ast.head.Ast.pred in
+               let arity = head_arity r in
+               let rel = Database.relation ctx.db pred ~arity in
+               if Relation.mem rel tup then begin
+                 ignore (Relation.remove rel tup);
+                 record_remove d pred ~arity tup;
+                 ignore (Relation.add (delta_rel overdeleted pred ~arity) tup);
+                 ignore (Relation.Sharded.add (sdelta !snext pred ~arity) tup);
+                 incr staged
+               end))
+          bufs
+      in
+      let size0 =
+        List.fold_left
+          (fun acc pr ->
+            List.fold_left
+              (fun acc lit ->
+                match lit with
+                | Ast.Pos a -> acc + card_of d.removed a.Ast.pred
+                | Ast.Neg a -> acc + card_of d.added a.Ast.pred
+                | Ast.Cmp _ -> acc)
+              acc pr.rule.Ast.body)
+          0 prs
+      in
+      merge_delete
+        (fanout ~par:(size0 >= gate) (fun ~shard ~sprs ~emit ~work ->
+             List.iter
+               (fun pr ->
+                 let r = pr.rule in
+                 List.iteri
+                   (fun i lit ->
+                     match lit with
+                     | Ast.Pos a when nonempty d.removed a.Ast.pred ->
+                       Plan.exec_rule_deferred ~view:ctx.old_view
+                         ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                         ~shard:(shard, k) ~work
+                         ~keep:(Relation.mem (head_rel r))
+                         ~on_derived:(emit r) pr.ex
+                     | Ast.Neg a when nonempty d.added a.Ast.pred ->
+                       let fr, fex = flipped_for pr i in
+                       Plan.exec_rule_deferred ~view:ctx.old_view
+                         ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                         ~shard:(shard, k) ~work
+                         ~keep:(Relation.mem (head_rel fr))
+                         ~on_derived:(emit fr) fex
+                     | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+                   r.Ast.body)
+               sprs));
+      while !staged > 0 do
+        let prev = !snext in
+        let par = !staged >= gate in
+        snext := Hashtbl.create 4;
+        merge_delete
+          (fanout ~par (fun ~shard ~sprs ~emit ~work ->
+               List.iter
+                 (fun pr ->
+                   let r = pr.rule in
+                   List.iteri
+                     (fun i lit ->
+                       match lit with
+                       | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                         match Hashtbl.find_opt prev a.Ast.pred with
+                         | Some sd ->
+                           let slice = Relation.Sharded.shard sd shard in
+                           if Relation.cardinality slice > 0 then
+                             Plan.exec_rule_deferred ~view:ctx.old_view
+                               ~delta:(i, slice) ~work
+                               ~keep:(Relation.mem (head_rel r))
+                               ~on_derived:(emit r) pr.ex
+                         | None -> ())
+                       | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+                     r.Ast.body)
+                 sprs))
+      done;
+      phase_end Obs.Event.dred_delete;
+      rederive overdeleted;
+      (* ---- Phase C ---- *)
+      phase_begin ();
+      let snextc = ref (Hashtbl.create 4 : (string, Relation.Sharded.t) Hashtbl.t) in
+      let merge_insert bufs =
+        staged := 0;
+        Array.iter
+          (List.iter (fun ((r : Ast.rule), tup) ->
+               let pred = r.Ast.head.Ast.pred in
+               let arity = head_arity r in
+               let rel = Database.relation ctx.db pred ~arity in
+               if Relation.add rel tup then begin
+                 record_add d pred ~arity tup;
+                 ignore (Relation.Sharded.add (sdelta !snextc pred ~arity) tup);
+                 incr staged
+               end))
+          bufs
+      in
+      let sizec =
+        List.fold_left
+          (fun acc pr ->
+            List.fold_left
+              (fun acc lit ->
+                match lit with
+                | Ast.Pos a when not (Hashtbl.mem comp_preds a.Ast.pred) ->
+                  acc + card_of d.added a.Ast.pred
+                | Ast.Neg a -> acc + card_of d.removed a.Ast.pred
+                | Ast.Pos _ | Ast.Cmp _ -> acc)
+              acc pr.rule.Ast.body)
+          0 prs
+      in
+      merge_insert
+        (fanout ~par:(sizec >= gate) (fun ~shard ~sprs ~emit ~work ->
+             List.iter
+               (fun pr ->
+                 let r = pr.rule in
+                 List.iteri
+                   (fun i lit ->
+                     match lit with
+                     | Ast.Pos a
+                       when (not (Hashtbl.mem comp_preds a.Ast.pred))
+                            && nonempty d.added a.Ast.pred ->
+                       Plan.exec_rule_deferred ~view:ctx.new_view
+                         ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                         ~shard:(shard, k) ~work ~keep:(keep_new r)
+                         ~on_derived:(emit r) pr.ex
+                     | Ast.Neg a when nonempty d.removed a.Ast.pred ->
+                       let fr, fex = flipped_for pr i in
+                       Plan.exec_rule_deferred ~view:ctx.new_view
+                         ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                         ~shard:(shard, k) ~work
+                         ~keep:(keep_new fr)
+                         ~on_derived:(emit fr) fex
+                     | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+                   r.Ast.body)
+               sprs));
+      while !staged > 0 do
+        let prev = !snextc in
+        let par = !staged >= gate in
+        snextc := Hashtbl.create 4;
+        merge_insert
+          (fanout ~par (fun ~shard ~sprs ~emit ~work ->
+               List.iter
+                 (fun pr ->
+                   let r = pr.rule in
+                   List.iteri
+                     (fun i lit ->
+                       match lit with
+                       | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                         match Hashtbl.find_opt prev a.Ast.pred with
+                         | Some sd ->
+                           let slice = Relation.Sharded.shard sd shard in
+                           if Relation.cardinality slice > 0 then
+                             Plan.exec_rule_deferred ~view:ctx.new_view
+                               ~delta:(i, slice) ~work ~keep:(keep_new r)
+                               ~on_derived:(emit r) pr.ex
+                         | None -> ())
+                       | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+                     r.Ast.body)
+                 sprs))
+      done;
+      phase_end Obs.Event.dred_insert
+    in
+    (match shard_ctx with
+    | Some sc when sc.nshards > 1 && Array.length prs_by_shard = sc.nshards ->
+      run_phases_sharded sc
+    | Some _ | None -> run_phases_serial ());
     { comp; work = !work; output_changed = members_changed (); input_changed }
 
 (* ---- report assembly -------------------------------------------- *)
@@ -552,25 +812,29 @@ let assemble_report ctx slots =
   in
   { changes; activity; analysis = ctx.anal }
 
-let setup ~engine db program ~additions ~deletions =
+let setup ?(shards = 1) ~engine db program ~additions ~deletions =
   let ctx = make_ctx ~engine db program in
   List.iter (check_edb ctx.anal) additions;
   List.iter (check_edb ctx.anal) deletions;
   apply_base_updates ctx ~additions ~deletions;
   prepare_deltas ctx;
   let n = Dag.Graph.node_count ctx.anal.Stratify.condensation.Dag.Scc.dag in
-  (ctx, Array.init n (prepare_comp ctx))
+  (ctx, Array.init n (prepare_comp ~shards ctx))
+
+(* the serial component walk, shared by [apply] and [apply_parallel]'s
+   small-update fallback; records DRed phase spans on ring 0 *)
+let run_serial_walk ~obs ?shard_ctx ctx prepared =
+  let slots = Array.make (Array.length prepared) None in
+  let ring = Obs.Trace.ring obs 0 in
+  Array.iter
+    (fun c -> slots.(c) <- Some (process_comp ~ring ?shard_ctx ctx prepared.(c)))
+    (Stratify.scc_order ctx.anal);
+  assemble_report ctx slots
 
 let apply ?(engine = Plan.default_engine) ?(obs = Obs.Trace.disabled) db program
     ~additions ~deletions =
   let ctx, prepared = setup ~engine db program ~additions ~deletions in
-  let slots = Array.make (Array.length prepared) None in
-  (* the serial walk records DRed phase spans on ring 0 *)
-  let ring = Obs.Trace.ring obs 0 in
-  Array.iter
-    (fun c -> slots.(c) <- Some (process_comp ~ring ctx prepared.(c)))
-    (Stratify.scc_order ctx.anal);
-  assemble_report ctx slots
+  run_serial_walk ~obs ctx prepared
 
 (* ---- parallel maintenance over the multicore executor -----------
 
@@ -598,11 +862,27 @@ let apply ?(engine = Plan.default_engine) ?(obs = Obs.Trace.disabled) db program
    The serial prologue above freezes all shared structure (plans
    compiled, delta tables pre-created, relations registered); the one
    remaining cross-component write — aggregate tasks interning fresh
-   constants — is what {!Symbol}'s internal mutex is for. *)
+   constants — is what {!Symbol}'s internal mutex is for.
 
-let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched
-    ?(obs = Obs.Trace.disabled) db program ~additions ~deletions =
-  if domains <= 1 then apply ~engine ~obs db program ~additions ~deletions
+   With [shards > 1] each component task additionally fans its phase
+   rounds out over a {!Parallel.Shard_crew} (see [process_comp]); the
+   crew is created once per update and shared — its entry mutex
+   serializes fan-outs from concurrently running component tasks.
+
+   When the conservative activation wavefront holds fewer than
+   [serial_threshold] tasks, the executor's domain spawn-and-join
+   costs more than the update itself (measured on the wide-48tc bench:
+   0.87x at 2 domains for a 96-task trace on a small host); such
+   updates run the plain serial walk instead — still sharded when
+   [shards > 1]. *)
+
+let serial_task_threshold = 8
+
+let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?(shards = 1)
+    ?(serial_threshold = serial_task_threshold) ?sched ?(obs = Obs.Trace.disabled)
+    db program ~additions ~deletions =
+  if shards < 1 then invalid_arg "Incremental.apply_parallel: shards < 1";
+  if domains <= 1 && shards <= 1 then apply ~engine ~obs db program ~additions ~deletions
   else begin
     (match engine with
     | Plan.Compiled -> ()
@@ -611,12 +891,11 @@ let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched
         "Incremental.apply_parallel: the interpretive oracle is not domain-safe; \
          use the compiled engine");
     let sched = match sched with Some s -> s | None -> Sched.Level_based.factory in
-    let ctx, prepared = setup ~engine db program ~additions ~deletions in
+    let ctx, prepared = setup ~shards ~engine db program ~additions ~deletions in
     Array.iter precompile_comp prepared;
     let cond = ctx.anal.Stratify.condensation in
     let g = cond.Dag.Scc.dag in
     let n = Dag.Graph.node_count g in
-    let slots = Array.make n None in
     (* initial tasks: extensional components whose base facts changed *)
     let initial =
       Array.to_list (Array.init n Fun.id)
@@ -630,7 +909,8 @@ let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched
                   members)
       |> Array.of_list
     in
-    if Array.length initial > 0 then begin
+    if Array.length initial = 0 then assemble_report ctx (Array.make n None)
+    else begin
       let kind = Array.make n Workload.Trace.Task in
       let shape = Array.make n (Workload.Trace.Seq 1.0) in
       let edge_changed = Array.make (Dag.Graph.edge_count g) true in
@@ -638,10 +918,45 @@ let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?sched
         Workload.Trace.create ~name:"dred-parallel" ~graph:g ~kind ~shape ~initial
           ~edge_changed
       in
-      let run_task ~wid c =
-        slots.(c) <- Some (process_comp ~ring:(Obs.Trace.ring obs wid) ctx prepared.(c))
+      (* active tasks under the conservative all-edges-changed
+         wavefront — an upper bound on how many component tasks the
+         executor could run for this update *)
+      let active =
+        let s = Workload.Trace.stats trace in
+        s.Workload.Trace.initial_tasks + s.Workload.Trace.active_jobs
       in
-      ignore (Parallel.Executor.run ~domains ~work_unit:0.0 ~run_task ~obs ~sched trace)
-    end;
-    assemble_report ctx slots
+      let with_shard_ctx f =
+        if shards <= 1 then f None
+        else begin
+          let crew = Parallel.Shard_crew.create ~shards in
+          Fun.protect
+            ~finally:(fun () -> Parallel.Shard_crew.shutdown crew)
+            (fun () ->
+              let shard_rings =
+                (* crew worker [j] (= shard j, j >= 1) owns the ring
+                   after the executor workers' *)
+                Array.init shards (fun s ->
+                    if s = 0 then Obs.Ring.null
+                    else Obs.Trace.ring obs (max 1 domains + s - 1))
+              in
+              f (Some { crew; nshards = shards; shard_rings }))
+        end
+      in
+      with_shard_ctx (fun shard_ctx ->
+          if domains <= 1 || active < serial_threshold then
+            run_serial_walk ~obs ?shard_ctx ctx prepared
+          else begin
+            let slots = Array.make n None in
+            let run_task ~wid c =
+              slots.(c) <-
+                Some
+                  (process_comp ~ring:(Obs.Trace.ring obs wid) ?shard_ctx ctx
+                     prepared.(c))
+            in
+            ignore
+              (Parallel.Executor.run ~domains ~work_unit:0.0 ~run_task ~obs ~sched
+                 trace);
+            assemble_report ctx slots
+          end)
+    end
   end

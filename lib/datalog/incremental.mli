@@ -53,9 +53,17 @@ val apply :
     maintained component on the trace's ring 0.
     @raise Invalid_argument on a non-ground or intensional atom. *)
 
+val serial_task_threshold : int
+(** Default [serial_threshold] of {!apply_parallel}: activation
+    wavefronts smaller than this run the serial walk — the executor's
+    domain spawn-and-join overhead exceeds the update cost on such
+    small task counts. *)
+
 val apply_parallel :
   ?engine:Plan.engine ->
   ?domains:int ->
+  ?shards:int ->
+  ?serial_threshold:int ->
   ?sched:Sched.Intf.factory ->
   ?obs:Obs.Trace.t ->
   Database.t ->
@@ -66,21 +74,41 @@ val apply_parallel :
 (** {!apply}, with the components maintained as real tasks on the
     multicore executor ({!Parallel.Executor}) under [sched] (default
     the paper's LevelBased scheduler), [domains] worker domains
-    (default 4; [domains <= 1] falls back to the serial walk). The
-    task DAG is the condensation of the predicate dependency graph
-    with every edge marked changed — which inputs actually changed is
-    only discovered as tasks run — and the changed extensional
-    components as initial tasks. Each task writes only its own
-    component's relations and deltas and reads upstream state that the
-    scheduler's precedence guarantees is quiescent, so the final
+    (default 4; [domains <= 1] with [shards <= 1] falls back to the
+    serial walk). The task DAG is the condensation of the predicate
+    dependency graph with every edge marked changed — which inputs
+    actually changed is only discovered as tasks run — and the changed
+    extensional components as initial tasks. Each task writes only its
+    own component's relations and deltas and reads upstream state that
+    the scheduler's precedence guarantees is quiescent, so the final
     database and report are the serial ones (up to interning order of
     aggregate-minted constants, and [work] counts, whose phase-B round
     structure may differ with hashing order). All plans are compiled
     and delta tables created serially before the first task runs.
+
+    [shards] (default 1) additionally splits each component's DRed
+    delete and insert rounds into per-shard enumerations over a
+    {!Parallel.Shard_crew}: round inputs are partitioned by the
+    {!Relation.shard_of_tuple} hash of the delta tuple's key column,
+    each shard derives into a private buffer against frozen state, and
+    the coordinator merges buffers in shard order 0..k-1 behind the
+    crew barrier — so results, including iteration order, stay
+    deterministic and equal to the serial walk's (again up to [work]
+    counts: cross-shard duplicate derivations are dropped at the merge
+    rather than at staging time).
+
+    When the conservative wavefront holds fewer than [serial_threshold]
+    (default {!serial_task_threshold}) active component tasks, the
+    update runs the serial walk — still sharded when [shards > 1] —
+    instead of paying the executor's spawn-and-join overhead.
+
     [obs] (default disabled) threads the executor's per-worker tracing
     (task / steal / park / scheduler-lock events) through the run and
-    adds DRed phase spans on the executing worker's ring; recording
+    adds DRed phase spans on the executing worker's ring; sharded
+    rounds add [shard] spans, shard 0 on the coordinating worker's
+    ring, shard [j >= 1] on ring [max 1 domains + j - 1]. Recording
     never changes maintenance results.
-    @raise Invalid_argument on a non-ground or intensional atom, or if
-    [engine] is {!Plan.Interpreted} with [domains > 1]
+    @raise Invalid_argument on a non-ground or intensional atom, if
+    [shards < 1], or if [engine] is {!Plan.Interpreted} with
+    [domains > 1] or [shards > 1]
     @raise Failure if a maintenance task raises. *)

@@ -242,7 +242,7 @@ let cmp_ok op c =
   | Ast.Gt -> c > 0
   | Ast.Ge -> c >= 0
 
-let run ?delta ~view ~work ~on_derived p =
+let run ?delta ?shard ~view ~work ~on_derived p =
   if p.running then
     invalid_arg "Plan.run: reentrant execution of a plan (its scratch state is live)";
   p.running <- true;
@@ -276,12 +276,20 @@ let run ?delta ~view ~work ~on_derived p =
         match delta with
         | None -> invalid_arg "Plan.run: plan has a delta literal but no ~delta"
         | Some d ->
+          (* shard-restricted mode: this task ranges only over its own
+             hash partition of the delta; sibling tasks cover the rest,
+             and the union over all shards is exactly the full delta *)
+          let owned =
+            match shard with
+            | None -> fun _ -> true
+            | Some (s, k) -> fun tup -> Relation.shard_of_tuple ~col:0 ~shards:k tup = s
+          in
           Relation.iter
             (fun tup ->
               incr work;
               if Array.length tup <> arity then
                 invalid_arg "Plan: arity mismatch on the delta relation";
-              if unify_ops env ops tup then exec (i + 1))
+              if owned tup && unify_ops env ops tup then exec (i + 1))
             d)
       | Reject { pred; args; scratch } ->
         incr work;
@@ -317,9 +325,23 @@ let executor ~engine ~symbols ~card (rule : Ast.rule) =
   | Interpreted -> Interp { rule; symbols }
   | Compiled -> Plans { rule; symbols; card; base = None; deltas = Hashtbl.create 4 }
 
-let exec_rule ?delta ~view ~work ~on_derived e =
+let exec_rule ?delta ?shard ~view ~work ~on_derived e =
   match e with
   | Interp { rule; symbols } ->
+    (* the interpretive oracle has no shard mode; restrict its delta by
+       materializing this shard's partition (oracle-only, cost is fine) *)
+    let delta =
+      match (delta, shard) with
+      | Some (i, d), Some (s, k) when k > 1 ->
+        let filtered = Relation.create ~arity:(Relation.arity d) in
+        Relation.iter
+          (fun tup ->
+            if Relation.shard_of_tuple ~col:0 ~shards:k tup = s then
+              ignore (Relation.add filtered tup))
+          d;
+        Some (i, filtered)
+      | _ -> delta
+    in
     Matcher.eval_rule ~symbols ~view ?delta ~work ~on_derived rule
   | Plans p -> (
     match delta with
@@ -342,7 +364,7 @@ let exec_rule ?delta ~view ~work ~on_derived e =
           Hashtbl.add p.deltas i plan;
           plan
       in
-      run ~delta:d ~view ~work ~on_derived plan)
+      run ~delta:d ?shard ~view ~work ~on_derived plan)
 
 (* Force the compilation a later [exec_rule ?delta] call would perform
    lazily. Compilation interns the rule's constants into the shared
@@ -373,9 +395,9 @@ let prepare ?delta e =
    buffer (typically a membership probe of the head relation) so that
    already-known derivations are never copied; [on_derived] must still
    dedupe, since one call can buffer the same new tuple twice. *)
-let exec_rule_deferred ?delta ~view ~work ~keep ~on_derived e =
+let exec_rule_deferred ?delta ?shard ~view ~work ~keep ~on_derived e =
   let buf = ref [] in
-  exec_rule ?delta ~view ~work
+  exec_rule ?delta ?shard ~view ~work
     ~on_derived:(fun tup -> if keep tup then buf := Array.copy tup :: !buf)
     e;
   List.iter on_derived (List.rev !buf)

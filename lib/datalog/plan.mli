@@ -49,6 +49,7 @@ val compile : ?delta:int -> symbols:Symbol.t -> card:(string -> int) -> Ast.rule
 
 val run :
   ?delta:Relation.t ->
+  ?shard:int * int ->
   view:Matcher.view ->
   work:int ref ->
   on_derived:(Relation.tuple -> unit) ->
@@ -56,13 +57,18 @@ val run :
   unit
 (** Enumerate all derivations of the plan's head against [view].
     [delta] is required iff the plan was compiled with a delta position;
-    that literal then ranges over [delta] instead of the view. [work]
-    counts tuples and filter checks examined, as the interpreter does.
-    [on_derived] receives a scratch tuple — copy to retain; duplicates
-    are possible, callers dedupe via {!Relation.add}. [on_derived] must
-    not mutate any relation reachable from [view] or [delta] (the probes
-    walk live index buckets): mutating consumers go through
-    {!exec_rule_deferred}.
+    that literal then ranges over [delta] instead of the view.
+    [shard = (s, k)] restricts the delta literal to the tuples
+    {!Relation.shard_of_tuple} (key column 0) assigns to shard [s] of
+    [k]: running the same plan for every [s] partitions the delta
+    exactly, which is how a sharded maintenance task probes only its
+    own slice while reading frozen full views of everything else.
+    [work] counts tuples and filter checks examined, as the interpreter
+    does. [on_derived] receives a scratch tuple — copy to retain;
+    duplicates are possible, callers dedupe via {!Relation.add}.
+    [on_derived] must not mutate any relation reachable from [view] or
+    [delta] (the probes walk live index buckets): mutating consumers go
+    through {!exec_rule_deferred}.
     @raise Invalid_argument on reentrant execution of the same plan. *)
 
 (** {2 Engine dispatch}
@@ -86,13 +92,16 @@ val executor : engine:engine -> symbols:Symbol.t -> card:(string -> int) -> Ast.
 
 val exec_rule :
   ?delta:int * Relation.t ->
+  ?shard:int * int ->
   view:Matcher.view ->
   work:int ref ->
   on_derived:(Relation.tuple -> unit) ->
   exec ->
   unit
 (** Same contract as {!Matcher.eval_rule}; [delta = (i, d)] makes body
-    literal [i] range over [d]. Like {!run}, [on_derived] must not
+    literal [i] range over [d], and [shard] restricts it to one hash
+    partition (see {!run}; on the interpretive engine the partition is
+    materialized, oracle-only cost). Like {!run}, [on_derived] must not
     mutate relations the rule is reading. *)
 
 val prepare : ?delta:int -> exec -> unit
@@ -105,6 +114,7 @@ val prepare : ?delta:int -> exec -> unit
 
 val exec_rule_deferred :
   ?delta:int * Relation.t ->
+  ?shard:int * int ->
   view:Matcher.view ->
   work:int ref ->
   keep:(Relation.tuple -> bool) ->

@@ -215,3 +215,68 @@ let prepare ?cols t =
 let choose_probe_col t ~bound =
   let rec go col = if col >= t.arity then None else if bound col then Some col else go (col + 1) in
   go 0
+
+(* ---- sharding ----------------------------------------------------
+
+   Shard assignment reuses the FNV-1a mixing step of [Tuple_tbl.hash]
+   on a single key column, so the partition is a pure function of the
+   tuple — identical on every domain and every run, which is what
+   per-shard ownership and deterministic merge rest on. *)
+
+let shard_of_value ~shards v =
+  if shards <= 1 then 0
+  else ((0x811c9dc5 lxor v) * 0x01000193 land max_int) mod shards
+
+let shard_of_tuple ~col ~shards (tup : tuple) =
+  if shards <= 1 || Array.length tup = 0 then 0
+  else
+    let col = if col < Array.length tup then col else 0 in
+    shard_of_value ~shards tup.(col)
+
+type relation = t
+
+let base_create = create
+let base_add = add
+let base_mem = mem
+let base_iter = iter
+let base_cardinality = cardinality
+
+module Sharded = struct
+  (* A relation partitioned into [shards] sub-stores by FNV hash of
+     the key column. Used for the per-shard round-delta buffers of
+     sharded maintenance: shard task [s] reads and writes only
+     [shard t s], and the coordinator merges shards in index order
+     0..k-1 — canonical, hence run-to-run deterministic. *)
+  type t = { col : int; nshards : int; subs : relation array }
+
+  let create ~arity ~shards =
+    if shards < 1 then invalid_arg "Relation.Sharded.create: shards < 1";
+    {
+      col = 0;
+      nshards = shards;
+      subs = Array.init shards (fun _ -> base_create ~arity);
+    }
+
+  let shards t = t.nshards
+
+  let shard t s =
+    if s < 0 || s >= t.nshards then invalid_arg "Relation.Sharded.shard: bad index";
+    t.subs.(s)
+
+  let owner t tup = shard_of_tuple ~col:t.col ~shards:t.nshards tup
+
+  let add t tup = base_add t.subs.(owner t tup) tup
+
+  let mem t tup = base_mem t.subs.(owner t tup) tup
+
+  let cardinality t =
+    Array.fold_left (fun acc r -> acc + base_cardinality r) 0 t.subs
+
+  (* canonical iteration order: shard 0..k-1 *)
+  let iter f t = Array.iter (fun r -> base_iter f r) t.subs
+
+  let merge_into t dst =
+    let fresh = ref 0 in
+    iter (fun tup -> if base_add dst tup then incr fresh) t;
+    !fresh
+end

@@ -65,3 +65,56 @@ val find : t -> col:int -> value:int -> tuple list
 val choose_probe_col : t -> bound:(int -> bool) -> int option
 (** Some column index on which a probe makes sense: the first column
     for which [bound] is true. *)
+
+(** {2 Sharding}
+
+    Hash partitioning for intra-component parallel maintenance: tuples
+    are assigned to one of [k] shards by an FNV-1a mix of a single key
+    column, a pure function of the tuple — identical on every domain
+    and every run. *)
+
+val shard_of_value : shards:int -> int -> int
+(** [shard_of_value ~shards v] is the shard of key element [v], in
+    [0 .. shards-1] ([0] when [shards <= 1]). *)
+
+val shard_of_tuple : col:int -> shards:int -> tuple -> int
+(** Shard of a tuple by its [col]th element (clamped to column 0 when
+    out of range; nullary tuples map to shard 0). *)
+
+type relation = t
+
+module Sharded : sig
+  (** A relation partitioned into [shards] sub-stores by
+      {!shard_of_tuple} on column 0. Shard task [s] owns exactly
+      [shard t s]; the coordinator merges shards in index order
+      0..k-1, so iteration and merge order are canonical and
+      run-to-run deterministic. *)
+
+  type t
+
+  val create : arity:int -> shards:int -> t
+  (** @raise Invalid_argument when [shards < 1]. *)
+
+  val shards : t -> int
+
+  val shard : t -> int -> relation
+  (** The [s]th sub-store (a plain relation usable as a semi-naive
+      delta). @raise Invalid_argument on an out-of-range index. *)
+
+  val owner : t -> tuple -> int
+  (** The shard index {!add} would route this tuple to. *)
+
+  val add : t -> tuple -> bool
+  (** Route by key hash into the owning sub-store; [true] iff new. *)
+
+  val mem : t -> tuple -> bool
+
+  val cardinality : t -> int
+
+  val iter : (tuple -> unit) -> t -> unit
+  (** Canonical order: every tuple of shard 0, then shard 1, … *)
+
+  val merge_into : t -> relation -> int
+  (** Add every tuple into [dst] in canonical shard order; returns the
+      number of tuples that were new to [dst]. *)
+end

@@ -4,12 +4,12 @@ type t = {
   labels : string array;
 }
 
-let of_update ?(work_unit = 1e-6) ?engine ?(domains = 1) ?obs db program ~additions
-    ~deletions =
+let of_update ?(work_unit = 1e-6) ?engine ?(domains = 1) ?(shards = 1) ?obs db
+    program ~additions ~deletions =
   let report =
-    if domains > 1 then
-      Incremental.apply_parallel ?engine ~domains ?obs db program ~additions
-        ~deletions
+    if domains > 1 || shards > 1 then
+      Incremental.apply_parallel ?engine ~domains ~shards ?obs db program
+        ~additions ~deletions
     else Incremental.apply ?engine ?obs db program ~additions ~deletions
   in
   let anal = report.Incremental.analysis in

@@ -25,6 +25,7 @@ val of_update :
   ?work_unit:float ->
   ?engine:Plan.engine ->
   ?domains:int ->
+  ?shards:int ->
   ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
@@ -34,9 +35,11 @@ val of_update :
 (** [db] must hold a completed materialization (see {!Eval.run}); it is
     updated in place. [work_unit] converts tuples-examined into seconds
     of simulated processing time (default [1e-6]). [engine] is passed
-    through to {!Incremental.apply}. [domains] (default 1) > 1 runs the
-    maintenance itself in parallel via {!Incremental.apply_parallel};
-    the resulting trace is built from that run's report the same way.
+    through to {!Incremental.apply}. [domains] (default 1) > 1 or
+    [shards] (default 1) > 1 runs the maintenance itself in parallel
+    via {!Incremental.apply_parallel} — [shards] splits each
+    component's DRed phase rounds into per-shard fan-out tasks; the
+    resulting trace is built from that run's report the same way.
     [obs] records the maintenance run's timeline (see
     {!Incremental.apply_parallel}); the [labels] field names its task
     spans when exporting with {!Obs.Export.to_file}. *)

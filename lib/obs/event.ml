@@ -8,7 +8,8 @@
    - wake (instant): t = now,    a = wakes requested
    - sched-*:        t = release, a = lock wait ns, b = acquire stamp
      (full span incl. the wait starts at b - a)
-   - dred-*:         t = phase end, a = component,  b = phase start *)
+   - dred-*:         t = phase end, a = component,  b = phase start
+   - shard:          t = end,    a = shard id,      b = start *)
 
 type kind = int
 
@@ -22,8 +23,9 @@ let sched_activate = 6
 let dred_delete = 7
 let dred_rederive = 8
 let dred_insert = 9
+let shard = 10
 
-let count = 10
+let count = 11
 
 let names =
   [|
@@ -37,6 +39,7 @@ let names =
     "dred-delete";
     "dred-rederive";
     "dred-insert";
+    "shard";
   |]
 
 let name k = if k >= 0 && k < count then names.(k) else "unknown"

@@ -35,6 +35,10 @@ val dred_insert : kind
 (** DRed maintenance phases per condensation component: [a] =
     component id, [b] = phase start, [t] = phase end. *)
 
+val shard : kind
+(** One shard task's slice of a sharded maintenance round: [a] =
+    shard id, [b] = start, [t] = end. *)
+
 val count : int
 (** Number of kinds; valid kinds are [0 .. count - 1]. *)
 

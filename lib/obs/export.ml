@@ -53,11 +53,13 @@ let write ?task_label oc tr =
         else begin
           let t0 = Event.span_start_ns kind ~a ~b in
           let name =
-            match task_label with
-            | Some label when kind = Event.task -> escape (label a)
-            | Some label when Event.is_dred kind ->
-              escape (Event.name kind ^ " " ^ label a)
-            | _ -> Event.name kind
+            if kind = Event.shard then "shard " ^ string_of_int a
+            else
+              match task_label with
+              | Some label when kind = Event.task -> escape (label a)
+              | Some label when Event.is_dred kind ->
+                escape (Event.name kind ^ " " ^ label a)
+              | _ -> Event.name kind
           in
           Printf.bprintf buf
             "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \

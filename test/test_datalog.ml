@@ -866,6 +866,177 @@ let parallel_rejects_interpreter () =
   | _ -> Alcotest.fail "interpreted engine must be rejected at domains > 1"
   | exception Invalid_argument _ -> ()
 
+(* ---------- Sharded maintenance (apply_parallel ~shards) ---------- *)
+
+let sharded_relation_units () =
+  let s = Datalog.Relation.Sharded.create ~arity:2 ~shards:4 in
+  check_int "shard count" 4 (Datalog.Relation.Sharded.shards s);
+  let tuples = List.init 32 (fun i -> [| i * 7; i |]) in
+  List.iter (fun t -> check_bool "fresh add" true (Datalog.Relation.Sharded.add s t)) tuples;
+  List.iter
+    (fun t -> check_bool "dup add" false (Datalog.Relation.Sharded.add s t))
+    tuples;
+  check_int "cardinality" 32 (Datalog.Relation.Sharded.cardinality s);
+  (* routing: every tuple sits in exactly the sub-store its key hashes to *)
+  List.iter
+    (fun t ->
+      let owner = Datalog.Relation.shard_of_tuple ~col:0 ~shards:4 t in
+      check_bool "routed" true
+        (Datalog.Relation.mem (Datalog.Relation.Sharded.shard s owner) t);
+      for o = 0 to 3 do
+        if o <> owner then
+          check_bool "not elsewhere" false
+            (Datalog.Relation.mem (Datalog.Relation.Sharded.shard s o) t)
+      done;
+      check_bool "mem routes" true (Datalog.Relation.Sharded.mem s t))
+    tuples;
+  (* canonical iteration = shard 0..k-1, each in insertion order; a
+     second identically built store iterates identically *)
+  let order t =
+    let acc = ref [] in
+    Datalog.Relation.Sharded.iter (fun tup -> acc := Array.to_list tup :: !acc) t;
+    List.rev !acc
+  in
+  let s' = Datalog.Relation.Sharded.create ~arity:2 ~shards:4 in
+  List.iter (fun t -> ignore (Datalog.Relation.Sharded.add s' t)) tuples;
+  check_bool "deterministic canonical order" true (order s = order s');
+  (* merge lands in canonical order and reports only new tuples *)
+  let dst = Datalog.Relation.create ~arity:2 in
+  ignore (Datalog.Relation.add dst [| 0; 0 |]);
+  check_int "merged new" 31 (Datalog.Relation.Sharded.merge_into s dst);
+  check_int "merged cardinality" 32 (Datalog.Relation.cardinality dst)
+
+(* The sharding acceptance property: maintenance fanned out over any
+   shards x domains grid restores exactly the serial database, net
+   changes, and activation flags. [serial_threshold:0] forces the
+   domains > 1 configurations onto the executor so the crew runs under
+   concurrent component tasks; the (1, 4) configuration keeps the
+   default threshold, exercising the small-update serial fallback. *)
+let sharded_differential_qcheck =
+  QCheck.Test.make
+    ~name:"sharded maintenance equals serial apply over the shards x domains grid"
+    ~count:100
+    QCheck.(triple (1 -- 4) (0 -- 18) (0 -- 10_000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 977) + (preds * 29) + nfacts) in
+      let prog_src = random_program ~aggregates:true rng ~preds in
+      let program = parse prog_src in
+      let mk () =
+        Printf.sprintf {|e("n%d","n%d")|} (Prelude.Rng.int rng 5)
+          (Prelude.Rng.int rng 5)
+      in
+      let base = List.init nfacts (fun _ -> mk ()) |> List.sort_uniq compare in
+      let load () =
+        let db = Datalog.Database.create () in
+        List.iter (fun f -> ignore (Datalog.Database.add_fact db (atom f))) base;
+        let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+        db
+      in
+      let flags r =
+        List.map
+          (fun (a : Datalog.Incremental.comp_activity) ->
+            (a.Datalog.Incremental.comp, a.Datalog.Incremental.output_changed,
+             a.Datalog.Incremental.input_changed))
+          r.Datalog.Incremental.activity
+      in
+      let grid = [ (2, 1, Some 0); (4, 1, None); (2, 2, Some 0); (4, 4, Some 0); (1, 4, None) ] in
+      let serial = load () in
+      let twins = List.map (fun cfg -> (cfg, load ())) grid in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let adds = List.init (Prelude.Rng.int rng 3) (fun _ -> atom (mk ())) in
+        let dels = List.init (Prelude.Rng.int rng 2) (fun _ -> atom (mk ())) in
+        let r0 =
+          Datalog.Incremental.apply ~engine:Datalog.Plan.Compiled serial program
+            ~additions:adds ~deletions:dels
+        in
+        List.iter
+          (fun ((shards, domains, serial_threshold), db) ->
+            let r =
+              Datalog.Incremental.apply_parallel ~engine:Datalog.Plan.Compiled
+                ~shards ~domains ?serial_threshold db program ~additions:adds
+                ~deletions:dels
+            in
+            ok := !ok && Datalog.Eval.databases_agree serial db = Ok ();
+            ok := !ok && r.Datalog.Incremental.changes = r0.Datalog.Incremental.changes;
+            ok := !ok && flags r = flags r0)
+          twins
+      done;
+      !ok)
+
+(* The merge is deterministic, not merely set-equal: two runs of the
+   same sharded update produce every relation in the same insertion
+   (iteration) order, because the coordinator merges the per-shard
+   buffers in shard order behind the crew barrier. *)
+let sharded_merge_deterministic () =
+  let program =
+    parse
+      "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).\n\
+       reach(X) :- path(X,Y)."
+  in
+  let base =
+    List.init 24 (fun i ->
+        Printf.sprintf {|edge("n%d","n%d")|} (i mod 12) ((i * 5 + 1) mod 12))
+    |> List.sort_uniq compare
+  in
+  let run () =
+    let db = Datalog.Database.create () in
+    List.iter (fun f -> ignore (Datalog.Database.add_fact db (atom f))) base;
+    let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+    ignore
+      (Datalog.Incremental.apply_parallel ~engine:Datalog.Plan.Compiled ~shards:4
+         ~domains:2 ~serial_threshold:0 db program
+         ~additions:[ atom {|edge("n3","n0")|}; atom {|edge("n12","n1")|} ]
+         ~deletions:[ atom {|edge("n0","n1")|} ]);
+    List.map
+      (fun pred ->
+        match Datalog.Database.find db pred with
+        | None -> (pred, [])
+        | Some rel ->
+          (pred, List.map Array.to_list (Datalog.Relation.to_list rel)))
+      [ "edge"; "path"; "reach" ]
+  in
+  let a = run () in
+  let b = run () in
+  check_bool "identical iteration order across runs" true (a = b)
+
+(* The task-count fallback: a small update on [domains > 1] skips the
+   executor entirely (no task spans recorded), unless the threshold is
+   forced to zero. *)
+let sharded_fallback_serial () =
+  let program =
+    parse "path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z)."
+  in
+  let load () =
+    let db = Datalog.Database.create () in
+    ignore (Datalog.Database.add_fact db (atom {|edge("a","b")|}));
+    let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+    db
+  in
+  let task_spans ?serial_threshold () =
+    let domains = 4 in
+    let obs = Obs.Trace.create ~domains () in
+    let db = load () in
+    ignore
+      (Datalog.Incremental.apply_parallel ~engine:Datalog.Plan.Compiled ~domains
+         ?serial_threshold ~obs db program
+         ~additions:[ atom {|edge("b","c")|} ]
+         ~deletions:[]);
+    let n = ref 0 in
+    for w = 0 to domains - 1 do
+      Obs.Ring.iter (Obs.Trace.ring obs w) (fun ~kind ~t_ns:_ ~a:_ ~b:_ ->
+          if kind = Obs.Event.task then incr n)
+    done;
+    !n
+  in
+  (* the program has 2 components; the default threshold
+     (serial_task_threshold = 8) sends the update down the serial walk *)
+  check_bool "threshold exceeds wavefront" true
+    (Datalog.Incremental.serial_task_threshold > 2);
+  check_int "fallback runs no executor tasks" 0 (task_spans ());
+  check_bool "forced executor runs tasks" true
+    (task_spans ~serial_threshold:0 () > 0)
+
 (* ---------- Aggregates ---------- *)
 
 let agg_db src =
@@ -1285,6 +1456,15 @@ let () =
       ( "parallel-maintenance",
         [ test `Quick "interpreted engine rejected" parallel_rejects_interpreter ]
         @ qsuite [ parallel_differential_qcheck ] );
+      ( "sharded-maintenance",
+        [
+          test `Quick "sharded relation routing and merge" sharded_relation_units;
+          test `Quick "merge order deterministic across runs"
+            sharded_merge_deterministic;
+          test `Quick "small updates fall back to the serial walk"
+            sharded_fallback_serial;
+        ]
+        @ qsuite [ sharded_differential_qcheck ] );
       ( "aggregates",
         [
           test `Quick "count, sum, min, max" agg_eval_basic;

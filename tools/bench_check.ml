@@ -21,6 +21,7 @@ let files =
     "BENCH_executor_smoke.json";
     "BENCH_datalog_smoke.json";
     "BENCH_maintain_par_smoke.json";
+    "BENCH_maintain_shard_smoke.json";
   ]
 
 (* keys whose values must match exactly *)
@@ -28,7 +29,7 @@ let whitelist =
   [
     "benchmark"; "program"; "phase"; "engine"; "workload"; "mode"; "trace";
     "executor"; "tuples"; "tasks"; "changed"; "domains"; "work_unit"; "batch";
-    "sched";
+    "sched"; "shards"; "databases_agree";
   ]
 
 (* subtrees that exist to report measurements; skipped entirely *)
