@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard model-check model-check-smoke ci clean
+.PHONY: all build test bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard bench-maintain-count model-check model-check-smoke ci clean
 
 all: build
 
@@ -40,13 +40,19 @@ bench-maintain-par:
 bench-maintain-shard:
 	dune exec bench/main.exe -- maintain-shard
 
+# counting vs DRed maintenance on deletion-heavy update streams, with
+# a database-parity assert on every program x mix cell; writes
+# BENCH_maintain_count.json
+bench-maintain-count:
+	dune exec bench/main.exe -- maintain-count
+
 # tiny traces through the full dispatch matrix (both executors, all
 # domain counts, Executor.check everywhere), a small compiled-vs-
-# interpreter pass, a 2-domain parallel-maintenance parity pass, and
-# the sharded-maintenance parity grid;
-# seconds; writes BENCH_*_smoke.json into the current directory
+# interpreter pass, a 2-domain parallel-maintenance parity pass, the
+# sharded-maintenance parity grid, and the counting-vs-DRed parity
+# grid; seconds; writes BENCH_*_smoke.json into the current directory
 bench-smoke:
-	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke maintain-shard-smoke
+	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke maintain-shard-smoke maintain-count-smoke
 
 # compare the BENCH_*_smoke.json of the last `make bench-smoke` against
 # the committed baselines: fails on parity drift (task/tuple/changed

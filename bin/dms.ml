@@ -216,13 +216,27 @@ let datalog_cmd =
            ~doc:"Split each component's DRed phase rounds into K hash-sharded \
                  fan-out tasks (intra-component parallelism; 1 = unsharded).")
   in
+  let maint_arg =
+    let maint_conv =
+      Arg.enum
+        [
+          ("dred", Datalog.Incremental.Dred);
+          ("counting", Datalog.Incremental.Counting);
+        ]
+    in
+    Arg.(value & opt maint_conv Datalog.Incremental.Dred & info [ "maint" ] ~docv:"ALG"
+           ~doc:"Maintenance algorithm: 'dred' (delete-rederive, the default) \
+                 or 'counting' (per-tuple derivation counts with \
+                 backward/forward search; no rederivation storm on \
+                 deletion-heavy updates; incompatible with --shards > 1).")
+  in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Record the maintenance run's per-worker timeline and write \
                  it as Chrome trace_event JSON (open in chrome://tracing or \
                  Perfetto; summarize with 'dms trace FILE').")
   in
-  let run program queries adds dels lint sched procs domains shards trace =
+  let run program queries adds dels lint sched procs domains shards maint trace =
     wrap (fun () ->
         let ic = open_in program in
         let n = in_channel_length ic in
@@ -238,8 +252,8 @@ let datalog_cmd =
           (Datalog.Database.total_tuples session.Incr_sched.db);
         if adds <> [] || dels <> [] || trace <> None then begin
           let tt =
-            Incr_sched.update ~domains ~shards ?trace session ~additions:adds
-              ~deletions:dels
+            Incr_sched.update ~maint ~domains ~shards ?trace session
+              ~additions:adds ~deletions:dels
           in
           if domains > 1 || shards > 1 then
             Format.printf "maintained on %d domains x %d shards@." domains shards;
@@ -272,7 +286,7 @@ let datalog_cmd =
           and schedule its maintenance DAG.")
     Term.(
       const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg
-      $ domains_arg $ shards_arg $ trace_out)
+      $ domains_arg $ shards_arg $ maint_arg $ trace_out)
 
 (* ---- trace (summarize a recorded timeline) ---- *)
 

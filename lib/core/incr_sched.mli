@@ -72,6 +72,7 @@ val lint : datalog_session -> Datalog.Lint.diagnostic list
 
 val update :
   ?work_unit:float ->
+  ?maint:Datalog.Incremental.maint ->
   ?domains:int ->
   ?shards:int ->
   ?trace:string ->
@@ -81,7 +82,10 @@ val update :
   Datalog.To_trace.t
 (** Apply a base-fact update incrementally (atoms given as text, e.g.
     ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace.
-    [domains] (default 1) > 1 performs the maintenance in parallel on
+    [maint] (default DRed) selects the maintenance algorithm — see
+    {!Datalog.Incremental.maint}; [~maint:Counting] rejects
+    [shards > 1]. [domains] (default 1) > 1 performs the maintenance in
+    parallel on
     that many worker domains; [shards] (default 1) > 1 additionally
     fans each component's DRed phase rounds out over that many shard
     tasks (see {!Datalog.Incremental.apply_parallel}). [trace] records

@@ -71,6 +71,11 @@ let check_edb (anal : Stratify.t) (a : Ast.atom) =
          a.Ast.pred)
   | Some _ | None -> ()
 
+(* Maintenance algorithm selector: classic delete/rederive (DRed), or
+   the counting engine — per-tuple derivation counts with
+   Backward/Forward search for recursive components. *)
+type maint = Dred | Counting
+
 (* ---- the update context -----------------------------------------
 
    Everything component maintenance shares. After the serial prologue
@@ -87,6 +92,7 @@ type ctx = {
   program : Ast.program;
   anal : Stratify.t;
   engine : Plan.engine;
+  maint : maint;
   symbols : Symbol.t;
   card : string -> int;
   make_exec : Ast.rule -> Plan.exec;
@@ -95,7 +101,7 @@ type ctx = {
   new_view : Matcher.view;
 }
 
-let make_ctx ~engine db program =
+let make_ctx ~engine ~maint db program =
   Aggregate.validate program;
   let anal = Stratify.analyze program in
   Matcher.register db program;
@@ -157,7 +163,7 @@ let make_ctx ~engine db program =
           match removed p with Some r -> Relation.iter f r | None -> ());
     }
   in
-  { db; program; anal; engine; symbols; card; make_exec; d; old_view; new_view }
+  { db; program; anal; engine; maint; symbols; card; make_exec; d; old_view; new_view }
 
 let apply_base_updates ctx ~additions ~deletions =
   List.iter
@@ -291,6 +297,85 @@ let flipped_for pr i =
     | (j, fr, fex) :: rest -> if j = i then (fr, fex) else go rest
   in
   go pr.flipped
+
+(* ---- counting maintenance helpers ------------------------------- *)
+
+(* [base] with the [plus] tuples restored and the [minus] tuples
+   hidden, per predicate — the same overlay shape as the global old
+   view, but over one cascade round's delta: a death round enumerates
+   with [plus] = this round's deaths (the pre-round state), a birth
+   round with [minus] = this round's births. Invariants: [plus] is
+   disjoint from [base] (its tuples were just removed) and [minus] is
+   contained in [base] (just added / still present), so membership is
+   plus-hit, else minus-miss, else base. *)
+let overlay_view ~plus ~minus (base : Matcher.view) =
+  let find tbl p =
+    match Hashtbl.find_opt tbl p with
+    | Some r when Relation.cardinality r > 0 -> Some r
+    | Some _ | None -> None
+  in
+  {
+    Matcher.mem =
+      (fun p tup ->
+        (match find plus p with Some r -> Relation.mem r tup | None -> false)
+        || ((match find minus p with
+            | Some r -> not (Relation.mem r tup)
+            | None -> true)
+           && base.Matcher.mem p tup));
+    iter_matching =
+      (fun p ~col ~value f ->
+        (match find minus p with
+        | Some m ->
+          base.Matcher.iter_matching p ~col ~value (fun t ->
+              if not (Relation.mem m t) then f t)
+        | None -> base.Matcher.iter_matching p ~col ~value f);
+        match find plus p with
+        | Some r -> Relation.iter_matching r ~col ~value f
+        | None -> ());
+    iter =
+      (fun p f ->
+        (match find minus p with
+        | Some m -> base.Matcher.iter p (fun t -> if not (Relation.mem m t) then f t)
+        | None -> base.Matcher.iter p f);
+        match find plus p with Some r -> Relation.iter f r | None -> ());
+  }
+
+(* (Re)build a [Rules] component's derivation-count side tables by
+   enumerating every rule's derivations against [view] (each rule's
+   base plan — the one full-join pass counting ever needs). Attaches
+   fresh tables and returns them keyed by head predicate; the caller
+   stamps them synced once store and counts agree. *)
+let recount_comp ctx (pc : prepared_comp) prs ~view ~work =
+  let is_rec (r : Ast.rule) =
+    List.exists
+      (function
+        | Ast.Pos a -> Hashtbl.mem pc.comp_preds a.Ast.pred
+        | Ast.Neg _ | Ast.Cmp _ -> false)
+      r.Ast.body
+  in
+  let counts_of : (string, Relation.counts) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun pr ->
+      let pred = pr.rule.Ast.head.Ast.pred in
+      if not (Hashtbl.mem counts_of pred) then begin
+        let rel =
+          Database.relation ctx.db pred ~arity:(List.length pr.rule.Ast.head.Ast.args)
+        in
+        Hashtbl.add counts_of pred (Relation.counts_attach rel)
+      end)
+    prs;
+  List.iter
+    (fun pr ->
+      let c = Hashtbl.find counts_of pr.rule.Ast.head.Ast.pred in
+      let exit = not (is_rec pr.rule) in
+      Plan.exec_rule ~view ~work
+        ~on_derived:(fun tup ->
+          let cell = Relation.count_cell c tup in
+          if exit then cell.Relation.exits <- cell.Relation.exits + 1
+          else cell.Relation.recs <- cell.Relation.recs + 1)
+        pr.ex)
+    prs;
+  counts_of
 
 (* ---- per-component maintenance (DRed phases A/B/C) -------------- *)
 
@@ -772,10 +857,494 @@ let process_comp ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepared_comp) =
       done;
       phase_end Obs.Event.dred_insert
     in
-    (match shard_ctx with
-    | Some sc when sc.nshards > 1 && Array.length prs_by_shard = sc.nshards ->
-      run_phases_sharded sc
-    | Some _ | None -> run_phases_serial ());
+    (* ---- counting maintenance (derivation counts + B/F search) ----
+
+       The deletion-side replacement for DRed's overdelete/rederive:
+       per-tuple derivation counts (split exit/recursive) live in
+       {!Relation}'s side table and are maintained by signed delta
+       propagation — a tuple dies exactly when its count reaches zero,
+       so nothing is over-deleted and rederivation shrinks to a
+       backward check of the few decremented-but-surviving tuples
+       without exit support. Every enumeration uses the telescoped
+       split-view form: the delta literal at body position i joins
+       positions j < i against the already-updated state and positions
+       j > i against the not-yet-updated state ({!Plan.run}'s
+       [late_view]), which makes the signed counts exact for arbitrary
+       batches, self-joins included. Work inside the component is
+       serialized as: external deltas (round 0), then death cascade
+       rounds, then backward removals (looping with further cascades),
+       then birth rounds — and each round's enumerations read exactly
+       the store state that order implies: deaths/births already
+       applied count as "early" state, the round's own delta restored/
+       hidden via {!overlay_view} is the "late" state. *)
+    let run_phases_counting () =
+      let rec_rule (r : Ast.rule) =
+        List.exists
+          (function
+            | Ast.Pos a -> Hashtbl.mem comp_preds a.Ast.pred
+            | Ast.Neg _ | Ast.Cmp _ -> false)
+          r.Ast.body
+      in
+      let recursive = List.exists (fun pr -> rec_rule pr.rule) prs in
+      let heads : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun pr ->
+          let pred = pr.rule.Ast.head.Ast.pred in
+          if not (Hashtbl.mem heads pred) then Hashtbl.add heads pred (head_rel pr.rule))
+        prs;
+      (* counts: trust them only if stamped at the relations' current
+         versions; any other mutation path (DRed, Eval, direct edits)
+         bumped the version, so rebuild against the pre-update state.
+         Comp relations are untouched at this point and upstream deltas
+         cancel out under the old view, so the rebuild is exact. *)
+      let stale =
+        Hashtbl.fold
+          (fun _ rel acc -> acc || Relation.counts_synced rel = None)
+          heads false
+      in
+      let counts_of =
+        if stale then recount_comp ctx pc prs ~view:ctx.old_view ~work
+        else begin
+          let tbl = Hashtbl.create 4 in
+          Hashtbl.iter
+            (fun pred rel ->
+              match Relation.counts_synced rel with
+              | Some c -> Hashtbl.add tbl pred c
+              | None -> assert false)
+            heads;
+          tbl
+        end
+      in
+      let no_overlay : (string, Relation.t) Hashtbl.t = Hashtbl.create 0 in
+      let tbl_live tbl =
+        Hashtbl.fold (fun _ r acc -> acc || Relation.cardinality r > 0) tbl false
+      in
+      (* scratch signed count deltas of the round being enumerated;
+         [dec_touched] accumulates every tuple that lost a derivation —
+         the backward phase's suspect pool (recursive comps only; a
+         tuple with surviving exit support never needs the check) *)
+      let sc : (string, Relation.counts) Hashtbl.t = Hashtbl.create 4 in
+      let dec_touched : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+      let bump pred exit sign tup =
+        let c =
+          match Hashtbl.find_opt sc pred with
+          | Some c -> c
+          | None ->
+            let c = Relation.counts_create () in
+            Hashtbl.add sc pred c;
+            c
+        in
+        let cell = Relation.count_cell c tup in
+        if exit then cell.Relation.exits <- cell.Relation.exits + sign
+        else cell.Relation.recs <- cell.Relation.recs + sign;
+        if sign < 0 && recursive then
+          ignore (Relation.add (delta_rel dec_touched pred ~arity:(Array.length tup)) tup)
+      in
+      let pending_births = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+      let take_births () =
+        let b = !pending_births in
+        pending_births := Hashtbl.create 4;
+        b
+      in
+      (* Apply a round's net signed deltas to the counts. Deaths (a
+         present tuple's total reaching zero) are applied to the store
+         immediately and returned for the next cascade round; births
+         (positive support for an absent tuple) are only queued — they
+         are applied after all deletion-side work, so the backward
+         search never sees half-inserted state. Decrements aimed at a
+         tuple with no cell are support through something this batch
+         already killed: discarded, like the increments such a tuple's
+         own count would have carried. *)
+      let settle () =
+        let deaths : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+        Hashtbl.iter
+          (fun pred (round_counts : Relation.counts) ->
+            let rel = Hashtbl.find heads pred in
+            let c = Hashtbl.find counts_of pred in
+            let arity = Relation.arity rel in
+            Relation.counts_iter
+              (fun tup dcell ->
+                let dex = dcell.Relation.exits and drec = dcell.Relation.recs in
+                if dex <> 0 || drec <> 0 then
+                  if Relation.mem rel tup then (
+                    match Relation.count_find c tup with
+                    | Some cell ->
+                      cell.Relation.exits <- cell.Relation.exits + dex;
+                      cell.Relation.recs <- cell.Relation.recs + drec;
+                      if Relation.count_total cell <= 0 then begin
+                        Relation.count_drop c tup;
+                        ignore (Relation.remove rel tup);
+                        record_remove d pred ~arity tup;
+                        ignore (Relation.add (delta_rel deaths pred ~arity) tup)
+                      end
+                    | None ->
+                      (* present but never counted: a base fact listed
+                         for this derived predicate. New derivations
+                         attach a cell; stray decrements are bogus and
+                         keep the fact pinned. *)
+                      if dex + drec > 0 then begin
+                        let cell = Relation.count_cell c tup in
+                        cell.Relation.exits <- dex;
+                        cell.Relation.recs <- drec
+                      end)
+                  else
+                    match Relation.count_find c tup with
+                    | Some cell ->
+                      cell.Relation.exits <- cell.Relation.exits + dex;
+                      cell.Relation.recs <- cell.Relation.recs + drec;
+                      if Relation.count_total cell <= 0 then Relation.count_drop c tup
+                      else
+                        ignore (Relation.add (delta_rel !pending_births pred ~arity) tup)
+                    | None ->
+                      if dex + drec > 0 then begin
+                        let cell = Relation.count_cell c tup in
+                        cell.Relation.exits <- dex;
+                        cell.Relation.recs <- drec;
+                        ignore (Relation.add (delta_rel !pending_births pred ~arity) tup)
+                      end)
+              round_counts)
+          sc;
+        Hashtbl.reset sc;
+        deaths
+      in
+      (* one in-component cascade round: the delta (this round's deaths
+         or births, already applied to the store) drives every rule at
+         its in-component positions; [pre] is the pre-round state for
+         the late positions. Only scratch counts are written, so the
+         non-deferred executor is safe. *)
+      let enumerate_in_comp ~sign ~round ~pre =
+        List.iter
+          (fun pr ->
+            let r = pr.rule in
+            let hpred = r.Ast.head.Ast.pred in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred -> (
+                  match Hashtbl.find_opt round a.Ast.pred with
+                  | Some delta when Relation.cardinality delta > 0 ->
+                    (* in-comp delta position ⇒ recursive rule *)
+                    Plan.exec_rule ~view:ctx.new_view ~late_view:pre ~delta:(i, delta)
+                      ~work ~on_derived:(bump hpred false sign) pr.ex
+                  | Some _ | None -> ())
+                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+              r.Ast.body)
+          prs
+      in
+      let cascade_deaths deaths0 =
+        phase_begin ();
+        let pending = ref deaths0 in
+        while tbl_live !pending do
+          let round = !pending in
+          let pre = overlay_view ~plus:round ~minus:no_overlay ctx.new_view in
+          enumerate_in_comp ~sign:(-1) ~round ~pre;
+          pending := settle ()
+        done;
+        phase_end Obs.Event.cnt_forward
+      in
+      (* Backward phase: of the tuples that lost a derivation and
+         survived without exit support, decide which still have a
+         well-founded derivation. Worklist search: a suspect is hidden,
+         then checked goal-directedly — its constants substituted into
+         each recursive rule's body, looking for one satisfying match
+         in the visible state (exit-supported survivors, upstream
+         relations, peers not under suspicion). Exit rules can't prove
+         a suspect: exits = 0 means no exit derivation exists, and
+         hiding suspects (all same-component) doesn't change exit-rule
+         bodies. A proven suspect is unhidden and stops the search; a
+         failed one stays hidden and extends the proof obligation to
+         its consumers — anything whose support may run through it,
+         i.e. present exits = 0 tuples it derives — which join the
+         worklist. Without that spread an unfounded cycle proves its
+         members off each other, each off a not-yet-suspected peer
+         whose only support loops back through the suspect. Tuples
+         with exit support are well-founded and never enter, which
+         keeps the explored cone small next to DRed's overdeletion on
+         densely supported relations. A final fixpoint re-checks
+         failures against late proofs; what survives is supported only
+         through the suspect set itself — an unfounded cycle — and is
+         removed, its counts discarded. A proof through a tuple this
+         round later removes is repaired by the outer loop: the
+         removal's cascade decrements the dependent, re-suspecting
+         it. *)
+      let head_env (r : Ast.rule) tup =
+        let env = ref [] and ok = ref true in
+        List.iteri
+          (fun i t ->
+            if !ok then
+              match t with
+              | Ast.Var v -> (
+                match List.assoc_opt v !env with
+                | Some x -> if x <> tup.(i) then ok := false
+                | None -> env := (v, tup.(i)) :: !env)
+              | Ast.Const c ->
+                if Symbol.const_of ctx.symbols tup.(i) <> c then ok := false
+              | Ast.Agg _ -> ok := false)
+          r.Ast.head.Ast.args;
+        if !ok then Some !env else None
+      in
+      let subst_term env t =
+        match t with
+        | Ast.Var v -> (
+          match List.assoc_opt v env with
+          | Some code -> Ast.Const (Symbol.const_of ctx.symbols code)
+          | None -> t)
+        | Ast.Const _ | Ast.Agg _ -> t
+      in
+      let subst_lit env = function
+        | Ast.Pos a -> Ast.Pos { a with Ast.args = List.map (subst_term env) a.Ast.args }
+        | Ast.Neg a -> Ast.Neg { a with Ast.args = List.map (subst_term env) a.Ast.args }
+        | Ast.Cmp (op, t1, t2) -> Ast.Cmp (op, subst_term env t1, subst_term env t2)
+      in
+      let rec_prs = List.filter (fun pr -> rec_rule pr.rule) prs in
+      let exception Proved in
+      let provable ~hide pred tup =
+        List.exists
+          (fun pr ->
+            pr.rule.Ast.head.Ast.pred = pred
+            &&
+            match head_env pr.rule tup with
+            | None -> false
+            | Some env -> (
+              let body = List.map (subst_lit env) pr.rule.Ast.body in
+              (* goal-directed order: positives ascending by live
+                 cardinality so the probe hits the small relation first
+                 (edge before path, in transitive-closure terms);
+                 negations and comparisons last — range restriction
+                 binds their variables once every positive has run *)
+              let pos, rest =
+                List.partition (function Ast.Pos _ -> true | _ -> false) body
+              in
+              let key = function
+                | Ast.Pos a -> ctx.card a.Ast.pred
+                | Ast.Neg _ | Ast.Cmp _ -> max_int
+              in
+              let body =
+                List.stable_sort (fun x y -> compare (key x) (key y)) pos @ rest
+              in
+              try
+                Matcher.eval_body ~symbols:ctx.symbols ~view:hide ~work
+                  ~on_env:(fun _ -> raise Proved)
+                  body;
+                false
+              with Proved -> true))
+          rec_prs
+      in
+      let backward_prove () =
+        let unproven : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+        let queue : (string * Relation.tuple) Queue.t = Queue.create () in
+        Hashtbl.iter
+          (fun pred srel ->
+            let rel = Hashtbl.find heads pred in
+            let c = Hashtbl.find counts_of pred in
+            let arity = Relation.arity rel in
+            Relation.iter
+              (fun tup ->
+                if Relation.mem rel tup then
+                  match Relation.count_find c tup with
+                  | Some cell when cell.Relation.exits = 0 ->
+                    if Relation.add (delta_rel unproven pred ~arity) tup then
+                      (* iteration hands out a reused buffer; the queue
+                         outlives the probe *)
+                      Queue.add (pred, Array.copy tup) queue
+                  | Some _ | None -> ())
+              srel)
+          dec_touched;
+        Hashtbl.reset dec_touched;
+        if Queue.is_empty queue then None
+        else begin
+          let hide = overlay_view ~plus:no_overlay ~minus:unproven ctx.new_view in
+          (* consumers of [tup]: each head the recursive rules derive
+             through it in the current state *)
+          let each_consumer pred tup f =
+            let singleton = Relation.create ~arity:(Array.length tup) in
+            ignore (Relation.add singleton tup);
+            List.iter
+              (fun pr ->
+                let hpred = pr.rule.Ast.head.Ast.pred in
+                List.iteri
+                  (fun i lit ->
+                    match lit with
+                    | Ast.Pos a when a.Ast.pred = pred ->
+                      Plan.exec_rule ~view:ctx.new_view ~delta:(i, singleton)
+                        ~work ~on_derived:(f hpred) pr.ex
+                    | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+                  pr.rule.Ast.body)
+              rec_prs
+          in
+          (* once proven a tuple is exempt from re-tainting for the
+             rest of this call: its proof ran against tuples visible at
+             the time, and if one of those is removed later the
+             removal's cascade re-suspects the dependents on the next
+             outer round *)
+          let proven : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+          let in_proven pred tup =
+            match Hashtbl.find_opt proven pred with
+            | Some r -> Relation.mem r tup
+            | None -> false
+          in
+          while not (Queue.is_empty queue) do
+            let pred, tup = Queue.pop queue in
+            match Hashtbl.find_opt unproven pred with
+            | Some u when Relation.mem u tup ->
+              if provable ~hide pred tup then begin
+                ignore (Relation.remove u tup);
+                ignore
+                  (Relation.add (delta_rel proven pred ~arity:(Array.length tup)) tup);
+                (* a peer that failed only because [tup] was hidden
+                   re-proves now that it isn't *)
+                each_consumer pred tup (fun hpred h ->
+                    match Hashtbl.find_opt unproven hpred with
+                    | Some hu when Relation.mem hu h ->
+                      Queue.add (hpred, Array.copy h) queue
+                    | Some _ | None -> ())
+              end
+              else begin
+                each_consumer pred tup (fun hpred h ->
+                    let hrel = Hashtbl.find heads hpred in
+                    if Relation.mem hrel h then
+                      match Relation.count_find (Hashtbl.find counts_of hpred) h with
+                      | Some cell
+                        when cell.Relation.exits = 0 && not (in_proven hpred h) ->
+                        if
+                          Relation.add
+                            (delta_rel unproven hpred ~arity:(Relation.arity hrel))
+                            h
+                        then Queue.add (hpred, Array.copy h) queue
+                      | Some _ | None -> ())
+              end
+            | Some _ | None -> ()
+          done;
+          let deaths : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+          let any = ref false in
+          Hashtbl.iter
+            (fun pred u ->
+              if Relation.cardinality u > 0 then begin
+                any := true;
+                let rel = Hashtbl.find heads pred in
+                let c = Hashtbl.find counts_of pred in
+                let arity = Relation.arity rel in
+                Relation.iter
+                  (fun tup ->
+                    Relation.count_drop c tup;
+                    ignore (Relation.remove rel tup);
+                    record_remove d pred ~arity tup;
+                    ignore (Relation.add (delta_rel deaths pred ~arity) tup))
+                  u
+              end)
+            unproven;
+          if !any then Some deaths else None
+        end
+      in
+      let apply_births pending =
+        let applied : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+        Hashtbl.iter
+          (fun pred r ->
+            if Relation.cardinality r > 0 then begin
+              let rel = Hashtbl.find heads pred in
+              let c = Hashtbl.find counts_of pred in
+              let arity = Relation.arity rel in
+              Relation.iter
+                (fun tup ->
+                  (* re-check: support queued earlier may have been
+                     cancelled by later decrements *)
+                  match Relation.count_find c tup with
+                  | Some cell when Relation.count_total cell > 0 ->
+                    if Relation.add rel tup then begin
+                      record_add d pred ~arity tup;
+                      ignore (Relation.add (delta_rel applied pred ~arity) tup)
+                    end
+                  | Some _ | None -> ())
+                r
+            end)
+          pending;
+        applied
+      in
+      let rec birth_rounds round =
+        if tbl_live round then begin
+          let pre = overlay_view ~plus:no_overlay ~minus:round ctx.new_view in
+          enumerate_in_comp ~sign:1 ~round ~pre;
+          (* increments only: settle can queue further births but can
+             produce no deaths *)
+          ignore (settle ());
+          birth_rounds (apply_births (take_births ()))
+        end
+      in
+      begin
+        (* round 0: propagate the external update's signed deltas.
+           Added tuples of a positive literal derive with sign +1 and
+           removed with -1; for a negated literal the signs flip and
+           the flipped-positive plan ranges over the change. Late
+           positions read the old view — comp relations are untouched
+           during the round, so old and new agree on them, exactly the
+           "externals first" serialization. *)
+        phase_begin ();
+        List.iter
+          (fun pr ->
+            let r = pr.rule in
+            let hpred = r.Ast.head.Ast.pred in
+            let exit = not (rec_rule r) in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when not (Hashtbl.mem comp_preds a.Ast.pred) ->
+                  if nonempty d.added a.Ast.pred then
+                    Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
+                      ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                      ~work ~on_derived:(bump hpred exit 1) pr.ex;
+                  if nonempty d.removed a.Ast.pred then
+                    Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
+                      ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                      ~work
+                      ~on_derived:(bump hpred exit (-1))
+                      pr.ex
+                | Ast.Neg a ->
+                  if nonempty d.added a.Ast.pred || nonempty d.removed a.Ast.pred
+                  then begin
+                    let _, fex = flipped_for pr i in
+                    if nonempty d.added a.Ast.pred then
+                      Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
+                        ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                        ~work
+                        ~on_derived:(bump hpred exit (-1))
+                        fex;
+                    if nonempty d.removed a.Ast.pred then
+                      Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
+                        ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                        ~work ~on_derived:(bump hpred exit 1) fex
+                  end
+                | Ast.Pos _ | Ast.Cmp _ -> ())
+              r.Ast.body)
+          prs;
+        let deaths0 = settle () in
+        phase_end Obs.Event.cnt_propagate;
+        cascade_deaths deaths0;
+        if recursive then begin
+          let continue_bf = ref true in
+          while !continue_bf do
+            phase_begin ();
+            let more = backward_prove () in
+            phase_end Obs.Event.cnt_backward;
+            match more with
+            | None -> continue_bf := false
+            | Some deaths -> cascade_deaths deaths
+          done
+        end;
+        phase_begin ();
+        birth_rounds (apply_births (take_births ()));
+        phase_end Obs.Event.cnt_forward;
+        Hashtbl.iter (fun _ rel -> Relation.counts_sync rel) heads
+      end
+    in
+    (match ctx.maint with
+    (* nothing upstream changed ⇒ no deltas can reach this component;
+       skipping also avoids rebuilding stale counts nobody needs yet *)
+    | Counting -> if input_changed then run_phases_counting ()
+    | Dred -> (
+      match shard_ctx with
+      | Some sc when sc.nshards > 1 && Array.length prs_by_shard = sc.nshards ->
+        run_phases_sharded sc
+      | Some _ | None -> run_phases_serial ()));
     { comp; work = !work; output_changed = members_changed (); input_changed }
 
 (* ---- report assembly -------------------------------------------- *)
@@ -812,8 +1381,8 @@ let assemble_report ctx slots =
   in
   { changes; activity; analysis = ctx.anal }
 
-let setup ?(shards = 1) ~engine db program ~additions ~deletions =
-  let ctx = make_ctx ~engine db program in
+let setup ?(shards = 1) ~engine ~maint db program ~additions ~deletions =
+  let ctx = make_ctx ~engine ~maint db program in
   List.iter (check_edb ctx.anal) additions;
   List.iter (check_edb ctx.anal) deletions;
   apply_base_updates ctx ~additions ~deletions;
@@ -831,10 +1400,46 @@ let run_serial_walk ~obs ?shard_ctx ctx prepared =
     (Stratify.scc_order ctx.anal);
   assemble_report ctx slots
 
-let apply ?(engine = Plan.default_engine) ?(obs = Obs.Trace.disabled) db program
-    ~additions ~deletions =
-  let ctx, prepared = setup ~engine db program ~additions ~deletions in
+let check_maint_engine ~who maint engine =
+  match (maint, engine) with
+  | Counting, Plan.Interpreted ->
+    invalid_arg
+      (who
+     ^ ": counting maintenance requires the compiled engine (the interpretive \
+        oracle has no split-view mode)")
+  | (Counting | Dred), _ -> ()
+
+let apply ?(engine = Plan.default_engine) ?(maint = Dred) ?(obs = Obs.Trace.disabled)
+    db program ~additions ~deletions =
+  check_maint_engine ~who:"Incremental.apply" maint engine;
+  let ctx, prepared = setup ~engine ~maint db program ~additions ~deletions in
   run_serial_walk ~obs ctx prepared
+
+(* Build and stamp the counting side tables of every derived component
+   against the database's current (materialized) contents — one full-
+   join pass per rule. Callers run this once after {!Eval}
+   materialization so the first [apply ~maint:Counting] update doesn't
+   pay the rebuild inside the measured batch; skipping it is still
+   correct, merely slower once. *)
+let prime ?(engine = Plan.default_engine) db program =
+  check_maint_engine ~who:"Incremental.prime" Counting engine;
+  let ctx = make_ctx ~engine ~maint:Counting db program in
+  let work = ref 0 in
+  Array.iter
+    (fun c ->
+      let pc = prepare_comp ctx c in
+      match pc.body with
+      | Extensional | Aggregate_rule _ -> ()
+      | Rules prs_by_shard ->
+        ignore (recount_comp ctx pc prs_by_shard.(0) ~view:ctx.new_view ~work);
+        Array.iter
+          (fun p ->
+            match Database.find ctx.db ctx.anal.Stratify.predicates.(p) with
+            | Some rel -> Relation.counts_sync rel
+            | None -> ())
+          pc.members)
+    (Stratify.scc_order ctx.anal);
+  !work
 
 (* ---- parallel maintenance over the multicore executor -----------
 
@@ -878,11 +1483,21 @@ let apply ?(engine = Plan.default_engine) ?(obs = Obs.Trace.disabled) db program
 
 let serial_task_threshold = 8
 
-let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?(shards = 1)
-    ?(serial_threshold = serial_task_threshold) ?sched ?(obs = Obs.Trace.disabled)
-    db program ~additions ~deletions =
+let apply_parallel ?(engine = Plan.default_engine) ?(maint = Dred) ?(domains = 4)
+    ?(shards = 1) ?(serial_threshold = serial_task_threshold) ?sched
+    ?(obs = Obs.Trace.disabled) db program ~additions ~deletions =
   if shards < 1 then invalid_arg "Incremental.apply_parallel: shards < 1";
-  if domains <= 1 && shards <= 1 then apply ~engine ~obs db program ~additions ~deletions
+  check_maint_engine ~who:"Incremental.apply_parallel" maint engine;
+  (* counting settles each round's deltas against the single canonical
+     count table; sharded phase rounds would need per-shard count
+     ownership it doesn't have — reject loudly rather than silently
+     running DRed or dropping the sharding *)
+  if maint = Counting && shards > 1 then
+    invalid_arg
+      "Incremental.apply_parallel: counting maintenance does not compose with \
+       sharded phase rounds (--shards > 1); use shards = 1 or DRed";
+  if domains <= 1 && shards <= 1 then
+    apply ~engine ~maint ~obs db program ~additions ~deletions
   else begin
     (match engine with
     | Plan.Compiled -> ()
@@ -891,7 +1506,7 @@ let apply_parallel ?(engine = Plan.default_engine) ?(domains = 4) ?(shards = 1)
         "Incremental.apply_parallel: the interpretive oracle is not domain-safe; \
          use the compiled engine");
     let sched = match sched with Some s -> s | None -> Sched.Level_based.factory in
-    let ctx, prepared = setup ~shards ~engine db program ~additions ~deletions in
+    let ctx, prepared = setup ~shards ~engine ~maint db program ~additions ~deletions in
     Array.iter precompile_comp prepared;
     let cond = ctx.anal.Stratify.condensation in
     let g = cond.Dag.Scc.dag in

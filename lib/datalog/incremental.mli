@@ -1,6 +1,8 @@
 (** Incremental maintenance of a materialized database under base-fact
-    updates — the delete-rederive (DRed) algorithm with stratified
-    negation, processed stratum by stratum:
+    updates, with two engine-selectable algorithms ({!maint}).
+
+    {b DRed} (delete-rederive), with stratified negation, processed
+    stratum by stratum:
 
     + {e overdelete}: semi-naively propagate deletions (and additions
       under negated literals), matching the remaining body against the
@@ -9,6 +11,24 @@
       derivations, to fixpoint;
     + {e insert}: semi-naively propagate additions (and deletions under
       negated literals) against the post-update state.
+
+    {b Counting} (with Backward/Forward search for recursive
+    components, after Hu/Motik/Horrocks' "Optimised Maintenance of
+    Datalog Materialisations"): every derived tuple carries its number
+    of distinct derivations, split into exit-rule and recursive-rule
+    support ({!Relation.count_cell}). An update propagates {e signed
+    count deltas} — each enumeration joins the changed tuples at body
+    position i against already-updated state before i and not-yet-
+    updated state after i ({!Plan.run}'s [late_view]) — and a tuple is
+    deleted exactly when its count reaches zero. Nothing is
+    over-deleted, so DRed's rederivation storm disappears; only
+    decremented-but-surviving tuples with no exit support need the
+    backward check for an alternative well-founded derivation, and
+    forward propagation restarts only from genuinely dead tuples.
+    Counts live in a side table stamped with the relation version
+    ({!Relation.counts_synced}); they are rebuilt transparently when
+    stale (first use, or after DRed/Eval touched the relation), or
+    ahead of time with {!prime}.
 
     This is the computation whose task DAG the paper's schedulers order:
     each dependency-graph component is one task, activated exactly when
@@ -36,8 +56,18 @@ type report = {
   analysis : Stratify.t;
 }
 
+type maint = Dred | Counting
+(** Maintenance algorithm. Both restore exactly the same database;
+    they differ in how deletions are paid for. [Counting] requires the
+    compiled engine ({!Plan.Compiled}) and runs unsharded; aggregate
+    components use the same recompute-and-diff under either. DRed can
+    still win on updates that wipe out most of a materialization —
+    counting's per-derivation bookkeeping then costs more than deleting
+    everything and rederiving the little that remains. *)
+
 val apply :
   ?engine:Plan.engine ->
+  ?maint:maint ->
   ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
@@ -48,10 +78,24 @@ val apply :
     completed materialization of [program] (via {!Eval.run}). Atoms must
     be ground and extensional. [engine] (default {!Plan.Compiled})
     selects compiled plans or the interpretive oracle; both restore the
-    same database. [obs] (default disabled) records a DRed phase span
-    (delete / rederive / insert, tagged with the component id) per
-    maintained component on the trace's ring 0.
-    @raise Invalid_argument on a non-ground or intensional atom. *)
+    same database. [maint] (default {!Dred}) selects the maintenance
+    algorithm. [obs] (default disabled) records a phase span per
+    maintained component on the trace's ring 0 — delete / rederive /
+    insert under DRed, count-propagate / backward / forward under
+    Counting, tagged with the component id.
+    @raise Invalid_argument on a non-ground or intensional atom, or for
+    [~maint:Counting] with the interpretive engine. *)
+
+val prime : ?engine:Plan.engine -> Database.t -> Ast.program -> int
+(** Build and version-stamp the derivation-count side tables of every
+    derived predicate against the database's current (materialized)
+    contents — one full-join pass per rule; returns the tuples
+    examined. Optional: the first [apply ~maint:Counting] rebuilds
+    stale counts itself; priming just moves that cost out of the
+    update. Counts are per program: priming with one program and
+    maintaining with another is only safe if the database was touched
+    in between (the version stamp then forces a rebuild).
+    @raise Invalid_argument with the interpretive engine. *)
 
 val serial_task_threshold : int
 (** Default [serial_threshold] of {!apply_parallel}: activation
@@ -61,6 +105,7 @@ val serial_task_threshold : int
 
 val apply_parallel :
   ?engine:Plan.engine ->
+  ?maint:maint ->
   ?domains:int ->
   ?shards:int ->
   ?serial_threshold:int ->
@@ -102,13 +147,20 @@ val apply_parallel :
     update runs the serial walk — still sharded when [shards > 1] —
     instead of paying the executor's spawn-and-join overhead.
 
+    [maint] (default {!Dred}) selects the per-component maintenance
+    algorithm, as in {!apply}; component-level parallelism (ownership +
+    precedence) is algorithm-agnostic, but counting does not compose
+    with sharded phase rounds — [~maint:Counting] with [shards > 1] is
+    rejected rather than silently falling back.
+
     [obs] (default disabled) threads the executor's per-worker tracing
     (task / steal / park / scheduler-lock events) through the run and
-    adds DRed phase spans on the executing worker's ring; sharded
-    rounds add [shard] spans, shard 0 on the coordinating worker's
-    ring, shard [j >= 1] on ring [max 1 domains + j - 1]. Recording
-    never changes maintenance results.
+    adds maintenance phase spans on the executing worker's ring;
+    sharded rounds add [shard] spans, shard 0 on the coordinating
+    worker's ring, shard [j >= 1] on ring [max 1 domains + j - 1].
+    Recording never changes maintenance results.
     @raise Invalid_argument on a non-ground or intensional atom, if
-    [shards < 1], or if [engine] is {!Plan.Interpreted} with
-    [domains > 1] or [shards > 1]
+    [shards < 1], if [engine] is {!Plan.Interpreted} with
+    [domains > 1] or [shards > 1] or [maint = Counting], or if
+    [maint = Counting] with [shards > 1]
     @raise Failure if a maintenance task raises. *)

@@ -23,11 +23,18 @@ type probe =
   | Probe of int * src  (* indexed probe on (column, value source) *)
 
 type step =
-  | Match of { pred : string; arity : int; probe : probe; ops : arg_op array }
+  | Match of { pred : string; arity : int; probe : probe; ops : arg_op array; late : bool }
+      (* [late]: the literal's *original* body position is after the
+         delta position, so under split-view execution it reads
+         [late_view] instead of [view]. Baked at compile time (the
+         delta position is a compile parameter), invariant under the
+         selectivity reorder: telescoped signed-delta maintenance
+         evaluates Δ at position i against new₁…newᵢ₋₁ · oldᵢ₊₁…oldₖ,
+         and "before/after i" refers to syntactic positions. *)
   | Delta of { arity : int; ops : arg_op array }
       (* the semi-naive literal: ranges over the delta relation passed
          to {!run} instead of the view *)
-  | Reject of { pred : string; args : src array; scratch : int array }
+  | Reject of { pred : string; args : src array; scratch : int array; late : bool }
       (* negated atom, all arguments bound: membership must fail *)
   | Filter of { op : Ast.cmp; a : src; b : src }
 
@@ -78,7 +85,10 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
       args;
     Array.of_list (List.rev !ops)
   in
-  let compile_pos (a : Ast.atom) =
+  (* original body position [i] > delta position ⇒ the literal reads
+     the late view under split-view execution *)
+  let is_late i = match delta with Some di -> i > di | None -> false in
+  let compile_pos ~late (a : Ast.atom) =
     (* probe on the first argument resolvable before this literal binds
        anything new — same column the interpreter would pick *)
     let probe =
@@ -93,7 +103,7 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
     in
     let skip_col = match probe with Probe (col, _) -> col | Scan -> -1 in
     let ops = compile_args ~skip_col a.Ast.args in
-    Match { pred = a.Ast.pred; arity = List.length a.Ast.args; probe; ops }
+    Match { pred = a.Ast.pred; arity = List.length a.Ast.args; probe; ops; late }
   in
   let ground_srcs (a : Ast.atom) =
     Array.of_list
@@ -149,14 +159,15 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
     let ready, rest = List.partition (fun (_, l) -> lit_ready l) !remaining in
     if ready <> [] then begin
       List.iter
-        (fun (_, l) ->
+        (fun (i, l) ->
           match l with
           | Ast.Neg a ->
             emit
               (Reject
                  { pred = a.Ast.pred;
                    args = ground_srcs a;
-                   scratch = Array.make (List.length a.Ast.args) 0 })
+                   scratch = Array.make (List.length a.Ast.args) 0;
+                   late = is_late i })
           | Ast.Cmp (op, t1, t2) ->
             let s t =
               match term_src slots symbols t with Some s -> s | None -> assert false
@@ -187,7 +198,7 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
           (Printf.sprintf "Plan: rule for %s is not range-restricted"
              rule.Ast.head.Ast.pred)
       | Some (_, i, a) ->
-        emit (compile_pos a);
+        emit (compile_pos ~late:(is_late i) a);
         remaining := List.filter (fun (j, _) -> j <> i) !remaining
     end
   done;
@@ -242,11 +253,15 @@ let cmp_ok op c =
   | Ast.Gt -> c > 0
   | Ast.Ge -> c >= 0
 
-let run ?delta ?shard ~view ~work ~on_derived p =
+let run ?delta ?shard ?late_view ~view ~work ~on_derived p =
   if p.running then
     invalid_arg "Plan.run: reentrant execution of a plan (its scratch state is live)";
   p.running <- true;
   Fun.protect ~finally:(fun () -> p.running <- false) @@ fun () ->
+  (* split-view execution: literals whose original position follows the
+     delta position read [late_view]; everything else reads [view].
+     Defaulting [late_view] to [view] makes the single-view case free. *)
+  let lview = match late_view with Some v -> v | None -> view in
   let env = p.env in
   let steps = p.steps in
   let nsteps = Array.length steps in
@@ -262,7 +277,8 @@ let run ?delta ?shard ~view ~work ~on_derived p =
     end
     else
       match Array.unsafe_get steps i with
-      | Match { pred; arity; probe; ops } ->
+      | Match { pred; arity; probe; ops; late } ->
+        let v = if late then lview else view in
         let try_tuple tup =
           incr work;
           if Array.length tup <> arity then
@@ -270,8 +286,8 @@ let run ?delta ?shard ~view ~work ~on_derived p =
           if unify_ops env ops tup then exec (i + 1)
         in
         (match probe with
-        | Scan -> view.Matcher.iter pred try_tuple
-        | Probe (col, s) -> view.Matcher.iter_matching pred ~col ~value:(value s) try_tuple)
+        | Scan -> v.Matcher.iter pred try_tuple
+        | Probe (col, s) -> v.Matcher.iter_matching pred ~col ~value:(value s) try_tuple)
       | Delta { arity; ops } -> (
         match delta with
         | None -> invalid_arg "Plan.run: plan has a delta literal but no ~delta"
@@ -291,12 +307,13 @@ let run ?delta ?shard ~view ~work ~on_derived p =
                 invalid_arg "Plan: arity mismatch on the delta relation";
               if owned tup && unify_ops env ops tup then exec (i + 1))
             d)
-      | Reject { pred; args; scratch } ->
+      | Reject { pred; args; scratch; late } ->
         incr work;
         for j = 0 to Array.length args - 1 do
           scratch.(j) <- value (Array.unsafe_get args j)
         done;
-        if not (view.Matcher.mem pred scratch) then exec (i + 1)
+        let v = if late then lview else view in
+        if not (v.Matcher.mem pred scratch) then exec (i + 1)
       | Filter { op; a; b } ->
         incr work;
         if cmp_ok op (Symbol.compare_codes p.symbols (value a) (value b)) then
@@ -325,9 +342,13 @@ let executor ~engine ~symbols ~card (rule : Ast.rule) =
   | Interpreted -> Interp { rule; symbols }
   | Compiled -> Plans { rule; symbols; card; base = None; deltas = Hashtbl.create 4 }
 
-let exec_rule ?delta ?shard ~view ~work ~on_derived e =
+let exec_rule ?delta ?shard ?late_view ~view ~work ~on_derived e =
   match e with
   | Interp { rule; symbols } ->
+    if late_view <> None then
+      invalid_arg
+        "Plan.exec_rule: the interpretive oracle has no split-view mode \
+         (counting maintenance requires the Compiled engine)";
     (* the interpretive oracle has no shard mode; restrict its delta by
        materializing this shard's partition (oracle-only, cost is fine) *)
     let delta =
@@ -354,7 +375,7 @@ let exec_rule ?delta ?shard ~view ~work ~on_derived e =
           p.base <- Some plan;
           plan
       in
-      run ~view ~work ~on_derived plan
+      run ?late_view ~view ~work ~on_derived plan
     | Some (i, d) ->
       let plan =
         match Hashtbl.find_opt p.deltas i with
@@ -364,7 +385,7 @@ let exec_rule ?delta ?shard ~view ~work ~on_derived e =
           Hashtbl.add p.deltas i plan;
           plan
       in
-      run ~delta:d ?shard ~view ~work ~on_derived plan)
+      run ~delta:d ?shard ?late_view ~view ~work ~on_derived plan)
 
 (* Force the compilation a later [exec_rule ?delta] call would perform
    lazily. Compilation interns the rule's constants into the shared
@@ -395,9 +416,9 @@ let prepare ?delta e =
    buffer (typically a membership probe of the head relation) so that
    already-known derivations are never copied; [on_derived] must still
    dedupe, since one call can buffer the same new tuple twice. *)
-let exec_rule_deferred ?delta ?shard ~view ~work ~keep ~on_derived e =
+let exec_rule_deferred ?delta ?shard ?late_view ~view ~work ~keep ~on_derived e =
   let buf = ref [] in
-  exec_rule ?delta ?shard ~view ~work
+  exec_rule ?delta ?shard ?late_view ~view ~work
     ~on_derived:(fun tup -> if keep tup then buf := Array.copy tup :: !buf)
     e;
   List.iter on_derived (List.rev !buf)

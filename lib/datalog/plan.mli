@@ -50,6 +50,7 @@ val compile : ?delta:int -> symbols:Symbol.t -> card:(string -> int) -> Ast.rule
 val run :
   ?delta:Relation.t ->
   ?shard:int * int ->
+  ?late_view:Matcher.view ->
   view:Matcher.view ->
   work:int ref ->
   on_derived:(Relation.tuple -> unit) ->
@@ -63,12 +64,21 @@ val run :
     [k]: running the same plan for every [s] partitions the delta
     exactly, which is how a sharded maintenance task probes only its
     own slice while reading frozen full views of everything else.
+    [late_view], meaningful only on a delta plan, switches body literals
+    whose {e original} position follows the delta position (positive
+    probes and negation checks alike) to read [late_view] while earlier
+    literals keep reading [view] — the split the telescoped signed-delta
+    identity Δ(R₁⋈…⋈Rₖ) = Σᵢ new₁…newᵢ₋₁·Δᵢ·oldᵢ₊₁…oldₖ needs, exact for
+    batches touching several body predicates (including self-joins).
+    Late flags are baked at compile time from the delta position, so the
+    same memoized per-delta-position plans serve single-view and
+    split-view execution. Defaults to [view].
     [work] counts tuples and filter checks examined, as the interpreter
     does. [on_derived] receives a scratch tuple — copy to retain;
     duplicates are possible, callers dedupe via {!Relation.add}.
-    [on_derived] must not mutate any relation reachable from [view] or
-    [delta] (the probes walk live index buckets): mutating consumers go
-    through {!exec_rule_deferred}.
+    [on_derived] must not mutate any relation reachable from [view],
+    [late_view] or [delta] (the probes walk live index buckets):
+    mutating consumers go through {!exec_rule_deferred}.
     @raise Invalid_argument on reentrant execution of the same plan. *)
 
 (** {2 Engine dispatch}
@@ -93,6 +103,7 @@ val executor : engine:engine -> symbols:Symbol.t -> card:(string -> int) -> Ast.
 val exec_rule :
   ?delta:int * Relation.t ->
   ?shard:int * int ->
+  ?late_view:Matcher.view ->
   view:Matcher.view ->
   work:int ref ->
   on_derived:(Relation.tuple -> unit) ->
@@ -101,8 +112,12 @@ val exec_rule :
 (** Same contract as {!Matcher.eval_rule}; [delta = (i, d)] makes body
     literal [i] range over [d], and [shard] restricts it to one hash
     partition (see {!run}; on the interpretive engine the partition is
-    materialized, oracle-only cost). Like {!run}, [on_derived] must not
-    mutate relations the rule is reading. *)
+    materialized, oracle-only cost). [late_view] is the split-view mode
+    of {!run}; the interpretive oracle does not support it.
+    Like {!run}, [on_derived] must not mutate relations the rule is
+    reading.
+    @raise Invalid_argument for [late_view] on the interpretive
+    engine. *)
 
 val prepare : ?delta:int -> exec -> unit
 (** Force compilation of the plan a later {!exec_rule} call with the
@@ -115,6 +130,7 @@ val prepare : ?delta:int -> exec -> unit
 val exec_rule_deferred :
   ?delta:int * Relation.t ->
   ?shard:int * int ->
+  ?late_view:Matcher.view ->
   view:Matcher.view ->
   work:int ref ->
   keep:(Relation.tuple -> bool) ->

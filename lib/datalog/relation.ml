@@ -28,9 +28,28 @@ module Tuple_tbl = Hashtbl.Make (struct
     !h land max_int
 end)
 
+(* ---- derivation-count side table (counting maintenance) ----
+
+   Per-tuple derivation counts for {!Incremental}'s counting engine,
+   kept in a side table next to the tuple store rather than inside it:
+   the non-counting hot path ([add]/[remove]/[mem]/probes) never reads
+   or writes the field, so the DRed engine pays nothing for its
+   existence. Counts are split into [exits] (derivations by rules with
+   no same-component body atom — acyclic support by construction) and
+   [recs] (derivations by recursive rules); the backward phase uses the
+   split to skip tuples that are exit-supported. [synced_version]
+   records the relation version the counts were last consistent with:
+   any mutation outside the counting engine bumps the version, so stale
+   counts are detected and rebuilt instead of silently trusted. *)
+
+type count_cell = { mutable exits : int; mutable recs : int }
+
+type counts = { cells : count_cell Tuple_tbl.t; mutable synced_version : int }
+
 type t = {
   arity : int;
   tuples : unit Tuple_tbl.t;
+  mutable counts : counts option;
   indexes : (int, unit Tuple_tbl.t) Hashtbl.t option Atomic.t array;
       (* indexes.(col), built lazily; kept consistent once built. Each
          slot is an [Atomic.t] so a lazy build on a relation shared
@@ -54,6 +73,7 @@ let create ~arity =
   {
     arity;
     tuples = Tuple_tbl.create 64;
+    counts = None;
     indexes = Array.init (max arity 1) (fun _ -> Atomic.make None);
     version = 0;
   }
@@ -153,7 +173,51 @@ let copy t =
 let clear t =
   t.version <- t.version + 1;
   Tuple_tbl.reset t.tuples;
+  t.counts <- None;
   Array.iter (fun slot -> Atomic.set slot None) t.indexes
+
+(* ---- count operations --------------------------------------------
+
+   All mutation of counts is single-owner, like the store itself. The
+   cells table is keyed by copies of the tuples (a caller's scratch
+   array must not alias a key), mirroring [add]. *)
+
+let counts_create () = { cells = Tuple_tbl.create 64; synced_version = min_int }
+
+let counts_attach t =
+  let c = counts_create () in
+  t.counts <- Some c;
+  c
+
+let counts_detach t = t.counts <- None
+
+let counts_synced t =
+  match t.counts with
+  | Some c when c.synced_version = t.version -> Some c
+  | Some _ | None -> None
+
+let counts_sync t =
+  match t.counts with
+  | Some c -> c.synced_version <- t.version
+  | None -> ()
+
+let count_find c tup = Tuple_tbl.find_opt c.cells tup
+
+let count_cell c tup =
+  match Tuple_tbl.find_opt c.cells tup with
+  | Some cell -> cell
+  | None ->
+    let cell = { exits = 0; recs = 0 } in
+    Tuple_tbl.replace c.cells (Array.copy tup) cell;
+    cell
+
+let count_total cell = cell.exits + cell.recs
+
+let count_drop c tup = Tuple_tbl.remove c.cells tup
+
+let counts_iter f c = Tuple_tbl.iter f c.cells
+
+let counts_cardinality c = Tuple_tbl.length c.cells
 
 (* Build fully, publish atomically: a sibling domain either sees [None]
    (and builds its own complete copy) or a finished index — never a

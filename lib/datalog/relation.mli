@@ -66,6 +66,60 @@ val choose_probe_col : t -> bound:(int -> bool) -> int option
 (** Some column index on which a probe makes sense: the first column
     for which [bound] is true. *)
 
+(** {2 Derivation counts}
+
+    Per-tuple derivation counts for {!Incremental}'s counting
+    maintenance engine, held in a side table next to the tuple store:
+    the non-counting path ([add]/[remove]/[mem]/probes) never touches
+    them, so DRed maintenance pays nothing for their existence. Counts
+    are split per tuple into [exits] — derivations by {e exit} rules
+    (no body atom in the head's own SCC, hence acyclic support) — and
+    [recs], derivations by recursive rules; the counting engine's
+    backward phase uses the split to skip exit-supported tuples.
+
+    Staleness is detected by version stamp: {!counts_sync} records the
+    relation version the counts were made consistent with, and any
+    later mutation outside the counting engine (which bumps the
+    version) makes {!counts_synced} return [None], forcing a rebuild
+    instead of trusting stale counts. {!clear} drops the side table. *)
+
+type count_cell = { mutable exits : int; mutable recs : int }
+
+type counts
+
+val counts_create : unit -> counts
+(** A free-standing count table (starts unsynced); used for scratch
+    accumulation of signed count deltas. *)
+
+val counts_attach : t -> counts
+(** Replace the relation's count table with a fresh empty one (not yet
+    synced) and return it. *)
+
+val counts_detach : t -> unit
+
+val counts_synced : t -> counts option
+(** The attached count table, but only if it was synced at the
+    relation's current version; [None] when absent or stale. *)
+
+val counts_sync : t -> unit
+(** Stamp the attached count table as consistent with the relation's
+    current contents. No-op when no table is attached. *)
+
+val count_cell : counts -> tuple -> count_cell
+(** Find or create (zero-initialized) the cell for a tuple; the key is
+    copied on insert, as in {!add}. *)
+
+val count_find : counts -> tuple -> count_cell option
+
+val count_total : count_cell -> int
+(** [exits + recs]. *)
+
+val count_drop : counts -> tuple -> unit
+
+val counts_iter : (tuple -> count_cell -> unit) -> counts -> unit
+
+val counts_cardinality : counts -> int
+
 (** {2 Sharding}
 
     Hash partitioning for intra-component parallel maintenance: tuples

@@ -24,6 +24,7 @@ type t = {
 val of_update :
   ?work_unit:float ->
   ?engine:Plan.engine ->
+  ?maint:Incremental.maint ->
   ?domains:int ->
   ?shards:int ->
   ?obs:Obs.Trace.t ->
@@ -34,8 +35,10 @@ val of_update :
   t
 (** [db] must hold a completed materialization (see {!Eval.run}); it is
     updated in place. [work_unit] converts tuples-examined into seconds
-    of simulated processing time (default [1e-6]). [engine] is passed
-    through to {!Incremental.apply}. [domains] (default 1) > 1 or
+    of simulated processing time (default [1e-6]). [engine] and [maint]
+    (default DRed) are passed through to {!Incremental.apply} —
+    [~maint:Counting] maintains by derivation counts instead of
+    delete-rederive. [domains] (default 1) > 1 or
     [shards] (default 1) > 1 runs the maintenance itself in parallel
     via {!Incremental.apply_parallel} — [shards] splits each
     component's DRed phase rounds into per-shard fan-out tasks; the

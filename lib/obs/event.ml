@@ -9,7 +9,8 @@
    - sched-*:        t = release, a = lock wait ns, b = acquire stamp
      (full span incl. the wait starts at b - a)
    - dred-*:         t = phase end, a = component,  b = phase start
-   - shard:          t = end,    a = shard id,      b = start *)
+   - shard:          t = end,    a = shard id,      b = start
+   - cnt-*:          t = phase end, a = component,  b = phase start *)
 
 type kind = int
 
@@ -24,8 +25,11 @@ let dred_delete = 7
 let dred_rederive = 8
 let dred_insert = 9
 let shard = 10
+let cnt_propagate = 11
+let cnt_backward = 12
+let cnt_forward = 13
 
-let count = 11
+let count = 14
 
 let names =
   [|
@@ -40,6 +44,9 @@ let names =
     "dred-rederive";
     "dred-insert";
     "shard";
+    "cnt-propagate";
+    "cnt-backward";
+    "cnt-forward";
   |]
 
 let name k = if k >= 0 && k < count then names.(k) else "unknown"
@@ -53,6 +60,8 @@ let is_instant k = k = wake
 let is_sched k = k = sched_refill || k = sched_complete || k = sched_activate
 
 let is_dred k = k = dred_delete || k = dred_rederive || k = dred_insert
+
+let is_cnt k = k = cnt_propagate || k = cnt_backward || k = cnt_forward
 
 (* Start of the full span in ns-since-epoch; for scheduler sections
    the recorded stamp [b] is taken after the lock was acquired and [a]

@@ -39,6 +39,16 @@ val shard : kind
 (** One shard task's slice of a sharded maintenance round: [a] =
     shard id, [b] = start, [t] = end. *)
 
+val cnt_propagate : kind
+val cnt_backward : kind
+val cnt_forward : kind
+(** Counting maintenance phases per condensation component
+    ({!Incremental.apply} with [~maint:Counting]): count-delta
+    propagation from the external update, backward alternative-
+    derivation search, and forward death/birth cascades. Fields as for
+    the [dred_*] kinds: [a] = component id, [b] = phase start, [t] =
+    phase end. *)
+
 val count : int
 (** Number of kinds; valid kinds are [0 .. count - 1]. *)
 
@@ -51,6 +61,8 @@ val is_instant : kind -> bool
 val is_sched : kind -> bool
 
 val is_dred : kind -> bool
+
+val is_cnt : kind -> bool
 
 val span_start_ns : kind -> a:int -> b:int -> int
 (** Start of the full span (for sched sections, including the lock

@@ -57,7 +57,7 @@ let write ?task_label oc tr =
             else
               match task_label with
               | Some label when kind = Event.task -> escape (label a)
-              | Some label when Event.is_dred kind ->
+              | Some label when Event.is_dred kind || Event.is_cnt kind ->
                 escape (Event.name kind ^ " " ^ label a)
               | _ -> Event.name kind
           in

@@ -33,6 +33,9 @@ type t = {
   dred_delete_s : float;
   dred_rederive_s : float;
   dred_insert_s : float;
+  cnt_propagate_s : float;
+  cnt_backward_s : float;
+  cnt_forward_s : float;
   events : int;
   dropped : int;
 }
@@ -52,6 +55,7 @@ let of_events ~domains ?dropped events =
   let wakes = Array.make domains 0 in
   let nevents = Array.make domains 0 in
   let dd = ref 0 and dr = ref 0 and di = ref 0 in
+  let cp = ref 0 and cb = ref 0 and cf = ref 0 in
   let lo = ref max_int and hi = ref min_int in
   List.iter
     (fun (e : event) ->
@@ -78,6 +82,14 @@ let of_events ~domains ?dropped events =
           if e.kind = Event.dred_delete then dd := !dd + d
           else if e.kind = Event.dred_rederive then dr := !dr + d
           else di := !di + d
+        end
+        else if Event.is_cnt e.kind then begin
+          (* counting phases share the maintenance accumulator: on the
+             serial path (no executor tasks) they are the busy time *)
+          dred.(w) <- dred.(w) + d;
+          if e.kind = Event.cnt_propagate then cp := !cp + d
+          else if e.kind = Event.cnt_backward then cb := !cb + d
+          else cf := !cf + d
         end
       end)
     events;
@@ -120,6 +132,9 @@ let of_events ~domains ?dropped events =
     dred_delete_s = seconds !dd;
     dred_rederive_s = seconds !dr;
     dred_insert_s = seconds !di;
+    cnt_propagate_s = seconds !cp;
+    cnt_backward_s = seconds !cb;
+    cnt_forward_s = seconds !cf;
     events = Array.fold_left ( + ) 0 nevents;
     dropped =
       (match dropped with Some a -> Array.fold_left ( + ) 0 a | None -> 0);
@@ -155,6 +170,10 @@ let pp ppf t =
   if t.dred_delete_s +. t.dred_rederive_s +. t.dred_insert_s > 0.0 then
     Format.fprintf ppf "DRed phases: delete %.6f s, rederive %.6f s, insert %.6f s@,"
       t.dred_delete_s t.dred_rederive_s t.dred_insert_s;
+  if t.cnt_propagate_s +. t.cnt_backward_s +. t.cnt_forward_s > 0.0 then
+    Format.fprintf ppf
+      "Counting phases: propagate %.6f s, backward %.6f s, forward %.6f s@,"
+      t.cnt_propagate_s t.cnt_backward_s t.cnt_forward_s;
   Format.fprintf ppf "%4s %10s %10s %10s %10s %10s %6s %6s %7s@," "wid" "busy" "sched"
     "steal" "park" "idle" "tasks" "stolen" "events";
   Array.iter
@@ -181,6 +200,9 @@ let json t =
   Printf.bprintf buf
     "\"dred\": { \"delete_s\": %.9f, \"rederive_s\": %.9f, \"insert_s\": %.9f }, "
     t.dred_delete_s t.dred_rederive_s t.dred_insert_s;
+  Printf.bprintf buf
+    "\"cnt\": { \"propagate_s\": %.9f, \"backward_s\": %.9f, \"forward_s\": %.9f }, "
+    t.cnt_propagate_s t.cnt_backward_s t.cnt_forward_s;
   Printf.bprintf buf "\"events\": %d, \"dropped\": %d, \"workers\": [ " t.events
     t.dropped;
   Array.iteri

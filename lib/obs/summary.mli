@@ -40,6 +40,11 @@ type t = {
   dred_delete_s : float;
   dred_rederive_s : float;
   dred_insert_s : float;
+  cnt_propagate_s : float;
+  cnt_backward_s : float;
+  cnt_forward_s : float;
+      (** counting-maintenance phase totals; like the DRed phases they
+          count toward a worker's busy time on the serial path *)
   events : int;
   dropped : int;
 }

@@ -323,6 +323,127 @@ let generate ?(duration = default_duration) ~name p =
   in
   Trace.create ~name ~graph ~kind ~shape ~initial ~edge_changed
 
+(* ---- base-fact update streams -------------------------------------
+   Random streams of insert/delete batches over a banded acyclic edge
+   space, emitted as fact strings so callers can feed them straight to
+   [Incr_sched.update] / the Datalog parser. The band (v - u bounded by
+   [span]) keeps the edge relation a DAG, so transitive-closure-style
+   programs stay finite, and keeps joins selective the way production
+   dependency graphs are. *)
+module Update_stream = struct
+  type params = {
+    nodes : int;
+    span : int;
+    base_edges : int;
+    batches : int;
+    batch_ops : int;
+    delete_fraction : float;
+    seed : int;
+  }
+
+  type t = { base : string list; steps : (string list * string list) list }
+
+  let fact ~pred u v = Printf.sprintf "%s(\"v%d\",\"v%d\")" pred u v
+
+  let generate ?(pred = "edge") (p : params) =
+    if p.nodes < 2 then invalid_arg "Update_stream: need nodes >= 2";
+    if p.span < 1 then invalid_arg "Update_stream: need span >= 1";
+    if p.delete_fraction < 0.0 || p.delete_fraction > 1.0 then
+      invalid_arg "Update_stream: delete_fraction outside [0, 1]";
+    let span = min p.span (p.nodes - 1) in
+    let rng = Prelude.Rng.create p.seed in
+    (* live edges in a dense array for O(1) uniform sampling and
+       swap-removal; the table maps an edge to its array slot *)
+    let slot = Hashtbl.create (4 * max 16 p.base_edges) in
+    let live = ref [||] in
+    let nlive = ref 0 in
+    let push e =
+      if !nlive = Array.length !live then begin
+        let bigger = Array.make (max 16 (2 * !nlive)) e in
+        Array.blit !live 0 bigger 0 !nlive;
+        live := bigger
+      end;
+      !live.(!nlive) <- e;
+      Hashtbl.replace slot e !nlive;
+      incr nlive
+    in
+    let remove_at i =
+      let e = !live.(i) in
+      Hashtbl.remove slot e;
+      decr nlive;
+      if i < !nlive then begin
+        let last = !live.(!nlive) in
+        !live.(i) <- last;
+        Hashtbl.replace slot last i
+      end;
+      e
+    in
+    let sample_fresh () =
+      (* rejection-sample an absent banded edge; the edge space has
+         ~nodes*span slots, far more than any live set we grow *)
+      let rec go attempts =
+        if attempts > 10_000 then None
+        else begin
+          let d = 1 + Prelude.Rng.int rng span in
+          if d >= p.nodes then go (attempts + 1)
+          else begin
+            let u = Prelude.Rng.int rng (p.nodes - d) in
+            let e = (u, u + d) in
+            if Hashtbl.mem slot e then go (attempts + 1) else Some e
+          end
+        end
+      in
+      go 0
+    in
+    let base = ref [] in
+    for _ = 1 to p.base_edges do
+      match sample_fresh () with
+      | None -> invalid_arg "Update_stream: edge space too small for base_edges"
+      | Some (u, v) ->
+        push (u, v);
+        base := fact ~pred u v :: !base
+    done;
+    (* within one batch an edge appears at most once, on one side:
+       inserting then deleting (or vice versa) the same fact in a single
+       [apply] call has no defined order *)
+    let touched = Hashtbl.create 64 in
+    let step () =
+      Hashtbl.reset touched;
+      let adds = ref [] and dels = ref [] in
+      for _ = 1 to p.batch_ops do
+        let want_delete =
+          !nlive > 0 && Prelude.Rng.bernoulli rng p.delete_fraction
+        in
+        if want_delete then begin
+          let rec pick attempts =
+            if attempts > 64 || !nlive = 0 then ()
+            else begin
+              let i = Prelude.Rng.int rng !nlive in
+              let e = !live.(i) in
+              if Hashtbl.mem touched e then pick (attempts + 1)
+              else begin
+                let u, v = remove_at i in
+                Hashtbl.replace touched e ();
+                dels := fact ~pred u v :: !dels
+              end
+            end
+          in
+          pick 0
+        end
+        else
+          match sample_fresh () with
+          | None -> ()
+          | Some ((u, v) as e) ->
+            push e;
+            Hashtbl.replace touched e ();
+            adds := fact ~pred u v :: !adds
+      done;
+      (List.rev !adds, List.rev !dels)
+    in
+    let steps = List.init p.batches (fun _ -> step ()) in
+    { base = List.rev !base; steps }
+end
+
 let scale_shapes (t : Trace.t) ~factor =
   let scale = function
     | Trace.Unit -> Trace.Seq factor

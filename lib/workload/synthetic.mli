@@ -41,3 +41,40 @@ val generate :
 val scale_shapes : Trace.t -> factor:float -> Trace.t
 (** Multiply every duration by [factor] — used to calibrate a trace's
     total active work against a published makespan. *)
+
+(** Random base-fact update streams for exercising the incremental
+    maintenance engines, emitted as fact strings (parse with
+    {!Datalog.Parser.parse_atom} or feed to [Incr_sched.update]). Edges
+    live in a banded acyclic space — [u < v <= u + span] over constants
+    [v0 .. v(nodes-1)] — so transitive-closure programs stay finite and
+    stratified. *)
+module Update_stream : sig
+  type params = {
+    nodes : int;  (** number of constants *)
+    span : int;  (** max forward distance of an edge (>= 1) *)
+    base_edges : int;  (** edges materialized before the first batch *)
+    batches : int;
+    batch_ops : int;  (** insert/delete operations attempted per batch *)
+    delete_fraction : float;
+        (** probability that an operation deletes a live edge rather
+            than inserting a fresh one; [0.0] = insert-only, [0.9] =
+            deletion-heavy *)
+    seed : int;
+  }
+
+  type t = {
+    base : string list;  (** initial facts, e.g. ["edge(\"v0\",\"v3\")"] *)
+    steps : (string list * string list) list;
+        (** per batch: (additions, deletions). Within one batch an edge
+            appears on at most one side, deletions are always live and
+            insertions always fresh, so every batch is a well-formed
+            update against the state left by its predecessors. *)
+  }
+
+  val generate : ?pred:string -> params -> t
+  (** [pred] names the emitted predicate (default ["edge"]). Operations
+      that cannot be satisfied (delete on an empty live set, insert
+      into an exhausted edge space) are skipped, so a batch may carry
+      fewer than [batch_ops] changes.
+      @raise Invalid_argument on infeasible params. *)
+end

@@ -1037,6 +1037,267 @@ let sharded_fallback_serial () =
   check_bool "forced executor runs tasks" true
     (task_spans ~serial_threshold:0 () > 0)
 
+(* ---------- Counting maintenance (apply ~maint:Counting) ---------- *)
+
+(* The counting acceptance property: maintaining by derivation counts
+   restores exactly the database DRed restores — which the DRed suite
+   already pins to from-scratch recomputation — with the same net
+   changes and activation flags, across multi-batch streams that mix
+   insertions with deletions of genuinely live facts. The explicit
+   from-scratch twin keeps the oracle independent: a bug shared by both
+   engines would still be caught. *)
+let counting_differential_qcheck =
+  QCheck.Test.make
+    ~name:"counting maintenance equals DRed and from-scratch over update streams"
+    ~count:120
+    QCheck.(triple (1 -- 4) (0 -- 18) (0 -- 10_000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 1013) + (preds * 37) + nfacts) in
+      let prog_src = random_program ~aggregates:true rng ~preds in
+      let program = parse prog_src in
+      let mk () =
+        Printf.sprintf {|e("n%d","n%d")|} (Prelude.Rng.int rng 5)
+          (Prelude.Rng.int rng 5)
+      in
+      let base = List.init nfacts (fun _ -> mk ()) |> List.sort_uniq compare in
+      let load facts =
+        let db = Datalog.Database.create () in
+        List.iter (fun f -> ignore (Datalog.Database.add_fact db (atom f))) facts;
+        let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+        db
+      in
+      let flags r =
+        List.map
+          (fun (a : Datalog.Incremental.comp_activity) ->
+            (a.Datalog.Incremental.comp, a.Datalog.Incremental.output_changed,
+             a.Datalog.Incremental.input_changed))
+          r.Datalog.Incremental.activity
+      in
+      let dred = load base and cnt = load base in
+      (* half the streams start from primed counts, half force the
+         transparent stale rebuild inside the first apply *)
+      if Prelude.Rng.bool rng then
+        ignore (Datalog.Incremental.prime cnt program);
+      let live = ref base in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let adds =
+          List.init (Prelude.Rng.int rng 3) (fun _ -> mk ())
+          |> List.sort_uniq compare
+          |> List.filter (fun f -> not (List.mem f !live))
+        in
+        (* deletion-heavy: up to three live facts, plus maybe an absent
+           one (a no-op for every engine) *)
+        let ndel = min (Prelude.Rng.int rng 4) (List.length !live) in
+        let dels =
+          List.filteri
+            (fun i _ -> i mod (1 + (List.length !live / max 1 ndel)) = 0)
+            !live
+          |> List.filteri (fun i _ -> i < ndel)
+        in
+        let dels =
+          if Prelude.Rng.bool rng then
+            (mk () :: dels) |> List.sort_uniq compare
+            |> List.filter (fun f -> List.mem f dels || not (List.mem f !live))
+          else dels
+        in
+        live := List.filter (fun f -> not (List.mem f dels)) !live @ adds;
+        let additions = List.map atom adds and deletions = List.map atom dels in
+        let r0 =
+          Datalog.Incremental.apply ~engine:Datalog.Plan.Compiled
+            ~maint:Datalog.Incremental.Dred dred program ~additions ~deletions
+        in
+        let r =
+          Datalog.Incremental.apply ~engine:Datalog.Plan.Compiled
+            ~maint:Datalog.Incremental.Counting cnt program ~additions ~deletions
+        in
+        ok := !ok && Datalog.Eval.databases_agree dred cnt = Ok ();
+        ok := !ok && r.Datalog.Incremental.changes = r0.Datalog.Incremental.changes;
+        ok := !ok && flags r = flags r0;
+        let scratch = load !live in
+        ok := !ok && Datalog.Eval.databases_agree scratch cnt = Ok ()
+      done;
+      !ok)
+
+(* The count invariant: after any maintained stream, every relation's
+   derivation counts equal the counts a fresh [prime] computes on a
+   from-scratch twin — incremental bookkeeping never drifts from the
+   ground truth. *)
+let counting_counts_invariant_qcheck =
+  (* decode tuples back to atoms: the twin databases intern constants
+     in different orders, so raw tuple ints are not comparable *)
+  let counts_of db =
+    Datalog.Database.predicates db
+    |> List.map (fun (name, rel) ->
+           let cells =
+             match Datalog.Relation.counts_synced rel with
+             | None -> None
+             | Some c ->
+               let acc = ref [] in
+               Datalog.Relation.counts_iter
+                 (fun tup (cell : Datalog.Relation.count_cell) ->
+                   acc :=
+                     ( Format.asprintf "%a" Datalog.Ast.pp_atom
+                         (Datalog.Database.tuple_to_atom db name tup),
+                       cell.exits, cell.recs )
+                     :: !acc)
+                 c;
+               Some (List.sort compare !acc)
+           in
+           (name, cells))
+    |> List.sort compare
+  in
+  QCheck.Test.make
+    ~name:"counting: maintained counts equal a fresh prime of the same database"
+    ~count:100
+    QCheck.(triple (1 -- 4) (2 -- 18) (0 -- 10_000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 1117) + (preds * 41) + nfacts) in
+      let prog_src = random_program rng ~preds in
+      let program = parse prog_src in
+      let mk () =
+        Printf.sprintf {|e("n%d","n%d")|} (Prelude.Rng.int rng 5)
+          (Prelude.Rng.int rng 5)
+      in
+      let base = List.init nfacts (fun _ -> mk ()) |> List.sort_uniq compare in
+      let load facts =
+        let db = Datalog.Database.create () in
+        List.iter (fun f -> ignore (Datalog.Database.add_fact db (atom f))) facts;
+        let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+        db
+      in
+      let cnt = load base in
+      (* prime upfront: components an update never activates keep their
+         side tables lazily absent otherwise, which is not drift *)
+      ignore (Datalog.Incremental.prime cnt program);
+      let live = ref base in
+      for _ = 1 to 3 do
+        let adds =
+          List.init (Prelude.Rng.int rng 3) (fun _ -> mk ())
+          |> List.sort_uniq compare
+          |> List.filter (fun f -> not (List.mem f !live))
+        in
+        let dels = List.filteri (fun i _ -> i < Prelude.Rng.int rng 3) !live in
+        live := List.filter (fun f -> not (List.mem f dels)) !live @ adds;
+        ignore
+          (Datalog.Incremental.apply ~engine:Datalog.Plan.Compiled
+             ~maint:Datalog.Incremental.Counting cnt program
+             ~additions:(List.map atom adds) ~deletions:(List.map atom dels))
+      done;
+      let scratch = load !live in
+      ignore (Datalog.Incremental.prime scratch program);
+      counts_of cnt = counts_of scratch)
+
+(* Hand-computed counts on the diamond: path(a,d) is derivable through
+   b and through c — two recursive derivations, no exit derivation —
+   so deleting one diagonal must decrement it to 1 and keep it alive,
+   and deleting the second must kill it. *)
+let counting_diamond_counts () =
+  let program =
+    parse
+      {|edge("a","b"). edge("a","c"). edge("b","d"). edge("c","d").
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- path(X,Y), edge(Y,Z).|}
+  in
+  let db = Datalog.Database.create () in
+  let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+  ignore (Datalog.Incremental.prime db program);
+  let cell_of x y =
+    let rel = Option.get (Datalog.Database.find db "path") in
+    match Datalog.Relation.counts_synced rel with
+    | None -> None
+    | Some c ->
+      Datalog.Relation.count_find c
+        (Datalog.Database.intern_atom db
+           (atom (Printf.sprintf {|path("%s","%s")|} x y)))
+  in
+  (match cell_of "a" "d" with
+  | Some cell ->
+    check_int "path(a,d) exits" 0 cell.Datalog.Relation.exits;
+    check_int "path(a,d) recs" 2 cell.Datalog.Relation.recs
+  | None -> Alcotest.fail "path(a,d) has no count cell");
+  (match cell_of "a" "b" with
+  | Some cell ->
+    check_int "path(a,b) exits" 1 cell.Datalog.Relation.exits;
+    check_int "path(a,b) recs" 0 cell.Datalog.Relation.recs
+  | None -> Alcotest.fail "path(a,b) has no count cell");
+  ignore
+    (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting db program
+       ~additions:[] ~deletions:[ atom {|edge("b","d")|} ]);
+  check_bool "path(a,d) survives one diagonal" true
+    (Datalog.Database.mem_fact db (atom {|path("a","d")|}));
+  (match cell_of "a" "d" with
+  | Some cell -> check_int "path(a,d) recs after delete" 1 cell.Datalog.Relation.recs
+  | None -> Alcotest.fail "path(a,d) lost its count cell");
+  ignore
+    (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting db program
+       ~additions:[] ~deletions:[ atom {|edge("c","d")|} ]);
+  check_bool "path(a,d) dies at count zero" false
+    (Datalog.Database.mem_fact db (atom {|path("a","d")|}));
+  check_bool "path(a,d) cell dropped" true (cell_of "a" "d" = None)
+
+(* Interleaving the two algorithms on one database: a DRed update bumps
+   the relation versions, so the next counting update must detect the
+   stale side tables and rebuild them transparently. *)
+let counting_survives_dred_interleaving () =
+  let program =
+    parse
+      {|edge("a","b"). edge("b","c"). edge("c","d"). edge("a","c").
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- path(X,Y), edge(Y,Z).|}
+  in
+  let load () =
+    let db = Datalog.Database.create () in
+    let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+    db
+  in
+  let db = load () and scratch = load () in
+  let steps =
+    [
+      (Datalog.Incremental.Counting, [ {|edge("d","a")|} ], []);
+      (Datalog.Incremental.Dred, [], [ {|edge("b","c")|} ]);
+      (Datalog.Incremental.Counting, [ {|edge("b","d")|} ], [ {|edge("a","c")|} ]);
+    ]
+  in
+  List.iter
+    (fun (maint, adds, dels) ->
+      let additions = List.map atom adds and deletions = List.map atom dels in
+      ignore (Datalog.Incremental.apply ~maint db program ~additions ~deletions);
+      ignore (Datalog.Incremental.apply ~maint:Datalog.Incremental.Dred scratch
+                program ~additions ~deletions))
+    steps;
+  check_bool "interleaved engines agree" true
+    (Datalog.Eval.databases_agree scratch db = Ok ())
+
+(* Counting is compiled-only and unsharded: both misuses must be
+   rejected loudly, not silently degraded. *)
+let counting_rejects_unsupported () =
+  let program = parse "p(X,Y) :- e(X,Y). e(\"a\",\"b\")." in
+  let db = Datalog.Database.create () in
+  let _ = Datalog.Eval.run db program in
+  let adds = [ atom {|e("b","c")|} ] in
+  (match
+     Datalog.Incremental.apply ~engine:Datalog.Plan.Interpreted
+       ~maint:Datalog.Incremental.Counting db program ~additions:adds
+       ~deletions:[]
+   with
+  | _ -> Alcotest.fail "interpreted engine must be rejected under counting"
+  | exception Invalid_argument _ -> ());
+  (match
+     Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
+       ~shards:2 db program ~additions:adds ~deletions:[]
+   with
+  | _ -> Alcotest.fail "shards > 1 must be rejected under counting"
+  | exception Invalid_argument _ -> ());
+  (match Datalog.Incremental.prime ~engine:Datalog.Plan.Interpreted db program with
+  | _ -> Alcotest.fail "prime must reject the interpreted engine"
+  | exception Invalid_argument _ -> ());
+  (* domains > 1 with shards = 1 stays legal: component-level
+     parallelism is algorithm-agnostic *)
+  ignore
+    (Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
+       ~domains:2 db program ~additions:adds ~deletions:[])
+
 (* ---------- Aggregates ---------- *)
 
 let agg_db src =
@@ -1465,6 +1726,16 @@ let () =
             sharded_fallback_serial;
         ]
         @ qsuite [ sharded_differential_qcheck ] );
+      ( "counting-maintenance",
+        [
+          test `Quick "diamond derivation counts" counting_diamond_counts;
+          test `Quick "stale counts rebuilt after DRed interleaving"
+            counting_survives_dred_interleaving;
+          test `Quick "unsupported configurations rejected"
+            counting_rejects_unsupported;
+        ]
+        @ qsuite
+            [ counting_differential_qcheck; counting_counts_invariant_qcheck ] );
       ( "aggregates",
         [
           test `Quick "count, sum, min, max" agg_eval_basic;

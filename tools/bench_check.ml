@@ -22,6 +22,7 @@ let files =
     "BENCH_datalog_smoke.json";
     "BENCH_maintain_par_smoke.json";
     "BENCH_maintain_shard_smoke.json";
+    "BENCH_maintain_count_smoke.json";
   ]
 
 (* keys whose values must match exactly *)
@@ -29,7 +30,7 @@ let whitelist =
   [
     "benchmark"; "program"; "phase"; "engine"; "workload"; "mode"; "trace";
     "executor"; "tuples"; "tasks"; "changed"; "domains"; "work_unit"; "batch";
-    "sched"; "shards"; "databases_agree";
+    "sched"; "shards"; "databases_agree"; "maint"; "mix"; "batches";
   ]
 
 (* subtrees that exist to report measurements; skipped entirely *)
