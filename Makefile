@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard bench-maintain-count model-check model-check-smoke ci clean
+.PHONY: all build test analyze bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard bench-maintain-count model-check model-check-smoke ci clean
 
 all: build
 
@@ -9,6 +9,15 @@ build:
 # stress matrix (test/test_parallel.ml runs up to 8 domains per case)
 test: model-check-smoke
 	OCAMLRUNPARAM=b dune runtest
+
+# static analysis of every example program: strata, effect sets,
+# ownership verification, maintenance advice; exits non-zero on lint
+# errors (warnings pass)
+analyze:
+	@for f in examples/*.dl; do \
+	  echo "== $$f"; \
+	  dune exec bin/dms.exe -- analyze $$f || exit 1; \
+	done
 
 # exhaustive bounded model checking of the executor's concurrency
 # protocols (lib/analysis); needs the instrumented Vatomic, hence the
@@ -63,7 +72,7 @@ bench-check:
 	dune exec tools/bench_check.exe -- --baseline tools/baselines --fresh .
 
 # what .github/workflows/ci.yml runs per compiler
-ci: build test bench-smoke bench-check
+ci: build test analyze bench-smoke bench-check
 
 clean:
 	dune clean

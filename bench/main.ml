@@ -958,12 +958,13 @@ let maintain_shard_smoke () = maintain_shard_core ~smoke:true ()
 type mc_row = {
   mc_program : string;
   mc_mix : string;
-  mc_maint : string;  (* "dred" | "counting" *)
+  mc_maint : string;  (* "dred" | "counting" | "auto" *)
   mc_batches : int;
   mc_changed : int;
   mc_seconds : float;
   mc_speedup : float;  (* dred seconds / this row's seconds *)
   mc_agree : bool;
+  mc_advice : string;  (* the static advisor's per-program summary *)
 }
 
 let mc_programs =
@@ -995,12 +996,25 @@ let mc_stream ~smoke ~recursive ~mix_id delete_fraction =
       seed = 9091 + mix_id;
     }
 
+(* one word summarizing the advisor over the program's derived
+   components: "dred" / "counting" when unanimous, "mixed" otherwise *)
+let mc_advice program =
+  let t = Datalog.Analyze.program ~engine:Datalog.Plan.Compiled program in
+  let verdicts =
+    Array.to_list t.Datalog.Analyze.comps
+    |> List.filter_map (fun (c : Datalog.Analyze.comp_info) ->
+           if c.Datalog.Analyze.extensional then None
+           else Some (Datalog.Analyze.strategy_name c.Datalog.Analyze.verdict))
+    |> List.sort_uniq Stdlib.compare
+  in
+  match verdicts with [] -> "dred" | [ one ] -> one | _ -> "mixed"
+
 let mc_run ?(obs = Obs.Trace.disabled) ~maint program steps =
   let engine = Datalog.Plan.Compiled in
   let db = Datalog.Database.create () in
   ignore (Datalog.Eval.run ~engine db program);
   let prime_s =
-    if maint = Datalog.Incremental.Counting then begin
+    if maint <> Datalog.Incremental.Dred then begin
       let t0 = Unix.gettimeofday () in
       ignore (Datalog.Incremental.prime ~engine db program);
       Unix.gettimeofday () -. t0
@@ -1052,9 +1066,9 @@ let maintain_count_json rows headline breakdown path =
         (Printf.sprintf
            "    {\"program\": \"%s\", \"mix\": \"%s\", \"maint\": \"%s\", \
             \"batches\": %d, \"changed\": %d, \"seconds\": %.6f, \"speedup\": \
-            %.3f, \"databases_agree\": %b}%s\n"
+            %.3f, \"databases_agree\": %b, \"advice\": \"%s\"}%s\n"
            r.mc_program r.mc_mix r.mc_maint r.mc_batches r.mc_changed
-           r.mc_seconds r.mc_speedup r.mc_agree
+           r.mc_seconds r.mc_speedup r.mc_agree r.mc_advice
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ]\n}\n";
@@ -1096,14 +1110,23 @@ let maintain_count_core ~smoke () =
           let db_cnt, cnt_s, cnt_changed, prime_s =
             mc_run ~maint:Datalog.Incremental.Counting program steps
           in
-          (* the differential guarantee, asserted on every cell: both
-             algorithms restore exactly the same database *)
-          (match Datalog.Eval.databases_agree db_dred db_cnt with
-          | Ok () -> ()
-          | Error e ->
-            Format.printf "  *** ENGINES DISAGREE on %s/%s: %s ***@." pname mix e;
-            failwith "maintain-count: parity violation");
-          if dred_changed <> cnt_changed then
+          let db_auto, auto_s, auto_changed, _ =
+            mc_run ~maint:Datalog.Incremental.Auto program steps
+          in
+          let advice = mc_advice program in
+          (* the differential guarantee, asserted on every cell: all
+             strategies restore exactly the same database *)
+          let agree name other =
+            match Datalog.Eval.databases_agree db_dred other with
+            | Ok () -> ()
+            | Error e ->
+              Format.printf "  *** ENGINES DISAGREE (%s) on %s/%s: %s ***@."
+                name pname mix e;
+              failwith "maintain-count: parity violation"
+          in
+          agree "counting" db_cnt;
+          agree "auto" db_auto;
+          if dred_changed <> cnt_changed || dred_changed <> auto_changed then
             failwith "maintain-count: changed-tuple counts diverge";
           let emit maint seconds note =
             let r =
@@ -1111,7 +1134,7 @@ let maintain_count_core ~smoke () =
                 mc_batches = nbatches; mc_changed = dred_changed;
                 mc_seconds = seconds;
                 mc_speedup = dred_s /. Float.max seconds 1e-9;
-                mc_agree = true }
+                mc_agree = true; mc_advice = advice }
             in
             rows := r :: !rows;
             Format.printf "%-10s %-8s %-10s %10d %12.4f %9.2fx%s@." pname mix
@@ -1120,6 +1143,7 @@ let maintain_count_core ~smoke () =
           emit "dred" dred_s "";
           emit "counting" cnt_s
             (Printf.sprintf "  (primed in %.4f s)" prime_s);
+          emit "auto" auto_s (Printf.sprintf "  (advice %s)" advice);
           let speedup = dred_s /. Float.max cnt_s 1e-9 in
           let best = if recursive then best_rec else best_nonrec in
           match !best with

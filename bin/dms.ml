@@ -7,6 +7,7 @@
      compare  simulate several schedulers on a trace
      dot      export a trace's DAG to Graphviz
      datalog  materialize a program, apply an incremental update
+     analyze  static report: effect sets, ownership, maintenance advice
      trace    summarize a recorded maintenance timeline *)
 
 open Cmdliner
@@ -222,13 +223,22 @@ let datalog_cmd =
         [
           ("dred", Datalog.Incremental.Dred);
           ("counting", Datalog.Incremental.Counting);
+          ("auto", Datalog.Incremental.Auto);
         ]
     in
     Arg.(value & opt maint_conv Datalog.Incremental.Dred & info [ "maint" ] ~docv:"ALG"
-           ~doc:"Maintenance algorithm: 'dred' (delete-rederive, the default) \
-                 or 'counting' (per-tuple derivation counts with \
+           ~doc:"Maintenance strategy: 'dred' (delete-rederive, the default), \
+                 'counting' (per-tuple derivation counts with \
                  backward/forward search; no rederivation storm on \
-                 deletion-heavy updates; incompatible with --shards > 1).")
+                 deletion-heavy updates; downgraded to dred with a warning \
+                 when --shards > 1), or 'auto' (the static advisor picks per \
+                 component — see 'dms analyze').")
+  in
+  let sanitize_arg =
+    Arg.(value & flag & info [ "sanitize" ]
+           ~doc:"Arm the write-set sanitizer: tag every relation with its \
+                 owning component task and fail loudly on any cross-component \
+                 mutation (debug aid; see DESIGN.md).")
   in
   let trace_out =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -236,7 +246,8 @@ let datalog_cmd =
                  it as Chrome trace_event JSON (open in chrome://tracing or \
                  Perfetto; summarize with 'dms trace FILE').")
   in
-  let run program queries adds dels lint sched procs domains shards maint trace =
+  let run program queries adds dels lint sched procs domains shards maint sanitize
+      trace =
     wrap (fun () ->
         let ic = open_in program in
         let n = in_channel_length ic in
@@ -252,7 +263,7 @@ let datalog_cmd =
           (Datalog.Database.total_tuples session.Incr_sched.db);
         if adds <> [] || dels <> [] || trace <> None then begin
           let tt =
-            Incr_sched.update ~maint ~domains ~shards ?trace session
+            Incr_sched.update ~maint ~domains ~shards ~sanitize ?trace session
               ~additions:adds ~deletions:dels
           in
           if domains > 1 || shards > 1 then
@@ -286,7 +297,46 @@ let datalog_cmd =
           and schedule its maintenance DAG.")
     Term.(
       const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg
-      $ domains_arg $ shards_arg $ maint_arg $ trace_out)
+      $ domains_arg $ shards_arg $ maint_arg $ sanitize_arg $ trace_out)
+
+(* ---- analyze ---- *)
+
+let analyze_cmd =
+  let program =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl"
+           ~doc:"Datalog program file to analyze (not evaluated).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as strict JSON instead of text.")
+  in
+  let run program json =
+    wrap (fun () ->
+        let ic = open_in program in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        let prog = Datalog.Parser.parse src in
+        let diags = Datalog.Lint.check prog in
+        (match Datalog.Lint.errors diags with
+        | [] -> ()
+        | errs -> raise (Datalog.Lint.Failed errs));
+        (* warnings to stderr, so --json output stays parseable *)
+        (match diags with
+        | [] -> ()
+        | ds -> Format.eprintf "%a@." Datalog.Lint.pp ds);
+        let t = Datalog.Analyze.program prog in
+        if json then print_endline (Datalog.Analyze.json_report t)
+        else Format.printf "%a@." Datalog.Analyze.pp_report t)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically analyze a Datalog program: strata and effect sets per \
+          component, recursion class, ownership verification, and the \
+          per-component maintenance-strategy advice behind --maint auto. \
+          Fails (exit 1) on lint errors.")
+    Term.(const run $ program $ json)
 
 (* ---- trace (summarize a recorded timeline) ---- *)
 
@@ -350,6 +400,6 @@ let main =
   let doc = "Datalog incremental-maintenance scheduling (IPDPS 2020 reproduction)." in
   Cmd.group (Cmd.info "dms" ~version:"1.0.0" ~doc)
     [ gen_cmd; info_cmd; run_cmd; compare_cmd; dot_cmd; schedule_cmd; datalog_cmd;
-      trace_cmd ]
+      analyze_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -38,13 +38,14 @@ let materialize ?(lint = false) src =
 
 let lint session = Datalog.Lint.check session.program
 
-let update ?work_unit ?maint ?domains ?shards ?trace session ~additions ~deletions =
+let update ?work_unit ?maint ?domains ?shards ?sanitize ?trace session ~additions
+    ~deletions =
   let parse = List.map Datalog.Parser.parse_atom in
   let additions = parse additions and deletions = parse deletions in
   match trace with
   | None ->
-    Datalog.To_trace.of_update ?work_unit ?maint ?domains ?shards session.db
-      session.program ~additions ~deletions
+    Datalog.To_trace.of_update ?work_unit ?maint ?domains ?shards ?sanitize
+      session.db session.program ~additions ~deletions
   | Some path ->
     (* one ring per executor worker, plus one per crew worker (shard
        [j >= 1] emits on ring [domains + j - 1], see
@@ -53,8 +54,8 @@ let update ?work_unit ?maint ?domains ?shards ?trace session ~additions ~deletio
     let ns = max 1 (Option.value shards ~default:1) in
     let obs = Obs.Trace.create ~domains:(nd + ns - 1) () in
     let tt =
-      Datalog.To_trace.of_update ?work_unit ?maint ?domains ?shards ~obs
-        session.db session.program ~additions ~deletions
+      Datalog.To_trace.of_update ?work_unit ?maint ?domains ?shards ?sanitize
+        ~obs session.db session.program ~additions ~deletions
     in
     (* name task (and DRed) spans by their component's predicates *)
     let labels = tt.Datalog.To_trace.labels in

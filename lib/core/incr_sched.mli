@@ -75,6 +75,7 @@ val update :
   ?maint:Datalog.Incremental.maint ->
   ?domains:int ->
   ?shards:int ->
+  ?sanitize:bool ->
   ?trace:string ->
   datalog_session ->
   additions:string list ->
@@ -82,10 +83,13 @@ val update :
   Datalog.To_trace.t
 (** Apply a base-fact update incrementally (atoms given as text, e.g.
     ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace.
-    [maint] (default DRed) selects the maintenance algorithm — see
-    {!Datalog.Incremental.maint}; [~maint:Counting] rejects
-    [shards > 1]. [domains] (default 1) > 1 performs the maintenance in
-    parallel on
+    [maint] (default DRed) selects the maintenance strategy — see
+    {!Datalog.Incremental.maint}; ["auto"]-style per-component advice
+    is [Datalog.Incremental.Auto], and [~maint:Counting] with
+    [shards > 1] downgrades to DRed with a warning instead of failing.
+    [sanitize] (default off) arms the runtime write-set sanitizer (see
+    {!Datalog.Relation.Sanitize}). [domains] (default 1) > 1 performs
+    the maintenance in parallel on
     that many worker domains; [shards] (default 1) > 1 additionally
     fans each component's DRed phase rounds out over that many shard
     tasks (see {!Datalog.Incremental.apply_parallel}). [trace] records

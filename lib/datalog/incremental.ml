@@ -71,10 +71,50 @@ let check_edb (anal : Stratify.t) (a : Ast.atom) =
          a.Ast.pred)
   | Some _ | None -> ()
 
-(* Maintenance algorithm selector: classic delete/rederive (DRed), or
-   the counting engine — per-tuple derivation counts with
-   Backward/Forward search for recursive components. *)
-type maint = Dred | Counting
+(* Maintenance algorithm selector: classic delete/rederive (DRed), the
+   counting engine — per-tuple derivation counts with Backward/Forward
+   search for recursive components — or [Auto], which asks the static
+   advisor ({!Analyze}) to pick per component. Whatever the selector,
+   maintenance runs with one *resolved* strategy per condensation
+   component; [Dred]/[Counting] resolve uniformly (modulo the
+   counting-vs-shards downgrade below), [Auto] per the advisor. *)
+type maint = Dred | Counting | Auto
+
+let default_warn msg = Printf.eprintf "warning: %s\n%!" msg
+
+(* Resolve the per-component strategies. Counting settles each round's
+   deltas against a single canonical count table, so it cannot run
+   under sharded phase rounds: rather than reject the combination (the
+   old behavior was a hard [Invalid_argument]), downgrade the affected
+   components to DRed — which shards fine — and say so through
+   [on_warn]. The same downgrade covers the interpretive engine, which
+   has no split-view mode. *)
+let resolve_strategies ~engine ~shards ~on_warn anal program maint =
+  let n = anal.Stratify.condensation.Dag.Scc.count in
+  match maint with
+  | Dred -> Array.make n Analyze.Dred
+  | Counting ->
+    if shards > 1 then begin
+      on_warn
+        "counting maintenance does not compose with sharded phase rounds \
+         (shards > 1); running every stratum under DRed instead";
+      Array.make n Analyze.Dred
+    end
+    else Array.make n Analyze.Counting
+  | Auto ->
+    let az = Analyze.run ~engine ~anal program in
+    Array.init n (fun c ->
+        let ci = az.Analyze.comps.(c) in
+        match ci.Analyze.verdict with
+        | Analyze.Counting when shards > 1 && not ci.Analyze.extensional ->
+          on_warn
+            (Printf.sprintf
+               "maint auto: component %d [%s] prefers counting, which does not \
+                compose with shards > 1; running it under DRed"
+               c
+               (String.concat " " ci.Analyze.members));
+          Analyze.Dred
+        | v -> v)
 
 (* ---- the update context -----------------------------------------
 
@@ -92,7 +132,9 @@ type ctx = {
   program : Ast.program;
   anal : Stratify.t;
   engine : Plan.engine;
-  maint : maint;
+  strategy : Analyze.strategy array;  (* resolved per component *)
+  sanitize : bool;
+  on_warn : string -> unit;
   symbols : Symbol.t;
   card : string -> int;
   make_exec : Ast.rule -> Plan.exec;
@@ -101,9 +143,11 @@ type ctx = {
   new_view : Matcher.view;
 }
 
-let make_ctx ~engine ~maint db program =
+let make_ctx ?(shards = 1) ?(sanitize = false) ?(on_warn = default_warn) ~engine
+    ~maint db program =
   Aggregate.validate program;
   let anal = Stratify.analyze program in
+  let strategy = resolve_strategies ~engine ~shards ~on_warn anal program maint in
   Matcher.register db program;
   let symbols = Database.symbols db in
   let card pred =
@@ -163,7 +207,8 @@ let make_ctx ~engine ~maint db program =
           match removed p with Some r -> Relation.iter f r | None -> ());
     }
   in
-  { db; program; anal; engine; maint; symbols; card; make_exec; d; old_view; new_view }
+  { db; program; anal; engine; strategy; sanitize; on_warn; symbols; card;
+    make_exec; d; old_view; new_view }
 
 let apply_base_updates ctx ~additions ~deletions =
   List.iter
@@ -226,6 +271,7 @@ type prepared_comp = {
   comp : int;
   members : int array;
   comp_preds : (string, unit) Hashtbl.t;
+  tag : string;  (* sanitizer owner/writer tag: names the component *)
   body : comp_body;
 }
 
@@ -236,6 +282,13 @@ let prepare_comp ?(shards = 1) ctx comp =
   Array.iter
     (fun p -> Hashtbl.replace comp_preds anal.Stratify.predicates.(p) ())
     members;
+  let tag =
+    Printf.sprintf "component %d [%s]" comp
+      (String.concat " "
+         (List.map
+            (fun p -> anal.Stratify.predicates.(p))
+            (Array.to_list members)))
+  in
   let rules =
     List.filter
       (fun (r : Ast.rule) -> r.Ast.body <> [])
@@ -263,7 +316,7 @@ let prepare_comp ?(shards = 1) ctx comp =
       in
       Rules (Array.init (max 1 shards) (fun _ -> prepare_set ()))
   in
-  { comp; members; comp_preds; body }
+  { comp; members; comp_preds; tag; body }
 
 (* Compile every plan a component's phases could reach: the base plan
    (phase B), a delta plan per positive body position (phases A/C and
@@ -392,7 +445,7 @@ type shard_ctx = {
   shard_rings : Obs.Ring.t array;  (* length [nshards]; slot 0 unused *)
 }
 
-let process_comp ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepared_comp) =
+let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepared_comp) =
   let anal = ctx.anal in
   let d = ctx.d in
   let comp = pc.comp in
@@ -1336,16 +1389,27 @@ let process_comp ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepared_comp) =
         Hashtbl.iter (fun _ rel -> Relation.counts_sync rel) heads
       end
     in
-    (match ctx.maint with
+    (match ctx.strategy.(comp) with
     (* nothing upstream changed ⇒ no deltas can reach this component;
        skipping also avoids rebuilding stale counts nobody needs yet *)
-    | Counting -> if input_changed then run_phases_counting ()
-    | Dred -> (
+    | Analyze.Counting -> if input_changed then run_phases_counting ()
+    | Analyze.Dred -> (
       match shard_ctx with
       | Some sc when sc.nshards > 1 && Array.length prs_by_shard = sc.nshards ->
         run_phases_sharded sc
       | Some _ | None -> run_phases_serial ()));
     { comp; work = !work; output_changed = members_changed (); input_changed }
+
+(* Every mutation a component's maintenance performs — store writes,
+   delta recording, cascade staging — happens on the thread running
+   this call (shard crew jobs only fill private buffers; merges run
+   here), so one writer scope around the whole body is exactly the
+   ownership granularity the sanitizer checks. *)
+let process_comp ?ring ?shard_ctx ctx (pc : prepared_comp) =
+  if ctx.sanitize then
+    Relation.Sanitize.with_writer pc.tag (fun () ->
+        process_comp_unsanitized ?ring ?shard_ctx ctx pc)
+  else process_comp_unsanitized ?ring ?shard_ctx ctx pc
 
 (* ---- report assembly -------------------------------------------- *)
 
@@ -1381,8 +1445,55 @@ let assemble_report ctx slots =
   in
   { changes; activity; analysis = ctx.anal }
 
-let setup ?(shards = 1) ~engine ~maint db program ~additions ~deletions =
-  let ctx = make_ctx ~engine ~maint db program in
+(* Tag every relation of every component — the store and its delta
+   pair — with the owning component's writer tag, so that any mutation
+   from outside that component's [process_comp] scope raises
+   {!Relation.Sanitize.Violation}. Tags go on *after* the base updates
+   (which legitimately run untagged, on the caller's thread) and come
+   off in [with_sanitize]'s finally, leaving the database as reusable
+   as the sanitizer found it. *)
+let sanitize_tag_all ctx prepared =
+  Array.iter
+    (fun pc ->
+      Array.iter
+        (fun p ->
+          let name = ctx.anal.Stratify.predicates.(p) in
+          (match Database.find ctx.db name with
+          | Some rel -> Relation.Sanitize.set_owner rel ~name ~owner:pc.tag
+          | None -> ());
+          (match Hashtbl.find_opt ctx.d.added name with
+          | Some r -> Relation.Sanitize.set_owner r ~name:("+" ^ name) ~owner:pc.tag
+          | None -> ());
+          match Hashtbl.find_opt ctx.d.removed name with
+          | Some r -> Relation.Sanitize.set_owner r ~name:("-" ^ name) ~owner:pc.tag
+          | None -> ())
+        pc.members)
+    prepared
+
+let sanitize_untag_all ctx =
+  Array.iter
+    (fun name ->
+      (match Database.find ctx.db name with
+      | Some rel -> Relation.Sanitize.clear_owner rel
+      | None -> ());
+      (match Hashtbl.find_opt ctx.d.added name with
+      | Some r -> Relation.Sanitize.clear_owner r
+      | None -> ());
+      match Hashtbl.find_opt ctx.d.removed name with
+      | Some r -> Relation.Sanitize.clear_owner r
+      | None -> ())
+    ctx.anal.Stratify.predicates
+
+let with_sanitize ctx prepared f =
+  if not ctx.sanitize then f ()
+  else begin
+    sanitize_tag_all ctx prepared;
+    Fun.protect ~finally:(fun () -> sanitize_untag_all ctx) f
+  end
+
+let setup ?(shards = 1) ?sanitize ?on_warn ~engine ~maint db program ~additions
+    ~deletions =
+  let ctx = make_ctx ~shards ?sanitize ?on_warn ~engine ~maint db program in
   List.iter (check_edb ctx.anal) additions;
   List.iter (check_edb ctx.anal) deletions;
   apply_base_updates ctx ~additions ~deletions;
@@ -1407,13 +1518,14 @@ let check_maint_engine ~who maint engine =
       (who
      ^ ": counting maintenance requires the compiled engine (the interpretive \
         oracle has no split-view mode)")
-  | (Counting | Dred), _ -> ()
+  (* Auto resolves to DRed everywhere under the interpretive engine *)
+  | (Counting | Dred | Auto), _ -> ()
 
-let apply ?(engine = Plan.default_engine) ?(maint = Dred) ?(obs = Obs.Trace.disabled)
-    db program ~additions ~deletions =
+let apply ?(engine = Plan.default_engine) ?(maint = Dred) ?sanitize ?on_warn
+    ?(obs = Obs.Trace.disabled) db program ~additions ~deletions =
   check_maint_engine ~who:"Incremental.apply" maint engine;
-  let ctx, prepared = setup ~engine ~maint db program ~additions ~deletions in
-  run_serial_walk ~obs ctx prepared
+  let ctx, prepared = setup ?sanitize ?on_warn ~engine ~maint db program ~additions ~deletions in
+  with_sanitize ctx prepared (fun () -> run_serial_walk ~obs ctx prepared)
 
 (* Build and stamp the counting side tables of every derived component
    against the database's current (materialized) contents — one full-
@@ -1483,21 +1595,56 @@ let prime ?(engine = Plan.default_engine) db program =
 
 let serial_task_threshold = 8
 
+(* Static ownership verification: the safety argument of the parallel
+   driver — each component task writes only its own predicates, reads
+   only upstream ones — checked against the effect sets of the plans
+   that will actually run, instead of trusted by construction. Read
+   sets come from {!Plan.exec_reads} over the precompiled plan stores
+   (base, per-delta, flipped-negation variants), write sets from the
+   rule heads; {!Analyze.check_ownership} decides against the
+   condensation. Aggregate components have no plans; their single rule
+   is checked from its body. *)
+let verify_ownership ctx prepared =
+  let union_reads acc reads =
+    List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc) acc reads
+  in
+  Array.fold_left
+    (fun acc (pc : prepared_comp) ->
+      match acc with
+      | Error _ -> acc
+      | Ok () -> (
+        match pc.body with
+        | Extensional -> Ok ()
+        | Aggregate_rule r ->
+          Analyze.check_ownership ctx.anal ~comp:pc.comp
+            ~writes:[ r.Ast.head.Ast.pred ] ~reads:(Plan.body_reads r)
+        | Rules prs_by_shard ->
+          let writes, reads =
+            Array.fold_left
+              (fun acc prs ->
+                List.fold_left
+                  (fun (ws, rs) pr ->
+                    let rs = union_reads rs (Plan.exec_reads pr.ex) in
+                    let rs =
+                      List.fold_left
+                        (fun rs (_, _, fex) -> union_reads rs (Plan.exec_reads fex))
+                        rs pr.flipped
+                    in
+                    let h = pr.rule.Ast.head.Ast.pred in
+                    ((if List.mem h ws then ws else h :: ws), rs))
+                  acc prs)
+              ([], []) prs_by_shard
+          in
+          Analyze.check_ownership ctx.anal ~comp:pc.comp ~writes ~reads))
+    (Ok ()) prepared
+
 let apply_parallel ?(engine = Plan.default_engine) ?(maint = Dred) ?(domains = 4)
-    ?(shards = 1) ?(serial_threshold = serial_task_threshold) ?sched
-    ?(obs = Obs.Trace.disabled) db program ~additions ~deletions =
+    ?(shards = 1) ?(serial_threshold = serial_task_threshold) ?sched ?sanitize
+    ?on_warn ?(obs = Obs.Trace.disabled) db program ~additions ~deletions =
   if shards < 1 then invalid_arg "Incremental.apply_parallel: shards < 1";
   check_maint_engine ~who:"Incremental.apply_parallel" maint engine;
-  (* counting settles each round's deltas against the single canonical
-     count table; sharded phase rounds would need per-shard count
-     ownership it doesn't have — reject loudly rather than silently
-     running DRed or dropping the sharding *)
-  if maint = Counting && shards > 1 then
-    invalid_arg
-      "Incremental.apply_parallel: counting maintenance does not compose with \
-       sharded phase rounds (--shards > 1); use shards = 1 or DRed";
   if domains <= 1 && shards <= 1 then
-    apply ~engine ~maint ~obs db program ~additions ~deletions
+    apply ~engine ~maint ?sanitize ?on_warn ~obs db program ~additions ~deletions
   else begin
     (match engine with
     | Plan.Compiled -> ()
@@ -1506,8 +1653,21 @@ let apply_parallel ?(engine = Plan.default_engine) ?(maint = Dred) ?(domains = 4
         "Incremental.apply_parallel: the interpretive oracle is not domain-safe; \
          use the compiled engine");
     let sched = match sched with Some s -> s | None -> Sched.Level_based.factory in
-    let ctx, prepared = setup ~shards ~engine ~maint db program ~additions ~deletions in
+    let ctx, prepared =
+      setup ~shards ?sanitize ?on_warn ~engine ~maint db program ~additions ~deletions
+    in
     Array.iter precompile_comp prepared;
+    with_sanitize ctx prepared @@ fun () ->
+    match verify_ownership ctx prepared with
+    | Error msg ->
+      (* a plan set reaching outside its declared ownership would make
+         parallel dispatch unsound: refuse it and run serially, which
+         needs no ownership at all *)
+      ctx.on_warn
+        ("apply_parallel: static ownership verification failed — " ^ msg
+       ^ "; refusing parallel dispatch, running the serial walk");
+      run_serial_walk ~obs ctx prepared
+    | Ok () ->
     let cond = ctx.anal.Stratify.condensation in
     let g = cond.Dag.Scc.dag in
     let n = Dag.Graph.node_count g in

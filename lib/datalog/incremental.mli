@@ -56,18 +56,30 @@ type report = {
   analysis : Stratify.t;
 }
 
-type maint = Dred | Counting
-(** Maintenance algorithm. Both restore exactly the same database;
-    they differ in how deletions are paid for. [Counting] requires the
+type maint = Dred | Counting | Auto
+(** Maintenance algorithm. All restore exactly the same database; they
+    differ in how deletions are paid for. [Counting] requires the
     compiled engine ({!Plan.Compiled}) and runs unsharded; aggregate
     components use the same recompute-and-diff under either. DRed can
     still win on updates that wipe out most of a materialization —
     counting's per-derivation bookkeeping then costs more than deleting
-    everything and rederiving the little that remains. *)
+    everything and rederiving the little that remains.
+
+    Whatever the selector, maintenance runs with one {e resolved}
+    strategy per condensation component. [Dred] and [Counting] resolve
+    uniformly; [Auto] asks the static advisor ({!Analyze}) per
+    component — Counting where its features say it is safe and
+    profitable (nonrecursive, or linear recursion with strong exit
+    support, no negation or aggregates), DRed otherwise. Combinations
+    counting cannot serve ([shards > 1], the interpretive engine under
+    [Auto]) downgrade the affected components to DRed with a message
+    through [on_warn] instead of failing. *)
 
 val apply :
   ?engine:Plan.engine ->
   ?maint:maint ->
+  ?sanitize:bool ->
+  ?on_warn:(string -> unit) ->
   ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
@@ -79,10 +91,17 @@ val apply :
     be ground and extensional. [engine] (default {!Plan.Compiled})
     selects compiled plans or the interpretive oracle; both restore the
     same database. [maint] (default {!Dred}) selects the maintenance
-    algorithm. [obs] (default disabled) records a phase span per
-    maintained component on the trace's ring 0 — delete / rederive /
-    insert under DRed, count-propagate / backward / forward under
-    Counting, tagged with the component id.
+    algorithm. [sanitize] (default false) arms the write-set sanitizer:
+    every relation and delta pair is tagged with its owning component,
+    each component's maintenance runs inside a matching
+    {!Relation.Sanitize.with_writer} scope, and a mutation that crosses
+    component ownership raises {!Relation.Sanitize.Violation} naming
+    the relation and both tasks (tags are removed before returning).
+    [on_warn] (default: print to stderr) receives advisory downgrade
+    messages — see {!maint}. [obs] (default disabled) records a phase
+    span per maintained component on the trace's ring 0 — delete /
+    rederive / insert under DRed, count-propagate / backward / forward
+    under Counting, tagged with the component id.
     @raise Invalid_argument on a non-ground or intensional atom, or for
     [~maint:Counting] with the interpretive engine. *)
 
@@ -110,6 +129,8 @@ val apply_parallel :
   ?shards:int ->
   ?serial_threshold:int ->
   ?sched:Sched.Intf.factory ->
+  ?sanitize:bool ->
+  ?on_warn:(string -> unit) ->
   ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
@@ -148,10 +169,24 @@ val apply_parallel :
     instead of paying the executor's spawn-and-join overhead.
 
     [maint] (default {!Dred}) selects the per-component maintenance
-    algorithm, as in {!apply}; component-level parallelism (ownership +
+    strategy, as in {!apply}; component-level parallelism (ownership +
     precedence) is algorithm-agnostic, but counting does not compose
-    with sharded phase rounds — [~maint:Counting] with [shards > 1] is
-    rejected rather than silently falling back.
+    with sharded phase rounds — [~maint:Counting] with [shards > 1]
+    downgrades every component to DRed with a message through
+    [on_warn], and [~maint:Auto] downgrades only the components the
+    advisor had picked counting for.
+
+    Before dispatching any task, the driver statically verifies the
+    ownership rule it relies on: every prepared component's write set
+    (rule heads) and read set (the {!Plan.exec_reads} of its compiled
+    plan stores, flipped-negation variants included) are checked by
+    {!Analyze.check_ownership} against the condensation. A violation —
+    a plan probing a relation that is neither same-component nor
+    upstream — refuses parallel dispatch: the update runs the serial
+    walk, which needs no ownership, and [on_warn] carries the verifier
+    message. [sanitize] additionally arms the runtime write-set checks
+    of {!apply} (tags work unchanged across worker domains: the writer
+    scope is domain-local).
 
     [obs] (default disabled) threads the executor's per-worker tracing
     (task / steal / park / scheduler-lock events) through the run and
@@ -160,7 +195,6 @@ val apply_parallel :
     worker's ring, shard [j >= 1] on ring [max 1 domains + j - 1].
     Recording never changes maintenance results.
     @raise Invalid_argument on a non-ground or intensional atom, if
-    [shards < 1], if [engine] is {!Plan.Interpreted} with
-    [domains > 1] or [shards > 1] or [maint = Counting], or if
-    [maint = Counting] with [shards > 1]
+    [shards < 1], or if [engine] is {!Plan.Interpreted} with
+    [domains > 1] or [shards > 1] or [maint = Counting]
     @raise Failure if a maintenance task raises. *)

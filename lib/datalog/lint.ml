@@ -115,8 +115,86 @@ let check_rule ~rule_index (r : Ast.rule) =
       | c -> -c)
     !diags
 
+(* Rename variables to V0, V1, … by first occurrence (head first, then
+   body in literal order), so alpha-equivalent rules print identically. *)
+let canonical_rule (r : Ast.rule) =
+  let map = Hashtbl.create 8 in
+  let fresh = ref 0 in
+  let rename v =
+    match Hashtbl.find_opt map v with
+    | Some v' -> v'
+    | None ->
+      let v' = Printf.sprintf "V%d" !fresh in
+      incr fresh;
+      Hashtbl.add map v v';
+      v'
+  in
+  let term = function
+    | Ast.Var v -> Ast.Var (rename v)
+    | Ast.Const _ as t -> t
+    | Ast.Agg (a, v) -> Ast.Agg (a, rename v)
+  in
+  let atom a = { a with Ast.args = List.map term a.Ast.args } in
+  let literal = function
+    | Ast.Pos a -> Ast.Pos (atom a)
+    | Ast.Neg a -> Ast.Neg (atom a)
+    | Ast.Cmp (c, t1, t2) -> Ast.Cmp (c, term t1, term t2)
+  in
+  { Ast.head = atom r.Ast.head; body = List.map literal r.Ast.body }
+
+(* Whole-program lints; all warnings, so the [errors = [] iff every rule
+   is range-restricted] property is untouched. *)
+let check_program (p : Ast.program) =
+  let diags = ref [] in
+  let emit rule_index pred code fmt =
+    Format.kasprintf
+      (fun message ->
+        diags := { rule_index; pred; severity = Warning; code; message } :: !diags)
+      fmt
+  in
+  (* duplicate rules: syntactically identical after canonicalization *)
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun i r ->
+      let key = Format.asprintf "%a" Ast.pp_rule (canonical_rule r) in
+      match Hashtbl.find_opt seen key with
+      | Some j ->
+        emit i r.Ast.head.Ast.pred "duplicate-rule"
+          "rule duplicates rule %d up to variable renaming; it adds no derivations"
+          j
+      | None -> Hashtbl.add seen key i)
+    p;
+  (* derived predicates no rule body ever reads *)
+  let read = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (function
+          | Ast.Pos a | Ast.Neg a -> Hashtbl.replace read a.Ast.pred ()
+          | Ast.Cmp _ -> ())
+        r.Ast.body)
+    p;
+  let flagged = Hashtbl.create 16 in
+  List.iteri
+    (fun i r ->
+      let pred = r.Ast.head.Ast.pred in
+      if
+        (not (Ast.rule_is_fact r))
+        && (not (Hashtbl.mem read pred))
+        && not (Hashtbl.mem flagged pred)
+      then begin
+        Hashtbl.add flagged pred ();
+        emit i pred "unused-idb-predicate"
+          "derived predicate %s is never read by any rule body; dead weight \
+           unless it is the query output"
+          pred
+      end)
+    p;
+  List.rev !diags
+
 let check (p : Ast.program) =
   List.concat (List.mapi (fun i r -> check_rule ~rule_index:i r) p)
+  @ check_program p
 
 let errors diags = List.filter (fun d -> d.severity = Error) diags
 

@@ -10,7 +10,13 @@
     Error codes: [unrestricted-head-variable], [unbound-negated-variable],
     [unbound-comparison-variable], [body-aggregate].
     Warning codes: [singleton-variable] (suppressed for [_]-prefixed
-    names). *)
+    names), and two whole-program lints only {!check} can see:
+    [duplicate-rule] (a rule syntactically identical to an earlier one
+    after variables are renamed by first occurrence — it can add no
+    derivations) and [unused-idb-predicate] (a predicate derived by
+    some rule but never read by any rule body; flagged once, at its
+    first defining rule — harmless when it is the intended query
+    output). *)
 
 type severity = Warning | Error
 
@@ -29,6 +35,9 @@ val check_rule : rule_index:int -> Ast.rule -> diagnostic list
 (** Diagnostics for one rule, errors first, deterministic order. *)
 
 val check : Ast.program -> diagnostic list
+(** Every rule's {!check_rule} diagnostics (in rule order), followed by
+    the whole-program warnings ([duplicate-rule],
+    [unused-idb-predicate]). *)
 
 val errors : diagnostic list -> diagnostic list
 (** The [Error]-severity subset. *)

@@ -405,6 +405,56 @@ let prepare ?delta e =
       if not (Hashtbl.mem p.deltas i) then
         Hashtbl.add p.deltas i (compile ~delta:i ~symbols:p.symbols ~card:p.card p.rule))
 
+(* ---- static effect extraction ------------------------------------ *)
+
+(* Read sets come from the instruction sequence itself — the artifact
+   that actually executes — not from re-deriving them off the AST, so a
+   planner bug that probed an unplanned relation would be visible to the
+   ownership verifier. The [Delta] step carries no predicate (the delta
+   relation is caller-supplied), but every delta-compiled plan is a
+   restriction of the base plan, whose [Match]/[Reject] steps mention
+   every body literal. *)
+
+let add_pred acc p = if List.mem p acc then acc else p :: acc
+
+let reads p =
+  let acc =
+    Array.fold_left
+      (fun acc step ->
+        match step with
+        | Match { pred; _ } | Reject { pred; _ } -> add_pred acc pred
+        | Delta _ | Filter _ -> acc)
+      [] p.steps
+  in
+  List.sort String.compare acc
+
+let body_reads (rule : Ast.rule) =
+  let acc =
+    List.fold_left
+      (fun acc lit ->
+        match lit with
+        | Ast.Pos a | Ast.Neg a -> add_pred acc a.Ast.pred
+        | Ast.Cmp _ -> acc)
+      [] rule.Ast.body
+  in
+  List.sort String.compare acc
+
+let exec_reads e =
+  match e with
+  | Interp { rule; _ } -> body_reads rule
+  | Plans p -> (
+    match p.base with
+    | Some base ->
+      let acc =
+        Hashtbl.fold (fun _ plan acc -> List.fold_left add_pred acc (reads plan))
+          p.deltas (reads base)
+      in
+      List.sort_uniq String.compare acc
+    | None ->
+      (* nothing compiled yet (or only delta plans, which elide the delta
+         predicate): the rule body is the authoritative superset *)
+      body_reads p.rule)
+
 (* Evaluation callbacks in {!Eval} and {!Incremental} mutate the very
    relations the rule body is probing — the head relation when it also
    occurs as a body literal (recursive rules), and the net-delta overlay

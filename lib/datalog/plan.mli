@@ -127,6 +127,29 @@ val prepare : ?delta:int -> exec -> unit
     domains, so task-time execution only reads the memoized store.
     No-op on the interpretive engine and on already-compiled plans. *)
 
+(** {2 Static effect extraction}
+
+    {!Analyze} derives per-rule read sets from the compiled instruction
+    sequence — the artifact that executes — so ownership verification
+    checks what the plan actually probes, not what the AST suggests it
+    should. *)
+
+val reads : t -> string list
+(** Distinct predicates probed by the plan's [Match] (positive) and
+    [Reject] (negation) steps, sorted. The semi-naive delta step is not
+    included: its relation is caller-supplied, and the corresponding
+    predicate appears as an ordinary read in the base plan. *)
+
+val body_reads : Ast.rule -> string list
+(** Distinct predicates of the rule body's positive and negated atoms,
+    sorted — the AST-level superset of {!reads}, used where no plan can
+    be compiled (interpretive engine, aggregate rules). *)
+
+val exec_reads : exec -> string list
+(** Read set of an executor: the union of {!reads} over its compiled
+    plans when the base plan exists, else {!body_reads} of its rule.
+    Never compiles anything and never raises. *)
+
 val exec_rule_deferred :
   ?delta:int * Relation.t ->
   ?shard:int * int ->

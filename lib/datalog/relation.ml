@@ -46,9 +46,29 @@ type count_cell = { mutable exits : int; mutable recs : int }
 
 type counts = { cells : count_cell Tuple_tbl.t; mutable synced_version : int }
 
+(* ---- write-set sanitizer ----------------------------------------
+
+   Debug-mode enforcement of the ownership discipline the static
+   analysis ({!Analyze}) verifies on plans: when maintenance runs with
+   the sanitizer on, every relation a component owns is tagged with
+   that component's owner string, each maintenance task executes inside
+   a [with_writer] scope carrying its own tag, and every mutation
+   checks tag against scope. The current writer lives in domain-local
+   storage so the check works unchanged under parallel maintenance.
+   With no tag set (the default), the cost is one field read per
+   mutation. *)
+
+exception Sanitize_violation of string
+
+let sanitize_writer_key : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
 type t = {
   arity : int;
   tuples : unit Tuple_tbl.t;
+  mutable owner : (string * string) option;
+      (* (relation name, owner tag): mutations outside a matching
+         [Sanitize.with_writer] scope raise [Sanitize_violation] *)
   mutable counts : counts option;
   indexes : (int, unit Tuple_tbl.t) Hashtbl.t option Atomic.t array;
       (* indexes.(col), built lazily; kept consistent once built. Each
@@ -73,6 +93,7 @@ let create ~arity =
   {
     arity;
     tuples = Tuple_tbl.create 64;
+    owner = None;
     counts = None;
     indexes = Array.init (max arity 1) (fun _ -> Atomic.make None);
     version = 0;
@@ -90,6 +111,28 @@ let check t tup =
 let mem t tup =
   check t tup;
   Tuple_tbl.mem t.tuples tup
+
+(* Every mutation entry point calls this first. Attempted writes count
+   even when they would be no-ops (a duplicate [add], an absent
+   [remove]): a task reaching for a relation it does not own is an
+   ownership bug regardless of whether the store happened to change. *)
+let sanitize_check t =
+  match t.owner with
+  | None -> ()
+  | Some (rel_name, owner) -> (
+    match Domain.DLS.get sanitize_writer_key with
+    | Some w when String.equal w owner -> ()
+    | Some w ->
+      raise
+        (Sanitize_violation
+           (Printf.sprintf "relation %s is owned by %s but was mutated by %s"
+              rel_name owner w))
+    | None ->
+      raise
+        (Sanitize_violation
+           (Printf.sprintf
+              "relation %s is owned by %s but was mutated outside any writer scope"
+              rel_name owner)))
 
 let bucket_of idx value =
   match Hashtbl.find_opt idx value with
@@ -120,6 +163,7 @@ let index_remove t tup =
 
 let add t tup =
   check t tup;
+  sanitize_check t;
   if Tuple_tbl.mem t.tuples tup then false
   else begin
     let tup = Array.copy tup in
@@ -131,6 +175,7 @@ let add t tup =
 
 let remove t tup =
   check t tup;
+  sanitize_check t;
   if Tuple_tbl.mem t.tuples tup then begin
     t.version <- t.version + 1;
     Tuple_tbl.remove t.tuples tup;
@@ -171,6 +216,7 @@ let copy t =
   fresh
 
 let clear t =
+  sanitize_check t;
   t.version <- t.version + 1;
   Tuple_tbl.reset t.tuples;
   t.counts <- None;
@@ -344,3 +390,25 @@ module Sharded = struct
     iter (fun tup -> if base_add dst tup then incr fresh) t;
     !fresh
 end
+
+module Sanitize = struct
+  exception Violation = Sanitize_violation
+
+  let set_owner t ~name ~owner = t.owner <- Some (name, owner)
+
+  let clear_owner t = t.owner <- None
+
+  let owner t = Option.map snd t.owner
+
+  let writer () = Domain.DLS.get sanitize_writer_key
+
+  let with_writer tag f =
+    let prev = Domain.DLS.get sanitize_writer_key in
+    Domain.DLS.set sanitize_writer_key (Some tag);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set sanitize_writer_key prev) f
+end
+
+let () =
+  Printexc.register_printer (function
+    | Sanitize_violation msg -> Some ("ownership sanitizer: " ^ msg)
+    | _ -> None)

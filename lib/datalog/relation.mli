@@ -137,6 +137,39 @@ val shard_of_tuple : col:int -> shards:int -> tuple -> int
 
 type relation = t
 
+(** {2 Write-set sanitizer}
+
+    Debug-mode runtime enforcement of the ownership discipline that
+    {!Analyze.check_ownership} verifies statically: maintenance tags
+    each relation with its owning task's string, tasks run inside
+    {!Sanitize.with_writer} scopes, and every mutation
+    ([add]/[remove]/[clear] — including no-op writes, since a task
+    reaching for a foreign relation is a bug regardless of outcome)
+    checks tag against the current scope. The scope lives in
+    domain-local storage, so checks work unchanged when tasks run on
+    worker domains. Untagged relations (the default) pay one field read
+    per mutation. *)
+
+module Sanitize : sig
+  exception Violation of string
+  (** Raised by a mutation of an owned relation from outside a matching
+      writer scope; the message names the relation, its owner and the
+      offending writer. *)
+
+  val set_owner : relation -> name:string -> owner:string -> unit
+
+  val clear_owner : relation -> unit
+
+  val owner : relation -> string option
+
+  val writer : unit -> string option
+  (** The current domain's active writer tag, if any. *)
+
+  val with_writer : string -> (unit -> 'a) -> 'a
+  (** Run [f] with the current domain's writer tag set; restores the
+      previous tag on exit (scopes nest). *)
+end
+
 module Sharded : sig
   (** A relation partitioned into [shards] sub-stores by
       {!shard_of_tuple} on column 0. Shard task [s] owns exactly

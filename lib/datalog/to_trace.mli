@@ -27,6 +27,8 @@ val of_update :
   ?maint:Incremental.maint ->
   ?domains:int ->
   ?shards:int ->
+  ?sanitize:bool ->
+  ?on_warn:(string -> unit) ->
   ?obs:Obs.Trace.t ->
   Database.t ->
   Ast.program ->
@@ -43,7 +45,9 @@ val of_update :
     via {!Incremental.apply_parallel} — [shards] splits each
     component's DRed phase rounds into per-shard fan-out tasks; the
     resulting trace is built from that run's report the same way.
-    [obs] records the maintenance run's timeline (see
+    [sanitize] and [on_warn] are passed through — the write-set
+    sanitizer and the downgrade/ownership warning sink of
+    {!Incremental.apply}. [obs] records the maintenance run's timeline (see
     {!Incremental.apply_parallel}); the [labels] field names its task
     spans when exporting with {!Obs.Export.to_file}. *)
 

@@ -101,12 +101,63 @@ let datalog_lint () =
   expect_ok
     [ "datalog"; tmp; "--lint" ]
     [ "singleton-variable"; "Unused"; "rule 2 (odd)"; "materialized" ];
-  (* a clean program says so *)
+  (* a clean program says so (recursive TC: path is read back by the
+     second rule, so the unused-idb-predicate lint stays quiet) *)
   let oc = open_out tmp in
-  output_string oc {|edge("a","b"). path(X,Y) :- edge(X,Y).|};
+  output_string oc
+    {|edge("a","b"). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).|};
   close_out oc;
   expect_ok [ "datalog"; tmp; "--lint" ] [ "lint: clean" ];
   Sys.remove tmp
+
+let write_program src =
+  let tmp = Filename.temp_file "cli" ".dl" in
+  let oc = open_out tmp in
+  output_string oc src;
+  close_out oc;
+  tmp
+
+let tc_src =
+  {|edge("a","b"). edge("b","c").
+    path(X,Y) :- edge(X,Y).
+    path(X,Z) :- path(X,Y), edge(Y,Z).|}
+
+let analyze_report () =
+  let tmp = write_program tc_src in
+  expect_ok [ "analyze"; tmp ]
+    [ "strata: 1"; "advisor: counting"; "ownership: verified";
+      "reads {edge path}"; "writes {path}"; "linear" ];
+  Sys.remove tmp
+
+let analyze_json_roundtrip () =
+  let tmp = write_program tc_src in
+  let status, out = run_capture [ "analyze"; tmp; "--json" ] in
+  Sys.remove tmp;
+  check_bool "analyze --json exits 0" true (status = Unix.WEXITED 0);
+  let j = Obs.Json.parse out in
+  let str k = Option.bind (Obs.Json.member k j) Obs.Json.to_str in
+  check_bool "ownership verified" true (str "ownership" = Some "verified");
+  check_bool "engine recorded" true (str "engine" = Some "compiled");
+  match Option.bind (Obs.Json.member "comps" j) Obs.Json.to_list with
+  | None -> Alcotest.fail "comps array missing"
+  | Some comps ->
+    check_bool "edge and path components" true (List.length comps = 2);
+    let advice =
+      List.filter_map
+        (fun c ->
+          match Option.bind (Obs.Json.member "extensional" c) Obs.Json.to_bool with
+          | Some false -> Option.bind (Obs.Json.member "advice" c) Obs.Json.to_str
+          | _ -> None)
+        comps
+    in
+    check_bool "path advised counting" true (advice = [ "counting" ])
+
+let analyze_rejects_bad_program () =
+  let tmp = write_program {|p(X,Y) :- e(X).|} in
+  let status, out = run_capture [ "analyze"; tmp ] in
+  Sys.remove tmp;
+  check_bool "analyze exits 1 on a bad program" true (status = Unix.WEXITED 1);
+  check_bool "diagnostic printed" true (contains out "error")
 
 let unknown_scheduler_fails () =
   let status, out = run_capture [ "run"; "tight:5"; "-s"; "bogus" ] in
@@ -131,6 +182,9 @@ let () =
           test `Quick "chrome trace export" schedule_export;
           test `Quick "datalog session with aggregate" datalog_session;
           test `Quick "datalog lint diagnostics" datalog_lint;
+          test `Quick "analyze report" analyze_report;
+          test `Quick "analyze --json round-trips" analyze_json_roundtrip;
+          test `Quick "analyze rejects bad programs" analyze_rejects_bad_program;
           test `Quick "unknown scheduler fails" unknown_scheduler_fails;
           test `Quick "bad trace spec fails" bad_trace_fails;
         ] );

@@ -952,10 +952,13 @@ let sharded_differential_qcheck =
         in
         List.iter
           (fun ((shards, domains, serial_threshold), db) ->
+            (* sanitize:true on every parallel twin: the write-set
+               sanitizer must be inert on safe runs — bit-identical
+               results, no violations, across the whole grid *)
             let r =
               Datalog.Incremental.apply_parallel ~engine:Datalog.Plan.Compiled
-                ~shards ~domains ?serial_threshold db program ~additions:adds
-                ~deletions:dels
+                ~shards ~domains ?serial_threshold ~sanitize:true db program
+                ~additions:adds ~deletions:dels
             in
             ok := !ok && Datalog.Eval.databases_agree serial db = Ok ();
             ok := !ok && r.Datalog.Incremental.changes = r0.Datalog.Incremental.changes;
@@ -1269,12 +1272,22 @@ let counting_survives_dred_interleaving () =
   check_bool "interleaved engines agree" true
     (Datalog.Eval.databases_agree scratch db = Ok ())
 
-(* Counting is compiled-only and unsharded: both misuses must be
-   rejected loudly, not silently degraded. *)
+let msg_mentions needle msg =
+  let nl = String.length needle and hl = String.length msg in
+  let rec find i = i + nl <= hl && (String.sub msg i nl = needle || find (i + 1)) in
+  find 0
+
+(* Counting is compiled-only: that misuse is still rejected loudly.
+   Counting + shards > 1, by contrast, downgrades to DRed with a
+   warning and restores the right database. *)
 let counting_rejects_unsupported () =
   let program = parse "p(X,Y) :- e(X,Y). e(\"a\",\"b\")." in
-  let db = Datalog.Database.create () in
-  let _ = Datalog.Eval.run db program in
+  let load () =
+    let db = Datalog.Database.create () in
+    let _ = Datalog.Eval.run db program in
+    db
+  in
+  let db = load () in
   let adds = [ atom {|e("b","c")|} ] in
   (match
      Datalog.Incremental.apply ~engine:Datalog.Plan.Interpreted
@@ -1283,12 +1296,26 @@ let counting_rejects_unsupported () =
    with
   | _ -> Alcotest.fail "interpreted engine must be rejected under counting"
   | exception Invalid_argument _ -> ());
-  (match
-     Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
-       ~shards:2 db program ~additions:adds ~deletions:[]
-   with
-  | _ -> Alcotest.fail "shards > 1 must be rejected under counting"
-  | exception Invalid_argument _ -> ());
+  (* counting + shards > 1: warn once, run under DRed, same database *)
+  let serial = load () in
+  ignore (Datalog.Incremental.apply serial program ~additions:adds ~deletions:[]);
+  let warned = ref [] in
+  let r =
+    Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
+      ~shards:2 ~on_warn:(fun m -> warned := m :: !warned) db program
+      ~additions:adds ~deletions:[]
+  in
+  check_bool "downgraded run restores the serial database" true
+    (Datalog.Eval.databases_agree serial db = Ok ());
+  check_bool "downgraded run reports the change" true
+    (List.exists
+       (fun (c : Datalog.Incremental.pred_change) -> c.Datalog.Incremental.pred = "p")
+       r.Datalog.Incremental.changes);
+  (match List.rev !warned with
+  | [ m ] ->
+    check_bool "warning names the downgrade" true
+      (msg_mentions "running every stratum under DRed" m)
+  | l -> Alcotest.failf "expected exactly one downgrade warning, got %d" (List.length l));
   (match Datalog.Incremental.prime ~engine:Datalog.Plan.Interpreted db program with
   | _ -> Alcotest.fail "prime must reject the interpreted engine"
   | exception Invalid_argument _ -> ());
@@ -1297,6 +1324,246 @@ let counting_rejects_unsupported () =
   ignore
     (Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
        ~domains:2 db program ~additions:adds ~deletions:[])
+
+(* ---------- Static analysis (Analyze) ---------- *)
+
+let comp_info t pred =
+  match Datalog.Analyze.comp_of_pred t pred with
+  | Some c -> t.Datalog.Analyze.comps.(c)
+  | None -> Alcotest.failf "no component for %s" pred
+
+let rule_infos t pred =
+  Array.to_list t.Datalog.Analyze.rules
+  |> List.filter (fun (ri : Datalog.Analyze.rule_info) -> ri.Datalog.Analyze.head = pred)
+
+let analyze_tc_effects () =
+  let t =
+    Datalog.Analyze.program
+      (parse
+         {|edge("a","b"). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).|})
+  in
+  let ci = comp_info t "path" in
+  check_bool "linear" true (ci.Datalog.Analyze.recursion = Datalog.Analyze.Linear);
+  check_int "rules" 2 ci.Datalog.Analyze.rule_count;
+  check_int "exit rules" 1 ci.Datalog.Analyze.exit_rules;
+  check_bool "reads" true (ci.Datalog.Analyze.reads = [ "edge"; "path" ]);
+  check_bool "external reads" true (ci.Datalog.Analyze.external_reads = [ "edge" ]);
+  check_bool "writes" true (ci.Datalog.Analyze.writes = [ "path" ]);
+  check_bool "deltas" true (ci.Datalog.Analyze.deltas = [ "edge"; "path" ]);
+  check_bool "shardable" true ci.Datalog.Analyze.shardable;
+  check_bool "advised counting" true
+    (ci.Datalog.Analyze.verdict = Datalog.Analyze.Counting);
+  (* per-rule effects come from compiled instruction steps *)
+  (match rule_infos t "path" with
+  | [ exit_rule; rec_rule ] ->
+    check_bool "exit plan-derived" true exit_rule.Datalog.Analyze.plan_derived;
+    check_bool "exit reads" true (exit_rule.Datalog.Analyze.reads = [ "edge" ]);
+    check_int "exit in-comp atoms" 0 exit_rule.Datalog.Analyze.in_comp_pos;
+    check_bool "rec reads" true (rec_rule.Datalog.Analyze.reads = [ "edge"; "path" ]);
+    check_int "rec in-comp atoms" 1 rec_rule.Datalog.Analyze.in_comp_pos
+  | l -> Alcotest.failf "expected two path rules, got %d" (List.length l));
+  check_bool "self-verify" true (Datalog.Analyze.verify t = Ok ())
+
+let analyze_same_generation () =
+  let t =
+    Datalog.Analyze.program
+      (parse
+         {|flat("a","b"). up("a","b"). down("a","b").
+           sg(X,Y) :- flat(X,Y).
+           sg(X,Y) :- up(X,A), sg(A,B), down(B,Y).|})
+  in
+  let ci = comp_info t "sg" in
+  check_bool "linear" true (ci.Datalog.Analyze.recursion = Datalog.Analyze.Linear);
+  check_bool "reads all three inputs" true
+    (ci.Datalog.Analyze.external_reads = [ "down"; "flat"; "up" ]);
+  check_bool "advised counting" true
+    (ci.Datalog.Analyze.verdict = Datalog.Analyze.Counting)
+
+let analyze_negation_effects () =
+  let t =
+    Datalog.Analyze.program
+      (parse
+         {|node("a"). edge("a","b").
+           path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).
+           lonely(X) :- node(X), !path(X,X).|})
+  in
+  let ci = comp_info t "lonely" in
+  check_bool "negation recorded" true ci.Datalog.Analyze.has_negation;
+  (* the negated predicate shows up in the effect set: it is read by the
+     compiled Reject step *)
+  check_bool "reads the negated relation" true
+    (ci.Datalog.Analyze.reads = [ "node"; "path" ]);
+  check_bool "advised dred" true (ci.Datalog.Analyze.verdict = Datalog.Analyze.Dred);
+  (match rule_infos t "lonely" with
+  | [ ri ] -> check_bool "plan-derived" true ri.Datalog.Analyze.plan_derived
+  | l -> Alcotest.failf "expected one lonely rule, got %d" (List.length l))
+
+let analyze_aggregate_effects () =
+  let t =
+    Datalog.Analyze.program
+      (parse {|line("o1","a",3). total(O, sum(N)) :- line(O, I, N).|})
+  in
+  let ci = comp_info t "total" in
+  check_bool "aggregate recorded" true ci.Datalog.Analyze.has_aggregate;
+  check_bool "advised dred" true (ci.Datalog.Analyze.verdict = Datalog.Analyze.Dred);
+  (* no plan exists for aggregate rules: reads fall back to the AST *)
+  (match rule_infos t "total" with
+  | [ ri ] ->
+    check_bool "ast fallback" true (not ri.Datalog.Analyze.plan_derived);
+    check_bool "reads" true (ri.Datalog.Analyze.reads = [ "line" ])
+  | l -> Alcotest.failf "expected one total rule, got %d" (List.length l))
+
+let analyze_nonlinear_and_weak_exit () =
+  let t =
+    Datalog.Analyze.program
+      (parse {|e("a","b"). p(X,Y) :- e(X,Y). p(X,Z) :- p(X,Y), p(Y,Z).|})
+  in
+  let ci = comp_info t "p" in
+  check_bool "nonlinear" true (ci.Datalog.Analyze.recursion = Datalog.Analyze.Nonlinear);
+  check_bool "nonlinear advised dred" true
+    (ci.Datalog.Analyze.verdict = Datalog.Analyze.Dred);
+  (* linear but exit-starved: 1 exit rule against 3 recursive ones *)
+  let t =
+    Datalog.Analyze.program
+      (parse
+         {|a("x","y"). b("x","y"). c("x","y").
+           q(X,Y) :- a(X,Y).
+           q(X,Z) :- q(X,Y), a(Y,Z).
+           q(X,Z) :- q(X,Y), b(Y,Z).
+           q(X,Z) :- q(X,Y), c(Y,Z).|})
+  in
+  let ci = comp_info t "q" in
+  check_bool "linear" true (ci.Datalog.Analyze.recursion = Datalog.Analyze.Linear);
+  check_bool "weak exit advised dred" true
+    (ci.Datalog.Analyze.verdict = Datalog.Analyze.Dred)
+
+let analyze_check_ownership () =
+  let t =
+    Datalog.Analyze.program
+      (parse {|e("x","x"). a(X) :- e(X,X). b(X) :- a(X).|})
+  in
+  let anal = t.Datalog.Analyze.anal in
+  let comp p = Option.get (Datalog.Analyze.comp_of_pred t p) in
+  check_bool "own write, upstream read" true
+    (Datalog.Analyze.check_ownership anal ~comp:(comp "b") ~writes:[ "b" ]
+       ~reads:[ "a"; "b" ]
+    = Ok ());
+  (match
+     Datalog.Analyze.check_ownership anal ~comp:(comp "a") ~writes:[ "b" ] ~reads:[]
+   with
+  | Error m -> check_bool "names the foreign write" true (msg_mentions "writes b" m)
+  | Ok () -> Alcotest.fail "foreign write must be rejected");
+  (match
+     Datalog.Analyze.check_ownership anal ~comp:(comp "a") ~writes:[ "a" ]
+       ~reads:[ "b" ]
+   with
+  | Error m -> check_bool "names the downstream read" true (msg_mentions "reads b" m)
+  | Ok () -> Alcotest.fail "downstream read must be rejected")
+
+(* ---------- Write-set sanitizer ---------- *)
+
+let sanitizer_catches_violation () =
+  let r = Datalog.Relation.create ~arity:1 in
+  Datalog.Relation.Sanitize.set_owner r ~name:"path" ~owner:"component 1 [path]";
+  (* a mutation outside any writer scope *)
+  (match Datalog.Relation.add r [| 1 |] with
+  | _ -> Alcotest.fail "expected a violation outside any scope"
+  | exception Datalog.Relation.Sanitize.Violation m ->
+    check_bool "names relation and owner" true
+      (msg_mentions "path" m && msg_mentions "component 1" m));
+  (* a mutation from the wrong component's scope — even a no-op write *)
+  Datalog.Relation.Sanitize.with_writer "component 2 [q]" (fun () ->
+      match Datalog.Relation.remove r [| 1 |] with
+      | _ -> Alcotest.fail "expected a violation from a foreign writer"
+      | exception Datalog.Relation.Sanitize.Violation m ->
+        check_bool "names the offender" true (msg_mentions "component 2" m));
+  check_bool "relation untouched" true (Datalog.Relation.cardinality r = 0);
+  (* the owner writes fine; clearing the tag disarms the checks *)
+  Datalog.Relation.Sanitize.with_writer "component 1 [path]" (fun () ->
+      check_bool "owner writes" true (Datalog.Relation.add r [| 1 |]));
+  Datalog.Relation.Sanitize.clear_owner r;
+  check_bool "untagged writes" true (Datalog.Relation.add r [| 2 |])
+
+let sanitizer_inert_and_cleans_up () =
+  let program =
+    parse
+      {|edge("a","b"). edge("b","c").
+        path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).|}
+  in
+  let load () =
+    let db = Datalog.Database.create () in
+    let _ = Datalog.Eval.run db program in
+    db
+  in
+  let plain = load () and armed = load () in
+  let adds = [ atom {|edge("c","d")|} ] and dels = [ atom {|edge("a","b")|} ] in
+  let r0 = Datalog.Incremental.apply plain program ~additions:adds ~deletions:dels in
+  let r =
+    Datalog.Incremental.apply ~sanitize:true armed program ~additions:adds
+      ~deletions:dels
+  in
+  check_bool "sanitizer is inert on a safe run" true
+    (Datalog.Eval.databases_agree plain armed = Ok ()
+    && r.Datalog.Incremental.changes = r0.Datalog.Incremental.changes);
+  (* ownership tags are removed before apply returns *)
+  let path = Option.get (Datalog.Database.find armed "path") in
+  check_bool "tags removed" true (Datalog.Relation.Sanitize.owner path = None)
+
+(* ---------- Auto maintenance (--maint auto) ---------- *)
+
+let auto_differential () =
+  let program =
+    parse
+      {|edge("a","b"). edge("b","c"). edge("c","d"). node("a"). node("d"). node("e").
+        path(X,Y) :- edge(X,Y).
+        path(X,Z) :- path(X,Y), edge(Y,Z).
+        unreachable(X) :- node(X), !path("a",X).
+        total(cnt(Y)) :- path("a",Y).|}
+  in
+  (* the advisor splits the program: counting for the TC component,
+     DRed for negation and aggregation *)
+  let t = Datalog.Analyze.program program in
+  check_bool "path advised counting" true
+    ((comp_info t "path").Datalog.Analyze.verdict = Datalog.Analyze.Counting);
+  check_bool "unreachable advised dred" true
+    ((comp_info t "unreachable").Datalog.Analyze.verdict = Datalog.Analyze.Dred);
+  check_bool "total advised dred" true
+    ((comp_info t "total").Datalog.Analyze.verdict = Datalog.Analyze.Dred);
+  let load () =
+    let db = Datalog.Database.create () in
+    let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+    db
+  in
+  let dred = load () and auto = load () and par = load () in
+  let rounds =
+    [
+      ([ {|edge("d","e")|} ], [ {|edge("b","c")|} ]);
+      ([ {|node("b")|}; {|edge("b","c")|} ], []);
+      ([], [ {|edge("a","b")|}; {|node("e")|} ]);
+    ]
+  in
+  List.iter
+    (fun (adds, dels) ->
+      let additions = List.map atom adds and deletions = List.map atom dels in
+      let r0 =
+        Datalog.Incremental.apply ~maint:Datalog.Incremental.Dred dred program
+          ~additions ~deletions
+      in
+      let r =
+        Datalog.Incremental.apply ~maint:Datalog.Incremental.Auto auto program
+          ~additions ~deletions
+      in
+      let rp =
+        Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Auto
+          ~domains:2 ~serial_threshold:0 par program ~additions ~deletions
+      in
+      check_bool "auto equals dred" true
+        (Datalog.Eval.databases_agree dred auto = Ok ()
+        && r.Datalog.Incremental.changes = r0.Datalog.Incremental.changes);
+      check_bool "parallel auto equals dred" true
+        (Datalog.Eval.databases_agree dred par = Ok ()
+        && rp.Datalog.Incremental.changes = r0.Datalog.Incremental.changes))
+    rounds
 
 (* ---------- Aggregates ---------- *)
 
@@ -1582,12 +1849,45 @@ let lint_singleton_warning () =
   let p = parse "odd(X) :- edge(X, Unused). fine(X) :- edge(X, _Ignored)." in
   let ds = Datalog.Lint.check p in
   check_bool "no errors" true (Datalog.Lint.errors ds = []);
-  match ds with
+  match List.filter (fun d -> d.Datalog.Lint.code = "singleton-variable") ds with
   | [ d ] ->
-    check_bool "code" true (d.Datalog.Lint.code = "singleton-variable");
     check_bool "on first rule only" true (d.Datalog.Lint.rule_index = 0);
     check_bool "severity" true (d.Datalog.Lint.severity = Datalog.Lint.Warning)
-  | _ -> Alcotest.failf "expected exactly one warning, got %d" (List.length ds)
+  | l -> Alcotest.failf "expected exactly one singleton warning, got %d" (List.length l)
+
+let lint_duplicate_rule () =
+  (* rules 1 and 2 are alpha-equivalent; rule 3 permutes the body, which
+     is a different syntactic rule and must not be flagged *)
+  let p =
+    parse
+      "path(X,Z) :- edge(X,Y), edge(Y,Z). path(A,C) :- edge(A,B), edge(B,C). \
+       path(X,Z) :- edge(Y,Z), edge(X,Y). path(X,Y) :- edge(X,Y). q(X) :- \
+       path(X,X)."
+  in
+  match List.filter (fun d -> d.Datalog.Lint.code = "duplicate-rule") (Datalog.Lint.check p) with
+  | [ d ] ->
+    check_bool "flagged on the later rule" true (d.Datalog.Lint.rule_index = 1);
+    check_bool "warning, not error" true (d.Datalog.Lint.severity = Datalog.Lint.Warning);
+    check_bool "names the earlier rule" true
+      (d.Datalog.Lint.message = "rule duplicates rule 0 up to variable renaming; it adds no derivations")
+  | l -> Alcotest.failf "expected exactly one duplicate warning, got %d" (List.length l)
+
+let lint_unused_idb () =
+  (* path feeds q, q feeds nothing: only q is flagged, once, at its
+     first defining rule; extensional edge is never flagged *)
+  let p =
+    parse
+      "edge(\"a\",\"b\"). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), \
+       edge(Y,Z). q(X) :- path(X,X). q(X) :- edge(X,X)."
+  in
+  match
+    List.filter (fun d -> d.Datalog.Lint.code = "unused-idb-predicate") (Datalog.Lint.check p)
+  with
+  | [ d ] ->
+    check_bool "flags q" true (d.Datalog.Lint.pred = "q");
+    check_bool "at its first rule" true (d.Datalog.Lint.rule_index = 3);
+    check_bool "warning" true (d.Datalog.Lint.severity = Datalog.Lint.Warning)
+  | l -> Alcotest.failf "expected exactly one unused-idb warning, got %d" (List.length l)
 
 let lint_agrees_with_range_restricted () =
   (* on a grab-bag of rules, errors = [] iff Ast.range_restricted *)
@@ -1677,6 +1977,8 @@ let () =
           test `Quick "unbound negation and comparison" lint_unbound_negation_and_cmp;
           test `Quick "body aggregate rejected" lint_body_aggregate;
           test `Quick "singleton variable warning" lint_singleton_warning;
+          test `Quick "duplicate rule warning" lint_duplicate_rule;
+          test `Quick "unused IDB predicate warning" lint_unused_idb;
           test `Quick "errors iff not range-restricted" lint_agrees_with_range_restricted;
           test `Quick "eval ~lint gate" lint_gates_eval;
         ] );
@@ -1726,6 +2028,24 @@ let () =
             sharded_fallback_serial;
         ]
         @ qsuite [ sharded_differential_qcheck ] );
+      ( "analyze",
+        [
+          test `Quick "TC effect sets and advice" analyze_tc_effects;
+          test `Quick "same generation" analyze_same_generation;
+          test `Quick "negation read via Reject" analyze_negation_effects;
+          test `Quick "aggregates fall back to the AST" analyze_aggregate_effects;
+          test `Quick "nonlinear and weak-exit advised dred"
+            analyze_nonlinear_and_weak_exit;
+          test `Quick "ownership rule checked" analyze_check_ownership;
+        ] );
+      ( "sanitizer",
+        [
+          test `Quick "violations caught with names" sanitizer_catches_violation;
+          test `Quick "inert on safe runs, tags cleaned up"
+            sanitizer_inert_and_cleans_up;
+        ] );
+      ( "auto-maintenance",
+        [ test `Quick "auto equals dred on a mixed program" auto_differential ] );
       ( "counting-maintenance",
         [
           test `Quick "diamond derivation counts" counting_diamond_counts;

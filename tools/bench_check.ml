@@ -30,7 +30,7 @@ let whitelist =
   [
     "benchmark"; "program"; "phase"; "engine"; "workload"; "mode"; "trace";
     "executor"; "tuples"; "tasks"; "changed"; "domains"; "work_unit"; "batch";
-    "sched"; "shards"; "databases_agree"; "maint"; "mix"; "batches";
+    "sched"; "shards"; "databases_agree"; "maint"; "mix"; "batches"; "advice";
   ]
 
 (* subtrees that exist to report measurements; skipped entirely *)
