@@ -958,7 +958,7 @@ let maintain_shard_smoke () = maintain_shard_core ~smoke:true ()
 type mc_row = {
   mc_program : string;
   mc_mix : string;
-  mc_maint : string;  (* "dred" | "counting" | "auto" *)
+  mc_maint : string;  (* "dred" | "counting" | "auto" | "counting-sK" *)
   mc_batches : int;
   mc_changed : int;
   mc_seconds : float;
@@ -1009,7 +1009,7 @@ let mc_advice program =
   in
   match verdicts with [] -> "dred" | [ one ] -> one | _ -> "mixed"
 
-let mc_run ?(obs = Obs.Trace.disabled) ~maint program steps =
+let mc_run ?(obs = Obs.Trace.disabled) ?(shards = 1) ~maint program steps =
   let engine = Datalog.Plan.Compiled in
   let db = Datalog.Database.create () in
   ignore (Datalog.Eval.run ~engine db program);
@@ -1026,8 +1026,15 @@ let mc_run ?(obs = Obs.Trace.disabled) ~maint program steps =
   List.iter
     (fun (adds, dels) ->
       let r =
-        Datalog.Incremental.apply ~engine ~maint ~obs db program ~additions:adds
-          ~deletions:dels
+        if shards > 1 then
+          (* counting composes with sharded phase rounds: any warning
+             here (a downgrade) would invalidate the row *)
+          Datalog.Incremental.apply_parallel ~engine ~maint ~domains:1 ~shards
+            ~on_warn:(fun m -> failwith ("maintain-count: unexpected warning: " ^ m))
+            ~obs db program ~additions:adds ~deletions:dels
+        else
+          Datalog.Incremental.apply ~engine ~maint ~obs db program ~additions:adds
+            ~deletions:dels
       in
       List.iter
         (fun (c : Datalog.Incremental.pred_change) ->
@@ -1045,6 +1052,17 @@ let maintain_count_json rows headline breakdown path =
        (Domain.recommended_domain_count ()));
   Buffer.add_string b
     (Printf.sprintf "  \"breakdown\": %s,\n" (Obs.Summary.json breakdown));
+  (let p = breakdown.Obs.Summary.cnt_propagate_s
+   and bw = breakdown.Obs.Summary.cnt_backward_s
+   and f = breakdown.Obs.Summary.cnt_forward_s in
+   Buffer.add_string b
+     (Printf.sprintf
+        "  \"counting_phases\": {\"propagate_s\": %.6f, \"backward_s\": %.6f, \
+         \"forward_s\": %.6f, \"backward_share\": %.4f, \"o1_hits\": %d, \
+         \"full_probes\": %d},\n"
+        p bw f
+        (bw /. Float.max (p +. bw +. f) 1e-9)
+        breakdown.Obs.Summary.cnt_o1_hits breakdown.Obs.Summary.cnt_full_probes));
   (match headline with
   | Some ((np, nm, nd, nc), (rp, rm, rd, rc)) ->
     Buffer.add_string b
@@ -1113,6 +1131,12 @@ let maintain_count_core ~smoke () =
           let db_auto, auto_s, auto_changed, _ =
             mc_run ~maint:Datalog.Incremental.Auto program steps
           in
+          let db_s2, s2_s, s2_changed, _ =
+            mc_run ~shards:2 ~maint:Datalog.Incremental.Counting program steps
+          in
+          let db_s4, s4_s, s4_changed, _ =
+            mc_run ~shards:4 ~maint:Datalog.Incremental.Counting program steps
+          in
           let advice = mc_advice program in
           (* the differential guarantee, asserted on every cell: all
              strategies restore exactly the same database *)
@@ -1126,8 +1150,12 @@ let maintain_count_core ~smoke () =
           in
           agree "counting" db_cnt;
           agree "auto" db_auto;
-          if dred_changed <> cnt_changed || dred_changed <> auto_changed then
-            failwith "maintain-count: changed-tuple counts diverge";
+          agree "counting-s2" db_s2;
+          agree "counting-s4" db_s4;
+          if
+            dred_changed <> cnt_changed || dred_changed <> auto_changed
+            || dred_changed <> s2_changed || dred_changed <> s4_changed
+          then failwith "maintain-count: changed-tuple counts diverge";
           let emit maint seconds note =
             let r =
               { mc_program = pname; mc_mix = mix; mc_maint = maint;
@@ -1144,6 +1172,8 @@ let maintain_count_core ~smoke () =
           emit "counting" cnt_s
             (Printf.sprintf "  (primed in %.4f s)" prime_s);
           emit "auto" auto_s (Printf.sprintf "  (advice %s)" advice);
+          emit "counting-s2" s2_s "";
+          emit "counting-s4" s4_s "";
           let speedup = dred_s /. Float.max cnt_s 1e-9 in
           let best = if recursive then best_rec else best_nonrec in
           match !best with
@@ -1193,6 +1223,14 @@ let maintain_count_core ~smoke () =
     Format.printf
       "@.measured breakdown (tc del90, counting, traced rerun):@.@[<v>%a@]@."
       Obs.Summary.pp s;
+    let tot =
+      s.Obs.Summary.cnt_propagate_s +. s.Obs.Summary.cnt_backward_s
+      +. s.Obs.Summary.cnt_forward_s
+    in
+    Format.printf
+      "backward share %.1f%%; suspects: %d O(1) by the level index, %d full probes@."
+      (100.0 *. s.Obs.Summary.cnt_backward_s /. Float.max tot 1e-9)
+      s.Obs.Summary.cnt_o1_hits s.Obs.Summary.cnt_full_probes;
     s
   in
   maintain_count_json (List.rev !rows) headline breakdown

@@ -214,7 +214,8 @@ let datalog_cmd =
   in
   let shards_arg =
     Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K"
-           ~doc:"Split each component's DRed phase rounds into K hash-sharded \
+           ~doc:"Split each component's maintenance phase rounds (DRed delete \
+                 and insert, counting propagation) into K hash-sharded \
                  fan-out tasks (intra-component parallelism; 1 = unsharded).")
   in
   let maint_arg =
@@ -228,11 +229,11 @@ let datalog_cmd =
     in
     Arg.(value & opt maint_conv Datalog.Incremental.Dred & info [ "maint" ] ~docv:"ALG"
            ~doc:"Maintenance strategy: 'dred' (delete-rederive, the default), \
-                 'counting' (per-tuple derivation counts with \
-                 backward/forward search; no rederivation storm on \
-                 deletion-heavy updates; downgraded to dred with a warning \
-                 when --shards > 1), or 'auto' (the static advisor picks per \
-                 component — see 'dms analyze').")
+                 'counting' (per-tuple derivation counts with a well-founded \
+                 support index and backward/forward search; no rederivation \
+                 storm on deletion-heavy updates; composes with --shards), \
+                 or 'auto' (the static advisor picks per component — see \
+                 'dms analyze').")
   in
   let sanitize_arg =
     Arg.(value & flag & info [ "sanitize" ]

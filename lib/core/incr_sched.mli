@@ -85,14 +85,13 @@ val update :
     ["edge(\"a\",\"b\")"]) and return the revealed scheduling trace.
     [maint] (default DRed) selects the maintenance strategy — see
     {!Datalog.Incremental.maint}; ["auto"]-style per-component advice
-    is [Datalog.Incremental.Auto], and [~maint:Counting] with
-    [shards > 1] downgrades to DRed with a warning instead of failing.
-    [sanitize] (default off) arms the runtime write-set sanitizer (see
-    {!Datalog.Relation.Sanitize}). [domains] (default 1) > 1 performs
-    the maintenance in parallel on
+    is [Datalog.Incremental.Auto]. [sanitize] (default off) arms the
+    runtime write-set sanitizer (see {!Datalog.Relation.Sanitize}).
+    [domains] (default 1) > 1 performs the maintenance in parallel on
     that many worker domains; [shards] (default 1) > 1 additionally
-    fans each component's DRed phase rounds out over that many shard
-    tasks (see {!Datalog.Incremental.apply_parallel}). [trace] records
+    fans each component's maintenance phase rounds — DRed's delete and
+    insert rounds, counting's propagation rounds — out over that many
+    shard tasks (see {!Datalog.Incremental.apply_parallel}). [trace] records
     the maintenance run's per-worker timeline — one ring per executor
     worker plus one per extra shard — and writes it to the given path
     as Chrome trace_event JSON (chrome://tracing or Perfetto; task

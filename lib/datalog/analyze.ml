@@ -33,6 +33,7 @@ type comp_info = {
   writes : string list;
   deltas : string list;
   shardable : bool;
+  level_index : bool;
   verdict : strategy;
   reason : string;
 }
@@ -233,6 +234,15 @@ let run ?(engine = Plan.default_engine) ~anal (program : Ast.program) =
               | None -> false)
             members
         in
+        (* the well-founded support index (per-tuple [level]/[low])
+           attributes derivations through the single in-component atom
+           of a linear rule — exactly the shapes below qualify *)
+        let level_index =
+          (not extensional) && rule_count > 0
+          && engine = Plan.Compiled
+          && (not has_aggregate) && (not has_negation)
+          && recursion = Linear
+        in
         let verdict, reason =
           if extensional || rule_count = 0 then
             (Counting, "extensional (facts only): nothing to rederive either way")
@@ -249,12 +259,12 @@ let run ?(engine = Plan.default_engine) ~anal (program : Ast.program) =
             | Linear when 2 * exit_rules >= rule_count ->
               ( Counting,
                 Printf.sprintf
-                  "linear recursion with strong exit support (%d/%d exit rules): backward search stays shallow"
+                  "linear recursion with strong exit support (%d/%d exit rules): the level index proves most suspects O(1)"
                   exit_rules rule_count )
             | Linear ->
               ( Dred,
                 Printf.sprintf
-                  "linear recursion but weak exit support (%d/%d exit rules): backward search would dominate"
+                  "linear recursion but weak exit support (%d/%d exit rules): backward search would dominate despite the level index"
                   exit_rules rule_count )
             | Nonlinear ->
               (Dred, "nonlinear recursion: rederivation via counting suspects degenerates to DRed's cost")
@@ -275,6 +285,7 @@ let run ?(engine = Plan.default_engine) ~anal (program : Ast.program) =
           writes;
           deltas;
           shardable;
+          level_index;
           verdict;
           reason;
         })
@@ -320,7 +331,8 @@ let pp_report ppf t =
           ci.exit_rules
           (if ci.has_negation then ", negation" else "")
           (if ci.has_aggregate then ", aggregates" else "")
-          (if ci.shardable then ", shardable" else ", not shardable");
+          ((if ci.shardable then ", shardable" else ", not shardable")
+          ^ if ci.level_index then ", level index" else "");
         Format.fprintf ppf "  reads %a  writes %a  deltas %a@." pp_set ci.reads
           pp_set ci.writes pp_set ci.deltas;
         Format.fprintf ppf "  advisor: %s — %s@." (strategy_name ci.verdict) ci.reason
@@ -388,10 +400,11 @@ let json_report t =
       let ci = t.comps.(c) in
       Buffer.add_string b
         (Printf.sprintf
-           "{\"comp\":%d,\"stratum\":%d,\"extensional\":%b,\"recursion\":\"%s\",\"rules\":%d,\"exit_rules\":%d,\"negation\":%b,\"aggregate\":%b,\"shardable\":%b,\"advice\":\"%s\",\"reason\":\"%s\",\"members\":"
+           "{\"comp\":%d,\"stratum\":%d,\"extensional\":%b,\"recursion\":\"%s\",\"rules\":%d,\"exit_rules\":%d,\"negation\":%b,\"aggregate\":%b,\"shardable\":%b,\"level_index\":%b,\"advice\":\"%s\",\"reason\":\"%s\",\"members\":"
            ci.comp ci.stratum ci.extensional (recursion_name ci.recursion)
            ci.rule_count ci.exit_rules ci.has_negation ci.has_aggregate
-           ci.shardable (strategy_name ci.verdict) (json_escape ci.reason));
+           ci.shardable ci.level_index (strategy_name ci.verdict)
+           (json_escape ci.reason));
       strs ci.members;
       Buffer.add_string b ",\"reads\":";
       strs ci.reads;

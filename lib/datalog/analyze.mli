@@ -59,6 +59,13 @@ type comp_info = {
   shardable : bool;
       (** every member has arity >= 1, so the column-0 hash partitioning
           of {!Relation.Sharded} applies *)
+  level_index : bool;
+      (** the counting engine's well-founded support index (per-tuple
+          first-derivation [level] plus strictly-lower-witness [low]
+          count) applies: intensional, linear recursion, no negation or
+          aggregates, compiled plans — derivations flow through each
+          recursive rule's single in-component atom, so the index can
+          attribute them to a witness *)
   verdict : strategy;
   reason : string;  (** one-line justification of [verdict] *)
 }

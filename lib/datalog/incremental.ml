@@ -76,45 +76,27 @@ let check_edb (anal : Stratify.t) (a : Ast.atom) =
    search for recursive components — or [Auto], which asks the static
    advisor ({!Analyze}) to pick per component. Whatever the selector,
    maintenance runs with one *resolved* strategy per condensation
-   component; [Dred]/[Counting] resolve uniformly (modulo the
-   counting-vs-shards downgrade below), [Auto] per the advisor. *)
+   component; [Dred]/[Counting] resolve uniformly, [Auto] per the
+   advisor. *)
 type maint = Dred | Counting | Auto
 
 let default_warn msg = Printf.eprintf "warning: %s\n%!" msg
 
-(* Resolve the per-component strategies. Counting settles each round's
-   deltas against a single canonical count table, so it cannot run
-   under sharded phase rounds: rather than reject the combination (the
-   old behavior was a hard [Invalid_argument]), downgrade the affected
-   components to DRed — which shards fine — and say so through
-   [on_warn]. The same downgrade covers the interpretive engine, which
-   has no split-view mode. *)
-let resolve_strategies ~engine ~shards ~on_warn anal program maint =
+(* Resolve the per-component strategies. Counting composes with
+   sharded phase rounds since the count/level side tables shard the
+   same way the tuple stores do (per-shard signed-delta buffers,
+   merged in shard order); no downgrade is needed for [shards > 1]
+   anymore. The interpretive engine still cannot serve counting (no
+   split-view or witness mode) — that combination is rejected up
+   front by [check_maint_engine]. *)
+let resolve_strategies ~engine ~shards:_ ~on_warn:_ anal program maint =
   let n = anal.Stratify.condensation.Dag.Scc.count in
   match maint with
   | Dred -> Array.make n Analyze.Dred
-  | Counting ->
-    if shards > 1 then begin
-      on_warn
-        "counting maintenance does not compose with sharded phase rounds \
-         (shards > 1); running every stratum under DRed instead";
-      Array.make n Analyze.Dred
-    end
-    else Array.make n Analyze.Counting
+  | Counting -> Array.make n Analyze.Counting
   | Auto ->
     let az = Analyze.run ~engine ~anal program in
-    Array.init n (fun c ->
-        let ci = az.Analyze.comps.(c) in
-        match ci.Analyze.verdict with
-        | Analyze.Counting when shards > 1 && not ci.Analyze.extensional ->
-          on_warn
-            (Printf.sprintf
-               "maint auto: component %d [%s] prefers counting, which does not \
-                compose with shards > 1; running it under DRed"
-               c
-               (String.concat " " ci.Analyze.members));
-          Analyze.Dred
-        | v -> v)
+    Array.init n (fun c -> az.Analyze.comps.(c).Analyze.verdict)
 
 (* ---- the update context -----------------------------------------
 
@@ -393,12 +375,52 @@ let overlay_view ~plus ~minus (base : Matcher.view) =
         match find plus p with Some r -> Relation.iter f r | None -> ());
   }
 
-(* (Re)build a [Rules] component's derivation-count side tables by
-   enumerating every rule's derivations against [view] (each rule's
-   base plan — the one full-join pass counting ever needs). Attaches
-   fresh tables and returns them keyed by head predicate; the caller
-   stamps them synced once store and counts agree. *)
-let recount_comp ctx (pc : prepared_comp) prs ~view ~work =
+(* The single in-component positive body atom of a linear recursive
+   rule, as (original position, predicate); [None] for exit rules and
+   for non-linear recursion. Only derivations through a linear rule
+   carry a usable supporter witness: with two in-component atoms the
+   well-founded level of a derivation is the max over both, which a
+   single witness cannot name — such derivations stay out of [low]
+   (an undercount, the safe direction). *)
+let linear_pos comp_preds (r : Ast.rule) =
+  let found = ref [] in
+  List.iteri
+    (fun i lit ->
+      match lit with
+      | Ast.Pos a when Hashtbl.mem comp_preds a.Ast.pred ->
+        found := (i, a.Ast.pred) :: !found
+      | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+    r.Ast.body;
+  match !found with [ (i, p) ] -> Some (i, p) | _ -> None
+
+(* (Re)build a [Rules] component's derivation-count side tables — and
+   the well-founded support index — against [view], level-stratified:
+
+   - exit pass: each exit rule's base plan enumerates its derivations
+     in one full join; heads get [exits] and level 0 (an exit
+     derivation is acyclic support by construction);
+   - recursive fixpoint: recursive-rule derivations are enumerated
+     semi-naively over the *leveled* subset of the component — round
+     [r]'s delta is the set of tuples first leveled in round [r - 1],
+     telescoped through {!Plan.run}'s [late_view] so each derivation
+     is counted exactly once — giving exact [recs] and, as a
+     byproduct, iteration levels: a tuple first derivable in round [r]
+     gets level [r]. [low] counts the derivations of linear rules
+     whose witness supporter has a *cell* level strictly below the
+     head's level; pinned supporters (no cell) and non-linear rules
+     contribute nothing, so [low] may undercount but never overcounts;
+   - stall: when the deltas dry up with component tuples still
+     unleveled, their support runs through base facts listed for
+     derived predicates (which no rule re-derives). All still-unleveled
+     present tuples are pinned at level 0 — without cells, so the
+     settle path keeps treating such base facts defensively — and join
+     the next delta, so their consumers' derivations are still
+     enumerated exactly once and the fixpoint resumes.
+
+   Attaches fresh tables ([shards] cell partitions each) and returns
+   them keyed by head predicate; the caller stamps them synced once
+   store and counts agree. *)
+let recount_comp ctx (pc : prepared_comp) prs ~shards ~view ~work =
   let is_rec (r : Ast.rule) =
     List.exists
       (function
@@ -414,20 +436,179 @@ let recount_comp ctx (pc : prepared_comp) prs ~view ~work =
         let rel =
           Database.relation ctx.db pred ~arity:(List.length pr.rule.Ast.head.Ast.args)
         in
-        Hashtbl.add counts_of pred (Relation.counts_attach rel)
+        Hashtbl.add counts_of pred (Relation.counts_attach ~shards rel)
       end)
     prs;
   List.iter
     (fun pr ->
-      let c = Hashtbl.find counts_of pr.rule.Ast.head.Ast.pred in
-      let exit = not (is_rec pr.rule) in
-      Plan.exec_rule ~view ~work
-        ~on_derived:(fun tup ->
-          let cell = Relation.count_cell c tup in
-          if exit then cell.Relation.exits <- cell.Relation.exits + 1
-          else cell.Relation.recs <- cell.Relation.recs + 1)
-        pr.ex)
+      if not (is_rec pr.rule) then begin
+        let c = Hashtbl.find counts_of pr.rule.Ast.head.Ast.pred in
+        Plan.exec_rule ~view ~work
+          ~on_derived:(fun tup ->
+            let cell = Relation.count_cell c tup in
+            cell.Relation.exits <- cell.Relation.exits + 1;
+            cell.Relation.level <- 0)
+          pr.ex
+      end)
     prs;
+  let rec_prs = List.filter (fun pr -> is_rec pr.rule) prs in
+  if rec_prs <> [] then begin
+    let arity_of pred =
+      match Database.find ctx.db pred with
+      | Some rel -> Relation.arity rel
+      | None -> invalid_arg "Incremental.recount: unregistered predicate"
+    in
+    let fresh_rel tbl pred =
+      match Hashtbl.find_opt tbl pred with
+      | Some r -> r
+      | None ->
+        let r = Relation.create ~arity:(arity_of pred) in
+        Hashtbl.add tbl pred r;
+        r
+    in
+    let leveled : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+    let pinned : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+    let is_pinned pred tup =
+      match Hashtbl.find_opt pinned pred with
+      | Some r -> Relation.mem r tup
+      | None -> false
+    in
+    let in_comp p = Hashtbl.mem pc.comp_preds p in
+    let leveled_view =
+      {
+        Matcher.mem =
+          (fun p tup ->
+            if in_comp p then
+              match Hashtbl.find_opt leveled p with
+              | Some r -> Relation.mem r tup
+              | None -> false
+            else view.Matcher.mem p tup);
+        iter_matching =
+          (fun p ~col ~value f ->
+            if in_comp p then (
+              match Hashtbl.find_opt leveled p with
+              | Some r -> Relation.iter_matching r ~col ~value f
+              | None -> ())
+            else view.Matcher.iter_matching p ~col ~value f);
+        iter =
+          (fun p f ->
+            if in_comp p then (
+              match Hashtbl.find_opt leveled p with
+              | Some r -> Relation.iter f r
+              | None -> ())
+            else view.Matcher.iter p f);
+      }
+    in
+    let no_overlay : (string, Relation.t) Hashtbl.t = Hashtbl.create 1 in
+    let live tbl =
+      Hashtbl.fold (fun _ r acc -> acc || Relation.cardinality r > 0) tbl false
+    in
+    let sup_cell_level pred tup =
+      match Hashtbl.find_opt counts_of pred with
+      | Some c -> (
+        match Relation.count_find c tup with
+        | Some cell -> cell.Relation.level
+        | None -> max_int)
+      | None -> max_int
+    in
+    (* round 1's delta: the exit-leveled tuples *)
+    let round = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
+    Hashtbl.iter
+      (fun pred c ->
+        Relation.counts_iter
+          (fun tup cell ->
+            if cell.Relation.level = 0 then begin
+              ignore (Relation.add (fresh_rel leveled pred) tup);
+              ignore (Relation.add (fresh_rel !round pred) tup)
+            end)
+          c)
+      counts_of;
+    let r = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      if live !round then begin
+        incr r;
+        let cur = !round in
+        let next = Hashtbl.create 4 in
+        let late = overlay_view ~plus:no_overlay ~minus:cur leveled_view in
+        List.iter
+          (fun pr ->
+            let hpred = pr.rule.Ast.head.Ast.pred in
+            let c = Hashtbl.find counts_of hpred in
+            let lin = linear_pos pc.comp_preds pr.rule in
+            let supr = ref max_int in
+            let witness =
+              match lin with
+              | Some (w, p) -> Some (w, fun tup -> supr := sup_cell_level p tup)
+              | None -> None
+            in
+            List.iteri
+              (fun i lit ->
+                match lit with
+                | Ast.Pos a when in_comp a.Ast.pred -> (
+                  match Hashtbl.find_opt cur a.Ast.pred with
+                  | Some delta when Relation.cardinality delta > 0 ->
+                    Plan.exec_rule ?witness ~view:leveled_view ~late_view:late
+                      ~delta:(i, delta) ~work
+                      ~on_derived:(fun h ->
+                        let cell = Relation.count_cell c h in
+                        cell.Relation.recs <- cell.Relation.recs + 1;
+                        let s = if lin = None then max_int else !supr in
+                        if cell.Relation.level < max_int then begin
+                          if s < cell.Relation.level then
+                            cell.Relation.low <- cell.Relation.low + 1
+                        end
+                        else if not (is_pinned hpred h) then begin
+                          (* first derivable this round: will get level
+                             [r]; staged so it joins the leveled set
+                             only at round end *)
+                          if s < !r then cell.Relation.low <- cell.Relation.low + 1;
+                          ignore (Relation.add (fresh_rel next hpred) h)
+                        end)
+                      pr.ex
+                  | Some _ | None -> ())
+                | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
+              pr.rule.Ast.body)
+          rec_prs;
+        (* staged fresh levels are assigned only now: the round's views
+           must not see mid-round additions *)
+        Hashtbl.iter
+          (fun pred srel ->
+            let c = Hashtbl.find counts_of pred in
+            Relation.iter
+              (fun tup ->
+                (match Relation.count_find c tup with
+                | Some cell ->
+                  if cell.Relation.level = max_int then cell.Relation.level <- !r
+                | None -> ());
+                ignore (Relation.add (fresh_rel leveled pred) tup))
+              srel)
+          next;
+        round := next
+      end
+      else begin
+        (* stalled: pin still-unleveled present tuples at level 0 *)
+        let fresh = Hashtbl.create 4 in
+        let any = ref false in
+        Hashtbl.iter
+          (fun pred () ->
+            view.Matcher.iter pred (fun tup ->
+                let already =
+                  match Hashtbl.find_opt leveled pred with
+                  | Some lr -> Relation.mem lr tup
+                  | None -> false
+                in
+                if not already then begin
+                  ignore (Relation.add (fresh_rel pinned pred) tup);
+                  ignore (Relation.add (fresh_rel leveled pred) tup);
+                  ignore (Relation.add (fresh_rel fresh pred) tup);
+                  any := true
+                end))
+          pc.comp_preds;
+        if !any then round := fresh else continue_ := false
+      end
+    done
+  end;
   counts_of
 
 (* ---- per-component maintenance (DRed phases A/B/C) -------------- *)
@@ -929,8 +1110,46 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
        then birth rounds — and each round's enumerations read exactly
        the store state that order implies: deaths/births already
        applied count as "early" state, the round's own delta restored/
-       hidden via {!overlay_view} is the "late" state. *)
-    let run_phases_counting () =
+       hidden via {!overlay_view} is the "late" state.
+
+       The well-founded support index rides in the same cells: [level]
+       is the recount fixpoint round of a tuple's first well-founded
+       derivation (immutable once assigned — lowering it would
+       misclassify later derivation deaths) and [low] counts surviving
+       linear-rule derivations whose witness supporter sits at a
+       strictly lower level. The backward search pops its suspects in
+       ascending level order and condemns each failed probe by filing
+       a debt against every consumer derivation the index counted
+       through it; a suspect with [exits = 0] but [low] minus its debt
+       positive is then proven without any body re-evaluation — every
+       supporter a surviving [low] entry can name sits at a strictly
+       lower level, so it was resolved (and, if condemned, debited)
+       before the suspect popped, and the chain bottoms out in level-0
+       exit support. If a relied-on supporter is removed on a later
+       outer round, that removal's cascade decrements [low] and
+       re-suspects the dependent — the same repair that covers proofs
+       through tuples the round later removes.
+       Attribution is witness-based: every enumeration of a linear
+       recursive rule extracts the tuple its single in-component atom
+       matched ({!Plan.run}'s [witness]) and classifies the derivation
+       against the head's level, looking supporter levels of tuples
+       killed earlier in the run up in a morgue. Non-linear
+       derivations never enter [low]: it may undercount (costing a
+       probe), never overcount (which would be unsound).
+
+       With a shard context ([sharded]), propagation rounds — round 0,
+       death cascades, birth rounds — fan out across the shard crew
+       exactly like the DRed phase rounds: shard job [s] enumerates
+       only its hash slice of the round's delta through its own plan
+       set, accumulating signed count deltas and suspect touches in
+       private buffers; the coordinator merges the buffers into the
+       global scratch in shard order 0..k-1 behind the crew barrier
+       (counts add; newborn levels take the minimum, [low] keeps the
+       contributions attaining it) and settles serially, so store,
+       counts and index end up exactly as the serial walk's. The
+       backward search stays serial: its worklist is the small suspect
+       cone, already cut down by the O(1) level check. *)
+    let run_phases_counting sharded =
       let rec_rule (r : Ast.rule) =
         List.exists
           (function
@@ -955,8 +1174,9 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
           (fun _ rel acc -> acc || Relation.counts_synced rel = None)
           heads false
       in
+      let nshards = match sharded with Some shc -> shc.nshards | None -> 1 in
       let counts_of =
-        if stale then recount_comp ctx pc prs ~view:ctx.old_view ~work
+        if stale then recount_comp ctx pc prs ~shards:nshards ~view:ctx.old_view ~work
         else begin
           let tbl = Hashtbl.create 4 in
           Hashtbl.iter
@@ -972,26 +1192,98 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
       let tbl_live tbl =
         Hashtbl.fold (fun _ r acc -> acc || Relation.cardinality r > 0) tbl false
       in
+      (* morgue: levels of tuples this run killed, so later death
+         attribution can still classify derivations through them. One
+         run is enough scope — across batches every surviving
+         derivation's body tuples are alive, their levels in live
+         cells. (Reuses [Relation.counts] as a tuple-keyed map.) *)
+      let morgue : (string, Relation.counts) Hashtbl.t = Hashtbl.create 4 in
+      let morgue_put pred tup level =
+        if level < max_int then begin
+          let m =
+            match Hashtbl.find_opt morgue pred with
+            | Some m -> m
+            | None ->
+              let m = Relation.counts_create () in
+              Hashtbl.add morgue pred m;
+              m
+          in
+          (Relation.count_cell m tup).Relation.level <- level
+        end
+      in
+      let canon_cell pred tup =
+        match Hashtbl.find_opt counts_of pred with
+        | Some c -> Relation.count_find c tup
+        | None -> None
+      in
+      (* a supporter's level: its live cell's, else the morgue's, else
+         unknown. Base facts listed for derived predicates carry no
+         cell and so always read [max_int] — everywhere, so births and
+         deaths through them classify identically (neither touches
+         [low]). *)
+      let sup_level pred tup =
+        match canon_cell pred tup with
+        | Some cell -> cell.Relation.level
+        | None -> (
+          match Hashtbl.find_opt morgue pred with
+          | Some m -> (
+            match Relation.count_find m tup with
+            | Some cell -> cell.Relation.level
+            | None -> max_int)
+          | None -> max_int)
+      in
       (* scratch signed count deltas of the round being enumerated;
          [dec_touched] accumulates every tuple that lost a derivation —
          the backward phase's suspect pool (recursive comps only; a
-         tuple with surviving exit support never needs the check) *)
+         tuple with surviving exit support never needs the check).
+         [sct]/[dec] parameterize the targets so shard jobs can fill
+         private buffers; the serial path passes the globals. *)
       let sc : (string, Relation.counts) Hashtbl.t = Hashtbl.create 4 in
       let dec_touched : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
-      let bump pred exit sign tup =
+      let bump ~sct ~dec pred exit sign sup tup =
         let c =
-          match Hashtbl.find_opt sc pred with
+          match Hashtbl.find_opt sct pred with
           | Some c -> c
           | None ->
             let c = Relation.counts_create () in
-            Hashtbl.add sc pred c;
+            Hashtbl.add sct pred c;
             c
         in
         let cell = Relation.count_cell c tup in
         if exit then cell.Relation.exits <- cell.Relation.exits + sign
         else cell.Relation.recs <- cell.Relation.recs + sign;
+        (* index attribution. The canonical store is frozen while a
+           round enumerates, so the encoding branches on whether the
+           tuple already has a canonical cell: existing cells
+           accumulate a signed [low] delta (scratch [level] stays
+           [max_int]; the merge treats equal levels additively), while
+           an uncelled tuple is a newborn candidate — scratch [level]
+           takes the least candidate level seen this round (0 for an
+           exit derivation, supporter + 1 for a leveled linear one)
+           and [low] counts the recursive derivations attaining it. *)
+        (match canon_cell pred tup with
+        | Some ccell ->
+          if (not exit) && sup < ccell.Relation.level then
+            cell.Relation.low <- cell.Relation.low + sign
+        | None ->
+          if sign > 0 then
+            if exit then begin
+              if cell.Relation.level > 0 then begin
+                cell.Relation.level <- 0;
+                cell.Relation.low <- 0
+              end
+            end
+            else if sup < max_int then begin
+              let cand = sup + 1 in
+              if cand < cell.Relation.level then begin
+                cell.Relation.level <- cand;
+                cell.Relation.low <- 1
+              end
+              else if cand = cell.Relation.level then
+                cell.Relation.low <- cell.Relation.low + 1
+            end);
         if sign < 0 && recursive then
-          ignore (Relation.add (delta_rel dec_touched pred ~arity:(Array.length tup)) tup)
+          ignore (Relation.add (delta_rel dec pred ~arity:(Array.length tup)) tup)
       in
       let pending_births = ref (Hashtbl.create 4 : (string, Relation.t) Hashtbl.t) in
       let take_births () =
@@ -1010,6 +1302,24 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
          own count would have carried. *)
       let settle () =
         let deaths : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+        (* merge the scratch [low] delta into a live cell; [low] stays
+           within [0, recs] — the clamps only absorb attribution the
+           index deliberately undercounts (e.g. a decrement whose birth
+           predated the index), never inflate it *)
+        let merge_low (cell : Relation.count_cell) dlow =
+          let low = cell.Relation.low + dlow in
+          let low = if low < 0 then 0 else low in
+          cell.Relation.low <-
+            (if low > cell.Relation.recs then cell.Relation.recs else low)
+        in
+        let fresh_cell c tup (dcell : Relation.count_cell) dex drec =
+          let cell = Relation.count_cell c tup in
+          cell.Relation.exits <- dex;
+          cell.Relation.recs <- drec;
+          cell.Relation.level <- dcell.Relation.level;
+          let l = if dcell.Relation.low < 0 then 0 else dcell.Relation.low in
+          cell.Relation.low <- (if l > drec then drec else l)
+        in
         Hashtbl.iter
           (fun pred (round_counts : Relation.counts) ->
             let rel = Hashtbl.find heads pred in
@@ -1018,13 +1328,15 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
             Relation.counts_iter
               (fun tup dcell ->
                 let dex = dcell.Relation.exits and drec = dcell.Relation.recs in
-                if dex <> 0 || drec <> 0 then
+                if dex <> 0 || drec <> 0 || dcell.Relation.low <> 0 then
                   if Relation.mem rel tup then (
                     match Relation.count_find c tup with
                     | Some cell ->
                       cell.Relation.exits <- cell.Relation.exits + dex;
                       cell.Relation.recs <- cell.Relation.recs + drec;
+                      merge_low cell dcell.Relation.low;
                       if Relation.count_total cell <= 0 then begin
+                        morgue_put pred tup cell.Relation.level;
                         Relation.count_drop c tup;
                         ignore (Relation.remove rel tup);
                         record_remove d pred ~arity tup;
@@ -1033,26 +1345,25 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
                     | None ->
                       (* present but never counted: a base fact listed
                          for this derived predicate. New derivations
-                         attach a cell; stray decrements are bogus and
-                         keep the fact pinned. *)
-                      if dex + drec > 0 then begin
-                        let cell = Relation.count_cell c tup in
-                        cell.Relation.exits <- dex;
-                        cell.Relation.recs <- drec
-                      end)
+                         attach a cell (with the newborn level the
+                         scratch collected); stray decrements are bogus
+                         and keep the fact pinned. *)
+                      if dex + drec > 0 then fresh_cell c tup dcell dex drec)
                   else
                     match Relation.count_find c tup with
                     | Some cell ->
                       cell.Relation.exits <- cell.Relation.exits + dex;
                       cell.Relation.recs <- cell.Relation.recs + drec;
-                      if Relation.count_total cell <= 0 then Relation.count_drop c tup
+                      merge_low cell dcell.Relation.low;
+                      if Relation.count_total cell <= 0 then begin
+                        morgue_put pred tup cell.Relation.level;
+                        Relation.count_drop c tup
+                      end
                       else
                         ignore (Relation.add (delta_rel !pending_births pred ~arity) tup)
                     | None ->
                       if dex + drec > 0 then begin
-                        let cell = Relation.count_cell c tup in
-                        cell.Relation.exits <- dex;
-                        cell.Relation.recs <- drec;
+                        fresh_cell c tup dcell dex drec;
                         ignore (Relation.add (delta_rel !pending_births pred ~arity) tup)
                       end)
               round_counts)
@@ -1060,16 +1371,94 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
         Hashtbl.reset sc;
         deaths
       in
+      (* deterministic per-shard buffer merges, in shard order. For a
+         tuple both shards touched the encodings agree (the canonical
+         store is frozen while a round enumerates): existing-cell
+         entries all carry scratch level [max_int] so their signed
+         [low] deltas add; newborn candidates keep the least level and
+         sum the [low] contributions attaining it. *)
+      let merge_scratch dst_tbl src_tbl =
+        Hashtbl.iter
+          (fun pred (src : Relation.counts) ->
+            let dstc =
+              match Hashtbl.find_opt dst_tbl pred with
+              | Some c -> c
+              | None ->
+                let c = Relation.counts_create () in
+                Hashtbl.add dst_tbl pred c;
+                c
+            in
+            Relation.counts_iter
+              (fun tup scell ->
+                let dcell = Relation.count_cell dstc tup in
+                dcell.Relation.exits <- dcell.Relation.exits + scell.Relation.exits;
+                dcell.Relation.recs <- dcell.Relation.recs + scell.Relation.recs;
+                if scell.Relation.level < dcell.Relation.level then begin
+                  dcell.Relation.level <- scell.Relation.level;
+                  dcell.Relation.low <- scell.Relation.low
+                end
+                else if scell.Relation.level = dcell.Relation.level then
+                  dcell.Relation.low <- dcell.Relation.low + scell.Relation.low)
+              src)
+          src_tbl
+      in
+      let merge_dec dst src =
+        Hashtbl.iter
+          (fun pred r ->
+            Relation.iter
+              (fun tup ->
+                ignore (Relation.add (delta_rel dst pred ~arity:(Array.length tup)) tup))
+              r)
+          src
+      in
+      (* run one propagation round's enumerations: serially into the
+         global scratch, or fanned out over the shard crew when the
+         driving delta is worth the crew round-trip. Shard jobs only
+         read shared state (store views, canonical cells, morgue) and
+         fill private buffers, merged here behind the barrier. *)
+      let fanout_round ~size enumerate =
+        match sharded with
+        | Some shc when size >= 4 * shc.nshards ->
+          let k = shc.nshards in
+          let scs = Array.init k (fun _ -> Hashtbl.create 4) in
+          let decs = Array.init k (fun _ -> Hashtbl.create 4) in
+          let works = Array.make k 0 in
+          let job s =
+            let ring_s = if s = 0 then ring else shc.shard_rings.(s) in
+            let t0 = if Obs.Ring.enabled ring_s then Obs.Ring.now_ns ring_s else 0 in
+            let w = ref 0 in
+            enumerate ~sprs:prs_by_shard.(s) ~sct:scs.(s) ~dec:decs.(s)
+              ~shard:(Some (s, k)) ~work:w;
+            works.(s) <- !w;
+            if Obs.Ring.enabled ring_s then
+              Obs.Ring.emit ring_s ~kind:Obs.Event.shard ~a:s ~b:t0
+          in
+          Parallel.Shard_crew.run shc.crew job;
+          Array.iter (fun w -> work := !work + w) works;
+          Array.iter (fun s_sc -> merge_scratch sc s_sc) scs;
+          Array.iter (fun s_dec -> merge_dec dec_touched s_dec) decs
+        | Some _ | None ->
+          enumerate ~sprs:prs ~sct:sc ~dec:dec_touched ~shard:None ~work
+      in
       (* one in-component cascade round: the delta (this round's deaths
          or births, already applied to the store) drives every rule at
          its in-component positions; [pre] is the pre-round state for
-         the late positions. Only scratch counts are written, so the
-         non-deferred executor is safe. *)
-      let enumerate_in_comp ~sign ~round ~pre =
+         the late positions. For a linear rule the delta position is
+         its only in-component atom, so the witness is the delta tuple
+         itself; its level is read at emission time. Only scratch
+         counts are written, so the non-deferred executor is safe. *)
+      let enumerate_in_comp ~sign ~round ~pre ~sprs ~sct ~dec ~shard ~work =
         List.iter
           (fun pr ->
             let r = pr.rule in
             let hpred = r.Ast.head.Ast.pred in
+            let lin = linear_pos comp_preds r in
+            let supr = ref max_int in
+            let witness =
+              match lin with
+              | Some (w, p) -> Some (w, fun tup -> supr := sup_level p tup)
+              | None -> None
+            in
             List.iteri
               (fun i lit ->
                 match lit with
@@ -1077,12 +1466,20 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
                   match Hashtbl.find_opt round a.Ast.pred with
                   | Some delta when Relation.cardinality delta > 0 ->
                     (* in-comp delta position ⇒ recursive rule *)
-                    Plan.exec_rule ~view:ctx.new_view ~late_view:pre ~delta:(i, delta)
-                      ~work ~on_derived:(bump hpred false sign) pr.ex
+                    Plan.exec_rule ?witness ?shard ~view:ctx.new_view ~late_view:pre
+                      ~delta:(i, delta) ~work
+                      ~on_derived:(fun h ->
+                        bump ~sct ~dec hpred false sign
+                          (if lin = None then max_int else !supr)
+                          h)
+                      pr.ex
                   | Some _ | None -> ())
                 | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
               r.Ast.body)
-          prs
+          sprs
+      in
+      let round_size round =
+        Hashtbl.fold (fun _ r acc -> acc + Relation.cardinality r) round 0
       in
       let cascade_deaths deaths0 =
         phase_begin ();
@@ -1090,7 +1487,7 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
         while tbl_live !pending do
           let round = !pending in
           let pre = overlay_view ~plus:round ~minus:no_overlay ctx.new_view in
-          enumerate_in_comp ~sign:(-1) ~round ~pre;
+          fanout_round ~size:(round_size round) (enumerate_in_comp ~sign:(-1) ~round ~pre);
           pending := settle ()
         done;
         phase_end Obs.Event.cnt_forward
@@ -1104,22 +1501,39 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
          relations, peers not under suspicion). Exit rules can't prove
          a suspect: exits = 0 means no exit derivation exists, and
          hiding suspects (all same-component) doesn't change exit-rule
-         bodies. A proven suspect is unhidden and stops the search; a
-         failed one stays hidden and extends the proof obligation to
-         its consumers — anything whose support may run through it,
-         i.e. present exits = 0 tuples it derives — which join the
-         worklist. Without that spread an unfounded cycle proves its
-         members off each other, each off a not-yet-suspected peer
-         whose only support loops back through the suspect. Tuples
-         with exit support are well-founded and never enter, which
-         keeps the explored cone small next to DRed's overdeletion on
-         densely supported relations. A final fixpoint re-checks
-         failures against late proofs; what survives is supported only
-         through the suspect set itself — an unfounded cycle — and is
-         removed, its counts discarded. A proof through a tuple this
-         round later removes is repaired by the outer loop: the
-         removal's cascade decrements the dependent, re-suspecting
-         it. *)
+         bodies. The suspect pool is every present exits = 0 tuple in
+         the component — a superset of any unfounded set, so an
+         unfounded cycle cannot prove its members off each other via a
+         not-yet-suspected peer: every such peer is itself suspect and
+         hidden until resolved. Tuples with exit support are
+         well-founded and never enter, which keeps the pool small
+         next to DRed's overdeletion on densely supported relations.
+
+         Within the pool the well-founded support index replaces most
+         probes with an O(1) check. Suspects resolve in ascending
+         cell-level order. A probe failure condemns the suspect and
+         debits every consumer derivation the index counted through
+         it (the linear-rule matches where it is the strictly-lower-
+         level witness) in a side ledger — the condemned tuple's level
+         certificate is stale, so consumers must not rely on it. A
+         suspect whose [low] minus its debt is positive is proven
+         without evaluation: each surviving [low] entry names a
+         supporter at a strictly lower level, every strictly-lower
+         suspect was already resolved (debts filed) by the drain
+         order, so that supporter is either outside the pool or
+         proven, and induction on levels grounds the chain in exit
+         support. The debt can overshoot when [low] undercounted —
+         that costs a probe, never soundness.
+
+         Peers whose probe failed only because a later-proven suspect
+         was hidden at the time re-prove in a post-drain retry sweep
+         that repeats until a pass removes nothing. What survives
+         unproven is supported only through the failed set itself —
+         an unfounded cycle — and is removed, its counts discarded.
+         Because every proof rests only on visible tuples (resolved-
+         proven or exit-supported, neither of which the removal can
+         kill), one backward round per batch suffices — see the drain
+         site for the cascade argument. *)
       let head_env (r : Ast.rule) tup =
         let env = ref [] and ok = ref true in
         List.iteri
@@ -1136,137 +1550,319 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
           r.Ast.head.Ast.args;
         if !ok then Some !env else None
       in
-      let subst_term env t =
-        match t with
-        | Ast.Var v -> (
-          match List.assoc_opt v env with
-          | Some code -> Ast.Const (Symbol.const_of ctx.symbols code)
-          | None -> t)
-        | Ast.Const _ | Ast.Agg _ -> t
-      in
-      let subst_lit env = function
-        | Ast.Pos a -> Ast.Pos { a with Ast.args = List.map (subst_term env) a.Ast.args }
-        | Ast.Neg a -> Ast.Neg { a with Ast.args = List.map (subst_term env) a.Ast.args }
-        | Ast.Cmp (op, t1, t2) -> Ast.Cmp (op, subst_term env t1, subst_term env t2)
-      in
       let rec_prs = List.filter (fun pr -> rec_rule pr.rule) prs in
+      (* goal-directed body order, fixed once per component: positives
+         ascending by live cardinality so the probe hits the small
+         relation first (edge before path, in transitive-closure
+         terms); negations and comparisons last — range restriction
+         binds their variables once every positive has run. The head
+         bindings seed the matcher's environment as interned codes, so
+         bound atoms resolve by index probe or O(1) membership. *)
+      let probe_prs =
+        let sorted pr =
+          let pos, rest =
+            List.partition (function Ast.Pos _ -> true | _ -> false) pr.rule.Ast.body
+          in
+          let key = function
+            | Ast.Pos a -> ctx.card a.Ast.pred
+            | Ast.Neg _ | Ast.Cmp _ -> max_int
+          in
+          List.stable_sort (fun x y -> compare (key x) (key y)) pos @ rest
+        in
+        List.map (fun pr -> (pr, sorted pr)) rec_prs
+      in
       let exception Proved in
       let provable ~hide pred tup =
         List.exists
-          (fun pr ->
+          (fun (pr, body) ->
             pr.rule.Ast.head.Ast.pred = pred
             &&
             match head_env pr.rule tup with
             | None -> false
             | Some env -> (
-              let body = List.map (subst_lit env) pr.rule.Ast.body in
-              (* goal-directed order: positives ascending by live
-                 cardinality so the probe hits the small relation first
-                 (edge before path, in transitive-closure terms);
-                 negations and comparisons last — range restriction
-                 binds their variables once every positive has run *)
-              let pos, rest =
-                List.partition (function Ast.Pos _ -> true | _ -> false) body
-              in
-              let key = function
-                | Ast.Pos a -> ctx.card a.Ast.pred
-                | Ast.Neg _ | Ast.Cmp _ -> max_int
-              in
-              let body =
-                List.stable_sort (fun x y -> compare (key x) (key y)) pos @ rest
-              in
               try
-                Matcher.eval_body ~symbols:ctx.symbols ~view:hide ~work
+                Matcher.eval_body ~symbols:ctx.symbols ~view:hide ~env ~work
                   ~on_env:(fun _ -> raise Proved)
                   body;
                 false
               with Proved -> true))
-          rec_prs
+          probe_prs
+      in
+      let o1_hits = ref 0 and full_probes = ref 0 in
+      (* linear recursive rules with their in-component atom position:
+         the only derivations the level index counts, hence the only
+         ones a condemnation needs to debit *)
+      let lin_prs =
+        List.filter_map
+          (fun pr ->
+            if rec_rule pr.rule then
+              match linear_pos comp_preds pr.rule with
+              | Some (i, p) -> Some (pr, i, p)
+              | None -> None
+            else None)
+          prs
       in
       let backward_prove () =
-        let unproven : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
-        let queue : (string * Relation.tuple) Queue.t = Queue.create () in
+        let cell_of pred tup = Relation.count_find (Hashtbl.find counts_of pred) tup in
+        (* trigger: some present tuple lost a derivation this round and
+           is left without exit support — only then can anything have
+           become unfounded. The scan is O(touched). *)
+        let triggered = ref false in
         Hashtbl.iter
           (fun pred srel ->
-            let rel = Hashtbl.find heads pred in
-            let c = Hashtbl.find counts_of pred in
-            let arity = Relation.arity rel in
-            Relation.iter
-              (fun tup ->
-                if Relation.mem rel tup then
-                  match Relation.count_find c tup with
-                  | Some cell when cell.Relation.exits = 0 ->
-                    if Relation.add (delta_rel unproven pred ~arity) tup then
-                      (* iteration hands out a reused buffer; the queue
-                         outlives the probe *)
-                      Queue.add (pred, Array.copy tup) queue
-                  | Some _ | None -> ())
-              srel)
+            if not !triggered then
+              let rel = Hashtbl.find heads pred in
+              Relation.iter
+                (fun tup ->
+                  if (not !triggered) && Relation.mem rel tup then
+                    match cell_of pred tup with
+                    | Some cell when cell.Relation.exits = 0 -> triggered := true
+                    | Some _ | None -> ())
+                srel)
           dec_touched;
         Hashtbl.reset dec_touched;
-        if Queue.is_empty queue then None
+        if not !triggered then None
         else begin
-          let hide = overlay_view ~plus:no_overlay ~minus:unproven ctx.new_view in
-          (* consumers of [tup]: each head the recursive rules derive
-             through it in the current state *)
-          let each_consumer pred tup f =
-            let singleton = Relation.create ~arity:(Array.length tup) in
-            ignore (Relation.add singleton tup);
-            List.iter
-              (fun pr ->
-                let hpred = pr.rule.Ast.head.Ast.pred in
-                List.iteri
-                  (fun i lit ->
-                    match lit with
-                    | Ast.Pos a when a.Ast.pred = pred ->
-                      Plan.exec_rule ~view:ctx.new_view ~delta:(i, singleton)
-                        ~work ~on_derived:(f hpred) pr.ex
-                    | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> ())
-                  pr.rule.Ast.body)
-              rec_prs
+          (* suspect pool: every present tuple without exit support in
+             the component — a superset of whatever is actually
+             unfounded, so no consumer closure is needed to catch
+             cycles that vouch for themselves through a not-yet-
+             suspected peer. Enumerating consumers of each suspect
+             (a join per cone member) used to dominate the phase;
+             pool admission here is one cell inspection per tuple.
+
+             Only probe-needing suspects materialize in the worklist:
+             a tuple the index vouches for ([low - debt > 0]) is
+             proven by its cell alone and never allocates an entry —
+             the bulk of the pool, so the scan is field tests over
+             the count table and nothing else. Initially that admits
+             exactly the [low = 0] suspects; when a condemnation's
+             debits exhaust a consumer's [low], the consumer joins
+             its level bucket dynamically (always strictly above the
+             drain frontier, so ascending order is preserved —
+             [pending_levels] keeps the not-yet-drained level set
+             sorted). Each entry carries its cell to spare re-hashing
+             at resolution. *)
+          let module Levels = Set.Make (Int) in
+          let buckets :
+              (int, (string * Relation.tuple * Relation.count_cell) list ref) Hashtbl.t
+              =
+            Hashtbl.create 64
           in
-          (* once proven a tuple is exempt from re-tainting for the
-             rest of this call: its proof ran against tuples visible at
-             the time, and if one of those is removed later the
-             removal's cascade re-suspects the dependents on the next
-             outer round *)
-          let proven : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
-          let in_proven pred tup =
-            match Hashtbl.find_opt proven pred with
+          let pending_levels = ref Levels.empty in
+          let suspects = ref 0 and probe_admitted = ref 0 in
+          let admit pred tup cell =
+            incr probe_admitted;
+            let lvl = cell.Relation.level in
+            (match Hashtbl.find_opt buckets lvl with
+            | Some l -> l := (pred, tup, cell) :: !l
+            | None -> Hashtbl.replace buckets lvl (ref [ (pred, tup, cell) ]));
+            pending_levels := Levels.add lvl !pending_levels
+          in
+          (* the present-check guards against queued births (in counts,
+             not yet in the store); with none pending, counts ⊆ store
+             — [settle] drops the cell of anything it removes — and
+             the per-tuple membership hash is skipped wholesale *)
+          let check_mem = tbl_live !pending_births in
+          Hashtbl.iter
+            (fun pred c ->
+              let rel = Hashtbl.find heads pred in
+              Relation.counts_iter
+                (fun tup cell ->
+                  if cell.Relation.exits = 0 && ((not check_mem) || Relation.mem rel tup)
+                  then begin
+                    incr suspects;
+                    if cell.Relation.low = 0 then admit pred tup cell
+                  end)
+                c)
+            counts_of;
+          (* debts are filed straight into the consumer's cell ([debt]
+             field): [low - debt] is the count of index entries still
+             safe to rely on, read as field arithmetic — no side-ledger
+             hashing on the O(1) path. [debited] remembers every
+             touched cell so the debts are unwound before returning;
+             cells persist across batches and must come back clean. *)
+          let debited : Relation.count_cell list ref = ref [] in
+          let condemned : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+          let condemn pred tup lvl =
+            (* first failure only: debit every consumer derivation the
+               level index counted through this tuple (linear rules
+               where it is the strictly-lower-level witness). A level
+               of max_int never entered any [low], so there is nothing
+               to debit. *)
+            if
+              lvl < max_int
+              && Relation.add (delta_rel condemned pred ~arity:(Array.length tup)) tup
+            then begin
+              let singleton = Relation.create ~arity:(Array.length tup) in
+              ignore (Relation.add singleton tup);
+              List.iter
+                (fun (pr, i, p) ->
+                  if p = pred then
+                    let hpred = pr.rule.Ast.head.Ast.pred in
+                    Plan.exec_rule ~view:ctx.new_view ~delta:(i, singleton) ~work
+                      ~on_derived:(fun h ->
+                        match cell_of hpred h with
+                        | Some hc
+                          when lvl < hc.Relation.level && hc.Relation.exits = 0 ->
+                          if hc.Relation.debt = 0 then debited := hc :: !debited;
+                          hc.Relation.debt <- hc.Relation.debt + 1;
+                          (* the debit that exhausts [low] turns an
+                             index-vouched consumer into a probe case:
+                             it joins its level bucket now (its level is
+                             strictly above the frontier). Pending
+                             births carry cells but are absent from the
+                             store and must stay out of the pool. *)
+                          if
+                            hc.Relation.debt = hc.Relation.low
+                            && ((not check_mem)
+                               || Relation.mem (Hashtbl.find heads hpred) h)
+                          then admit hpred (Array.copy h) hc
+                        | Some _ | None -> ())
+                      pr.ex)
+                lin_prs
+            end
+          in
+          (* frontier visibility. The pool is never materialized as a
+             hidden-tuple relation: a suspect's fate is read straight
+             off its cell against the drain frontier, so the O(1) path
+             writes nothing at all. With [frontier] at level L:
+               - exits > 0, or no cell: visible (never a suspect);
+               - level > L: hidden (unresolved — the ascending drain
+                 has not reached it);
+               - level < L: resolved — hidden iff its probe failed;
+               - level = L: its O(1) fate is already stable. Debts
+                 against a level-L tuple arise only from condemnations
+                 at strictly lower levels, all complete before L
+                 drains, so [low] minus debt > 0 here means the tuple
+                 *will be* O(1)-proven — visible now, even mid-bucket.
+                 Otherwise it is visible only once its probe succeeds
+                 ([probe_proven], which retry successes also join —
+                 level-max_int tuples have no other route to
+                 visibility after the drain parks the frontier there. *)
+          let failed : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+          let probe_proven : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+          let frontier = ref min_int in
+          let in_tbl tbl pred tup =
+            match Hashtbl.find_opt tbl pred with
             | Some r -> Relation.mem r tup
             | None -> false
           in
-          while not (Queue.is_empty queue) do
-            let pred, tup = Queue.pop queue in
-            match Hashtbl.find_opt unproven pred with
-            | Some u when Relation.mem u tup ->
-              if provable ~hide pred tup then begin
-                ignore (Relation.remove u tup);
-                ignore
-                  (Relation.add (delta_rel proven pred ~arity:(Array.length tup)) tup);
-                (* a peer that failed only because [tup] was hidden
-                   re-proves now that it isn't *)
-                each_consumer pred tup (fun hpred h ->
-                    match Hashtbl.find_opt unproven hpred with
-                    | Some hu when Relation.mem hu h ->
-                      Queue.add (hpred, Array.copy h) queue
-                    | Some _ | None -> ())
-              end
-              else begin
-                each_consumer pred tup (fun hpred h ->
-                    let hrel = Hashtbl.find heads hpred in
-                    if Relation.mem hrel h then
-                      match Relation.count_find (Hashtbl.find counts_of hpred) h with
-                      | Some cell
-                        when cell.Relation.exits = 0 && not (in_proven hpred h) ->
-                        if
-                          Relation.add
-                            (delta_rel unproven hpred ~arity:(Relation.arity hrel))
-                            h
-                        then Queue.add (hpred, Array.copy h) queue
-                      | Some _ | None -> ())
-              end
-            | Some _ | None -> ()
+          (* probes ask about one predicate many times in a row; a
+             physical-equality memo spares the string hash per
+             candidate the index bucket hands out *)
+          let memo_pred = ref "" and memo_counts = ref None in
+          let counts_for pred =
+            if pred == !memo_pred then !memo_counts
+            else begin
+              memo_pred := pred;
+              memo_counts := Hashtbl.find_opt counts_of pred;
+              !memo_counts
+            end
+          in
+          let hidden pred tup =
+            match counts_for pred with
+            | None -> false
+            | Some c -> (
+              match Relation.count_find c tup with
+              | None -> false
+              | Some cell ->
+                cell.Relation.exits = 0
+                &&
+                let lvl = cell.Relation.level in
+                if lvl > !frontier then true
+                else if lvl < !frontier then in_tbl failed pred tup
+                else
+                  not
+                    (cell.Relation.low - cell.Relation.debt > 0
+                    || in_tbl probe_proven pred tup))
+          in
+          let hide =
+            let base = ctx.new_view in
+            {
+              Matcher.mem =
+                (fun p tup -> base.Matcher.mem p tup && not (hidden p tup));
+              iter_matching =
+                (fun p ~col ~value f ->
+                  base.Matcher.iter_matching p ~col ~value (fun t ->
+                      if not (hidden p t) then f t));
+              iter =
+                (fun p f ->
+                  base.Matcher.iter p (fun t -> if not (hidden p t) then f t));
+            }
+          in
+          (* drain ascending. Every bucket entry needs its probe — the
+             index-vouched majority never entered. A bucket is stable
+             while draining: condemnations at level L debit only
+             strictly-higher consumers, so dynamic admissions land in
+             later buckets (possibly at levels unseen at admission,
+             which is why the level set is consulted afresh each
+             step). Suspects never admitted are O(1) proofs — counted
+             by subtraction, having cost no work at all. *)
+          let rec drain () =
+            match Levels.min_elt_opt !pending_levels with
+            | None -> ()
+            | Some lvl ->
+              pending_levels := Levels.remove lvl !pending_levels;
+              frontier := lvl;
+              List.iter
+                (fun (pred, tup, cell) ->
+                  incr full_probes;
+                  if provable ~hide pred tup then
+                    ignore
+                      (Relation.add
+                         (delta_rel probe_proven pred ~arity:(Array.length tup))
+                         tup)
+                  else begin
+                    ignore
+                      (Relation.add
+                         (delta_rel failed pred ~arity:(Array.length tup))
+                         tup);
+                    condemn pred tup cell.Relation.level
+                  end)
+                !(Hashtbl.find buckets lvl);
+              drain ()
+          in
+          drain ();
+          o1_hits := !o1_hits + !suspects - !probe_admitted;
+          frontier := max_int;
+          (* retry sweep: a suspect that failed its probe only because
+             a later-proven peer was hidden at the time re-proves here.
+             Passes repeat until one removes nothing; what then remains
+             is supported only through the failed set itself. The O(1)
+             check cannot fire anew — [low] is fixed and debts only
+             grow — so these are full probes, counted as such. *)
+          let retry = ref true in
+          while !retry do
+            retry := false;
+            let pending = ref [] in
+            Hashtbl.iter
+              (fun pred u ->
+                Relation.iter
+                  (fun tup ->
+                    let lvl =
+                      match cell_of pred tup with
+                      | Some c -> c.Relation.level
+                      | None -> max_int
+                    in
+                    pending := (lvl, pred, tup) :: !pending)
+                  u)
+              failed;
+            List.iter
+              (fun (_, pred, tup) ->
+                let u = Hashtbl.find failed pred in
+                if Relation.mem u tup then begin
+                  incr full_probes;
+                  if provable ~hide pred tup then begin
+                    ignore (Relation.remove u tup);
+                    ignore
+                      (Relation.add
+                         (delta_rel probe_proven pred ~arity:(Array.length tup))
+                         tup);
+                    retry := true
+                  end
+                end)
+              (List.sort compare !pending)
           done;
           let deaths : (string, Relation.t) Hashtbl.t = Hashtbl.create 4 in
           let any = ref false in
@@ -1279,13 +1875,18 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
                 let arity = Relation.arity rel in
                 Relation.iter
                   (fun tup ->
+                    (match Relation.count_find c tup with
+                    | Some cell -> morgue_put pred tup cell.Relation.level
+                    | None -> ());
                     Relation.count_drop c tup;
                     ignore (Relation.remove rel tup);
                     record_remove d pred ~arity tup;
                     ignore (Relation.add (delta_rel deaths pred ~arity) tup))
                   u
               end)
-            unproven;
+            failed;
+          (* unwind the debts — cells outlive this call *)
+          List.iter (fun (c : Relation.count_cell) -> c.Relation.debt <- 0) !debited;
           if !any then Some deaths else None
         end
       in
@@ -1316,7 +1917,7 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
       let rec birth_rounds round =
         if tbl_live round then begin
           let pre = overlay_view ~plus:no_overlay ~minus:round ctx.new_view in
-          enumerate_in_comp ~sign:1 ~round ~pre;
+          fanout_round ~size:(round_size round) (enumerate_in_comp ~sign:1 ~round ~pre);
           (* increments only: settle can queue further births but can
              produce no deaths *)
           ignore (settle ());
@@ -1332,56 +1933,111 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
            during the round, so old and new agree on them, exactly the
            "externals first" serialization. *)
         phase_begin ();
-        List.iter
-          (fun pr ->
-            let r = pr.rule in
-            let hpred = r.Ast.head.Ast.pred in
-            let exit = not (rec_rule r) in
-            List.iteri
-              (fun i lit ->
-                match lit with
-                | Ast.Pos a when not (Hashtbl.mem comp_preds a.Ast.pred) ->
-                  if nonempty d.added a.Ast.pred then
-                    Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
-                      ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                      ~work ~on_derived:(bump hpred exit 1) pr.ex;
-                  if nonempty d.removed a.Ast.pred then
-                    Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
-                      ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                      ~work
-                      ~on_derived:(bump hpred exit (-1))
-                      pr.ex
-                | Ast.Neg a ->
-                  if nonempty d.added a.Ast.pred || nonempty d.removed a.Ast.pred
-                  then begin
-                    let _, fex = flipped_for pr i in
+        let size0 =
+          let card_of tbl pred =
+            match Hashtbl.find_opt tbl pred with
+            | Some r -> Relation.cardinality r
+            | None -> 0
+          in
+          List.fold_left
+            (fun acc pr ->
+              List.fold_left
+                (fun acc lit ->
+                  match lit with
+                  | Ast.Pos a when not (Hashtbl.mem comp_preds a.Ast.pred) ->
+                    acc + card_of d.added a.Ast.pred + card_of d.removed a.Ast.pred
+                  | Ast.Neg a ->
+                    acc + card_of d.added a.Ast.pred + card_of d.removed a.Ast.pred
+                  | Ast.Pos _ | Ast.Cmp _ -> acc)
+                acc pr.rule.Ast.body)
+            0 prs
+        in
+        let enumerate_round0 ~sprs ~sct ~dec ~shard ~work =
+          List.iter
+            (fun pr ->
+              let r = pr.rule in
+              let hpred = r.Ast.head.Ast.pred in
+              let exit = not (rec_rule r) in
+              (* a recursive rule's in-comp atom is an ordinary Match
+                 step here (the delta is external), which is what the
+                 witness mechanism is for; flipped plans keep body
+                 positions, so the same witness serves them *)
+              let lin = linear_pos comp_preds r in
+              let supr = ref max_int in
+              let witness =
+                match lin with
+                | Some (w, p) -> Some (w, fun tup -> supr := sup_level p tup)
+                | None -> None
+              in
+              let emit sign h =
+                bump ~sct ~dec hpred exit sign
+                  (if lin = None then max_int else !supr)
+                  h
+              in
+              List.iteri
+                (fun i lit ->
+                  match lit with
+                  | Ast.Pos a when not (Hashtbl.mem comp_preds a.Ast.pred) ->
                     if nonempty d.added a.Ast.pred then
-                      Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
+                      Plan.exec_rule ?witness ?shard ~view:ctx.new_view
+                        ~late_view:ctx.old_view
                         ~delta:(i, Hashtbl.find d.added a.Ast.pred)
-                        ~work
-                        ~on_derived:(bump hpred exit (-1))
-                        fex;
+                        ~work ~on_derived:(emit 1) pr.ex;
                     if nonempty d.removed a.Ast.pred then
-                      Plan.exec_rule ~view:ctx.new_view ~late_view:ctx.old_view
+                      Plan.exec_rule ?witness ?shard ~view:ctx.new_view
+                        ~late_view:ctx.old_view
                         ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
-                        ~work ~on_derived:(bump hpred exit 1) fex
-                  end
-                | Ast.Pos _ | Ast.Cmp _ -> ())
-              r.Ast.body)
-          prs;
+                        ~work
+                        ~on_derived:(emit (-1))
+                        pr.ex
+                  | Ast.Neg a ->
+                    if nonempty d.added a.Ast.pred || nonempty d.removed a.Ast.pred
+                    then begin
+                      let _, fex = flipped_for pr i in
+                      if nonempty d.added a.Ast.pred then
+                        Plan.exec_rule ?witness ?shard ~view:ctx.new_view
+                          ~late_view:ctx.old_view
+                          ~delta:(i, Hashtbl.find d.added a.Ast.pred)
+                          ~work
+                          ~on_derived:(emit (-1))
+                          fex;
+                      if nonempty d.removed a.Ast.pred then
+                        Plan.exec_rule ?witness ?shard ~view:ctx.new_view
+                          ~late_view:ctx.old_view
+                          ~delta:(i, Hashtbl.find d.removed a.Ast.pred)
+                          ~work ~on_derived:(emit 1) fex
+                    end
+                  | Ast.Pos _ | Ast.Cmp _ -> ())
+                r.Ast.body)
+            sprs
+        in
+        fanout_round ~size:size0 enumerate_round0;
         let deaths0 = settle () in
         phase_end Obs.Event.cnt_propagate;
         cascade_deaths deaths0;
         if recursive then begin
-          let continue_bf = ref true in
-          while !continue_bf do
-            phase_begin ();
-            let more = backward_prove () in
-            phase_end Obs.Event.cnt_backward;
-            match more with
-            | None -> continue_bf := false
-            | Some deaths -> cascade_deaths deaths
-          done
+          phase_begin ();
+          let more = backward_prove () in
+          phase_end Obs.Event.cnt_backward;
+          (match more with
+          | None -> ()
+          | Some deaths ->
+            (* One round suffices. Every surviving suspect's proof was
+               checked against visible tuples only — resolved-proven
+               peers and exit-supported tuples — and none of those die
+               here: the cascade strips exactly the derivations running
+               through the removed unfounded set, so each survivor
+               keeps its witnessing derivation and a positive count,
+               and exit counts are untouched (exit-rule bodies hold no
+               component predicates). Nothing new becomes unfounded,
+               so the re-verification trigger the cascade accumulates
+               is vacuous — drop it. *)
+            cascade_deaths deaths;
+            Hashtbl.reset dec_touched);
+          if traced then begin
+            Obs.Ring.emit ring ~kind:Obs.Event.cnt_o1_hit ~a:!o1_hits ~b:comp;
+            Obs.Ring.emit ring ~kind:Obs.Event.cnt_full_probe ~a:!full_probes ~b:comp
+          end
         end;
         phase_begin ();
         birth_rounds (apply_births (take_births ()));
@@ -1392,7 +2048,13 @@ let process_comp_unsanitized ?(ring = Obs.Ring.null) ?shard_ctx ctx (pc : prepar
     (match ctx.strategy.(comp) with
     (* nothing upstream changed ⇒ no deltas can reach this component;
        skipping also avoids rebuilding stale counts nobody needs yet *)
-    | Analyze.Counting -> if input_changed then run_phases_counting ()
+    | Analyze.Counting ->
+      if input_changed then
+        run_phases_counting
+          (match shard_ctx with
+          | Some sc when sc.nshards > 1 && Array.length prs_by_shard = sc.nshards ->
+            Some sc
+          | Some _ | None -> None)
     | Analyze.Dred -> (
       match shard_ctx with
       | Some sc when sc.nshards > 1 && Array.length prs_by_shard = sc.nshards ->
@@ -1543,7 +2205,7 @@ let prime ?(engine = Plan.default_engine) db program =
       match pc.body with
       | Extensional | Aggregate_rule _ -> ()
       | Rules prs_by_shard ->
-        ignore (recount_comp ctx pc prs_by_shard.(0) ~view:ctx.new_view ~work);
+        ignore (recount_comp ctx pc prs_by_shard.(0) ~shards:1 ~view:ctx.new_view ~work);
         Array.iter
           (fun p ->
             match Database.find ctx.db ctx.anal.Stratify.predicates.(p) with

@@ -23,8 +23,10 @@
     deleted exactly when its count reaches zero. Nothing is
     over-deleted, so DRed's rederivation storm disappears; only
     decremented-but-surviving tuples with no exit support need the
-    backward check for an alternative well-founded derivation, and
-    forward propagation restarts only from genuinely dead tuples.
+    backward check for an alternative well-founded derivation — and
+    the support index ({!Relation.count_cell.level} / [low]) settles
+    most of those in O(1) — while forward propagation restarts only
+    from genuinely dead tuples.
     Counts live in a side table stamped with the relation version
     ({!Relation.counts_synced}); they are rebuilt transparently when
     stale (first use, or after DRed/Eval touched the relation), or
@@ -59,20 +61,27 @@ type report = {
 type maint = Dred | Counting | Auto
 (** Maintenance algorithm. All restore exactly the same database; they
     differ in how deletions are paid for. [Counting] requires the
-    compiled engine ({!Plan.Compiled}) and runs unsharded; aggregate
-    components use the same recompute-and-diff under either. DRed can
-    still win on updates that wipe out most of a materialization —
-    counting's per-derivation bookkeeping then costs more than deleting
-    everything and rederiving the little that remains.
+    compiled engine ({!Plan.Compiled}); aggregate components use the
+    same recompute-and-diff under either. The count side tables carry
+    the {e well-founded support index} — each tuple's first-derivation
+    fixpoint round ({!Relation.count_cell.level}) and its count of
+    surviving strictly-lower-level supporters ([low]) — which lets the
+    backward search prove most deletion-suspects in O(1) instead of
+    re-evaluating rule bodies. Counting composes with [shards > 1]:
+    the side tables shard with the tuple stores and propagation rounds
+    fan out like DRed's. DRed can still win on updates that wipe out
+    most of a materialization — counting's per-derivation bookkeeping
+    then costs more than deleting everything and rederiving the little
+    that remains.
 
     Whatever the selector, maintenance runs with one {e resolved}
     strategy per condensation component. [Dred] and [Counting] resolve
     uniformly; [Auto] asks the static advisor ({!Analyze}) per
     component — Counting where its features say it is safe and
     profitable (nonrecursive, or linear recursion with strong exit
-    support, no negation or aggregates), DRed otherwise. Combinations
-    counting cannot serve ([shards > 1], the interpretive engine under
-    [Auto]) downgrade the affected components to DRed with a message
+    support, no negation or aggregates), DRed otherwise. The one
+    combination counting cannot serve (the interpretive engine under
+    [Auto]) downgrades the affected components to DRed with a message
     through [on_warn] instead of failing. *)
 
 val apply :
@@ -170,11 +179,16 @@ val apply_parallel :
 
     [maint] (default {!Dred}) selects the per-component maintenance
     strategy, as in {!apply}; component-level parallelism (ownership +
-    precedence) is algorithm-agnostic, but counting does not compose
-    with sharded phase rounds — [~maint:Counting] with [shards > 1]
-    downgrades every component to DRed with a message through
-    [on_warn], and [~maint:Auto] downgrades only the components the
-    advisor had picked counting for.
+    precedence) is algorithm-agnostic, and counting shards natively —
+    with [shards > 1] each counting component's propagation rounds
+    (the external delta, death cascades, birth rounds) partition by
+    the same key-column hash, each shard accumulating signed count
+    deltas in private buffers that the coordinator merges in shard
+    order (counts add, newborn levels take the minimum) before
+    settling serially, so counts, the level index, and the database
+    equal the serial walk's. The backward search stays serial: its
+    worklist is the suspect cone, already cut down by the O(1) level
+    check.
 
     Before dispatching any task, the driver statically verifies the
     ownership rule it relies on: every prepared component's write set

@@ -69,34 +69,52 @@ let compare_ok ~symbols op a b =
 (* Enumerate matches of a positive atom under [env], using an index
    probe when some argument is already bound. *)
 let match_positive ~symbols ~view ~work env (a : Ast.atom) k =
-  let bound_col =
-    let rec go i = function
-      | [] -> None
-      | t :: rest -> (
-        match resolve_term ~symbols env t with
-        | Some code -> Some (i, code)
-        | None -> go (i + 1) rest)
-    in
-    go 0 a.Ast.args
+  (* fully ground under [env]? then the atom is a point lookup, not an
+     enumeration — [mem] answers in O(1) where an index bucket would be
+     scanned (and, below, materialized) in bucket-size time. Goal-
+     directed probes from the counting engine hit this path on every
+     membership check, so it is hot there. *)
+  let rec all_bound acc = function
+    | [] -> Some (List.rev acc)
+    | t :: rest -> (
+      match resolve_term ~symbols env t with
+      | Some code -> all_bound (code :: acc) rest
+      | None -> None)
   in
-  let try_tuple tup =
+  match all_bound [] a.Ast.args with
+  | Some codes ->
     incr work;
-    match unify ~symbols env a.Ast.args tup with Some env' -> k env' | None -> ()
-  in
-  match bound_col with
-  | Some (col, value) ->
-    (* Materialize the bucket before unifying, as the pre-compilation
-       [Relation.find] did. This interpreter is the reference oracle for
-       differential testing: it must not share the compiled path's
-       live-bucket iteration semantics, or a mutation-during-iteration
-       bug would make both engines fail identically and pass the
-       differential net. The allocation is fine off the hot path. *)
-    let matches = ref [] in
-    view.iter_matching a.Ast.pred ~col ~value (fun t -> matches := t :: !matches);
-    List.iter try_tuple !matches
-  | None -> view.iter a.Ast.pred try_tuple
+    if view.mem a.Ast.pred (Array.of_list codes) then k env
+  | None -> (
+    let bound_col =
+      let rec go i = function
+        | [] -> None
+        | t :: rest -> (
+          match resolve_term ~symbols env t with
+          | Some code -> Some (i, code)
+          | None -> go (i + 1) rest)
+      in
+      go 0 a.Ast.args
+    in
+    let try_tuple tup =
+      incr work;
+      match unify ~symbols env a.Ast.args tup with Some env' -> k env' | None -> ()
+    in
+    match bound_col with
+    | Some (col, value) ->
+      (* Materialize the bucket before unifying, as the pre-compilation
+         [Relation.find] did. This interpreter is the reference oracle for
+         differential testing: it must not share the compiled path's
+         live-bucket iteration semantics, or a mutation-during-iteration
+         bug would make both engines fail identically and pass the
+         differential net. The allocation is fine off the hot path. *)
+      let matches = ref [] in
+      view.iter_matching a.Ast.pred ~col ~value (fun t -> matches := t :: !matches);
+      List.iter try_tuple !matches
+    | None -> view.iter a.Ast.pred try_tuple)
 
-let eval_body ~symbols ~view ?delta ~work ~on_env (body : Ast.literal list) =
+let eval_body ~symbols ~view ?delta ?(env = []) ~work ~on_env (body : Ast.literal list)
+    =
   let body = Array.of_list body in
   let rec step i env =
     if i >= Array.length body then on_env env
@@ -134,7 +152,7 @@ let eval_body ~symbols ~view ?delta ~work ~on_env (body : Ast.literal list) =
     | Ast.Pos _ -> ()
     | Ast.Neg _ | Ast.Cmp _ -> invalid_arg "Matcher.eval_rule: delta literal must be positive")
   | None -> ());
-  step 0 []
+  step 0 env
 
 let eval_rule ~symbols ~view ?delta ~work ~on_derived (rule : Ast.rule) =
   eval_body ~symbols ~view ?delta ~work rule.Ast.body

@@ -26,12 +26,18 @@ val eval_body :
   symbols:Symbol.t ->
   view:view ->
   ?delta:int * Relation.t ->
+  ?env:(string * int) list ->
   work:int ref ->
   on_env:((string * int) list -> unit) ->
   Ast.literal list ->
   unit
 (** Enumerate all variable bindings satisfying the body; the aggregate
-    evaluator consumes raw environments instead of head tuples. *)
+    evaluator consumes raw environments instead of head tuples. [env]
+    (default empty) seeds the environment — goal-directed probes bind
+    head variables to interned codes up front, which both restricts
+    the search and keeps constants out of the string path. An atom
+    fully ground under the environment is answered by a [mem] lookup
+    rather than an index-bucket scan. *)
 
 val eval_rule :
   symbols:Symbol.t ->

@@ -23,15 +23,27 @@ type probe =
   | Probe of int * src  (* indexed probe on (column, value source) *)
 
 type step =
-  | Match of { pred : string; arity : int; probe : probe; ops : arg_op array; late : bool }
+  | Match of {
+      pred : string;
+      arity : int;
+      probe : probe;
+      ops : arg_op array;
+      late : bool;
+      orig : int;
+    }
       (* [late]: the literal's *original* body position is after the
          delta position, so under split-view execution it reads
          [late_view] instead of [view]. Baked at compile time (the
          delta position is a compile parameter), invariant under the
          selectivity reorder: telescoped signed-delta maintenance
          evaluates Δ at position i against new₁…newᵢ₋₁ · oldᵢ₊₁…oldₖ,
-         and "before/after i" refers to syntactic positions. *)
-  | Delta of { arity : int; ops : arg_op array }
+         and "before/after i" refers to syntactic positions.
+
+         [orig] is the literal's original (syntactic) body position;
+         the selectivity reorder permutes steps but preserves it, so
+         witness extraction ({!run}'s [?witness]) can name a literal
+         independently of the chosen join order. *)
+  | Delta of { arity : int; ops : arg_op array; orig : int }
       (* the semi-naive literal: ranges over the delta relation passed
          to {!run} instead of the view *)
   | Reject of { pred : string; args : src array; scratch : int array; late : bool }
@@ -88,7 +100,7 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
   (* original body position [i] > delta position ⇒ the literal reads
      the late view under split-view execution *)
   let is_late i = match delta with Some di -> i > di | None -> false in
-  let compile_pos ~late (a : Ast.atom) =
+  let compile_pos ~late ~orig (a : Ast.atom) =
     (* probe on the first argument resolvable before this literal binds
        anything new — same column the interpreter would pick *)
     let probe =
@@ -103,7 +115,7 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
     in
     let skip_col = match probe with Probe (col, _) -> col | Scan -> -1 in
     let ops = compile_args ~skip_col a.Ast.args in
-    Match { pred = a.Ast.pred; arity = List.length a.Ast.args; probe; ops; late }
+    Match { pred = a.Ast.pred; arity = List.length a.Ast.args; probe; ops; late; orig }
   in
   let ground_srcs (a : Ast.atom) =
     Array.of_list
@@ -149,7 +161,11 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
   | Some di -> (
     match List.assoc_opt di !remaining with
     | Some (Ast.Pos a) ->
-      emit (Delta { arity = List.length a.Ast.args; ops = compile_args ~skip_col:(-1) a.Ast.args });
+      emit
+        (Delta
+           { arity = List.length a.Ast.args;
+             ops = compile_args ~skip_col:(-1) a.Ast.args;
+             orig = di });
       remaining := List.filter (fun (i, _) -> i <> di) !remaining
     | Some (Ast.Neg _ | Ast.Cmp _) | None ->
       invalid_arg "Plan.compile: delta literal must be a positive body atom"));
@@ -198,7 +214,7 @@ let compile ?delta ~symbols ~card (rule : Ast.rule) =
           (Printf.sprintf "Plan: rule for %s is not range-restricted"
              rule.Ast.head.Ast.pred)
       | Some (_, i, a) ->
-        emit (compile_pos ~late:(is_late i) a);
+        emit (compile_pos ~late:(is_late i) ~orig:i a);
         remaining := List.filter (fun (j, _) -> j <> i) !remaining
     end
   done;
@@ -253,7 +269,7 @@ let cmp_ok op c =
   | Ast.Gt -> c > 0
   | Ast.Ge -> c >= 0
 
-let run ?delta ?shard ?late_view ~view ~work ~on_derived p =
+let run ?delta ?shard ?late_view ?witness ~view ~work ~on_derived p =
   if p.running then
     invalid_arg "Plan.run: reentrant execution of a plan (its scratch state is live)";
   p.running <- true;
@@ -266,6 +282,14 @@ let run ?delta ?shard ?late_view ~view ~work ~on_derived p =
   let steps = p.steps in
   let nsteps = Array.length steps in
   let value = function Sconst c -> c | Sslot s -> Array.unsafe_get env s in
+  (* witness extraction: remember the tuple last unified at the body
+     position [wpos] and hand it to [wfn] alongside each emission. The
+     stash is the store's own array — valid only inside the callback,
+     copy to retain (same contract as [on_derived]'s buffer). *)
+  let wpos, wfn =
+    match witness with Some (w, f) -> (w, f) | None -> (-1, fun _ -> ())
+  in
+  let wit = ref [||] in
   let rec exec i =
     if i = nsteps then begin
       let head = p.head in
@@ -273,22 +297,27 @@ let run ?delta ?shard ?late_view ~view ~work ~on_derived p =
       for j = 0 to Array.length head - 1 do
         buf.(j) <- value (Array.unsafe_get head j)
       done;
+      if wpos >= 0 then wfn !wit;
       on_derived buf
     end
     else
       match Array.unsafe_get steps i with
-      | Match { pred; arity; probe; ops; late } ->
+      | Match { pred; arity; probe; ops; late; orig } ->
         let v = if late then lview else view in
+        let stash = orig = wpos in
         let try_tuple tup =
           incr work;
           if Array.length tup <> arity then
             invalid_arg (Printf.sprintf "Plan: arity mismatch on %s" pred);
-          if unify_ops env ops tup then exec (i + 1)
+          if unify_ops env ops tup then begin
+            if stash then wit := tup;
+            exec (i + 1)
+          end
         in
         (match probe with
         | Scan -> v.Matcher.iter pred try_tuple
         | Probe (col, s) -> v.Matcher.iter_matching pred ~col ~value:(value s) try_tuple)
-      | Delta { arity; ops } -> (
+      | Delta { arity; ops; orig } -> (
         match delta with
         | None -> invalid_arg "Plan.run: plan has a delta literal but no ~delta"
         | Some d ->
@@ -300,12 +329,16 @@ let run ?delta ?shard ?late_view ~view ~work ~on_derived p =
             | None -> fun _ -> true
             | Some (s, k) -> fun tup -> Relation.shard_of_tuple ~col:0 ~shards:k tup = s
           in
+          let stash = orig = wpos in
           Relation.iter
             (fun tup ->
               incr work;
               if Array.length tup <> arity then
                 invalid_arg "Plan: arity mismatch on the delta relation";
-              if owned tup && unify_ops env ops tup then exec (i + 1))
+              if owned tup && unify_ops env ops tup then begin
+                if stash then wit := tup;
+                exec (i + 1)
+              end)
             d)
       | Reject { pred; args; scratch; late } ->
         incr work;
@@ -342,13 +375,17 @@ let executor ~engine ~symbols ~card (rule : Ast.rule) =
   | Interpreted -> Interp { rule; symbols }
   | Compiled -> Plans { rule; symbols; card; base = None; deltas = Hashtbl.create 4 }
 
-let exec_rule ?delta ?shard ?late_view ~view ~work ~on_derived e =
+let exec_rule ?delta ?shard ?late_view ?witness ~view ~work ~on_derived e =
   match e with
   | Interp { rule; symbols } ->
     if late_view <> None then
       invalid_arg
         "Plan.exec_rule: the interpretive oracle has no split-view mode \
          (counting maintenance requires the Compiled engine)";
+    if witness <> None then
+      invalid_arg
+        "Plan.exec_rule: the interpretive oracle has no witness extraction \
+         (the well-founded support index requires the Compiled engine)";
     (* the interpretive oracle has no shard mode; restrict its delta by
        materializing this shard's partition (oracle-only, cost is fine) *)
     let delta =
@@ -375,7 +412,7 @@ let exec_rule ?delta ?shard ?late_view ~view ~work ~on_derived e =
           p.base <- Some plan;
           plan
       in
-      run ?late_view ~view ~work ~on_derived plan
+      run ?late_view ?witness ~view ~work ~on_derived plan
     | Some (i, d) ->
       let plan =
         match Hashtbl.find_opt p.deltas i with
@@ -385,7 +422,7 @@ let exec_rule ?delta ?shard ?late_view ~view ~work ~on_derived e =
           Hashtbl.add p.deltas i plan;
           plan
       in
-      run ~delta:d ?shard ?late_view ~view ~work ~on_derived plan)
+      run ~delta:d ?shard ?late_view ?witness ~view ~work ~on_derived plan)
 
 (* Force the compilation a later [exec_rule ?delta] call would perform
    lazily. Compilation interns the rule's constants into the shared

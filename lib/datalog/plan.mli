@@ -51,6 +51,7 @@ val run :
   ?delta:Relation.t ->
   ?shard:int * int ->
   ?late_view:Matcher.view ->
+  ?witness:int * (Relation.tuple -> unit) ->
   view:Matcher.view ->
   work:int ref ->
   on_derived:(Relation.tuple -> unit) ->
@@ -73,6 +74,16 @@ val run :
     Late flags are baked at compile time from the delta position, so the
     same memoized per-delta-position plans serve single-view and
     split-view execution. Defaults to [view].
+    [witness = (i, f)] calls [f] immediately before each [on_derived]
+    emission with the tuple the body literal at {e original} position
+    [i] matched on that derivation — the supporter witness the counting
+    engine's well-founded support index stamps levels from. Positions
+    survive the selectivity reorder (each step remembers its syntactic
+    position), and the delta literal participates like any other. The
+    witness tuple is the store's own array: valid only inside [f], copy
+    to retain. If no body literal has position [i], [f] sees whatever
+    was last stashed (initially [[||]]) — callers pass positions of
+    positive body atoms only.
     [work] counts tuples and filter checks examined, as the interpreter
     does. [on_derived] receives a scratch tuple — copy to retain;
     duplicates are possible, callers dedupe via {!Relation.add}.
@@ -104,6 +115,7 @@ val exec_rule :
   ?delta:int * Relation.t ->
   ?shard:int * int ->
   ?late_view:Matcher.view ->
+  ?witness:int * (Relation.tuple -> unit) ->
   view:Matcher.view ->
   work:int ref ->
   on_derived:(Relation.tuple -> unit) ->
@@ -112,12 +124,13 @@ val exec_rule :
 (** Same contract as {!Matcher.eval_rule}; [delta = (i, d)] makes body
     literal [i] range over [d], and [shard] restricts it to one hash
     partition (see {!run}; on the interpretive engine the partition is
-    materialized, oracle-only cost). [late_view] is the split-view mode
-    of {!run}; the interpretive oracle does not support it.
+    materialized, oracle-only cost). [late_view] and [witness] are the
+    split-view and witness-extraction modes of {!run}; the interpretive
+    oracle supports neither.
     Like {!run}, [on_derived] must not mutate relations the rule is
     reading.
-    @raise Invalid_argument for [late_view] on the interpretive
-    engine. *)
+    @raise Invalid_argument for [late_view] or [witness] on the
+    interpretive engine. *)
 
 val prepare : ?delta:int -> exec -> unit
 (** Force compilation of the plan a later {!exec_rule} call with the

@@ -37,14 +37,46 @@ end)
    existence. Counts are split into [exits] (derivations by rules with
    no same-component body atom — acyclic support by construction) and
    [recs] (derivations by recursive rules); the backward phase uses the
-   split to skip tuples that are exit-supported. [synced_version]
-   records the relation version the counts were last consistent with:
-   any mutation outside the counting engine bumps the version, so stale
-   counts are detected and rebuilt instead of silently trusted. *)
+   split to skip tuples that are exit-supported.
 
-type count_cell = { mutable exits : int; mutable recs : int }
+   [level] and [low] form the well-founded support index. [level] is
+   the stratified-fixpoint round of the tuple's first well-founded
+   derivation (Soufflé's @iteration): 0 for exit-supported tuples,
+   [r] for tuples first leveled in recursive round [r], [max_int] for
+   "unknown". Levels are immutable once assigned — lowering a level
+   retroactively changes how later derivation deaths classify against
+   it, which can leave [low] overcounting (unsound). [low] counts the
+   surviving recursive derivations whose supporter is known to sit at
+   a strictly lower level; it may undercount (unknown supporters are
+   never counted) but must never overcount, because [exits = 0 &&
+   low > 0] exempts a suspect from the full backward probe.
 
-type counts = { cells : count_cell Tuple_tbl.t; mutable synced_version : int }
+   [synced_version] records the relation version the counts were last
+   consistent with: any mutation outside the counting engine bumps the
+   version, so stale counts are detected and rebuilt instead of
+   silently trusted. The cells are partitioned into [nshards] tables
+   by the same FNV hash on key column 0 that [Sharded] uses for
+   tuples, so sharded counting rounds can route cell traffic without
+   cross-shard contention; with [nshards = 1] the routing is a
+   constant 0. *)
+
+type count_cell = {
+  mutable exits : int;
+  mutable recs : int;
+  mutable level : int;
+  mutable low : int;
+  mutable debt : int;
+      (* backward-phase scratch: [low] entries condemned this call.
+         Zero between calls — the phase unwinds what it filed. Living
+         in the cell keeps the O(1) well-foundedness check free of
+         side-table hashing. *)
+}
+
+type counts = {
+  nshards : int;
+  cells : count_cell Tuple_tbl.t array;
+  mutable synced_version : int;
+}
 
 (* ---- write-set sanitizer ----------------------------------------
 
@@ -222,16 +254,42 @@ let clear t =
   t.counts <- None;
   Array.iter (fun slot -> Atomic.set slot None) t.indexes
 
+(* ---- sharding ----------------------------------------------------
+
+   Shard assignment reuses the FNV-1a mixing step of [Tuple_tbl.hash]
+   on a single key column, so the partition is a pure function of the
+   tuple — identical on every domain and every run, which is what
+   per-shard ownership and deterministic merge rest on. *)
+
+let shard_of_value ~shards v =
+  if shards <= 1 then 0
+  else ((0x811c9dc5 lxor v) * 0x01000193 land max_int) mod shards
+
+let shard_of_tuple ~col ~shards (tup : tuple) =
+  if shards <= 1 || Array.length tup = 0 then 0
+  else
+    let col = if col < Array.length tup then col else 0 in
+    shard_of_value ~shards tup.(col)
+
 (* ---- count operations --------------------------------------------
 
    All mutation of counts is single-owner, like the store itself. The
-   cells table is keyed by copies of the tuples (a caller's scratch
-   array must not alias a key), mirroring [add]. *)
+   cells tables are keyed by copies of the tuples (a caller's scratch
+   array must not alias a key), mirroring [add]. Routing between the
+   shard tables is [shard_of_tuple ~col:0], the same pure hash the
+   [Sharded] tuple stores use; iteration walks shards 0..k-1 so the
+   order is canonical regardless of how cells were inserted. *)
 
-let counts_create () = { cells = Tuple_tbl.create 64; synced_version = min_int }
+let counts_create ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Relation.counts_create: shards < 1";
+  {
+    nshards = shards;
+    cells = Array.init shards (fun _ -> Tuple_tbl.create 64);
+    synced_version = min_int;
+  }
 
-let counts_attach t =
-  let c = counts_create () in
+let counts_attach ?shards t =
+  let c = counts_create ?shards () in
   t.counts <- Some c;
   c
 
@@ -247,23 +305,29 @@ let counts_sync t =
   | Some c -> c.synced_version <- t.version
   | None -> ()
 
-let count_find c tup = Tuple_tbl.find_opt c.cells tup
+let counts_shards c = c.nshards
+
+let count_shard c tup = shard_of_tuple ~col:0 ~shards:c.nshards tup
+
+let count_find c tup = Tuple_tbl.find_opt c.cells.(count_shard c tup) tup
 
 let count_cell c tup =
-  match Tuple_tbl.find_opt c.cells tup with
+  let cells = c.cells.(count_shard c tup) in
+  match Tuple_tbl.find_opt cells tup with
   | Some cell -> cell
   | None ->
-    let cell = { exits = 0; recs = 0 } in
-    Tuple_tbl.replace c.cells (Array.copy tup) cell;
+    let cell = { exits = 0; recs = 0; level = max_int; low = 0; debt = 0 } in
+    Tuple_tbl.replace cells (Array.copy tup) cell;
     cell
 
 let count_total cell = cell.exits + cell.recs
 
-let count_drop c tup = Tuple_tbl.remove c.cells tup
+let count_drop c tup = Tuple_tbl.remove c.cells.(count_shard c tup) tup
 
-let counts_iter f c = Tuple_tbl.iter f c.cells
+let counts_iter f c = Array.iter (fun cells -> Tuple_tbl.iter f cells) c.cells
 
-let counts_cardinality c = Tuple_tbl.length c.cells
+let counts_cardinality c =
+  Array.fold_left (fun acc cells -> acc + Tuple_tbl.length cells) 0 c.cells
 
 (* Build fully, publish atomically: a sibling domain either sees [None]
    (and builds its own complete copy) or a finished index — never a
@@ -326,23 +390,6 @@ let choose_probe_col t ~bound =
   let rec go col = if col >= t.arity then None else if bound col then Some col else go (col + 1) in
   go 0
 
-(* ---- sharding ----------------------------------------------------
-
-   Shard assignment reuses the FNV-1a mixing step of [Tuple_tbl.hash]
-   on a single key column, so the partition is a pure function of the
-   tuple — identical on every domain and every run, which is what
-   per-shard ownership and deterministic merge rest on. *)
-
-let shard_of_value ~shards v =
-  if shards <= 1 then 0
-  else ((0x811c9dc5 lxor v) * 0x01000193 land max_int) mod shards
-
-let shard_of_tuple ~col ~shards (tup : tuple) =
-  if shards <= 1 || Array.length tup = 0 then 0
-  else
-    let col = if col < Array.length tup then col else 0 in
-    shard_of_value ~shards tup.(col)
-
 type relation = t
 
 let base_create = create
@@ -367,9 +414,9 @@ module Sharded = struct
       subs = Array.init shards (fun _ -> base_create ~arity);
     }
 
-  let shards t = t.nshards
+  let shards (t : t) = t.nshards
 
-  let shard t s =
+  let shard (t : t) s =
     if s < 0 || s >= t.nshards then invalid_arg "Relation.Sharded.shard: bad index";
     t.subs.(s)
 

@@ -77,21 +77,52 @@ val choose_probe_col : t -> bound:(int -> bool) -> int option
     [recs], derivations by recursive rules; the counting engine's
     backward phase uses the split to skip exit-supported tuples.
 
+    [level] and [low] form the {e well-founded support index}. [level]
+    is the stratified-fixpoint round of the tuple's first well-founded
+    derivation (Soufflé's [@iteration]): [0] for exit-supported
+    tuples, [r >= 1] for tuples first leveled in recursive round [r],
+    [max_int] for "unknown". Levels are immutable once assigned:
+    lowering one retroactively changes how later derivation deaths
+    classify against it, which can leave [low] overcounting. [low]
+    counts the surviving recursive derivations whose supporter is
+    known to sit at a strictly lower level — it may undercount
+    (derivations with unknown supporters are never counted) but never
+    overcounts, so [exits = 0 && low > 0] soundly exempts a
+    deletion-suspect from the full backward re-proof.
+
     Staleness is detected by version stamp: {!counts_sync} records the
     relation version the counts were made consistent with, and any
     later mutation outside the counting engine (which bumps the
     version) makes {!counts_synced} return [None], forcing a rebuild
-    instead of trusting stale counts. {!clear} drops the side table. *)
+    instead of trusting stale counts. {!clear} drops the side table.
 
-type count_cell = { mutable exits : int; mutable recs : int }
+    Cells are partitioned into [shards] tables by {!shard_of_tuple} on
+    key column 0 — the same pure hash the {!Sharded} tuple stores use —
+    so sharded counting rounds route cell traffic shard-locally;
+    {!counts_iter} walks shards in index order 0..k-1, keeping
+    iteration canonical regardless of insertion interleaving. *)
+
+type count_cell = {
+  mutable exits : int;
+  mutable recs : int;
+  mutable level : int;
+  mutable low : int;
+  mutable debt : int;
+      (** backward-phase scratch: how many of [low]'s entries were
+          condemned by the running backward call. Always zero between
+          calls — the phase resets what it filed. In the cell rather
+          than a side ledger so the O(1) well-foundedness check
+          ([exits = 0 && low - debt > 0]) is pure field arithmetic. *)
+}
 
 type counts
 
-val counts_create : unit -> counts
-(** A free-standing count table (starts unsynced); used for scratch
-    accumulation of signed count deltas. *)
+val counts_create : ?shards:int -> unit -> counts
+(** A free-standing count table (starts unsynced) with [shards]
+    (default 1) cell partitions; used for scratch accumulation of
+    signed count deltas. @raise Invalid_argument when [shards < 1]. *)
 
-val counts_attach : t -> counts
+val counts_attach : ?shards:int -> t -> counts
 (** Replace the relation's count table with a fresh empty one (not yet
     synced) and return it. *)
 
@@ -105,9 +136,12 @@ val counts_sync : t -> unit
 (** Stamp the attached count table as consistent with the relation's
     current contents. No-op when no table is attached. *)
 
+val counts_shards : counts -> int
+(** Number of cell partitions the table was created with. *)
+
 val count_cell : counts -> tuple -> count_cell
-(** Find or create (zero-initialized) the cell for a tuple; the key is
-    copied on insert, as in {!add}. *)
+(** Find or create the cell for a tuple (counts zero, [level = max_int],
+    [low = 0]); the key is copied on insert, as in {!add}. *)
 
 val count_find : counts -> tuple -> count_cell option
 
@@ -117,6 +151,7 @@ val count_total : count_cell -> int
 val count_drop : counts -> tuple -> unit
 
 val counts_iter : (tuple -> count_cell -> unit) -> counts -> unit
+(** Walks cell partitions in index order 0..k-1. *)
 
 val counts_cardinality : counts -> int
 

@@ -10,7 +10,10 @@
      (full span incl. the wait starts at b - a)
    - dred-*:         t = phase end, a = component,  b = phase start
    - shard:          t = end,    a = shard id,      b = start
-   - cnt-*:          t = phase end, a = component,  b = phase start *)
+   - cnt-propagate/backward/forward:
+                     t = phase end, a = component,  b = phase start
+   - cnt-o1-hit / cnt-full-probe (instant):
+                     t = now,    a = suspect count, b = component *)
 
 type kind = int
 
@@ -28,8 +31,10 @@ let shard = 10
 let cnt_propagate = 11
 let cnt_backward = 12
 let cnt_forward = 13
+let cnt_o1_hit = 14
+let cnt_full_probe = 15
 
-let count = 14
+let count = 16
 
 let names =
   [|
@@ -47,6 +52,8 @@ let names =
     "cnt-propagate";
     "cnt-backward";
     "cnt-forward";
+    "cnt-o1-hit";
+    "cnt-full-probe";
   |]
 
 let name k = if k >= 0 && k < count then names.(k) else "unknown"
@@ -55,7 +62,7 @@ let of_name s =
   let rec go i = if i >= count then None else if names.(i) = s then Some i else go (i + 1) in
   go 0
 
-let is_instant k = k = wake
+let is_instant k = k = wake || k = cnt_o1_hit || k = cnt_full_probe
 
 let is_sched k = k = sched_refill || k = sched_complete || k = sched_activate
 

@@ -49,6 +49,16 @@ val cnt_forward : kind
     the [dred_*] kinds: [a] = component id, [b] = phase start, [t] =
     phase end. *)
 
+val cnt_o1_hit : kind
+val cnt_full_probe : kind
+(** Instants: how the counting backward phase disposed of its
+    deletion-suspects in one component — [a] = number of suspects
+    proven by the O(1) well-founded support index (surviving
+    strictly-lower-level supporter, no body re-evaluation), resp.
+    number that needed a full goal-directed {!Matcher.eval_body}
+    probe; [b] = component id. Emitted once per component that ran a
+    backward phase. *)
+
 val count : int
 (** Number of kinds; valid kinds are [0 .. count - 1]. *)
 

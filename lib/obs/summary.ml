@@ -36,6 +36,8 @@ type t = {
   cnt_propagate_s : float;
   cnt_backward_s : float;
   cnt_forward_s : float;
+  cnt_o1_hits : int;
+  cnt_full_probes : int;
   events : int;
   dropped : int;
 }
@@ -56,6 +58,7 @@ let of_events ~domains ?dropped events =
   let nevents = Array.make domains 0 in
   let dd = ref 0 and dr = ref 0 and di = ref 0 in
   let cp = ref 0 and cb = ref 0 and cf = ref 0 in
+  let co1 = ref 0 and cpr = ref 0 in
   let lo = ref max_int and hi = ref min_int in
   List.iter
     (fun (e : event) ->
@@ -76,6 +79,8 @@ let of_events ~domains ?dropped events =
         end
         else if e.kind = Event.park then park.(w) <- park.(w) + d
         else if e.kind = Event.wake then wakes.(w) <- wakes.(w) + e.arg
+        else if e.kind = Event.cnt_o1_hit then co1 := !co1 + e.arg
+        else if e.kind = Event.cnt_full_probe then cpr := !cpr + e.arg
         else if Event.is_sched e.kind then sched.(w) <- sched.(w) + d
         else if Event.is_dred e.kind then begin
           dred.(w) <- dred.(w) + d;
@@ -135,6 +140,8 @@ let of_events ~domains ?dropped events =
     cnt_propagate_s = seconds !cp;
     cnt_backward_s = seconds !cb;
     cnt_forward_s = seconds !cf;
+    cnt_o1_hits = !co1;
+    cnt_full_probes = !cpr;
     events = Array.fold_left ( + ) 0 nevents;
     dropped =
       (match dropped with Some a -> Array.fold_left ( + ) 0 a | None -> 0);
@@ -174,6 +181,10 @@ let pp ppf t =
     Format.fprintf ppf
       "Counting phases: propagate %.6f s, backward %.6f s, forward %.6f s@,"
       t.cnt_propagate_s t.cnt_backward_s t.cnt_forward_s;
+  if t.cnt_o1_hits + t.cnt_full_probes > 0 then
+    Format.fprintf ppf
+      "Counting suspects: %d proven O(1) by the level index, %d full probes@,"
+      t.cnt_o1_hits t.cnt_full_probes;
   Format.fprintf ppf "%4s %10s %10s %10s %10s %10s %6s %6s %7s@," "wid" "busy" "sched"
     "steal" "park" "idle" "tasks" "stolen" "events";
   Array.iter
@@ -201,8 +212,9 @@ let json t =
     "\"dred\": { \"delete_s\": %.9f, \"rederive_s\": %.9f, \"insert_s\": %.9f }, "
     t.dred_delete_s t.dred_rederive_s t.dred_insert_s;
   Printf.bprintf buf
-    "\"cnt\": { \"propagate_s\": %.9f, \"backward_s\": %.9f, \"forward_s\": %.9f }, "
-    t.cnt_propagate_s t.cnt_backward_s t.cnt_forward_s;
+    "\"cnt\": { \"propagate_s\": %.9f, \"backward_s\": %.9f, \"forward_s\": %.9f, \
+     \"o1_hits\": %d, \"full_probes\": %d }, "
+    t.cnt_propagate_s t.cnt_backward_s t.cnt_forward_s t.cnt_o1_hits t.cnt_full_probes;
   Printf.bprintf buf "\"events\": %d, \"dropped\": %d, \"workers\": [ " t.events
     t.dropped;
   Array.iteri

@@ -45,6 +45,11 @@ type t = {
   cnt_forward_s : float;
       (** counting-maintenance phase totals; like the DRed phases they
           count toward a worker's busy time on the serial path *)
+  cnt_o1_hits : int;
+      (** deletion-suspects disposed of by the O(1) well-founded
+          support index, no body re-evaluation *)
+  cnt_full_probes : int;
+      (** deletion-suspects that needed a full goal-directed probe *)
   events : int;
   dropped : int;
 }

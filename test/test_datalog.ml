@@ -1217,12 +1217,17 @@ let counting_diamond_counts () =
   (match cell_of "a" "d" with
   | Some cell ->
     check_int "path(a,d) exits" 0 cell.Datalog.Relation.exits;
-    check_int "path(a,d) recs" 2 cell.Datalog.Relation.recs
+    check_int "path(a,d) recs" 2 cell.Datalog.Relation.recs;
+    (* first derived on fixpoint round 1, both witnesses at level 0 *)
+    check_int "path(a,d) level" 1 cell.Datalog.Relation.level;
+    check_int "path(a,d) low" 2 cell.Datalog.Relation.low
   | None -> Alcotest.fail "path(a,d) has no count cell");
   (match cell_of "a" "b" with
   | Some cell ->
     check_int "path(a,b) exits" 1 cell.Datalog.Relation.exits;
-    check_int "path(a,b) recs" 0 cell.Datalog.Relation.recs
+    check_int "path(a,b) recs" 0 cell.Datalog.Relation.recs;
+    check_int "path(a,b) level" 0 cell.Datalog.Relation.level;
+    check_int "path(a,b) low" 0 cell.Datalog.Relation.low
   | None -> Alcotest.fail "path(a,b) has no count cell");
   ignore
     (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting db program
@@ -1230,7 +1235,12 @@ let counting_diamond_counts () =
   check_bool "path(a,d) survives one diagonal" true
     (Datalog.Database.mem_fact db (atom {|path("a","d")|}));
   (match cell_of "a" "d" with
-  | Some cell -> check_int "path(a,d) recs after delete" 1 cell.Datalog.Relation.recs
+  | Some cell ->
+    check_int "path(a,d) recs after delete" 1 cell.Datalog.Relation.recs;
+    (* the dead diagonal's index entry dies with it; the survivor's
+       stays, and the level is immutable *)
+    check_int "path(a,d) level after delete" 1 cell.Datalog.Relation.level;
+    check_int "path(a,d) low after delete" 1 cell.Datalog.Relation.low
   | None -> Alcotest.fail "path(a,d) lost its count cell");
   ignore
     (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting db program
@@ -1272,14 +1282,245 @@ let counting_survives_dred_interleaving () =
   check_bool "interleaved engines agree" true
     (Datalog.Eval.databases_agree scratch db = Ok ())
 
+(* Regression: an unfounded cycle must not survive the backward
+   search. After deleting the sole exit fact, p("a") and p("b") support
+   only each other through the link cycle; a backward search that
+   spreads suspicion lazily (or exempts a cone member off its own stale
+   level certificate) proves each off the other and keeps both alive.
+   DRed overdeletes and gets this right structurally; counting must
+   agree. *)
+let counting_unfounded_cycle () =
+  let program =
+    parse
+      {|e0("a"). link("a","b"). link("b","a").
+        p(X) :- e0(X).
+        p(X) :- p(Y), link(Y,X).|}
+  in
+  let load () =
+    let db = Datalog.Database.create () in
+    let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+    db
+  in
+  let dred = load () and cnt = load () in
+  ignore (Datalog.Incremental.prime cnt program);
+  let deletions = [ atom {|e0("a")|} ] in
+  ignore
+    (Datalog.Incremental.apply ~maint:Datalog.Incremental.Dred dred program
+       ~additions:[] ~deletions);
+  ignore
+    (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting cnt program
+       ~additions:[] ~deletions);
+  check_bool "p(a) gone" false (Datalog.Database.mem_fact cnt (atom {|p("a")|}));
+  check_bool "p(b) gone" false (Datalog.Database.mem_fact cnt (atom {|p("b")|}));
+  check_bool "counting agrees with dred" true
+    (Datalog.Eval.databases_agree dred cnt = Ok ())
+
+(* The level-index invariant on transitive closure, where the oracle is
+   exact: a fresh prime assigns path(x,z) the BFS round of its first
+   well-founded derivation (shortest edge count minus one), [exits] is
+   the direct edge, [recs] counts the y with path(x,y), edge(y,z), and
+   [low] the subset whose prefix sits at a strictly smaller distance.
+   After maintained deletions levels are immutable, so the maintained
+   cells must still satisfy the conservative reading: counts exact,
+   [low] never exceeding the derivations whose witness cell sits at a
+   strictly lower level than the head cell. *)
+let counting_level_index_qcheck =
+  let nodes = 6 in
+  let program =
+    parse {|path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).|}
+  in
+  (* dist.(z) = least edge count of a nonempty x-to-z walk *)
+  let dists edges x =
+    let dist = Array.make nodes max_int in
+    let q = Queue.create () in
+    List.iter
+      (fun (a, b) ->
+        if a = x && dist.(b) = max_int then begin
+          dist.(b) <- 1;
+          Queue.add b q
+        end)
+      edges;
+    while not (Queue.is_empty q) do
+      let y = Queue.pop q in
+      List.iter
+        (fun (a, b) ->
+          if a = y && dist.(b) > dist.(y) + 1 then begin
+            dist.(b) <- dist.(y) + 1;
+            Queue.add b q
+          end)
+        edges
+    done;
+    dist
+  in
+  let cell_of db x z =
+    let rel = Option.get (Datalog.Database.find db "path") in
+    match Datalog.Relation.counts_synced rel with
+    | None -> None
+    | Some c ->
+      Datalog.Relation.count_find c
+        (Datalog.Database.intern_atom db
+           (atom (Printf.sprintf {|path("n%d","n%d")|} x z)))
+  in
+  let mem_path db x z =
+    Datalog.Database.mem_fact db (atom (Printf.sprintf {|path("n%d","n%d")|} x z))
+  in
+  QCheck.Test.make ~name:"counting: level index obeys the BFS oracle" ~count:100
+    QCheck.(pair (4 -- 14) (0 -- 10_000))
+    (fun (nedges, seed) ->
+      let rng = Prelude.Rng.create ((seed * 733) + nedges) in
+      let edges =
+        ref
+          (List.init nedges (fun _ ->
+               (Prelude.Rng.int rng nodes, Prelude.Rng.int rng nodes))
+          |> List.sort_uniq compare)
+      in
+      let db = Datalog.Database.create () in
+      List.iter
+        (fun (a, b) ->
+          ignore
+            (Datalog.Database.add_fact db
+               (atom (Printf.sprintf {|edge("n%d","n%d")|} a b))))
+        !edges;
+      let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+      ignore (Datalog.Incremental.prime db program);
+      let ok = ref true in
+      let check_pair ~exact x z =
+        let dist = dists !edges x in
+        let reach = Array.map (fun d -> d < max_int) dist in
+        let expect = reach.(z) in
+        if mem_path db x z <> expect then ok := false;
+        match cell_of db x z with
+        | None -> if expect then ok := false
+        | Some cell ->
+          if not expect then ok := false
+          else begin
+            let exits = if List.mem (x, z) !edges then 1 else 0 in
+            let recs =
+              List.length (List.filter (fun (y, b) -> b = z && reach.(y)) !edges)
+            in
+            if cell.Datalog.Relation.exits <> exits then ok := false;
+            if cell.Datalog.Relation.recs <> recs then ok := false;
+            if exact then begin
+              let low =
+                List.length
+                  (List.filter
+                     (fun (y, b) -> b = z && reach.(y) && dist.(y) < dist.(z))
+                     !edges)
+              in
+              if cell.Datalog.Relation.level <> dist.(z) - 1 then ok := false;
+              if cell.Datalog.Relation.low <> low then ok := false
+            end
+            else begin
+              (* conservative: [low] counts only derivations whose
+                 witness cell sits strictly below this cell's level *)
+              let lvl xx yy =
+                match cell_of db xx yy with
+                | Some c -> c.Datalog.Relation.level
+                | None -> max_int
+              in
+              let bound =
+                List.length
+                  (List.filter
+                     (fun (y, b) -> b = z && mem_path db x y && lvl x y < lvl x z)
+                     !edges)
+              in
+              if cell.Datalog.Relation.low < 0 then ok := false;
+              if cell.Datalog.Relation.low > bound then ok := false
+            end
+          end
+      in
+      for x = 0 to nodes - 1 do
+        for z = 0 to nodes - 1 do
+          check_pair ~exact:true x z
+        done
+      done;
+      (* deletion-only stream: levels stay immutable, the conservative
+         reading must keep holding on the maintained cells *)
+      for _ = 1 to 2 do
+        let ndel = min (1 + Prelude.Rng.int rng 3) (List.length !edges) in
+        let dels = List.filteri (fun i _ -> i < ndel) !edges in
+        edges := List.filter (fun e -> not (List.mem e dels)) !edges;
+        ignore
+          (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting db program
+             ~additions:[]
+             ~deletions:
+               (List.map
+                  (fun (a, b) ->
+                    atom (Printf.sprintf {|edge("n%d","n%d")|} a b))
+                  dels));
+        for x = 0 to nodes - 1 do
+          for z = 0 to nodes - 1 do
+            check_pair ~exact:false x z
+          done
+        done
+      done;
+      !ok)
+
+(* The sharded grid: counting with sharded count tables must restore
+   the same database as serial DRed and as from-scratch recomputation
+   at every point of {shards 1, 2, 4} x {domains 1, 2}. *)
+let counting_sharded_differential_qcheck =
+  QCheck.Test.make
+    ~name:"sharded counting equals serial DRed and from-scratch across the grid"
+    ~count:100
+    QCheck.(triple (1 -- 3) (2 -- 14) (0 -- 10_000))
+    (fun (preds, nfacts, seed) ->
+      let rng = Prelude.Rng.create ((seed * 911) + (preds * 53) + nfacts) in
+      let prog_src = random_program ~aggregates:true rng ~preds in
+      let program = parse prog_src in
+      let mk () =
+        Printf.sprintf {|e("n%d","n%d")|} (Prelude.Rng.int rng 5)
+          (Prelude.Rng.int rng 5)
+      in
+      let base = List.init nfacts (fun _ -> mk ()) |> List.sort_uniq compare in
+      let load facts =
+        let db = Datalog.Database.create () in
+        List.iter (fun f -> ignore (Datalog.Database.add_fact db (atom f))) facts;
+        let _ = Datalog.Eval.run ~engine:Datalog.Plan.Compiled db program in
+        db
+      in
+      let grid = [ (1, 1); (2, 1); (4, 1); (1, 2); (2, 2); (4, 2) ] in
+      let dred = load base in
+      let cnts = List.map (fun cfg -> (cfg, load base)) grid in
+      let live = ref base in
+      let ok = ref true in
+      for _ = 1 to 2 do
+        let adds =
+          List.init (Prelude.Rng.int rng 3) (fun _ -> mk ())
+          |> List.sort_uniq compare
+          |> List.filter (fun f -> not (List.mem f !live))
+        in
+        let ndel = min (Prelude.Rng.int rng 3) (List.length !live) in
+        let dels = List.filteri (fun i _ -> i < ndel) !live in
+        live := List.filter (fun f -> not (List.mem f dels)) !live @ adds;
+        let additions = List.map atom adds and deletions = List.map atom dels in
+        ignore
+          (Datalog.Incremental.apply ~engine:Datalog.Plan.Compiled
+             ~maint:Datalog.Incremental.Dred dred program ~additions ~deletions);
+        List.iter
+          (fun ((shards, domains), db) ->
+            ignore
+              (Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
+                 ~shards ~domains db program ~additions ~deletions))
+          cnts;
+        let scratch = load !live in
+        List.iter
+          (fun (_, db) ->
+            ok := !ok && Datalog.Eval.databases_agree dred db = Ok ();
+            ok := !ok && Datalog.Eval.databases_agree scratch db = Ok ())
+          cnts
+      done;
+      !ok)
+
 let msg_mentions needle msg =
   let nl = String.length needle and hl = String.length msg in
   let rec find i = i + nl <= hl && (String.sub msg i nl = needle || find (i + 1)) in
   find 0
 
 (* Counting is compiled-only: that misuse is still rejected loudly.
-   Counting + shards > 1, by contrast, downgrades to DRed with a
-   warning and restores the right database. *)
+   Counting + shards > 1, by contrast, now runs natively — the count
+   side tables shard like the tuple stores — with no downgrade
+   warning and the same database as the serial walk. *)
 let counting_rejects_unsupported () =
   let program = parse "p(X,Y) :- e(X,Y). e(\"a\",\"b\")." in
   let load () =
@@ -1296,26 +1537,26 @@ let counting_rejects_unsupported () =
    with
   | _ -> Alcotest.fail "interpreted engine must be rejected under counting"
   | exception Invalid_argument _ -> ());
-  (* counting + shards > 1: warn once, run under DRed, same database *)
+  (* counting + shards > 1: native sharded counting, no warning *)
   let serial = load () in
-  ignore (Datalog.Incremental.apply serial program ~additions:adds ~deletions:[]);
+  ignore
+    (Datalog.Incremental.apply ~maint:Datalog.Incremental.Counting serial program
+       ~additions:adds ~deletions:[]);
   let warned = ref [] in
   let r =
     Datalog.Incremental.apply_parallel ~maint:Datalog.Incremental.Counting
       ~shards:2 ~on_warn:(fun m -> warned := m :: !warned) db program
       ~additions:adds ~deletions:[]
   in
-  check_bool "downgraded run restores the serial database" true
+  check_bool "sharded counting matches the serial database" true
     (Datalog.Eval.databases_agree serial db = Ok ());
-  check_bool "downgraded run reports the change" true
+  check_bool "sharded counting reports the change" true
     (List.exists
        (fun (c : Datalog.Incremental.pred_change) -> c.Datalog.Incremental.pred = "p")
        r.Datalog.Incremental.changes);
   (match List.rev !warned with
-  | [ m ] ->
-    check_bool "warning names the downgrade" true
-      (msg_mentions "running every stratum under DRed" m)
-  | l -> Alcotest.failf "expected exactly one downgrade warning, got %d" (List.length l));
+  | [] -> ()
+  | l -> Alcotest.failf "expected no downgrade warning, got %d" (List.length l));
   (match Datalog.Incremental.prime ~engine:Datalog.Plan.Interpreted db program with
   | _ -> Alcotest.fail "prime must reject the interpreted engine"
   | exception Invalid_argument _ -> ());
@@ -2049,13 +2290,19 @@ let () =
       ( "counting-maintenance",
         [
           test `Quick "diamond derivation counts" counting_diamond_counts;
+          test `Quick "unfounded cycle removed" counting_unfounded_cycle;
           test `Quick "stale counts rebuilt after DRed interleaving"
             counting_survives_dred_interleaving;
           test `Quick "unsupported configurations rejected"
             counting_rejects_unsupported;
         ]
         @ qsuite
-            [ counting_differential_qcheck; counting_counts_invariant_qcheck ] );
+            [
+              counting_differential_qcheck;
+              counting_counts_invariant_qcheck;
+              counting_level_index_qcheck;
+              counting_sharded_differential_qcheck;
+            ] );
       ( "aggregates",
         [
           test `Quick "count, sum, min, max" agg_eval_basic;

@@ -34,7 +34,7 @@ let whitelist =
   ]
 
 (* subtrees that exist to report measurements; skipped entirely *)
-let skip = [ "headline"; "breakdown"; "sched_overhead" ]
+let skip = [ "headline"; "breakdown"; "sched_overhead"; "counting_phases" ]
 
 (* present but host-dependent *)
 let ignore_keys = [ "host_cores" ]
