@@ -1,4 +1,4 @@
-.PHONY: all build test analyze bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard bench-maintain-count model-check model-check-smoke ci clean
+.PHONY: all build test analyze bench bench-smoke bench-check bench-datalog bench-maintain-par bench-maintain-shard bench-maintain-count bench-serve model-check model-check-smoke ci clean
 
 all: build
 
@@ -55,13 +55,21 @@ bench-maintain-shard:
 bench-maintain-count:
 	dune exec bench/main.exe -- maintain-count
 
+# sustained update-server throughput: open-loop replay of a synthetic
+# update stream through Server.Engine in sync and async (coalescing)
+# modes, parity-asserted against a one-shot Incr_sched.update twin;
+# writes BENCH_serve.json
+bench-serve:
+	dune exec bench/main.exe -- serve
+
 # tiny traces through the full dispatch matrix (both executors, all
 # domain counts, Executor.check everywhere), a small compiled-vs-
 # interpreter pass, a 2-domain parallel-maintenance parity pass, the
-# sharded-maintenance parity grid, and the counting-vs-DRed parity
-# grid; seconds; writes BENCH_*_smoke.json into the current directory
+# sharded-maintenance parity grid, the counting-vs-DRed parity grid,
+# and the update-server replay (parity against a one-shot twin);
+# seconds; writes BENCH_*_smoke.json into the current directory
 bench-smoke:
-	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke maintain-shard-smoke maintain-count-smoke
+	dune exec bench/main.exe -- dispatch-smoke datalog-smoke maintain-par-smoke maintain-shard-smoke maintain-count-smoke serve-smoke
 
 # compare the BENCH_*_smoke.json of the last `make bench-smoke` against
 # the committed baselines: fails on parity drift (task/tuple/changed

@@ -7,6 +7,7 @@
      compare  simulate several schedulers on a trace
      dot      export a trace's DAG to Graphviz
      datalog  materialize a program, apply an incremental update
+     serve    long-lived epoch server over a materialized program
      analyze  static report: effect sets, ownership, maintenance advice
      trace    summarize a recorded maintenance timeline *)
 
@@ -183,6 +184,43 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Export a trace's DAG to Graphviz, active graph highlighted.")
     Term.(const run $ trace_arg $ out)
 
+(* ---- shared maintenance knobs (datalog, serve) ---- *)
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Run the incremental maintenance itself on N worker domains \
+               (real parallelism via the multicore executor; 1 = serial).")
+
+let shards_arg =
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K"
+         ~doc:"Split each component's maintenance phase rounds (DRed delete \
+               and insert, counting propagation) into K hash-sharded \
+               fan-out tasks (intra-component parallelism; 1 = unsharded).")
+
+let maint_arg =
+  let maint_conv =
+    Arg.enum
+      [
+        ("dred", Datalog.Incremental.Dred);
+        ("counting", Datalog.Incremental.Counting);
+        ("auto", Datalog.Incremental.Auto);
+      ]
+  in
+  Arg.(value & opt maint_conv Datalog.Incremental.Dred & info [ "maint" ] ~docv:"ALG"
+         ~doc:"Maintenance strategy: 'dred' (delete-rederive, the default), \
+               'counting' (per-tuple derivation counts with a well-founded \
+               support index and backward/forward search; no rederivation \
+               storm on deletion-heavy updates; composes with --shards), \
+               or 'auto' (the static advisor picks per component — see \
+               'dms analyze').")
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  src
+
 (* ---- datalog ---- *)
 
 let datalog_cmd =
@@ -207,34 +245,6 @@ let datalog_cmd =
            ~doc:"Report rule diagnostics (unbound variables with names, \
                  singleton variables) before evaluating.")
   in
-  let domains_arg =
-    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
-           ~doc:"Run the incremental maintenance itself on N worker domains \
-                 (real parallelism via the multicore executor; 1 = serial).")
-  in
-  let shards_arg =
-    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K"
-           ~doc:"Split each component's maintenance phase rounds (DRed delete \
-                 and insert, counting propagation) into K hash-sharded \
-                 fan-out tasks (intra-component parallelism; 1 = unsharded).")
-  in
-  let maint_arg =
-    let maint_conv =
-      Arg.enum
-        [
-          ("dred", Datalog.Incremental.Dred);
-          ("counting", Datalog.Incremental.Counting);
-          ("auto", Datalog.Incremental.Auto);
-        ]
-    in
-    Arg.(value & opt maint_conv Datalog.Incremental.Dred & info [ "maint" ] ~docv:"ALG"
-           ~doc:"Maintenance strategy: 'dred' (delete-rederive, the default), \
-                 'counting' (per-tuple derivation counts with a well-founded \
-                 support index and backward/forward search; no rederivation \
-                 storm on deletion-heavy updates; composes with --shards), \
-                 or 'auto' (the static advisor picks per component — see \
-                 'dms analyze').")
-  in
   let sanitize_arg =
     Arg.(value & flag & info [ "sanitize" ]
            ~doc:"Arm the write-set sanitizer: tag every relation with its \
@@ -250,10 +260,7 @@ let datalog_cmd =
   let run program queries adds dels lint sched procs domains shards maint sanitize
       trace =
     wrap (fun () ->
-        let ic = open_in program in
-        let n = in_channel_length ic in
-        let src = really_input_string ic n in
-        close_in ic;
+        let src = read_file program in
         let session = Incr_sched.materialize ~lint src in
         if lint then begin
           match Incr_sched.lint session with
@@ -300,6 +307,74 @@ let datalog_cmd =
       const run $ program $ queries $ adds $ dels $ lint_flag $ sched_arg $ procs_arg
       $ domains_arg $ shards_arg $ maint_arg $ sanitize_arg $ trace_out)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let program =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.dl"
+           ~doc:"Datalog program to materialize and serve.")
+  in
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve one session on stdin/stdout — the default transport; \
+                 lets scripts and CI drive the server without networking. \
+                 Protocol replies go to stdout, status banners to stderr.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix domain socket instead, serving client \
+                 connections sequentially; a client sending 'quit' stops \
+                 the server.")
+  in
+  let async =
+    Arg.(value & flag & info [ "async" ]
+           ~doc:"Run each commit's maintenance on a background domain: \
+                 queries keep being served from the published epoch while \
+                 the next one maintains, and commit requests arriving \
+                 mid-flight coalesce into one follow-up batch.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record every commit's maintenance timeline plus the server's \
+                 epoch/admission/commit spans, and write Chrome trace_event \
+                 JSON on exit (summarize with 'dms trace FILE').")
+  in
+  let run program stdio socket maint domains shards async trace =
+    wrap (fun () ->
+        let session = Incr_sched.materialize (read_file program) in
+        let obs =
+          match trace with
+          | None -> Obs.Trace.disabled
+          | Some _ ->
+            Obs.Trace.create ~domains:(max 1 domains + max 1 shards - 1) ()
+        in
+        let engine = Server.Engine.create ~maint ~domains ~shards ~obs session in
+        let repl = Server.Repl.create ~async engine in
+        Format.eprintf "dms serve: epoch 0 ready, %d tuples (%s)@."
+          (Datalog.Database.total_tuples session.Incr_sched.db)
+          (match socket with
+          | Some path when not stdio -> "socket " ^ path
+          | Some _ | None -> "stdio");
+        (match socket with
+        | Some path when not stdio -> Server.Repl.serve_socket repl path
+        | Some _ | None -> ignore (Server.Repl.run_channels repl stdin stdout));
+        match trace with
+        | Some path ->
+          Server.Engine.export engine path;
+          Format.eprintf "timeline written to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a materialized program as a long-lived epoch server: \
+          line-protocol insert/remove/commit/query/stats commands, commits \
+          maintained incrementally through the scheduling machinery, queries \
+          answered from immutable post-commit snapshots.")
+    Term.(
+      const run $ program $ stdio $ socket $ maint_arg $ domains_arg
+      $ shards_arg $ async $ trace_out)
+
 (* ---- analyze ---- *)
 
 let analyze_cmd =
@@ -313,10 +388,7 @@ let analyze_cmd =
   in
   let run program json =
     wrap (fun () ->
-        let ic = open_in program in
-        let n = in_channel_length ic in
-        let src = really_input_string ic n in
-        close_in ic;
+        let src = read_file program in
         let prog = Datalog.Parser.parse src in
         let diags = Datalog.Lint.check prog in
         (match Datalog.Lint.errors diags with
@@ -401,6 +473,6 @@ let main =
   let doc = "Datalog incremental-maintenance scheduling (IPDPS 2020 reproduction)." in
   Cmd.group (Cmd.info "dms" ~version:"1.0.0" ~doc)
     [ gen_cmd; info_cmd; run_cmd; compare_cmd; dot_cmd; schedule_cmd; datalog_cmd;
-      analyze_cmd; trace_cmd ]
+      serve_cmd; analyze_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -38,15 +38,20 @@ let materialize ?(lint = false) src =
 
 let lint session = Datalog.Lint.check session.program
 
-let update ?work_unit ?maint ?domains ?shards ?sanitize ?trace session ~additions
-    ~deletions =
+let update ?work_unit ?maint ?domains ?shards ?sanitize ?trace ?obs session
+    ~additions ~deletions =
   let parse = List.map Datalog.Parser.parse_atom in
   let additions = parse additions and deletions = parse deletions in
-  match trace with
-  | None ->
+  match (obs, trace) with
+  | Some obs, _ ->
+    (* the caller owns the rings (and their export); a long-lived
+       server threads one trace through many updates this way *)
+    Datalog.To_trace.of_update ?work_unit ?maint ?domains ?shards ?sanitize ~obs
+      session.db session.program ~additions ~deletions
+  | None, None ->
     Datalog.To_trace.of_update ?work_unit ?maint ?domains ?shards ?sanitize
       session.db session.program ~additions ~deletions
-  | Some path ->
+  | None, Some path ->
     (* one ring per executor worker, plus one per crew worker (shard
        [j >= 1] emits on ring [domains + j - 1], see
        {!Datalog.Incremental.apply_parallel}) *)

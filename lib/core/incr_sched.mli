@@ -77,6 +77,7 @@ val update :
   ?shards:int ->
   ?sanitize:bool ->
   ?trace:string ->
+  ?obs:Obs.Trace.t ->
   datalog_session ->
   additions:string list ->
   deletions:string list ->
@@ -97,7 +98,11 @@ val update :
     as Chrome trace_event JSON (chrome://tracing or Perfetto; task
     spans named by component predicates, shard fan-out as [shard j]
     spans) — summarize it with [dms trace] or
-    {!Obs.Export.summary_of_json}. *)
+    {!Obs.Export.summary_of_json}. [obs] instead records into
+    caller-owned rings (sized for [domains + shards - 1] writers, see
+    {!Datalog.Incremental.apply_parallel}) and leaves export to the
+    caller — the update server threads one trace through many commits
+    this way; when both are given [obs] wins and [trace] is ignored. *)
 
 val query : datalog_session -> string -> Datalog.Ast.atom list
 (** All facts of a predicate, sorted. *)

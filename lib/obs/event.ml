@@ -13,7 +13,11 @@
    - cnt-propagate/backward/forward:
                      t = phase end, a = component,  b = phase start
    - cnt-o1-hit / cnt-full-probe (instant):
-                     t = now,    a = suspect count, b = component *)
+                     t = now,    a = suspect count, b = component
+   - srv-admit (instant):
+                     t = now,    a = ops admitted,  b = target epoch
+   - srv-commit:     t = publish, a = epoch produced, b = commit start
+   - srv-epoch:      t = epoch end, a = epoch id,   b = epoch start *)
 
 type kind = int
 
@@ -33,8 +37,11 @@ let cnt_backward = 12
 let cnt_forward = 13
 let cnt_o1_hit = 14
 let cnt_full_probe = 15
+let srv_admit = 16
+let srv_commit = 17
+let srv_epoch = 18
 
-let count = 16
+let count = 19
 
 let names =
   [|
@@ -54,6 +61,9 @@ let names =
     "cnt-forward";
     "cnt-o1-hit";
     "cnt-full-probe";
+    "srv-admit";
+    "srv-commit";
+    "srv-epoch";
   |]
 
 let name k = if k >= 0 && k < count then names.(k) else "unknown"
@@ -62,13 +72,15 @@ let of_name s =
   let rec go i = if i >= count then None else if names.(i) = s then Some i else go (i + 1) in
   go 0
 
-let is_instant k = k = wake || k = cnt_o1_hit || k = cnt_full_probe
+let is_instant k = k = wake || k = cnt_o1_hit || k = cnt_full_probe || k = srv_admit
 
 let is_sched k = k = sched_refill || k = sched_complete || k = sched_activate
 
 let is_dred k = k = dred_delete || k = dred_rederive || k = dred_insert
 
 let is_cnt k = k = cnt_propagate || k = cnt_backward || k = cnt_forward
+
+let is_srv k = k = srv_admit || k = srv_commit || k = srv_epoch
 
 (* Start of the full span in ns-since-epoch; for scheduler sections
    the recorded stamp [b] is taken after the lock was acquired and [a]

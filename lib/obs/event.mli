@@ -59,6 +59,21 @@ val cnt_full_probe : kind
     probe; [b] = component id. Emitted once per component that ran a
     backward phase. *)
 
+val srv_admit : kind
+(** Instant: the update server admitted a client batch for
+    maintenance — [a] = operations admitted, [b] = the epoch the
+    batch will produce. *)
+
+val srv_commit : kind
+(** Server commit span — one maintenance run between admission and
+    snapshot publication: [a] = epoch produced, [b] = commit start,
+    [t] = publish. *)
+
+val srv_epoch : kind
+(** Server epoch-lifetime span, emitted when the epoch's snapshot is
+    superseded: [a] = epoch id, [b] = the stamp its snapshot was
+    published, [t] = the stamp the next snapshot replaced it. *)
+
 val count : int
 (** Number of kinds; valid kinds are [0 .. count - 1]. *)
 
@@ -73,6 +88,8 @@ val is_sched : kind -> bool
 val is_dred : kind -> bool
 
 val is_cnt : kind -> bool
+
+val is_srv : kind -> bool
 
 val span_start_ns : kind -> a:int -> b:int -> int
 (** Start of the full span (for sched sections, including the lock

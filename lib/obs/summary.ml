@@ -38,6 +38,11 @@ type t = {
   cnt_forward_s : float;
   cnt_o1_hits : int;
   cnt_full_probes : int;
+  srv_commit_s : float;
+  srv_epoch_s : float;
+  srv_commits : int;
+  srv_epochs : int;
+  srv_admitted : int;
   events : int;
   dropped : int;
 }
@@ -59,6 +64,8 @@ let of_events ~domains ?dropped events =
   let dd = ref 0 and dr = ref 0 and di = ref 0 in
   let cp = ref 0 and cb = ref 0 and cf = ref 0 in
   let co1 = ref 0 and cpr = ref 0 in
+  let sc = ref 0 and se = ref 0 in
+  let ncommits = ref 0 and nepochs = ref 0 and nadmitted = ref 0 in
   let lo = ref max_int and hi = ref min_int in
   List.iter
     (fun (e : event) ->
@@ -81,6 +88,17 @@ let of_events ~domains ?dropped events =
         else if e.kind = Event.wake then wakes.(w) <- wakes.(w) + e.arg
         else if e.kind = Event.cnt_o1_hit then co1 := !co1 + e.arg
         else if e.kind = Event.cnt_full_probe then cpr := !cpr + e.arg
+        else if e.kind = Event.srv_admit then nadmitted := !nadmitted + e.arg
+        else if e.kind = Event.srv_commit then begin
+          (* commit spans contain the maintenance phases, which do
+             their own busy accounting — count the span only here *)
+          sc := !sc + d;
+          incr ncommits
+        end
+        else if e.kind = Event.srv_epoch then begin
+          se := !se + d;
+          incr nepochs
+        end
         else if Event.is_sched e.kind then sched.(w) <- sched.(w) + d
         else if Event.is_dred e.kind then begin
           dred.(w) <- dred.(w) + d;
@@ -142,6 +160,11 @@ let of_events ~domains ?dropped events =
     cnt_forward_s = seconds !cf;
     cnt_o1_hits = !co1;
     cnt_full_probes = !cpr;
+    srv_commit_s = seconds !sc;
+    srv_epoch_s = seconds !se;
+    srv_commits = !ncommits;
+    srv_epochs = !nepochs;
+    srv_admitted = !nadmitted;
     events = Array.fold_left ( + ) 0 nevents;
     dropped =
       (match dropped with Some a -> Array.fold_left ( + ) 0 a | None -> 0);
@@ -185,6 +208,15 @@ let pp ppf t =
     Format.fprintf ppf
       "Counting suspects: %d proven O(1) by the level index, %d full probes@,"
       t.cnt_o1_hits t.cnt_full_probes;
+  if t.srv_commits + t.srv_epochs + t.srv_admitted > 0 then
+    Format.fprintf ppf
+      "Server: %d commit%s totaling %.6f s, %d closed epoch%s totaling %.6f s, \
+       %d ops admitted@,"
+      t.srv_commits
+      (if t.srv_commits = 1 then "" else "s")
+      t.srv_commit_s t.srv_epochs
+      (if t.srv_epochs = 1 then "" else "s")
+      t.srv_epoch_s t.srv_admitted;
   Format.fprintf ppf "%4s %10s %10s %10s %10s %10s %6s %6s %7s@," "wid" "busy" "sched"
     "steal" "park" "idle" "tasks" "stolen" "events";
   Array.iter
@@ -215,6 +247,10 @@ let json t =
     "\"cnt\": { \"propagate_s\": %.9f, \"backward_s\": %.9f, \"forward_s\": %.9f, \
      \"o1_hits\": %d, \"full_probes\": %d }, "
     t.cnt_propagate_s t.cnt_backward_s t.cnt_forward_s t.cnt_o1_hits t.cnt_full_probes;
+  Printf.bprintf buf
+    "\"srv\": { \"commit_s\": %.9f, \"epoch_s\": %.9f, \"commits\": %d, \
+     \"epochs\": %d, \"admitted\": %d }, "
+    t.srv_commit_s t.srv_epoch_s t.srv_commits t.srv_epochs t.srv_admitted;
   Printf.bprintf buf "\"events\": %d, \"dropped\": %d, \"workers\": [ " t.events
     t.dropped;
   Array.iteri

@@ -50,6 +50,15 @@ type t = {
           support index, no body re-evaluation *)
   cnt_full_probes : int;
       (** deletion-suspects that needed a full goal-directed probe *)
+  srv_commit_s : float;
+      (** total update-server commit-span seconds (admission to
+          snapshot publication); the maintenance phases inside a
+          commit do their own busy accounting, so this is not added
+          to any worker's busy time *)
+  srv_epoch_s : float;  (** total closed-epoch lifetime seconds *)
+  srv_commits : int;  (** server commits recorded *)
+  srv_epochs : int;  (** server epochs closed (snapshot superseded) *)
+  srv_admitted : int;  (** client operations admitted across commits *)
   events : int;
   dropped : int;
 }

@@ -1,0 +1,60 @@
+(* Line protocol: keyword + optional payload. Payloads stay raw text —
+   Datalog parsing is admission's job, so a bad atom is a per-command
+   error reply, not a protocol failure. *)
+
+type command =
+  | Insert of string
+  | Remove of string
+  | Commit
+  | Query of string
+  | Stats
+  | Help
+  | Quit
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+(* split a trimmed line into (keyword, trimmed rest) *)
+let split line =
+  let n = String.length line in
+  let rec gap i = if i < n && not (is_space line.[i]) then gap (i + 1) else i in
+  let cut = gap 0 in
+  (String.sub line 0 cut, trim (String.sub line cut (n - cut)))
+
+let parse line =
+  let line = trim line in
+  if line = "" then Error "empty command; try help"
+  else begin
+    let keyword, rest = split line in
+    let with_payload what mk =
+      if rest = "" then
+        Error (Printf.sprintf "%s needs a fact, e.g. %s edge(\"a\", \"b\")" what what)
+      else Ok (mk rest)
+    in
+    let bare cmd =
+      if rest = "" then Ok cmd
+      else Error (Printf.sprintf "%s takes no argument (got %S)" keyword rest)
+    in
+    match keyword with
+    | "insert" -> with_payload "insert" (fun a -> Insert a)
+    | "remove" -> with_payload "remove" (fun a -> Remove a)
+    | "query" ->
+      if rest = "" then
+        Error "query needs a pattern, e.g. query path(\"a\", X)"
+      else Ok (Query rest)
+    | "commit" -> bare Commit
+    | "stats" -> bare Stats
+    | "help" -> bare Help
+    | "quit" -> bare Quit
+    | _ -> Error (Printf.sprintf "unknown command %S; try help" keyword)
+  end
+
+let format = function
+  | Insert a -> "insert " ^ a
+  | Remove a -> "remove " ^ a
+  | Commit -> "commit"
+  | Query a -> "query " ^ a
+  | Stats -> "stats"
+  | Help -> "help"
+  | Quit -> "quit"

@@ -1,0 +1,41 @@
+(** The [dms serve] line protocol.
+
+    One command per line, Soufflé-style:
+    {v
+    insert edge("a", "b")
+    remove edge("b", "c")
+    commit
+    query path("a", X)
+    stats
+    help
+    quit
+    v}
+
+    Payloads (the fact or query pattern) are kept as raw atom text
+    here; parsing them as Datalog happens at admission ({!Engine}), so
+    the protocol layer round-trips any payload verbatim and a payload
+    syntax error is an ordinary [err] reply, never a session killer.
+
+    Replies are lines too: a command produces zero or more data lines
+    (query results, [note] lines reporting background commits)
+    followed by exactly one terminator line starting with [ok] or
+    [err]. *)
+
+type command =
+  | Insert of string  (** raw ground-atom text *)
+  | Remove of string  (** raw ground-atom text *)
+  | Commit
+  | Query of string  (** raw pattern-atom text, variables allowed *)
+  | Stats
+  | Help
+  | Quit
+
+val parse : string -> (command, string) result
+(** Parse one client line. Keywords are lowercase; payloads are
+    trimmed. Blank lines and [#] comments are the caller's business
+    ({!Repl} skips them before parsing). The error string is a
+    human-readable reason suitable for an [err] reply. *)
+
+val format : command -> string
+(** The canonical client line for a command; [parse (format c) = Ok c]
+    for every [c] whose payload is trimmed and non-empty. *)

@@ -1,0 +1,31 @@
+(** Session loop for [dms serve]: reads protocol lines, executes them
+    against an {!Engine}, writes replies.
+
+    Every command yields zero or more data lines plus one [ok]/[err]
+    terminator; a malformed line is an [err] reply and the session
+    continues. In async mode, commits run on a background domain and
+    their results surface as [note] lines prepended to the next
+    reply. *)
+
+type t
+
+val create : ?async:bool -> Engine.t -> t
+(** [async] (default false): [commit] returns immediately and the
+    maintenance runs on a background domain, with overlapping commit
+    requests coalesced (see {!Engine.commit_async}). *)
+
+val handle_line : t -> string -> string list * bool
+(** Execute one client line; returns the reply lines and whether the
+    session should end ([quit]). Blank lines and [#] comments yield
+    [([], false)]. Never raises on malformed input — errors become
+    [err] replies. *)
+
+val run_channels : t -> in_channel -> out_channel -> bool
+(** Serve one session until [quit] or EOF, flushing after every
+    command; waits out background commits before returning. [true] iff
+    the client said [quit] (rather than hanging up). *)
+
+val serve_socket : t -> string -> unit
+(** Bind a Unix domain socket at the given path (unlinking any stale
+    one) and serve client connections sequentially; a client sending
+    [quit] stops the whole server (EOF only ends that connection). *)

@@ -343,6 +343,34 @@ module Update_stream = struct
 
   type t = { base : string list; steps : (string list * string list) list }
 
+  (* Replay discipline: each step is a delta against the state left by
+     its predecessors, so a consumer must prime [base] exactly once and
+     then take the steps in order from the start. The cursor encodes
+     that contract — it only moves forward, and [reset] rewinds to the
+     first step on the understanding that the caller rebuilds the base
+     state too. *)
+  type cursor = {
+    stream : t;
+    mutable rest : (string list * string list) list;
+    mutable consumed : int;
+  }
+
+  let cursor stream = { stream; rest = stream.steps; consumed = 0 }
+
+  let next c =
+    match c.rest with
+    | [] -> None
+    | step :: rest ->
+      c.rest <- rest;
+      c.consumed <- c.consumed + 1;
+      Some step
+
+  let reset c =
+    c.rest <- c.stream.steps;
+    c.consumed <- 0
+
+  let consumed c = c.consumed
+
   let fact ~pred u v = Printf.sprintf "%s(\"v%d\",\"v%d\")" pred u v
 
   let generate ?(pred = "edge") (p : params) =
@@ -430,13 +458,26 @@ module Update_stream = struct
           in
           pick 0
         end
-        else
-          match sample_fresh () with
+        else begin
+          (* sample_fresh only consults the live set, so it can hand
+             back an edge deleted earlier in this very batch; retry so
+             the one-side-per-batch invariant above actually holds *)
+          let rec fresh_untouched attempts =
+            if attempts > 64 then None
+            else
+              match sample_fresh () with
+              | None -> None
+              | Some e when Hashtbl.mem touched e ->
+                fresh_untouched (attempts + 1)
+              | Some e -> Some e
+          in
+          match fresh_untouched 0 with
           | None -> ()
           | Some ((u, v) as e) ->
             push e;
             Hashtbl.replace touched e ();
             adds := fact ~pred u v :: !adds
+        end
       done;
       (List.rev !adds, List.rev !dels)
     in

@@ -68,7 +68,12 @@ module Update_stream : sig
         (** per batch: (additions, deletions). Within one batch an edge
             appears on at most one side, deletions are always live and
             insertions always fresh, so every batch is a well-formed
-            update against the state left by its predecessors. *)
+            update against the state left by its predecessors — which
+            means the steps are only meaningful applied in order, from
+            the start, to a database primed with [base] exactly once.
+            Consumers that walk the stream incrementally (the serve
+            bench driver) should go through a {!cursor} so position is
+            explicit and a drifted replay is impossible. *)
   }
 
   val generate : ?pred:string -> params -> t
@@ -77,4 +82,28 @@ module Update_stream : sig
       into an exhausted edge space) are skipped, so a batch may carry
       fewer than [batch_ops] changes.
       @raise Invalid_argument on infeasible params. *)
+
+  type cursor
+  (** A forward-only position in a stream's [steps]. The stream itself
+      is immutable; the cursor is the reuse story: prime the database
+      with [base] once, then call {!next} until it returns [None].
+      Steps cannot be skipped or replayed out of order through a
+      cursor, so a consumer cannot silently apply a batch against a
+      state it was not generated for. *)
+
+  val cursor : t -> cursor
+  (** A fresh cursor positioned before the first step. Independent
+      cursors on the same stream do not interfere. *)
+
+  val next : cursor -> (string list * string list) option
+  (** The next [(additions, deletions)] batch, advancing the cursor;
+      [None] when exhausted. *)
+
+  val reset : cursor -> unit
+  (** Rewind to before the first step. Only sound if the caller also
+      rebuilds the database back to [base] (e.g. re-materializes): the
+      steps assume that exact starting state. *)
+
+  val consumed : cursor -> int
+  (** Number of steps taken since creation or the last {!reset}. *)
 end

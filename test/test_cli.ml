@@ -159,6 +159,80 @@ let analyze_rejects_bad_program () =
   check_bool "analyze exits 1 on a bad program" true (status = Unix.WEXITED 1);
   check_bool "diagnostic printed" true (contains out "error")
 
+(* scripted `serve --stdio` session over a real pipe pair: drive the
+   line protocol end to end and require a clean exit *)
+let serve_session ~extra_args ~script ~needles =
+  let tmp = write_program tc_src in
+  let cmd =
+    Filename.quote_command dms ([ "serve"; tmp; "--stdio" ] @ extra_args)
+    ^ " 2>/dev/null"
+  in
+  let ic, oc = Unix.open_process cmd in
+  List.iter (fun line -> output_string oc (line ^ "\n")) script;
+  flush oc;
+  close_out oc;
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process (ic, oc) in
+  Sys.remove tmp;
+  let out = Buffer.contents buf in
+  check_bool "serve exits 0" true (status = Unix.WEXITED 0);
+  List.iter
+    (fun needle ->
+      if not (contains out needle) then
+        Alcotest.failf "serve session output lacks %S:\n%s" needle out)
+    needles;
+  out
+
+let serve_stdio_session () =
+  let out =
+    serve_session ~extra_args:[]
+      ~script:
+        [
+          "query path(\"a\", X)";
+          "insert edge(\"c\", \"d\")";
+          "remove edge(\"a\", \"b\")";
+          "bogus nonsense";
+          "commit";
+          "query path(\"b\", X)";
+          "stats";
+          "quit";
+        ]
+      ~needles:
+        [
+          "ok 2 facts epoch 0";
+          "ok pending 1";
+          "ok pending 2";
+          "err unknown command \"bogus\"";
+          "ok epoch 1 ops 2";
+          "path(\"b\", \"d\").";
+          "ok 2 facts epoch 1";
+          "commits 1";
+          "ok bye";
+        ]
+  in
+  (* the update actually removed a's reachability: the old epoch-0
+     answer must not resurface after the commit *)
+  check_bool "epoch 1 stats line" true (contains out "ok epoch 1 facts")
+
+let serve_stdio_async_session () =
+  ignore
+    (serve_session
+       ~extra_args:[ "--async"; "--maint"; "counting" ]
+       ~script:
+         [
+           "insert edge(\"c\", \"d\")";
+           "commit";
+           "insert edge(\"d\", \"e\")";
+           "commit";
+           "quit";
+         ]
+       ~needles:[ "ok commit running epoch 1"; "ok bye" ])
+
 let unknown_scheduler_fails () =
   let status, out = run_capture [ "run"; "tight:5"; "-s"; "bogus" ] in
   check_bool "nonzero exit" true (status <> Unix.WEXITED 0);
@@ -185,6 +259,8 @@ let () =
           test `Quick "analyze report" analyze_report;
           test `Quick "analyze --json round-trips" analyze_json_roundtrip;
           test `Quick "analyze rejects bad programs" analyze_rejects_bad_program;
+          test `Quick "serve stdio session" serve_stdio_session;
+          test `Quick "serve async stdio session" serve_stdio_async_session;
           test `Quick "unknown scheduler fails" unknown_scheduler_fails;
           test `Quick "bad trace spec fails" bad_trace_fails;
         ] );

@@ -308,6 +308,49 @@ let unit_layers_structure () =
   check_int "levels" 5 s.Workload.Trace.levels;
   Alcotest.(check (float 1e-9)) "unit work" 40.0 s.Workload.Trace.active_work
 
+(* ---------- Update_stream ---------- *)
+
+let stream_params : Workload.Synthetic.Update_stream.params =
+  {
+    nodes = 40;
+    span = 6;
+    base_edges = 30;
+    batches = 5;
+    batch_ops = 8;
+    delete_fraction = 0.4;
+    seed = 11;
+  }
+
+let stream_cursor_walks_in_order () =
+  let open Workload.Synthetic.Update_stream in
+  let s = generate stream_params in
+  let c = cursor s in
+  check_int "starts unconsumed" 0 (consumed c);
+  let walked = ref [] in
+  let rec go () =
+    match next c with
+    | None -> ()
+    | Some step ->
+      walked := step :: !walked;
+      go ()
+  in
+  go ();
+  check_int "consumed all" (List.length s.steps) (consumed c);
+  check_bool "exhausted stays exhausted" true (next c = None);
+  check_bool "same steps, same order" true (List.rev !walked = s.steps)
+
+let stream_cursor_reset_and_independence () =
+  let open Workload.Synthetic.Update_stream in
+  let s = generate stream_params in
+  let a = cursor s and b = cursor s in
+  let first = next a in
+  check_bool "fresh cursor unaffected by sibling" true (next b = first);
+  ignore (next a);
+  reset a;
+  check_int "reset rewinds" 0 (consumed a);
+  check_bool "reset replays from the start" true (next a = first);
+  check_int "sibling keeps its position" 1 (consumed b)
+
 let qsuite tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
@@ -351,5 +394,10 @@ let () =
           test `Quick "deep chain" chain_structure;
           test `Quick "interval blowup" blowup_structure;
           test `Quick "unit layers" unit_layers_structure;
+        ] );
+      ( "update-stream",
+        [
+          test `Quick "cursor walks in order" stream_cursor_walks_in_order;
+          test `Quick "reset and independence" stream_cursor_reset_and_independence;
         ] );
     ]

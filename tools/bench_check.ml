@@ -23,6 +23,7 @@ let files =
     "BENCH_maintain_par_smoke.json";
     "BENCH_maintain_shard_smoke.json";
     "BENCH_maintain_count_smoke.json";
+    "BENCH_serve_smoke.json";
   ]
 
 (* keys whose values must match exactly *)
@@ -31,6 +32,11 @@ let whitelist =
     "benchmark"; "program"; "phase"; "engine"; "workload"; "mode"; "trace";
     "executor"; "tuples"; "tasks"; "changed"; "domains"; "work_unit"; "batch";
     "sched"; "shards"; "databases_agree"; "maint"; "mix"; "batches"; "advice";
+    (* serve: offered rate is fixed config; ops admitted and sync-mode
+       commit counts are deterministic (the async rows report their
+       timing-dependent run counts under "runs"/"net_changed", which
+       stay unchecked) *)
+    "rate"; "ops"; "commits";
   ]
 
 (* subtrees that exist to report measurements; skipped entirely *)
